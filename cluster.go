@@ -1,0 +1,158 @@
+package pdtl
+
+import (
+	"time"
+
+	"pdtl/internal/balance"
+	"pdtl/internal/cluster"
+)
+
+// ClusterOptions parameterize a distributed run.
+type ClusterOptions struct {
+	// Workers is P, the processor count per node (master included).
+	Workers int
+	// MemEdges is M per processor, in adjacency entries.
+	MemEdges int
+	// NaiveBalance disables the in-degree load balancer.
+	NaiveBalance bool
+	// UplinkBytesPerSec rate-limits the master's aggregate outgoing graph
+	// copies (0 = unlimited); it models a shared NIC.
+	UplinkBytesPerSec int64
+	// List requests triangle listing into ListPath (12-byte triples).
+	List     bool
+	ListPath string
+}
+
+// NodeStats reports one node's share of a distributed run; node 0 is the
+// master itself.
+type NodeStats struct {
+	Name      string
+	Addr      string
+	CopyTime  time.Duration
+	CopyBytes int64
+	CalcTime  time.Duration
+	Triangles uint64
+	// CPUTime and IOTime aggregate the node's runners.
+	CPUTime, IOTime time.Duration
+	// Workers holds the node's per-runner breakdown.
+	Workers []WorkerStats
+}
+
+// ClusterResult reports a distributed run.
+type ClusterResult struct {
+	Triangles  uint64
+	OrientTime time.Duration
+	// CalcTime is the slowest node's calculation time (the "struggler"
+	// rule of the paper's Section V-E3).
+	CalcTime  time.Duration
+	TotalTime time.Duration
+	// NetworkBytes is the master's total payload exchanged with clients
+	// (Theorem IV.3's Θ(N·(P+|E|)+T) traffic).
+	NetworkBytes int64
+	Nodes        []NodeStats
+	OrientedBase string
+}
+
+// CountDistributed runs the full PDTL protocol: the master (this process)
+// orients the store at base, replicates it to every worker address, assigns
+// contiguous edge ranges, and sums the results. With an empty address list
+// it degrades to a local run through the same protocol path.
+func CountDistributed(base string, workerAddrs []string, opt ClusterOptions) (*ClusterResult, error) {
+	strategy := balance.InDegree
+	if opt.NaiveBalance {
+		strategy = balance.Naive
+	}
+	cres, err := cluster.Run(cluster.Config{
+		GraphBase:         base,
+		Workers:           opt.Workers,
+		MemEdges:          opt.MemEdges,
+		Strategy:          strategy,
+		UplinkBytesPerSec: opt.UplinkBytesPerSec,
+		List:              opt.List,
+		ListPath:          opt.ListPath,
+	}, workerAddrs)
+	if err != nil {
+		return nil, err
+	}
+	res := &ClusterResult{
+		Triangles:    cres.Triangles,
+		CalcTime:     cres.CalcTime,
+		TotalTime:    cres.TotalTime,
+		NetworkBytes: cres.NetworkBytes,
+		OrientedBase: cres.OrientedBase,
+	}
+	if cres.Orientation != nil {
+		res.OrientTime = cres.Orientation.Duration
+	}
+	for _, n := range cres.Nodes {
+		ns := NodeStats{
+			Name:      n.Name,
+			Addr:      n.Addr,
+			CopyTime:  n.CopyTime,
+			CopyBytes: n.CopyBytes,
+			CalcTime:  n.CalcTime,
+			Triangles: n.Triangles,
+		}
+		for _, w := range n.Workers {
+			ns.CPUTime += w.Stats.CPUTime()
+			ns.IOTime += w.Stats.IO.IOTime()
+			ns.Workers = append(ns.Workers, WorkerStats{
+				Worker:    w.Worker,
+				EdgeLo:    w.Range.Lo,
+				EdgeHi:    w.Range.Hi,
+				Triangles: w.Stats.Triangles,
+				Passes:    w.Stats.Passes,
+				CPUTime:   w.Stats.CPUTime(),
+				IOTime:    w.Stats.IO.IOTime(),
+				BytesRead: w.Stats.IO.BytesRead,
+			})
+		}
+		res.Nodes = append(res.Nodes, ns)
+	}
+	return res, nil
+}
+
+// WorkerServer is a running PDTL worker node.
+type WorkerServer struct {
+	srv *cluster.Server
+}
+
+// ServeWorker starts a worker node that stores graph replicas under workDir
+// and serves the PDTL protocol on addr (use ":0" to pick a free port). The
+// returned server runs until Close.
+func ServeWorker(addr, name, workDir string) (*WorkerServer, error) {
+	node := cluster.NewNode(name, workDir, 0)
+	srv, err := cluster.Listen(node, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &WorkerServer{srv: srv}, nil
+}
+
+// Addr reports the worker's listen address.
+func (w *WorkerServer) Addr() string { return w.srv.Addr() }
+
+// Close stops the worker.
+func (w *WorkerServer) Close() error { return w.srv.Close() }
+
+// WorkerPool is a set of local in-process worker nodes, convenient for
+// examples and tests.
+type WorkerPool struct {
+	lc *cluster.LocalCluster
+}
+
+// StartLocalWorkers starts n in-process worker nodes on loopback TCP, each
+// with its own replica directory under dir.
+func StartLocalWorkers(n int, dir string) (*WorkerPool, error) {
+	lc, err := cluster.StartLocal(n, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &WorkerPool{lc: lc}, nil
+}
+
+// Addrs lists the pool's worker addresses.
+func (p *WorkerPool) Addrs() []string { return p.lc.Addrs() }
+
+// Close stops all workers in the pool.
+func (p *WorkerPool) Close() error { return p.lc.Close() }

@@ -1,0 +1,52 @@
+// Command pdtl-bench regenerates the paper's evaluation tables and figures
+// (Section V) against the laptop-scale stand-in datasets. Each experiment
+// id corresponds to one table or figure; see DESIGN.md §4 for the index.
+//
+// Usage:
+//
+//	pdtl-bench -list                 # show available experiments
+//	pdtl-bench -exp table2           # run one experiment
+//	pdtl-bench -all                  # run everything (minutes)
+//	pdtl-bench -all -cache ./cache   # persist generated datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdtl/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (see -list)")
+	all := flag.Bool("all", false, "run every experiment")
+	list := flag.Bool("list", false, "list experiments")
+	cache := flag.String("cache", "", "persistent dataset cache directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments {
+			fmt.Printf("%-8s %-14s %s\n", e.ID, e.Paper, e.Desc)
+		}
+		return
+	}
+	if !*all && *exp == "" {
+		fmt.Fprintln(os.Stderr, "pdtl-bench: need -exp ID, -all, or -list")
+		os.Exit(2)
+	}
+	h, err := harness.New(*cache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdtl-bench:", err)
+		os.Exit(1)
+	}
+	if *all {
+		err = h.RunAll(os.Stdout)
+	} else {
+		err = h.Run(*exp, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdtl-bench:", err)
+		os.Exit(1)
+	}
+}

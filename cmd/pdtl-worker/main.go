@@ -1,0 +1,44 @@
+// Command pdtl-worker runs a PDTL client node: it receives oriented graph
+// replicas from a master, executes its assigned edge ranges with MGT
+// runners, and returns counts (Figure 1 of the paper).
+//
+// Usage:
+//
+//	pdtl-worker -addr :7100 -dir /var/lib/pdtl -name node1
+//
+// The worker serves until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pdtl"
+)
+
+func main() {
+	addr := flag.String("addr", ":7100", "TCP listen address")
+	dir := flag.String("dir", ".", "working directory for graph replicas")
+	name := flag.String("name", "", "node name (default: host:port)")
+	flag.Parse()
+
+	nodeName := *name
+	if nodeName == "" {
+		nodeName = *addr
+	}
+	w, err := pdtl.ServeWorker(*addr, nodeName, *dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdtl-worker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pdtl-worker %q serving on %s (replicas in %s)\n", nodeName, w.Addr(), *dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("pdtl-worker: shutting down")
+	w.Close()
+}

@@ -1,0 +1,199 @@
+package pdtl
+
+import (
+	"io"
+
+	"pdtl/internal/extsort"
+	"pdtl/internal/gen"
+	"pdtl/internal/graph"
+)
+
+// GraphInfo summarizes a graph store (the columns of the paper's Table I).
+type GraphInfo struct {
+	Name        string
+	NumVertices int
+	NumEdges    uint64
+	AvgDegree   float64
+	StdDegree   float64
+	MaxDegree   uint32
+	Oriented    bool
+	// MaxOutDegree is d*max for oriented stores (0 otherwise).
+	MaxOutDegree uint32
+}
+
+// Info reads the metadata and degree statistics of the store at base.
+func Info(base string) (GraphInfo, error) {
+	d, err := graph.Open(base)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	info := GraphInfo{
+		Name:         d.Meta.Name,
+		NumVertices:  d.NumVertices(),
+		NumEdges:     d.Meta.NumEdges,
+		MaxDegree:    d.Meta.MaxDegree,
+		Oriented:     d.Meta.Oriented,
+		MaxOutDegree: d.Meta.MaxOutDegree,
+	}
+	if n := float64(info.NumVertices); n > 0 {
+		var sum, sumSq float64
+		for _, deg := range d.Degrees {
+			df := float64(deg)
+			sum += df
+			sumSq += df * df
+		}
+		info.AvgDegree = sum / n
+		variance := sumSq/n - info.AvgDegree*info.AvgDegree
+		if variance > 0 {
+			info.StdDegree = sqrt(variance)
+		}
+	}
+	return info, nil
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton's method; avoids importing math for one call site.
+	z := x
+	for i := 0; i < 32; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// WriteGraph builds a simple undirected graph on n vertices from an edge
+// list (duplicates, reverses and self-loops are cleaned up) and writes it
+// to the store at base.
+func WriteGraph(base, name string, n int, edges [][2]uint32) (GraphInfo, error) {
+	converted := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		converted[i] = graph.Edge{U: e[0], V: e[1]}
+	}
+	g, err := graph.FromEdges(n, converted)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return writeStore(base, name, g)
+}
+
+func writeStore(base, name string, g *graph.CSR) (GraphInfo, error) {
+	if err := graph.WriteCSR(base, name, g); err != nil {
+		return GraphInfo{}, err
+	}
+	return Info(base)
+}
+
+// GenerateRMAT writes an R-MAT graph (2^scale vertices, edgeFactor·2^scale
+// edge samples before simplification) to the store at base — the paper's
+// scale-free synthetic family.
+func GenerateRMAT(base string, scale uint, edgeFactor int, seed int64) (GraphInfo, error) {
+	g, err := gen.RMAT(scale, edgeFactor, seed)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return writeStore(base, "rmat", g)
+}
+
+// GenerateErdosRenyi writes a uniform random graph to the store at base.
+func GenerateErdosRenyi(base string, n, m int, seed int64) (GraphInfo, error) {
+	g, err := gen.ErdosRenyi(n, m, seed)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return writeStore(base, "erdos-renyi", g)
+}
+
+// GenerateComplete writes the complete graph K_n to the store at base; it
+// has exactly n·(n-1)·(n-2)/6 triangles, which makes it a convenient
+// correctness anchor.
+func GenerateComplete(base string, n int) (GraphInfo, error) {
+	g, err := gen.Complete(n)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return writeStore(base, "complete", g)
+}
+
+// GenerateCommunity writes a power-law graph with planted community
+// structure (high triangle density, like the paper's Orkut/LiveJournal
+// social datasets). n vertices, m edge samples, communities groups;
+// intraProb is the fraction of edges kept inside a community.
+func GenerateCommunity(base string, n, m, communities int, intraProb float64, seed int64) (GraphInfo, error) {
+	g, err := gen.Community(n, m, gen.CommunityParams{
+		Communities: communities,
+		IntraProb:   intraProb,
+		Exponent:    2.5,
+	}, seed)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return writeStore(base, "community", g)
+}
+
+// GenerateWeb writes a web-graph stand-in (sparse, extreme hubs, long
+// chains — the paper's Yahoo signature) with n vertices.
+func GenerateWeb(base string, n int, seed int64) (GraphInfo, error) {
+	g, err := gen.Web(n, gen.DefaultWeb, seed)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return writeStore(base, "web", g)
+}
+
+// GeneratePowerLaw writes a Chung–Lu power-law graph with the given
+// exponent (lower = heavier tail).
+func GeneratePowerLaw(base string, n, m int, exponent float64, seed int64) (GraphInfo, error) {
+	g, err := gen.PowerLaw(n, m, exponent, seed)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return writeStore(base, "powerlaw", g)
+}
+
+// GenerateTriGrid writes the w×h diagonal grid, a planar graph with exactly
+// 2·(w-1)·(h-1) triangles.
+func GenerateTriGrid(base string, w, h int) (GraphInfo, error) {
+	g, err := gen.TriGrid(w, h)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return writeStore(base, "trigrid", g)
+}
+
+// Degrees reads the per-vertex degree array of the store at base (degrees
+// of G for undirected stores, out-degrees of G* for oriented ones).
+func Degrees(base string) ([]uint32, error) {
+	d, err := graph.Open(base)
+	if err != nil {
+		return nil, err
+	}
+	return d.Degrees, nil
+}
+
+// ImportEdgeListText ingests a whitespace-separated text edge list (SNAP
+// format: "u v" per line, '#' comments) into the store at base.
+func ImportEdgeListText(r io.Reader, base, name string) (GraphInfo, error) {
+	edges, n, err := graph.ReadEdgeListText(r)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return writeStore(base, name, g)
+}
+
+// ImportEdgeFileBinary ingests a binary edge file (little-endian uint32
+// pairs) into the store at base using the external-memory pipeline —
+// mirror, external sort, deduplicating scan — holding at most memEdges
+// edges in memory. This is the O(sort(E)) path of Theorem IV.2 and the way
+// to ingest graphs larger than RAM.
+func ImportEdgeFileBinary(edgeFile, base, name string, memEdges int) (GraphInfo, error) {
+	if err := extsort.BuildStore(edgeFile, base, name, memEdges, nil); err != nil {
+		return GraphInfo{}, err
+	}
+	return Info(base)
+}

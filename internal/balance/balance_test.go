@@ -1,0 +1,246 @@
+package balance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pdtl/internal/gen"
+	"pdtl/internal/graph"
+	"pdtl/internal/orient"
+)
+
+// orientedArrays builds the inputs Split needs from an undirected CSR.
+func orientedArrays(t *testing.T, g *graph.CSR) (offsets []uint64, outDeg, inDeg []uint32) {
+	t.Helper()
+	o := orient.CSR(g)
+	outDeg = o.Degrees()
+	deg := g.Degrees()
+	inDeg = make([]uint32, len(deg))
+	for v := range deg {
+		inDeg[v] = deg[v] - outDeg[v]
+	}
+	return o.Offsets, outDeg, inDeg
+}
+
+func TestNaiveSplitEqualSizes(t *testing.T) {
+	g, err := gen.ErdosRenyi(50, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets, outDeg, inDeg := orientedArrays(t, g)
+	total := offsets[len(offsets)-1]
+	plan, err := Split(offsets, outDeg, inDeg, 4, Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(total); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range plan.Ranges {
+		if diff := int64(r.Len()) - int64(total/4); diff < -1 || diff > 1 {
+			t.Errorf("range %d has %d edges, want ~%d", i, r.Len(), total/4)
+		}
+	}
+}
+
+func TestInDegreeSplitBalancesSkew(t *testing.T) {
+	// A skewed graph: hub-heavy power law. The in-degree plan should have
+	// clearly lower imbalance than the naive one under the cost model.
+	g, err := gen.PowerLaw(3000, 30000, 2.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets, outDeg, inDeg := orientedArrays(t, g)
+	total := offsets[len(offsets)-1]
+
+	naive, err := Split(offsets, outDeg, inDeg, 8, Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Split(offsets, outDeg, inDeg, 8, InDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := naive.Validate(total); err != nil {
+		t.Fatal(err)
+	}
+	if err := weighted.Validate(total); err != nil {
+		t.Fatal(err)
+	}
+	if weighted.Imbalance() >= naive.Imbalance() {
+		t.Errorf("weighted imbalance %.3f not better than naive %.3f",
+			weighted.Imbalance(), naive.Imbalance())
+	}
+	if weighted.Imbalance() > 1.5 {
+		t.Errorf("weighted imbalance %.3f too high", weighted.Imbalance())
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	offsets := []uint64{0, 2, 4}
+	outDeg := []uint32{2, 2}
+	inDeg := []uint32{0, 0}
+	if _, err := Split(offsets, outDeg, inDeg, 0, Naive); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, err := Split(offsets[:2], outDeg, inDeg, 1, Naive); err == nil {
+		t.Error("want error for mismatched offsets")
+	}
+	if _, err := Split(offsets, outDeg, inDeg[:1], 1, InDegree); err == nil {
+		t.Error("want error for mismatched in-degrees")
+	}
+	if _, err := Split(offsets, outDeg, inDeg, 1, Strategy(99)); err == nil {
+		t.Error("want error for unknown strategy")
+	}
+}
+
+func TestSplitDegenerateCases(t *testing.T) {
+	// k = 1: the single range is everything.
+	offsets := []uint64{0, 3, 5}
+	outDeg := []uint32{3, 2}
+	inDeg := []uint32{1, 2}
+	for _, s := range []Strategy{Naive, InDegree} {
+		plan, err := Split(offsets, outDeg, inDeg, 1, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Ranges) != 1 || plan.Ranges[0] != (Range{0, 5}) {
+			t.Errorf("%v: k=1 plan = %+v", s, plan.Ranges)
+		}
+	}
+	// More processors than edges: some ranges empty, still valid.
+	for _, s := range []Strategy{Naive, InDegree} {
+		plan, err := Split(offsets, outDeg, inDeg, 16, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.Validate(5); err != nil {
+			t.Errorf("%v: %v", s, err)
+		}
+	}
+	// Empty graph.
+	plan, err := Split([]uint64{0}, nil, nil, 3, InDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubdivide(t *testing.T) {
+	plan := Plan{Ranges: []Range{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}}}
+	groups := plan.Subdivide(3)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	for i, g := range groups {
+		if len(g) != 2 {
+			t.Errorf("group %d has %d ranges, want 2", i, len(g))
+		}
+	}
+	// Uneven subdivision covers everything exactly once.
+	groups = plan.Subdivide(4)
+	seen := 0
+	for _, g := range groups {
+		seen += len(g)
+	}
+	if seen != 6 {
+		t.Errorf("subdivide(4) covered %d ranges, want 6", seen)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Naive.String() != "naive" || InDegree.String() != "indegree" || Cost.String() != "cost" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(7).String() == "" {
+		t.Error("unknown strategy should still print")
+	}
+}
+
+func TestCostStrategy(t *testing.T) {
+	g, err := gen.PowerLaw(3000, 30000, 2.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := orient.CSR(g)
+	outDeg := o.Degrees()
+	deg := g.Degrees()
+	inDeg := make([]uint32, len(deg))
+	for v := range deg {
+		inDeg[v] = deg[v] - outDeg[v]
+	}
+	cone := ConeCostsCSR(o)
+	total := o.Offsets[len(o.Offsets)-1]
+
+	in := Inputs{Offsets: o.Offsets, OutDeg: outDeg, InDeg: inDeg, ConeCost: cone}
+	plan, err := SplitInputs(in, 8, Cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(total); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Imbalance() > 1.5 {
+		t.Errorf("cost plan imbalance %.3f too high", plan.Imbalance())
+	}
+	// Missing cone costs must be rejected.
+	in.ConeCost = nil
+	if _, err := SplitInputs(in, 8, Cost); err == nil {
+		t.Error("want error for Cost without cone costs")
+	}
+}
+
+func TestConeCostsCSR(t *testing.T) {
+	// Path 0-1-2 oriented by degree: edges (0,1),(2,1) — both endpoints
+	// point at the middle vertex, whose cone cost is d*(0)+d*(2) = 2.
+	g, err := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := orient.CSR(g)
+	costs := ConeCostsCSR(o)
+	if costs[1] != 2 || costs[0] != 0 || costs[2] != 0 {
+		t.Errorf("cone costs = %v, want [0 2 0]", costs)
+	}
+}
+
+// Property: both strategies always produce valid contiguous covers, for any
+// random graph and processor count.
+func TestSplitCoverageProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(80)
+		g, err := gen.ErdosRenyi(n, rng.Intn(6*n), seed)
+		if err != nil {
+			return false
+		}
+		o := orient.CSR(g)
+		outDeg := o.Degrees()
+		deg := g.Degrees()
+		inDeg := make([]uint32, len(deg))
+		for v := range deg {
+			inDeg[v] = deg[v] - outDeg[v]
+		}
+		k := 1 + int(kRaw%32)
+		total := o.Offsets[len(o.Offsets)-1]
+		for _, s := range []Strategy{Naive, InDegree} {
+			plan, err := Split(o.Offsets, outDeg, inDeg, k, s)
+			if err != nil {
+				return false
+			}
+			if len(plan.Ranges) != k {
+				return false
+			}
+			if plan.Validate(total) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pdtl/internal/gen"
+	"pdtl/internal/graph"
+)
+
+func TestKnownCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		g    func() (*graph.CSR, error)
+		want uint64
+	}{
+		{"K4", func() (*graph.CSR, error) { return gen.Complete(4) }, 4},
+		{"K5", func() (*graph.CSR, error) { return gen.Complete(5) }, 10},
+		{"K10", func() (*graph.CSR, error) { return gen.Complete(10) }, gen.CompleteTriangles(10)},
+		{"K50", func() (*graph.CSR, error) { return gen.Complete(50) }, gen.CompleteTriangles(50)},
+		{"Grid8x8", func() (*graph.CSR, error) { return gen.Grid(8, 8) }, 0},
+		{"TriGrid5x7", func() (*graph.CSR, error) { return gen.TriGrid(5, 7) }, gen.TriGridTriangles(5, 7)},
+		{"TriGrid2x2", func() (*graph.CSR, error) { return gen.TriGrid(2, 2) }, 2},
+		{"Empty", func() (*graph.CSR, error) { return graph.FromEdges(0, nil) }, 0},
+		{"SingleEdge", func() (*graph.CSR, error) { return graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}}) }, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.g()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := BruteForce(g); got != tc.want {
+				t.Errorf("BruteForce = %d, want %d", got, tc.want)
+			}
+			if got := EdgeIterator(g); got != tc.want {
+				t.Errorf("EdgeIterator = %d, want %d", got, tc.want)
+			}
+			if got := Forward(g); got != tc.want {
+				t.Errorf("Forward = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// Property: all three counters agree on random graphs.
+func TestCountersAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(50)
+		m := rng.Intn(4 * n)
+		g, err := gen.ErdosRenyi(n, m, seed)
+		if err != nil {
+			return false
+		}
+		bf := BruteForce(g)
+		return EdgeIterator(g) == bf && Forward(g) == bf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: T <= MinDegreeSum/3 (Theorem III.4 corollary).
+func TestArboricityTriangleBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(60)
+		g, err := gen.ErdosRenyi(n, rng.Intn(6*n), seed+1)
+		if err != nil {
+			return false
+		}
+		return 3*Forward(g) <= graph.MinDegreeSum(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForwardListOrdering(t *testing.T) {
+	g, err := gen.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := g.Degrees()
+	prec := func(a, b graph.Vertex) bool {
+		if deg[a] != deg[b] {
+			return deg[a] < deg[b]
+		}
+		return a < b
+	}
+	seen := map[[3]graph.Vertex]bool{}
+	ForwardList(g, func(u, v, w graph.Vertex) {
+		if !prec(u, v) || !prec(v, w) {
+			t.Errorf("triangle (%d,%d,%d) not in ≺ order", u, v, w)
+		}
+		key := [3]graph.Vertex{u, v, w}
+		if seen[key] {
+			t.Errorf("triangle %v reported twice", key)
+		}
+		seen[key] = true
+	})
+	if len(seen) != 20 {
+		t.Errorf("K6: listed %d triangles, want 20", len(seen))
+	}
+}
+
+func TestLocalCounts(t *testing.T) {
+	// Triangle plus a pendant vertex: each triangle corner has count 1,
+	// pendant has 0.
+	g, err := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := LocalCounts(g)
+	want := []uint64{1, 1, 1, 0}
+	for v, c := range counts {
+		if c != want[v] {
+			t.Errorf("LocalCounts[%d] = %d, want %d", v, c, want[v])
+		}
+	}
+}
+
+func TestLocalCountsSumTo3T(t *testing.T) {
+	g, err := gen.ErdosRenyi(40, 200, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, c := range LocalCounts(g) {
+		sum += c
+	}
+	if sum != 3*Forward(g) {
+		t.Errorf("sum of local counts %d != 3T = %d", sum, 3*Forward(g))
+	}
+}

@@ -1,0 +1,35 @@
+package baseline
+
+import (
+	"testing"
+
+	"pdtl/internal/gen"
+)
+
+// BenchmarkForward measures the in-memory compact-forward reference.
+func BenchmarkForward(b *testing.B) {
+	g, err := gen.RMAT(12, 16, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Forward(g) == 0 {
+			b.Fatal("no triangles")
+		}
+	}
+}
+
+// BenchmarkEdgeIterator measures the per-edge intersection counter.
+func BenchmarkEdgeIterator(b *testing.B) {
+	g, err := gen.RMAT(11, 16, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if EdgeIterator(g) == 0 {
+			b.Fatal("no triangles")
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"pdtl/internal/balance"
+	"pdtl/internal/baseline"
+	"pdtl/internal/gen"
+	"pdtl/internal/graph"
+	"pdtl/internal/mgt"
+)
+
+func writeStore(t testing.TB, g *graph.CSR, name string) string {
+	t.Helper()
+	base := filepath.Join(t.TempDir(), name)
+	if err := graph.WriteCSR(base, name, g); err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+func startCluster(t testing.TB, n int) *LocalCluster {
+	t.Helper()
+	lc, err := StartLocal(n, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lc.Close() })
+	return lc
+}
+
+func TestDistributedCountMatchesReference(t *testing.T) {
+	g, err := gen.RMAT(10, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.Forward(g)
+	base := writeStore(t, g, "rmat10")
+
+	for _, clients := range []int{0, 1, 3} {
+		lc := startCluster(t, clients)
+		res, err := Run(Config{
+			GraphBase: base,
+			Workers:   2,
+			MemEdges:  512,
+			Strategy:  balance.InDegree,
+		}, lc.Addrs())
+		if err != nil {
+			t.Fatalf("clients=%d: %v", clients, err)
+		}
+		if res.Triangles != want {
+			t.Errorf("clients=%d: triangles = %d, want %d", clients, res.Triangles, want)
+		}
+		if len(res.Nodes) != clients+1 {
+			t.Errorf("clients=%d: node results = %d", clients, len(res.Nodes))
+		}
+		// Master never has copy time; clients always do.
+		if res.Nodes[0].CopyBytes != 0 {
+			t.Error("master should not copy to itself")
+		}
+		for i := 1; i < len(res.Nodes); i++ {
+			if res.Nodes[i].CopyBytes == 0 {
+				t.Errorf("node %d: no copy bytes recorded", i)
+			}
+		}
+	}
+}
+
+func TestDistributedNetworkTraffic(t *testing.T) {
+	// Theorem IV.3: network traffic is Θ(N·(P+|E|)+T); with counting only,
+	// the dominant term is one oriented-graph replica per client.
+	g, err := gen.ErdosRenyi(500, 5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := writeStore(t, g, "er")
+	lc := startCluster(t, 3)
+	res, err := Run(Config{GraphBase: base, Workers: 2, MemEdges: 1024}, lc.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := graph.Open(res.OrientedBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica := d.AdjBytes() + int64(d.NumVertices())*graph.EntrySize
+	// 3 replicas, plus the small meta files.
+	if res.NetworkBytes < 3*replica {
+		t.Errorf("network bytes %d below 3 replicas (%d)", res.NetworkBytes, 3*replica)
+	}
+	if res.NetworkBytes > 3*replica+10_000 {
+		t.Errorf("network bytes %d too far above 3 replicas (%d)", res.NetworkBytes, 3*replica)
+	}
+}
+
+func TestDistributedListing(t *testing.T) {
+	g, err := gen.TriGrid(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := writeStore(t, g, "tg")
+	lc := startCluster(t, 2)
+	listPath := filepath.Join(t.TempDir(), "triangles.bin")
+	res, err := Run(Config{
+		GraphBase: base,
+		Workers:   2,
+		MemEdges:  64,
+		List:      true,
+		ListPath:  listPath,
+	}, lc.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gen.TriGridTriangles(8, 8)
+	if res.Triangles != want {
+		t.Errorf("count = %d, want %d", res.Triangles, want)
+	}
+	f, err := os.Open(listPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	triples, err := mgt.ReadTriangles(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(triples)) != want {
+		t.Fatalf("listed %d triangles, want %d", len(triples), want)
+	}
+	// No duplicates across nodes.
+	sort.Slice(triples, func(i, j int) bool {
+		a, b := triples[i], triples[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+	for i := 1; i < len(triples); i++ {
+		if triples[i] == triples[i-1] {
+			t.Fatalf("duplicate triangle %v across nodes", triples[i])
+		}
+	}
+}
+
+func TestDistributedOrientedInput(t *testing.T) {
+	g, err := gen.Complete(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := writeStore(t, g, "k16")
+	// Pre-orient via a first run, then feed the oriented store.
+	lc := startCluster(t, 1)
+	res1, err := Run(Config{GraphBase: base, Workers: 1, MemEdges: 64}, lc.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(Config{GraphBase: res1.OrientedBase, Workers: 1, MemEdges: 64}, lc.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Orientation != nil {
+		t.Error("oriented input should skip orientation")
+	}
+	if res2.Triangles != gen.CompleteTriangles(16) {
+		t.Errorf("triangles = %d", res2.Triangles)
+	}
+}
+
+func TestUplinkLimiterSlowsCopies(t *testing.T) {
+	g, err := gen.ErdosRenyi(2000, 40000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := writeStore(t, g, "big")
+	lc := startCluster(t, 1)
+
+	fast, err := Run(Config{GraphBase: base, Workers: 1, MemEdges: 1 << 16}, lc.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With rate 4·replica/s and a 100ms burst (0.4·replica), the copy
+	// must spend at least (replica − 0.4·replica)/(4·replica/s) = 150ms
+	// waiting, regardless of host speed.
+	replica := fast.Nodes[1].CopyBytes
+	slow, err := Run(Config{
+		GraphBase:         base,
+		Workers:           1,
+		MemEdges:          1 << 16,
+		UplinkBytesPerSec: 4 * replica,
+		ChunkBytes:        int(replica / 16),
+	}, lc.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Nodes[1].CopyTime < 100*time.Millisecond {
+		t.Errorf("limited copy (%v) below the deterministic 150ms floor", slow.Nodes[1].CopyTime)
+	}
+}
+
+func TestNodeTransferErrors(t *testing.T) {
+	node := NewNode("n", t.TempDir(), 2)
+	var hello HelloReply
+	if err := node.Hello(&HelloArgs{}, &hello); err != nil || hello.Name != "n" || hello.MaxWorkers != 2 {
+		t.Fatalf("hello = %+v err=%v", hello, err)
+	}
+	var ping PingReply
+	if err := node.Ping(&PingArgs{}, &ping); err != nil || !ping.OK {
+		t.Fatal("ping failed")
+	}
+	// Chunk without Begin.
+	if err := node.GraphChunk(&ChunkArgs{Kind: FileAdj, Data: []byte{1}}, &struct{}{}); err == nil {
+		t.Error("want error for chunk without begin")
+	}
+	// End without Begin.
+	var end EndGraphReply
+	if err := node.EndGraph(&EndGraphArgs{}, &end); err == nil {
+		t.Error("want error for end without begin")
+	}
+	// Begin twice.
+	if err := node.BeginGraph(&BeginGraphArgs{Name: "g"}, &struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.BeginGraph(&BeginGraphArgs{Name: "g"}, &struct{}{}); err == nil {
+		t.Error("want error for concurrent transfer")
+	}
+	// Unknown file kind.
+	if err := node.GraphChunk(&ChunkArgs{Kind: "bogus", Data: []byte{1}}, &struct{}{}); err == nil {
+		t.Error("want error for unknown kind")
+	}
+	if err := node.EndGraph(&EndGraphArgs{}, &end); err != nil {
+		t.Fatal(err)
+	}
+	// Count against a missing replica.
+	var reply CountReply
+	err := node.Count(&CountArgs{GraphName: "missing", Ranges: []balance.Range{{Lo: 0, Hi: 1}}, MemEdges: 4}, &reply)
+	if err == nil {
+		t.Error("want error for missing replica")
+	}
+}
+
+func TestRunFailsOnDeadNode(t *testing.T) {
+	g, err := gen.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := writeStore(t, g, "k6")
+	lc := startCluster(t, 1)
+	addr := lc.Addrs()[0]
+	lc.Close()
+	if _, err := Run(Config{GraphBase: base, Workers: 1, MemEdges: 16}, []string{addr}); err == nil {
+		t.Fatal("want error when node is unreachable")
+	}
+}
+
+func TestListRequiresPath(t *testing.T) {
+	g, err := gen.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := writeStore(t, g, "k5")
+	if _, err := Run(Config{GraphBase: base, Workers: 1, MemEdges: 16, List: true}, nil); err == nil {
+		t.Fatal("want error for List without ListPath")
+	}
+}
+
+func TestLimiter(t *testing.T) {
+	// Unlimited limiter never blocks.
+	l := NewLimiter(0)
+	done := make(chan struct{})
+	go func() {
+		l.Wait(1 << 30)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("unlimited limiter blocked")
+	}
+	// A nil limiter is a no-op too.
+	var nilL *Limiter
+	nilL.Wait(100)
+
+	// A limited limiter enforces an approximate rate beyond its 100ms
+	// burst: at 10 MiB/s the burst is 1 MiB, so waiting for 3 MiB must
+	// take at least (3−1)/10 = 200ms.
+	rate := int64(10 << 20)
+	l = NewLimiter(rate)
+	start := time.Now()
+	l.Wait(3 << 20)
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Errorf("limited Wait returned too fast: %v", elapsed)
+	}
+}

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a token-bucket byte-rate limiter shared by all of the master's
+// outgoing graph copies. It stands in for the fixed-capacity NIC of the
+// paper's testbeds: with several clients copying concurrently, each sees a
+// proportionally lower rate, which is what makes Table III's average copy
+// time grow with node count.
+type Limiter struct {
+	mu         sync.Mutex
+	bytesPerNS float64
+	avail      float64
+	last       time.Time
+	burst      float64
+}
+
+// NewLimiter creates a limiter allowing bytesPerSec throughput with a burst
+// of 100 ms worth of volume (the order of a NIC's buffering). A
+// non-positive rate disables limiting (Wait becomes a no-op).
+func NewLimiter(bytesPerSec int64) *Limiter {
+	if bytesPerSec <= 0 {
+		return &Limiter{}
+	}
+	rate := float64(bytesPerSec) / float64(time.Second)
+	burst := float64(bytesPerSec) / 10
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{
+		bytesPerNS: rate,
+		burst:      burst,
+		avail:      burst,
+		last:       time.Now(),
+	}
+}
+
+// Wait charges n bytes against the bucket and sleeps off any deficit
+// (debt-based token bucket, so requests larger than the burst are simply
+// paid for over time). Concurrent senders share the rate.
+func (l *Limiter) Wait(n int) {
+	if l == nil || l.bytesPerNS == 0 {
+		return
+	}
+	l.mu.Lock()
+	now := time.Now()
+	l.avail += float64(now.Sub(l.last)) * l.bytesPerNS
+	l.last = now
+	if l.avail > l.burst {
+		l.avail = l.burst
+	}
+	l.avail -= float64(n)
+	var sleep time.Duration
+	if l.avail < 0 {
+		sleep = time.Duration(-l.avail / l.bytesPerNS)
+	}
+	l.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+}

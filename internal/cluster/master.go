@@ -1,0 +1,353 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net/rpc"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pdtl/internal/balance"
+	"pdtl/internal/core"
+	"pdtl/internal/graph"
+	"pdtl/internal/mgt"
+	"pdtl/internal/orient"
+)
+
+// Config parameterizes a distributed run.
+type Config struct {
+	// GraphBase is the input store (oriented or not). Unoriented inputs
+	// are oriented by the master first — "it is the responsibility of the
+	// master to apply the degree-based order to the graph in question,
+	// before sending it over the network" (Section IV-B1).
+	GraphBase string
+	// GraphName names the replicas on the clients; defaults to the base
+	// name of GraphBase.
+	GraphName string
+	// Workers is P, the processors per node.
+	Workers int
+	// MemEdges is M per processor.
+	MemEdges int
+	// Strategy selects the load balancer for the global N·P-range plan.
+	Strategy balance.Strategy
+	// OrientWorkers is the master's orientation parallelism; non-positive
+	// means Workers.
+	OrientWorkers int
+	// BufBytes is the per-runner scan buffer size.
+	BufBytes int
+	// UplinkBytesPerSec rate-limits the master's outgoing graph copies in
+	// aggregate (0 = unlimited), modeling the shared NIC.
+	UplinkBytesPerSec int64
+	// ChunkBytes is the copy chunk size; non-positive selects 256 KiB.
+	ChunkBytes int
+	// List requests triangle listing; the master concatenates all nodes'
+	// triples into ListPath sequentially.
+	List bool
+	// ListPath is the output file for List mode.
+	ListPath string
+}
+
+func (c Config) withDefaults() Config {
+	if c.GraphName == "" {
+		c.GraphName = filepath.Base(c.GraphBase)
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MemEdges <= 0 {
+		c.MemEdges = core.DefaultMemEdges
+	}
+	if c.OrientWorkers <= 0 {
+		c.OrientWorkers = c.Workers
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 256 * 1024
+	}
+	return c
+}
+
+// NodeResult is one node's contribution to a run. Node 0 is the master
+// itself (no copy).
+type NodeResult struct {
+	// Name is the node's self-reported label ("master" for node 0).
+	Name string
+	// Addr is the node's RPC address, or "local".
+	Addr string
+	// CopyTime is how long the graph replica took to stream to this node
+	// (Table III's "avg copy time" inputs; zero for the master).
+	CopyTime time.Duration
+	// CopyBytes is the replica volume sent.
+	CopyBytes int64
+	// CalcTime is the node's calculation wall time; the run's CalcTime is
+	// the max over nodes (the "struggler" rule of Section V-E3).
+	CalcTime time.Duration
+	// Triangles found by this node.
+	Triangles uint64
+	// Workers holds the node's per-runner statistics.
+	Workers []core.WorkerStat
+}
+
+// Result is the outcome of a distributed run.
+type Result struct {
+	// Triangles is the exact global count.
+	Triangles uint64
+	// Orientation describes the master's preprocessing (nil if the input
+	// was already oriented).
+	Orientation *orient.Result
+	// Plan is the global N·P-range assignment.
+	Plan balance.Plan
+	// Nodes has one entry per node, master first.
+	Nodes []NodeResult
+	// CalcTime is the straggler node's calculation time.
+	CalcTime time.Duration
+	// TotalTime is orientation + distribution + calculation.
+	TotalTime time.Duration
+	// NetworkBytes is the total payload the master exchanged with clients
+	// (graph replicas plus returned triangle lists) — the Θ(N·(P+|E|)+T)
+	// traffic of Theorem IV.3.
+	NetworkBytes int64
+	// OrientedBase is the oriented store the run used.
+	OrientedBase string
+}
+
+// Run executes a distributed triangle count/listing with the master as node
+// 0 and one client per address in workerAddrs. With no addresses it
+// degrades to a purely local run through the same code path.
+func Run(cfg Config, workerAddrs []string) (*Result, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+
+	d, err := graph.Open(cfg.GraphBase)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	orientedBase := cfg.GraphBase
+	if !d.Meta.Oriented {
+		orientedBase = cfg.GraphBase + ".oriented"
+		ores, err := orient.Orient(cfg.GraphBase, orientedBase, cfg.OrientWorkers)
+		if err != nil {
+			return nil, err
+		}
+		res.Orientation = ores
+		if d, err = graph.Open(orientedBase); err != nil {
+			return nil, err
+		}
+	}
+	res.OrientedBase = orientedBase
+
+	nodes := 1 + len(workerAddrs)
+	plan, err := core.Plan(d, orientedBase, nodes*cfg.Workers, cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = plan
+	groups := plan.Subdivide(nodes)
+
+	limiter := NewLimiter(cfg.UplinkBytesPerSec)
+	res.Nodes = make([]NodeResult, nodes)
+	triples := make([][]byte, nodes)
+	errs := make([]error, nodes)
+	var totalTriangles atomic.Uint64
+	var netBytes atomic.Int64
+
+	var wg sync.WaitGroup
+	// Clients: copy, then count. The master "starts the triangle counting
+	// operations before the network transfer has finished" — all nodes run
+	// concurrently with the copies.
+	for i, addr := range workerAddrs {
+		wg.Add(1)
+		go func(slot int, addr string, ranges []balance.Range) {
+			defer wg.Done()
+			nr, tp, err := runRemote(cfg, orientedBase, addr, ranges, limiter)
+			if err != nil {
+				errs[slot] = err
+				return
+			}
+			res.Nodes[slot] = *nr
+			triples[slot] = tp
+			totalTriangles.Add(nr.Triangles)
+			netBytes.Add(nr.CopyBytes + int64(len(tp)))
+		}(i+1, addr, groups[i+1])
+	}
+	// Master's own share (node 0), concurrent with the copies.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		nr, tp, err := runLocal(cfg, d, groups[0])
+		if err != nil {
+			errs[0] = err
+			return
+		}
+		res.Nodes[0] = *nr
+		triples[0] = tp
+		totalTriangles.Add(nr.Triangles)
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res.Triangles = totalTriangles.Load()
+	res.NetworkBytes = netBytes.Load()
+	for _, n := range res.Nodes {
+		if n.CalcTime > res.CalcTime {
+			res.CalcTime = n.CalcTime
+		}
+	}
+	if cfg.List {
+		if err := writeTriples(cfg.ListPath, triples); err != nil {
+			return nil, err
+		}
+	}
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// runLocal is the master acting as node 0.
+func runLocal(cfg Config, d *graph.Disk, ranges []balance.Range) (*NodeResult, []byte, error) {
+	calcStart := time.Now()
+	opt := core.Options{
+		Workers:  len(ranges),
+		MemEdges: cfg.MemEdges,
+		BufBytes: cfg.BufBytes,
+	}
+	var buffers []*bytes.Buffer
+	if cfg.List {
+		opt.Sinks = make([]mgt.Sink, len(ranges))
+		buffers = make([]*bytes.Buffer, len(ranges))
+		for i := range opt.Sinks {
+			buffers[i] = &bytes.Buffer{}
+			opt.Sinks[i] = mgt.NewFileSink(buffers[i])
+		}
+	}
+	stats, err := core.RunRanges(d, ranges, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	nr := &NodeResult{Name: "master", Addr: "local", Workers: stats, CalcTime: time.Since(calcStart)}
+	for _, w := range stats {
+		nr.Triangles += w.Stats.Triangles
+	}
+	var tp []byte
+	if cfg.List {
+		for i, sink := range opt.Sinks {
+			if err := sink.(*mgt.FileSink).Flush(); err != nil {
+				return nil, nil, err
+			}
+			tp = append(tp, buffers[i].Bytes()...)
+		}
+	}
+	return nr, tp, nil
+}
+
+// runRemote copies the graph to one client and runs its calculation phase.
+func runRemote(cfg Config, orientedBase, addr string, ranges []balance.Range, limiter *Limiter) (*NodeResult, []byte, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	defer client.Close()
+
+	var hello HelloReply
+	if err := client.Call("Node.Hello", &HelloArgs{}, &hello); err != nil {
+		return nil, nil, fmt.Errorf("cluster: hello %s: %w", addr, err)
+	}
+	nr := &NodeResult{Name: hello.Name, Addr: addr}
+
+	copyStart := time.Now()
+	sent, err := copyGraph(client, cfg, orientedBase, limiter)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: copy to %s: %w", addr, err)
+	}
+	nr.CopyTime = time.Since(copyStart)
+	nr.CopyBytes = sent
+
+	args := &CountArgs{
+		GraphName: cfg.GraphName,
+		Ranges:    ranges,
+		MemEdges:  cfg.MemEdges,
+		BufBytes:  cfg.BufBytes,
+		List:      cfg.List,
+	}
+	var reply CountReply
+	if err := client.Call("Node.Count", args, &reply); err != nil {
+		return nil, nil, fmt.Errorf("cluster: count on %s: %w", addr, err)
+	}
+	nr.CalcTime = reply.CalcTime
+	nr.Triangles = reply.Triangles
+	nr.Workers = reply.Workers
+	return nr, reply.Triples, nil
+}
+
+// copyGraph streams the three store files to a client through the limiter.
+func copyGraph(client *rpc.Client, cfg Config, orientedBase string, limiter *Limiter) (int64, error) {
+	if err := client.Call("Node.BeginGraph", &BeginGraphArgs{Name: cfg.GraphName}, &struct{}{}); err != nil {
+		return 0, err
+	}
+	var sent int64
+	files := []struct {
+		kind FileKind
+		path string
+	}{
+		{FileMeta, graph.MetaPath(orientedBase)},
+		{FileDeg, graph.DegPath(orientedBase)},
+		{FileAdj, graph.AdjPath(orientedBase)},
+	}
+	buf := make([]byte, cfg.ChunkBytes)
+	for _, file := range files {
+		f, err := os.Open(file.path)
+		if err != nil {
+			return sent, err
+		}
+		for {
+			k, rerr := f.Read(buf)
+			if k > 0 {
+				limiter.Wait(k)
+				chunk := ChunkArgs{Kind: file.kind, Data: buf[:k]}
+				if err := client.Call("Node.GraphChunk", &chunk, &struct{}{}); err != nil {
+					f.Close()
+					return sent, err
+				}
+				sent += int64(k)
+			}
+			if rerr != nil {
+				break
+			}
+		}
+		f.Close()
+	}
+	var end EndGraphReply
+	if err := client.Call("Node.EndGraph", &EndGraphArgs{}, &end); err != nil {
+		return sent, err
+	}
+	if end.BytesReceived != sent {
+		return sent, fmt.Errorf("cluster: client received %d of %d bytes", end.BytesReceived, sent)
+	}
+	return sent, nil
+}
+
+// writeTriples concatenates the per-node triangle lists sequentially, the
+// master's listing responsibility ("concatenating the triangle listing
+// (sequentially)", Section IV-B2).
+func writeTriples(path string, triples [][]byte) error {
+	if path == "" {
+		return fmt.Errorf("cluster: List requested without ListPath")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, tp := range triples {
+		if _, err := f.Write(tp); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}

@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/rpc"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"pdtl/internal/core"
+	"pdtl/internal/graph"
+	"pdtl/internal/mgt"
+)
+
+// Node is the client-side RPC service of the PDTL protocol: it receives a
+// replica of the oriented graph, runs one MGT runner per assigned edge
+// range on its local copy, and returns counts (and, for listing, the
+// triangle triples) to the master.
+type Node struct {
+	name    string
+	workDir string
+	workers int
+
+	mu       sync.Mutex
+	incoming map[FileKind]*os.File
+	curName  string
+	received int64
+}
+
+// NewNode creates a node that stores graph replicas under workDir. workers
+// is advertised to the master as the node's processor count; non-positive
+// means "decided by the master's CountArgs".
+func NewNode(name, workDir string, workers int) *Node {
+	return &Node{name: name, workDir: workDir, workers: workers}
+}
+
+// base returns the node-local store base path for a dataset name.
+func (n *Node) base(name string) string {
+	return filepath.Join(n.workDir, filepath.Base(name))
+}
+
+// Hello implements the handshake RPC.
+func (n *Node) Hello(args *HelloArgs, reply *HelloReply) error {
+	reply.Name = n.name
+	reply.MaxWorkers = n.workers
+	return nil
+}
+
+// Ping implements the liveness RPC.
+func (n *Node) Ping(args *PingArgs, reply *PingReply) error {
+	reply.OK = true
+	return nil
+}
+
+// BeginGraph opens the three replica files for writing.
+func (n *Node) BeginGraph(args *BeginGraphArgs, reply *struct{}) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.incoming != nil {
+		return fmt.Errorf("cluster: node %s: transfer already in progress", n.name)
+	}
+	base := n.base(args.Name)
+	if err := os.MkdirAll(filepath.Dir(base), 0o755); err != nil {
+		return err
+	}
+	files := map[FileKind]string{
+		FileMeta: graph.MetaPath(base),
+		FileDeg:  graph.DegPath(base),
+		FileAdj:  graph.AdjPath(base),
+	}
+	n.incoming = make(map[FileKind]*os.File, len(files))
+	for kind, path := range files {
+		f, err := os.Create(path)
+		if err != nil {
+			n.abortLocked()
+			return err
+		}
+		n.incoming[kind] = f
+	}
+	n.curName = args.Name
+	n.received = 0
+	return nil
+}
+
+// GraphChunk appends one chunk to a replica file.
+func (n *Node) GraphChunk(args *ChunkArgs, reply *struct{}) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.incoming == nil {
+		return fmt.Errorf("cluster: node %s: no transfer in progress", n.name)
+	}
+	f, ok := n.incoming[args.Kind]
+	if !ok {
+		return fmt.Errorf("cluster: node %s: unknown file kind %q", n.name, args.Kind)
+	}
+	k, err := f.Write(args.Data)
+	n.received += int64(k)
+	return err
+}
+
+// EndGraph finalizes a transfer.
+func (n *Node) EndGraph(args *EndGraphArgs, reply *EndGraphReply) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.incoming == nil {
+		return fmt.Errorf("cluster: node %s: no transfer in progress", n.name)
+	}
+	var firstErr error
+	for _, f := range n.incoming {
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	n.incoming = nil
+	reply.BytesReceived = n.received
+	return firstErr
+}
+
+func (n *Node) abortLocked() {
+	for _, f := range n.incoming {
+		f.Close()
+		os.Remove(f.Name())
+	}
+	n.incoming = nil
+}
+
+// Count runs the node's calculation phase: one MGT runner per assigned
+// range against the local replica.
+func (n *Node) Count(args *CountArgs, reply *CountReply) error {
+	start := time.Now()
+	d, err := graph.Open(n.base(args.GraphName))
+	if err != nil {
+		return fmt.Errorf("cluster: node %s: open replica: %w", n.name, err)
+	}
+	opt := core.Options{
+		Workers:  len(args.Ranges),
+		MemEdges: args.MemEdges,
+		BufBytes: args.BufBytes,
+	}
+	var buffers []*bytes.Buffer
+	if args.List {
+		opt.Sinks = make([]mgt.Sink, len(args.Ranges))
+		buffers = make([]*bytes.Buffer, len(args.Ranges))
+		for i := range opt.Sinks {
+			buffers[i] = &bytes.Buffer{}
+			opt.Sinks[i] = mgt.NewFileSink(buffers[i])
+		}
+	}
+	stats, err := core.RunRanges(d, args.Ranges, opt)
+	if err != nil {
+		return err
+	}
+	reply.Workers = stats
+	for _, w := range stats {
+		reply.Triangles += w.Stats.Triangles
+	}
+	if args.List {
+		for i, sink := range opt.Sinks {
+			if err := sink.(*mgt.FileSink).Flush(); err != nil {
+				return err
+			}
+			reply.Triples = append(reply.Triples, buffers[i].Bytes()...)
+		}
+	}
+	reply.CalcTime = time.Since(start)
+	return nil
+}
+
+// Server wraps a Node in an rpc.Server bound to a listener.
+type Server struct {
+	Node *Node
+	lis  net.Listener
+	rpc  *rpc.Server
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// Serve starts serving the node's RPCs on lis in a background goroutine and
+// returns immediately. Use Close to stop.
+func Serve(node *Node, lis net.Listener) (*Server, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Node", node); err != nil {
+		return nil, err
+	}
+	s := &Server{Node: node, lis: lis, rpc: srv, conns: make(map[net.Conn]struct{})}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Listen starts a node server on addr ("host:port"; ":0" picks a free
+// port).
+func Listen(node *Node, addr string) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(node, lis)
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go func() {
+			s.rpc.ServeConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Addr reports the server's listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops accepting and closes live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.lis.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}

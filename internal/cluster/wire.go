@@ -1,0 +1,98 @@
+// Package cluster implements PDTL's distributed framework (Section IV-B,
+// Figure 1): a master orients the graph once, replicates the oriented store
+// to every client node, assigns each node its processors' contiguous edge
+// ranges (the configurations C_{i,j} of Figure 1), and atomically sums the
+// returned triangle counts.
+//
+// Transport is net/rpc over TCP (stdlib gob encoding). Graph bytes travel
+// in chunked RPCs through an optional token-bucket uplink limiter that
+// models the shared NIC of the paper's EC2 experiments, so that average
+// copy time grows with node count as in Table III.
+package cluster
+
+import (
+	"time"
+
+	"pdtl/internal/balance"
+	"pdtl/internal/core"
+)
+
+// FileKind identifies which of the three store files a chunk belongs to.
+type FileKind string
+
+// The store files replicated to every node. The in-degree file is not
+// copied: load balancing is the master's job (Section IV-B1).
+const (
+	FileMeta FileKind = "meta"
+	FileDeg  FileKind = "deg"
+	FileAdj  FileKind = "adj"
+)
+
+// HelloArgs requests a handshake.
+type HelloArgs struct{}
+
+// HelloReply describes a node.
+type HelloReply struct {
+	// Name is the node's self-reported label.
+	Name string
+	// MaxWorkers is the node's available processor count.
+	MaxWorkers int
+}
+
+// BeginGraphArgs starts a graph transfer.
+type BeginGraphArgs struct {
+	// Name is the dataset name; the node stores the copy under it.
+	Name string
+}
+
+// ChunkArgs carries one chunk of one store file.
+type ChunkArgs struct {
+	Kind FileKind
+	Data []byte
+}
+
+// EndGraphArgs finalizes a transfer.
+type EndGraphArgs struct{}
+
+// EndGraphReply acknowledges and reports the bytes received.
+type EndGraphReply struct {
+	BytesReceived int64
+}
+
+// CountArgs instructs a node to run its calculation phase.
+type CountArgs struct {
+	// GraphName selects which received graph copy to process.
+	GraphName string
+	// Ranges are the node's processors' pivot responsibilities; one MGT
+	// runner is started per range.
+	Ranges []balance.Range
+	// MemEdges is M per runner.
+	MemEdges int
+	// BufBytes is the runner scan buffer size.
+	BufBytes int
+	// List requests triangle listing; the triples come back in the reply
+	// (the paper's clients send lists back to the master, which
+	// concatenates them sequentially).
+	List bool
+}
+
+// CountReply carries a node's results back to the master.
+type CountReply struct {
+	Triangles uint64
+	// Workers is the per-runner statistics (feeds Tables IV/VII and
+	// Figures 6–8).
+	Workers []core.WorkerStat
+	// CalcTime is the node's wall time for the calculation phase.
+	CalcTime time.Duration
+	// Triples is the binary triangle list (12 bytes per triangle) when
+	// List was requested.
+	Triples []byte
+}
+
+// PingArgs checks liveness.
+type PingArgs struct{}
+
+// PingReply acknowledges a ping.
+type PingReply struct {
+	OK bool
+}

@@ -1,0 +1,218 @@
+// Package core is the PDTL engine of Section IV-B: the paper's primary
+// contribution. It ties the substrates together on one machine —
+// orientation (once), load balancing, and P concurrent modified-MGT runners
+// over contiguous edge ranges — and exposes the per-worker accounting that
+// the distributed layer and the experiment harness aggregate.
+//
+// The distributed framework (package cluster) reuses this engine verbatim
+// on every node: a node is just an engine fed externally computed ranges,
+// which is exactly the paper's design ("every available processor is
+// allocated a (contiguous) set of edges S, and is responsible for finding
+// all triangles in the graph which contain pivot edges in S, by using
+// MGT").
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pdtl/internal/balance"
+	"pdtl/internal/graph"
+	"pdtl/internal/ioacct"
+	"pdtl/internal/mgt"
+	"pdtl/internal/orient"
+)
+
+// Options parameterize a local PDTL run.
+type Options struct {
+	// Workers is P, the number of concurrent MGT runners. Non-positive
+	// selects runtime.NumCPU().
+	Workers int
+	// MemEdges is M, the per-worker memory budget in adjacency entries.
+	// Non-positive selects DefaultMemEdges.
+	MemEdges int
+	// Strategy selects the load balancer; the default (InDegree) is the
+	// paper's, Naive reproduces the "w/o LB" ablation.
+	Strategy balance.Strategy
+	// OrientWorkers is the parallelism of the orientation step;
+	// non-positive means Workers.
+	OrientWorkers int
+	// BufBytes is each runner's sequential-scan buffer size.
+	BufBytes int
+	// Sinks, when non-nil, must have one entry per worker; worker i streams
+	// its triangles to Sinks[i]. Nil means counting only.
+	Sinks []mgt.Sink
+	// KeepOriented leaves the oriented store on disk after the run (the
+	// cluster layer relies on this to copy it to clients).
+	KeepOriented bool
+}
+
+// DefaultMemEdges is 1<<22 entries = 16 MiB per worker, the same order as
+// the paper's 1 GB/core scaled to laptop-size datasets.
+const DefaultMemEdges = 1 << 22
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.MemEdges <= 0 {
+		o.MemEdges = DefaultMemEdges
+	}
+	if o.OrientWorkers <= 0 {
+		o.OrientWorkers = o.Workers
+	}
+	return o
+}
+
+// WorkerStat is one runner's outcome.
+type WorkerStat struct {
+	Worker int
+	Range  balance.Range
+	mgt.Stats
+}
+
+// Result is the outcome of a local PDTL run.
+type Result struct {
+	// Triangles is the exact triangle count.
+	Triangles uint64
+	// Orientation describes the preprocessing step; nil when the input was
+	// already oriented.
+	Orientation *orient.Result
+	// Plan is the load-balancing assignment used.
+	Plan balance.Plan
+	// Workers holds per-runner statistics.
+	Workers []WorkerStat
+	// CalcTime is the calculation phase: load balancing plus the slowest
+	// runner (the "struggler" that the paper says determines overall
+	// calculation time).
+	CalcTime time.Duration
+	// TotalTime is orientation + calculation.
+	TotalTime time.Duration
+	// OrientedBase is the path of the oriented store used.
+	OrientedBase string
+}
+
+// TotalStats sums the runner statistics (Wall is the straggler max).
+func (r *Result) TotalStats() mgt.Stats {
+	var total mgt.Stats
+	for _, w := range r.Workers {
+		total = total.Add(w.Stats)
+	}
+	return total
+}
+
+// Process counts (or lists) the triangles of the graph stored at base.
+// Unoriented inputs are oriented first into base+".oriented" (the paper's
+// master-side preprocessing); oriented inputs go straight to the
+// calculation phase.
+func Process(base string, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	start := time.Now()
+	d, err := graph.Open(base)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	orientedBase := base
+	if !d.Meta.Oriented {
+		orientedBase = base + ".oriented"
+		ores, err := orient.Orient(base, orientedBase, opt.OrientWorkers)
+		if err != nil {
+			return nil, err
+		}
+		res.Orientation = ores
+		if d, err = graph.Open(orientedBase); err != nil {
+			return nil, err
+		}
+	}
+	res.OrientedBase = orientedBase
+
+	calcStart := time.Now()
+	plan, err := planFor(d, orientedBase, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = plan
+
+	stats, err := RunRanges(d, plan.Ranges, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Workers = stats
+	for _, w := range stats {
+		res.Triangles += w.Stats.Triangles
+	}
+	res.CalcTime = time.Since(calcStart)
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// planFor computes the per-worker ranges for an oriented store.
+func planFor(d *graph.Disk, orientedBase string, opt Options) (balance.Plan, error) {
+	in := balance.Inputs{Offsets: d.Offsets, OutDeg: d.Degrees}
+	if opt.Strategy == balance.InDegree || opt.Strategy == balance.Cost {
+		var err error
+		in.InDeg, err = orient.LoadInDegrees(orientedBase, d.NumVertices())
+		if err != nil {
+			return balance.Plan{}, fmt.Errorf("core: load balancing needs the in-degree file: %w", err)
+		}
+	}
+	if opt.Strategy == balance.Cost {
+		var err error
+		in.ConeCost, err = balance.ConeCosts(d)
+		if err != nil {
+			return balance.Plan{}, fmt.Errorf("core: cost balancing scan: %w", err)
+		}
+	}
+	return balance.SplitInputs(in, opt.Workers, opt.Strategy)
+}
+
+// Plan exposes planFor for the distributed master, which computes the
+// global N·P-range plan centrally (Section IV-B1).
+func Plan(d *graph.Disk, orientedBase string, processors int, strategy balance.Strategy) (balance.Plan, error) {
+	return planFor(d, orientedBase, Options{Workers: processors, Strategy: strategy})
+}
+
+// RunRanges runs one MGT runner per range, concurrently, against the
+// oriented store d. It is the node-side calculation phase: the distributed
+// layer calls it with the ranges assigned by the master.
+func RunRanges(d *graph.Disk, ranges []balance.Range, opt Options) ([]WorkerStat, error) {
+	opt = opt.withDefaults()
+	if !d.Meta.Oriented {
+		return nil, fmt.Errorf("core: RunRanges requires an oriented store")
+	}
+	if opt.Sinks != nil && len(opt.Sinks) != len(ranges) {
+		return nil, fmt.Errorf("core: %d sinks for %d ranges", len(opt.Sinks), len(ranges))
+	}
+	stats := make([]WorkerStat, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for i, r := range ranges {
+		wg.Add(1)
+		go func(i int, r balance.Range) {
+			defer wg.Done()
+			cfg := mgt.Config{
+				MemEdges: opt.MemEdges,
+				Range:    r,
+				Counter:  ioacct.NewCounter(0),
+				BufBytes: opt.BufBytes,
+			}
+			if opt.Sinks != nil {
+				cfg.Sink = opt.Sinks[i]
+			}
+			st, err := mgt.Run(d, cfg)
+			stats[i] = WorkerStat{Worker: i, Range: r, Stats: st}
+			errs[i] = err
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}

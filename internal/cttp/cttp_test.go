@@ -1,0 +1,110 @@
+package cttp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pdtl/internal/baseline"
+	"pdtl/internal/gen"
+)
+
+func TestCountMatchesReference(t *testing.T) {
+	g, err := gen.RMAT(9, 8, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.Forward(g)
+	for _, colors := range []int{1, 2, 3, 5} {
+		res, err := Count(g, Config{Colors: colors, Workers: 4})
+		if err != nil {
+			t.Fatalf("colors=%d: %v", colors, err)
+		}
+		if res.Triangles != want {
+			t.Errorf("colors=%d: triangles = %d, want %d", colors, res.Triangles, want)
+		}
+	}
+}
+
+func TestIntermediateDataBlowup(t *testing.T) {
+	// The defining weakness: map output is ~ρ records per edge, so the
+	// shuffle volume grows linearly in the color count.
+	g, err := gen.ErdosRenyi(1000, 8000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Count(g, Config{Colors: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Count(g, Config{Colors: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.IntermediateRecords <= 2*r2.IntermediateRecords {
+		t.Errorf("shuffle did not blow up: ρ=2 → %d records, ρ=8 → %d",
+			r2.IntermediateRecords, r8.IntermediateRecords)
+	}
+	m := g.NumEdges()
+	// Each edge is shuffled ~ρ times (exactly ρ distinct task multisets
+	// contain both endpoint colors).
+	if r8.IntermediateRecords != 8*m {
+		t.Errorf("ρ=8: records = %d, want exactly ρ·m = %d", r8.IntermediateRecords, 8*m)
+	}
+	if r8.ShuffleBytes != int64(r8.IntermediateRecords)*12 {
+		t.Error("shuffle bytes should be 12 per record")
+	}
+}
+
+func TestRoundsAndTasks(t *testing.T) {
+	g, err := gen.Complete(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Count(g, Config{Colors: 4, Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multisets of size 3 over 4 colors: C(4+2,3) = 20.
+	if res.Tasks != 20 {
+		t.Errorf("tasks = %d, want 20", res.Tasks)
+	}
+	if res.Rounds != 4 {
+		t.Errorf("rounds = %d, want 4", res.Rounds)
+	}
+	if res.Triangles != gen.CompleteTriangles(10) {
+		t.Errorf("triangles = %d", res.Triangles)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g, err := gen.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Count(g, Config{Colors: 0}); err == nil {
+		t.Error("want error for 0 colors")
+	}
+}
+
+// Property: color and worker counts never change the result.
+func TestColorInvariance(t *testing.T) {
+	f := func(seed int64, cRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(50)
+		g, err := gen.ErdosRenyi(n, rng.Intn(6*n), seed)
+		if err != nil {
+			return false
+		}
+		colors := 1 + int(cRaw%7)
+		workers := 1 + int(cRaw%4)
+		res, err := Count(g, Config{Colors: colors, Workers: workers})
+		if err != nil {
+			return false
+		}
+		return res.Triangles == baseline.Forward(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pdtl/internal/baseline"
+	"pdtl/internal/gen"
+	"pdtl/internal/graph"
+)
+
+func TestInsertTriangle(t *testing.T) {
+	c := New()
+	if _, err := c.Insert(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	closed, err := c.Insert(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed != 1 || c.Triangles() != 1 {
+		t.Errorf("closed=%d total=%d, want 1/1", closed, c.Triangles())
+	}
+	for v := graph.Vertex(0); v < 3; v++ {
+		if c.VertexTriangles(v) != 1 {
+			t.Errorf("vertex %d count = %d", v, c.VertexTriangles(v))
+		}
+	}
+	if c.Edges() != 3 {
+		t.Errorf("edges = %d", c.Edges())
+	}
+}
+
+func TestDeleteReversesInsert(t *testing.T) {
+	c := New()
+	c.Insert(0, 1)
+	c.Insert(1, 2)
+	c.Insert(0, 2)
+	opened, err := c.Delete(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened != 1 || c.Triangles() != 0 {
+		t.Errorf("opened=%d total=%d, want 1/0", opened, c.Triangles())
+	}
+	for v := graph.Vertex(0); v < 3; v++ {
+		if c.VertexTriangles(v) != 0 {
+			t.Errorf("vertex %d count = %d after delete", v, c.VertexTriangles(v))
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := New()
+	if _, err := c.Insert(1, 1); err == nil {
+		t.Error("want error for loop")
+	}
+	c.Insert(0, 1)
+	if _, err := c.Insert(1, 0); err == nil {
+		t.Error("want error for duplicate (reversed) edge")
+	}
+	if _, err := c.Delete(5, 6); err == nil {
+		t.Error("want error deleting missing edge")
+	}
+}
+
+func TestFromCSRMatchesStatic(t *testing.T) {
+	g, err := gen.RMAT(9, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := FromCSR(g)
+	if want := baseline.Forward(g); c.Triangles() != want {
+		t.Errorf("dynamic count %d != static %d", c.Triangles(), want)
+	}
+	if c.Edges() != g.NumEdges() {
+		t.Errorf("edges %d != %d", c.Edges(), g.NumEdges())
+	}
+	locals := baseline.LocalCounts(g)
+	for v, want := range locals {
+		if got := c.VertexTriangles(graph.Vertex(v)); got != want {
+			t.Fatalf("vertex %d: dynamic %d != static %d", v, got, want)
+		}
+	}
+}
+
+// Property: after any random mix of insertions and deletions, the dynamic
+// count equals a from-scratch exact count of the surviving edge set.
+func TestRandomUpdatesMatchStatic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		c := New()
+		live := map[graph.Edge]bool{}
+		for step := 0; step < 300; step++ {
+			u := graph.Vertex(rng.Intn(n))
+			v := graph.Vertex(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			e := graph.Edge{U: u, V: v}.Canon()
+			if live[e] {
+				if _, err := c.Delete(e.U, e.V); err != nil {
+					return false
+				}
+				delete(live, e)
+			} else {
+				if _, err := c.Insert(e.U, e.V); err != nil {
+					return false
+				}
+				live[e] = true
+			}
+		}
+		edges := make([]graph.Edge, 0, len(live))
+		for e := range live {
+			edges = append(edges, e)
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		return c.Triangles() == baseline.Forward(g) && c.Edges() == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegreeAndHasEdge(t *testing.T) {
+	c := New()
+	c.Insert(0, 1)
+	c.Insert(0, 2)
+	if c.Degree(0) != 2 || c.Degree(1) != 1 || c.Degree(9) != 0 {
+		t.Error("degree bookkeeping wrong")
+	}
+	if !c.HasEdge(1, 0) || c.HasEdge(1, 2) {
+		t.Error("HasEdge wrong")
+	}
+}

@@ -1,0 +1,32 @@
+package extsort
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"pdtl/internal/graph"
+)
+
+// BenchmarkExternalSort measures the run-spill + k-way-merge pipeline with
+// a budget forcing ~16 runs.
+func BenchmarkExternalSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	edges := make([]graph.Edge, 200_000)
+	for i := range edges {
+		edges[i] = graph.Edge{U: rng.Uint32() % 50_000, V: rng.Uint32() % 50_000}
+	}
+	dir := b.TempDir()
+	src := filepath.Join(dir, "in.bin")
+	if err := WriteEdgeFile(src, edges); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(edges)) * EdgeBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := filepath.Join(dir, "out.bin")
+		if err := Sort(src, dst, len(edges)/16, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

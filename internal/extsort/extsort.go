@@ -1,0 +1,277 @@
+// Package extsort provides an external merge sort over binary edge files,
+// the O(sort(|E|)) ingest step of Theorem IV.2 ("If the graph is not
+// already sorted, an additional O(sort(E)) I/Os and O(E log E) computations
+// are needed").
+//
+// An edge file is a flat sequence of little-endian uint32 pairs (8 bytes per
+// edge). Sorting follows the Aggarwal–Vitter external mergesort: runs of at
+// most M edges are sorted in memory and spilled, then merged with a k-way
+// heap in a single pass (our datasets never need more than one merge level;
+// the merge recurses if they do).
+package extsort
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"pdtl/internal/graph"
+	"pdtl/internal/ioacct"
+)
+
+// EdgeBytes is the on-disk size of one edge record.
+const EdgeBytes = 2 * graph.EntrySize
+
+// WriteEdgeFile writes edges as binary records to path.
+func WriteEdgeFile(path string, edges []graph.Edge) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var rec [EdgeBytes]byte
+	for _, e := range edges {
+		binary.LittleEndian.PutUint32(rec[0:], e.U)
+		binary.LittleEndian.PutUint32(rec[4:], e.V)
+		if _, err := bw.Write(rec[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadEdgeFile reads a whole binary edge file (test/tool helper).
+func ReadEdgeFile(path string) ([]graph.Edge, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob)%EdgeBytes != 0 {
+		return nil, fmt.Errorf("extsort: %s: size %d not a multiple of %d", path, len(blob), EdgeBytes)
+	}
+	edges := make([]graph.Edge, len(blob)/EdgeBytes)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			U: binary.LittleEndian.Uint32(blob[i*EdgeBytes:]),
+			V: binary.LittleEndian.Uint32(blob[i*EdgeBytes+4:]),
+		}
+	}
+	return edges, nil
+}
+
+func edgeLess(a, b graph.Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+// Sort externally sorts the edge file at src into dst by (U, V), holding at
+// most memEdges edges in memory at a time. I/O is charged to c (nil for a
+// private counter).
+func Sort(src, dst string, memEdges int, c *ioacct.Counter) error {
+	if memEdges < 1 {
+		return fmt.Errorf("extsort: memory budget %d, need ≥ 1", memEdges)
+	}
+	if c == nil {
+		c = ioacct.NewCounter(0)
+	}
+	runs, err := makeRuns(src, dst, memEdges, c)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, r := range runs {
+			os.Remove(r)
+		}
+	}()
+	if len(runs) == 0 {
+		// Empty input: emit an empty output.
+		f, err := os.Create(dst)
+		if err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	if len(runs) == 1 {
+		return os.Rename(runs[0], dst)
+	}
+	return mergeRuns(runs, dst, c)
+}
+
+// makeRuns splits src into sorted run files.
+func makeRuns(src, dst string, memEdges int, c *ioacct.Counter) ([]string, error) {
+	f, err := os.Open(src)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(ioacct.NewReader(f, c), 1<<20)
+
+	var runs []string
+	buf := make([]graph.Edge, 0, memEdges)
+	rec := make([]byte, EdgeBytes)
+	for {
+		_, rerr := io.ReadFull(br, rec)
+		if rerr == io.EOF {
+			break
+		}
+		if rerr == io.ErrUnexpectedEOF {
+			return runs, fmt.Errorf("extsort: %s: truncated edge record", src)
+		}
+		if rerr != nil {
+			return runs, rerr
+		}
+		buf = append(buf, graph.Edge{
+			U: binary.LittleEndian.Uint32(rec[0:]),
+			V: binary.LittleEndian.Uint32(rec[4:]),
+		})
+		if len(buf) == memEdges {
+			run, err := spillRun(dst, len(runs), buf, c)
+			if err != nil {
+				return runs, err
+			}
+			runs = append(runs, run)
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		run, err := spillRun(dst, len(runs), buf, c)
+		if err != nil {
+			return runs, err
+		}
+		runs = append(runs, run)
+	}
+	return runs, nil
+}
+
+func spillRun(dst string, idx int, edges []graph.Edge, c *ioacct.Counter) (string, error) {
+	sort.Slice(edges, func(i, j int) bool { return edgeLess(edges[i], edges[j]) })
+	path := fmt.Sprintf("%s.run%d", dst, idx)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	bw := bufio.NewWriterSize(ioacct.NewWriter(f, c), 1<<20)
+	var rec [EdgeBytes]byte
+	for _, e := range edges {
+		binary.LittleEndian.PutUint32(rec[0:], e.U)
+		binary.LittleEndian.PutUint32(rec[4:], e.V)
+		if _, err := bw.Write(rec[:]); err != nil {
+			f.Close()
+			return "", err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// runReader streams one sorted run.
+type runReader struct {
+	br   *bufio.Reader
+	f    *os.File
+	head graph.Edge
+	done bool
+}
+
+func (r *runReader) advance() error {
+	var rec [EdgeBytes]byte
+	_, err := io.ReadFull(r.br, rec[:])
+	if err == io.EOF {
+		r.done = true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	r.head = graph.Edge{
+		U: binary.LittleEndian.Uint32(rec[0:]),
+		V: binary.LittleEndian.Uint32(rec[4:]),
+	}
+	return nil
+}
+
+// runHeap is a min-heap over run heads.
+type runHeap []*runReader
+
+func (h runHeap) Len() int            { return len(h) }
+func (h runHeap) Less(i, j int) bool  { return edgeLess(h[i].head, h[j].head) }
+func (h runHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x interface{}) { *h = append(*h, x.(*runReader)) }
+func (h *runHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// mergeRuns k-way merges sorted runs into dst.
+func mergeRuns(runs []string, dst string, c *ioacct.Counter) error {
+	h := make(runHeap, 0, len(runs))
+	defer func() {
+		for _, r := range h {
+			r.f.Close()
+		}
+	}()
+	for _, path := range runs {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		rr := &runReader{f: f, br: bufio.NewReaderSize(ioacct.NewReader(f, c), 256<<10)}
+		if err := rr.advance(); err != nil {
+			f.Close()
+			return err
+		}
+		if rr.done {
+			f.Close()
+			continue
+		}
+		h = append(h, rr)
+	}
+	heap.Init(&h)
+
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(ioacct.NewWriter(out, c), 1<<20)
+	var rec [EdgeBytes]byte
+	for h.Len() > 0 {
+		top := h[0]
+		binary.LittleEndian.PutUint32(rec[0:], top.head.U)
+		binary.LittleEndian.PutUint32(rec[4:], top.head.V)
+		if _, err := bw.Write(rec[:]); err != nil {
+			out.Close()
+			return err
+		}
+		if err := top.advance(); err != nil {
+			out.Close()
+			return err
+		}
+		if top.done {
+			top.f.Close()
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

@@ -1,0 +1,194 @@
+package extsort
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"pdtl/internal/graph"
+	"pdtl/internal/ioacct"
+)
+
+// BuildStore converts an arbitrary (unsorted, possibly multi-edged) binary
+// edge file into the bidirectional sorted graph store PDTL consumes — the
+// full external-memory ingest pipeline of Section V-B:
+//
+//  1. mirror every edge so both directions exist (and drop self-loops);
+//  2. externally sort by (source, destination);
+//  3. scan once, deduplicating, to emit the degree and adjacency files.
+//
+// memEdges bounds the edges held in memory during sorting. Vertex count is
+// the max id + 1 discovered during the mirror pass.
+func BuildStore(edgeFile, base, name string, memEdges int, c *ioacct.Counter) error {
+	if c == nil {
+		c = ioacct.NewCounter(0)
+	}
+	mirrored := base + ".mirror"
+	n, err := mirrorEdges(edgeFile, mirrored, c)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(mirrored)
+
+	sorted := base + ".sorted"
+	if err := Sort(mirrored, sorted, memEdges, c); err != nil {
+		return err
+	}
+	defer os.Remove(sorted)
+
+	return emitStore(sorted, base, name, n, c)
+}
+
+// mirrorEdges writes (u,v) and (v,u) for every non-loop input edge and
+// reports the vertex count.
+func mirrorEdges(src, dst string, c *ioacct.Counter) (int, error) {
+	in, err := os.Open(src)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return 0, err
+	}
+	br := bufio.NewReaderSize(ioacct.NewReader(in, c), 1<<20)
+	bw := bufio.NewWriterSize(ioacct.NewWriter(out, c), 1<<20)
+
+	var maxID uint32
+	seen := false
+	var rec [EdgeBytes]byte
+	for {
+		_, rerr := io.ReadFull(br, rec[:])
+		if rerr == io.EOF {
+			break
+		}
+		if rerr == io.ErrUnexpectedEOF {
+			out.Close()
+			return 0, fmt.Errorf("extsort: %s: truncated edge record", src)
+		}
+		if rerr != nil {
+			out.Close()
+			return 0, rerr
+		}
+		u := binary.LittleEndian.Uint32(rec[0:])
+		v := binary.LittleEndian.Uint32(rec[4:])
+		if u == v {
+			continue
+		}
+		seen = true
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		if _, err := bw.Write(rec[:]); err != nil {
+			out.Close()
+			return 0, err
+		}
+		binary.LittleEndian.PutUint32(rec[0:], v)
+		binary.LittleEndian.PutUint32(rec[4:], u)
+		if _, err := bw.Write(rec[:]); err != nil {
+			out.Close()
+			return 0, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		out.Close()
+		return 0, err
+	}
+	n := 0
+	if seen {
+		n = int(maxID) + 1
+	}
+	return n, out.Close()
+}
+
+// emitStore scans a sorted bidirectional edge file once, deduplicating, and
+// writes the degree/adjacency/meta files.
+func emitStore(sorted, base, name string, n int, c *ioacct.Counter) error {
+	in, err := os.Open(sorted)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	br := bufio.NewReaderSize(ioacct.NewReader(in, c), 1<<20)
+
+	adjOut, err := os.Create(graph.AdjPath(base))
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(ioacct.NewWriter(adjOut, c), 1<<20)
+
+	degrees := make([]uint32, n)
+	var entries uint64
+	var maxDeg uint32
+	var prevU, prevV uint32
+	first := true
+	var rec [EdgeBytes]byte
+	for {
+		_, rerr := io.ReadFull(br, rec[:])
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			adjOut.Close()
+			return rerr
+		}
+		u := binary.LittleEndian.Uint32(rec[0:])
+		v := binary.LittleEndian.Uint32(rec[4:])
+		if !first && u == prevU && v == prevV {
+			continue // duplicate
+		}
+		first = false
+		prevU, prevV = u, v
+		degrees[u]++
+		if degrees[u] > maxDeg {
+			maxDeg = degrees[u]
+		}
+		entries++
+		if _, err := bw.Write(rec[4:8]); err != nil {
+			adjOut.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		adjOut.Close()
+		return err
+	}
+	if err := adjOut.Close(); err != nil {
+		return err
+	}
+
+	degOut, err := os.Create(graph.DegPath(base))
+	if err != nil {
+		return err
+	}
+	dw := bufio.NewWriterSize(ioacct.NewWriter(degOut, c), 1<<20)
+	var scratch [graph.EntrySize]byte
+	for _, d := range degrees {
+		binary.LittleEndian.PutUint32(scratch[:], d)
+		if _, err := dw.Write(scratch[:]); err != nil {
+			degOut.Close()
+			return err
+		}
+	}
+	if err := dw.Flush(); err != nil {
+		degOut.Close()
+		return err
+	}
+	if err := degOut.Close(); err != nil {
+		return err
+	}
+
+	return graph.WriteMeta(base, graph.Meta{
+		Name:        name,
+		NumVertices: int64(n),
+		NumEdges:    entries / 2,
+		AdjEntries:  entries,
+		Oriented:    false,
+		MaxDegree:   maxDeg,
+	})
+}

@@ -1,0 +1,180 @@
+// Package gen provides deterministic synthetic graph generators for the
+// datasets of the paper's Table I.
+//
+// RMAT reproduces the R-MAT recursive generator of Chakrabarti et al. that
+// the paper's RMAT-26…29 graphs come from ("RMAT-n contains 2^n vertices and
+// 2^(n+4) edges"). The remaining generators produce laptop-scale structural
+// stand-ins for the real datasets the paper uses but that are not available
+// offline (Twitter, Yahoo, LiveJournal, Orkut) — see DESIGN.md §3 for the
+// substitution argument — plus analytic graphs (complete, grids) whose
+// triangle counts are known in closed form and anchor the test suite.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pdtl/internal/graph"
+)
+
+// RMATParams are the quadrant probabilities of the recursive generator.
+// They must be non-negative and sum to 1.
+type RMATParams struct {
+	A, B, C, D float64
+	// Noise perturbs the quadrant probabilities at every recursion level by
+	// a uniform factor in [1-Noise, 1+Noise], the standard "smoothing" that
+	// avoids exact self-similarity artifacts.
+	Noise float64
+}
+
+// DefaultRMAT is the canonical (0.57, 0.19, 0.19, 0.05) parameterization
+// used by Graph500 and by the paper's scale-free datasets.
+var DefaultRMAT = RMATParams{A: 0.57, B: 0.19, C: 0.19, D: 0.05, Noise: 0.1}
+
+// RMAT generates an RMAT graph with 2^scale vertices and edgeFactor·2^scale
+// generated edge samples (before simplification), using the default
+// parameters. The paper's RMAT-n uses edgeFactor 16.
+func RMAT(scale uint, edgeFactor int, seed int64) (*graph.CSR, error) {
+	return RMATWithParams(scale, edgeFactor, DefaultRMAT, seed)
+}
+
+// RMATWithParams is RMAT with explicit quadrant parameters.
+func RMATWithParams(scale uint, edgeFactor int, p RMATParams, seed int64) (*graph.CSR, error) {
+	if scale > 30 {
+		return nil, fmt.Errorf("gen: RMAT scale %d too large for this build", scale)
+	}
+	if sum := p.A + p.B + p.C + p.D; math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("gen: RMAT parameters sum to %g, want 1", sum)
+	}
+	n := 1 << scale
+	m := edgeFactor * n
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, rmatEdge(rng, scale, p))
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func rmatEdge(rng *rand.Rand, scale uint, p RMATParams) graph.Edge {
+	var u, v uint32
+	for level := uint(0); level < scale; level++ {
+		a, b, c, d := p.A, p.B, p.C, p.D
+		if p.Noise > 0 {
+			a *= 1 + p.Noise*(2*rng.Float64()-1)
+			b *= 1 + p.Noise*(2*rng.Float64()-1)
+			c *= 1 + p.Noise*(2*rng.Float64()-1)
+			d *= 1 + p.Noise*(2*rng.Float64()-1)
+			norm := a + b + c + d
+			a, b, c, d = a/norm, b/norm, c/norm, d/norm
+		}
+		r := rng.Float64()
+		switch {
+		case r < a:
+			// upper-left quadrant: no bits set
+		case r < a+b:
+			v |= 1 << level
+		case r < a+b+c:
+			u |= 1 << level
+		default:
+			u |= 1 << level
+			v |= 1 << level
+			_ = d
+		}
+	}
+	return graph.Edge{U: u, V: v}
+}
+
+// ErdosRenyi generates a uniform random simple graph with n vertices and m
+// edge samples (duplicates and loops are discarded by simplification, so the
+// realized edge count can be slightly below m).
+func ErdosRenyi(n, m int, seed int64) (*graph.CSR, error) {
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("gen: negative size n=%d m=%d", n, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.Edge{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Complete generates the complete graph K_n, the densest case of the
+// paper's Section IV-B2 memory argument. It has exactly C(n,3) triangles.
+func Complete(n int) (*graph.CSR, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("gen: negative size n=%d", n)
+	}
+	edges := make([]graph.Edge, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: uint32(u), V: uint32(v)})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// CompleteTriangles is the closed-form triangle count C(n,3) of K_n.
+func CompleteTriangles(n int) uint64 {
+	if n < 3 {
+		return 0
+	}
+	nn := uint64(n)
+	return nn * (nn - 1) * (nn - 2) / 6
+}
+
+// Grid generates the w×h rectangular grid graph: planar (arboricity O(1) by
+// Theorem III.4) and triangle-free.
+func Grid(w, h int) (*graph.CSR, error) {
+	if w < 0 || h < 0 {
+		return nil, fmt.Errorf("gen: negative grid %dx%d", w, h)
+	}
+	edges := make([]graph.Edge, 0, 2*w*h)
+	id := func(x, y int) uint32 { return uint32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, graph.Edge{U: id(x, y), V: id(x+1, y)})
+			}
+			if y+1 < h {
+				edges = append(edges, graph.Edge{U: id(x, y), V: id(x, y+1)})
+			}
+		}
+	}
+	return graph.FromEdges(w*h, edges)
+}
+
+// TriGrid generates the w×h grid with one diagonal per cell: still planar,
+// with exactly 2·(w-1)·(h-1) triangles. It exercises the α = O(1) regime of
+// Theorem III.4 with a non-trivial triangle count.
+func TriGrid(w, h int) (*graph.CSR, error) {
+	if w < 0 || h < 0 {
+		return nil, fmt.Errorf("gen: negative grid %dx%d", w, h)
+	}
+	edges := make([]graph.Edge, 0, 3*w*h)
+	id := func(x, y int) uint32 { return uint32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, graph.Edge{U: id(x, y), V: id(x+1, y)})
+			}
+			if y+1 < h {
+				edges = append(edges, graph.Edge{U: id(x, y), V: id(x, y+1)})
+			}
+			if x+1 < w && y+1 < h {
+				edges = append(edges, graph.Edge{U: id(x, y), V: id(x+1, y+1)})
+			}
+		}
+	}
+	return graph.FromEdges(w*h, edges)
+}
+
+// TriGridTriangles is the closed-form triangle count of TriGrid(w, h).
+func TriGridTriangles(w, h int) uint64 {
+	if w < 2 || h < 2 {
+		return 0
+	}
+	return 2 * uint64(w-1) * uint64(h-1)
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FromEdges builds a simple undirected CSR graph on n vertices from an
+// arbitrary edge list: self-loops are dropped, duplicate and reverse
+// duplicates are merged, and every surviving edge is stored in both endpoint
+// lists, each list sorted by neighbor id (the paper's "undirected
+// (bi-directional) and simple" input assumption, Section III-A).
+//
+// The input slice is not modified.
+func FromEdges(n int, edges []Edge) (*CSR, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	canon := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.U == e.V {
+			continue // self-loop
+		}
+		if int(e.U) >= n || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range for n=%d", e.U, e.V, n)
+		}
+		canon = append(canon, e.Canon())
+	}
+	sort.Slice(canon, func(i, j int) bool {
+		if canon[i].U != canon[j].U {
+			return canon[i].U < canon[j].U
+		}
+		return canon[i].V < canon[j].V
+	})
+	canon = dedupe(canon)
+	return fromCanonicalEdges(n, canon), nil
+}
+
+// fromCanonicalEdges builds the bidirectional CSR from a deduplicated,
+// sorted, loop-free canonical (u<v) edge list.
+func fromCanonicalEdges(n int, canon []Edge) *CSR {
+	deg := make([]uint32, n)
+	for _, e := range canon {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	offsets := make([]uint64, n+1)
+	var run uint64
+	for v := 0; v < n; v++ {
+		offsets[v] = run
+		run += uint64(deg[v])
+	}
+	offsets[n] = run
+
+	adj := make([]Vertex, run)
+	cursor := make([]uint64, n)
+	copy(cursor, offsets[:n])
+	for _, e := range canon {
+		adj[cursor[e.U]] = e.V
+		cursor[e.U]++
+		adj[cursor[e.V]] = e.U
+		cursor[e.V]++
+	}
+	g := &CSR{Offsets: offsets, Adj: adj}
+	// Lists built from a (u,v)-sorted edge list have sorted out-parts but
+	// the merged in/out lists need a per-list sort. Each list is small, and
+	// most are nearly sorted already.
+	for v := 0; v < n; v++ {
+		list := adj[offsets[v]:offsets[v+1]]
+		if !sort.SliceIsSorted(list, func(i, j int) bool { return list[i] < list[j] }) {
+			sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		}
+	}
+	return g
+}
+
+func dedupe(sorted []Edge) []Edge {
+	if len(sorted) == 0 {
+		return sorted
+	}
+	out := sorted[:1]
+	for _, e := range sorted[1:] {
+		if last := out[len(out)-1]; e != last {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FromSortedAdjacency builds a CSR directly from a degree array and a
+// concatenated adjacency array that are already in on-disk form. It
+// validates consistency but does not copy the slices.
+func FromSortedAdjacency(degrees []uint32, adj []Vertex, oriented bool) (*CSR, error) {
+	n := len(degrees)
+	offsets := make([]uint64, n+1)
+	var run uint64
+	for v, d := range degrees {
+		offsets[v] = run
+		run += uint64(d)
+	}
+	offsets[n] = run
+	if run != uint64(len(adj)) {
+		return nil, fmt.Errorf("graph: degree sum %d != adjacency entries %d", run, len(adj))
+	}
+	return &CSR{Offsets: offsets, Adj: adj, Oriented: oriented}, nil
+}

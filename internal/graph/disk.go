@@ -1,0 +1,362 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"pdtl/internal/ioacct"
+)
+
+// EntrySize is the on-disk size in bytes of one adjacency or degree entry.
+const EntrySize = 4
+
+// Meta describes an on-disk graph. It is stored as JSON in <base>.meta so
+// tools and humans can inspect datasets without decoding the binary files.
+type Meta struct {
+	// Name is a human-readable dataset label (e.g. "twitter-sim").
+	Name string `json:"name"`
+	// NumVertices is |V|.
+	NumVertices int64 `json:"num_vertices"`
+	// NumEdges is the undirected edge count m.
+	NumEdges uint64 `json:"num_edges"`
+	// AdjEntries is the entry count of the .adj file: 2m for undirected
+	// graphs, m for oriented ones.
+	AdjEntries uint64 `json:"adj_entries"`
+	// Oriented reports whether the store holds an orientation G* rather
+	// than the bidirectional G.
+	Oriented bool `json:"oriented"`
+	// MaxDegree is the maximum degree of G (before orientation).
+	MaxDegree uint32 `json:"max_degree"`
+	// MaxOutDegree is d*max, the maximum out-degree after orientation; it
+	// bounds MGT's nm/nmp scratch arrays. Zero for unoriented stores.
+	MaxOutDegree uint32 `json:"max_out_degree,omitempty"`
+}
+
+// Paths for the three files of the store.
+func metaPath(base string) string { return base + ".meta" }
+
+// DegPath returns the path of the degree file for the store rooted at base.
+func DegPath(base string) string { return base + ".deg" }
+
+// AdjPath returns the path of the adjacency file for the store rooted at
+// base.
+func AdjPath(base string) string { return base + ".adj" }
+
+// MetaPath returns the path of the metadata file for the store rooted at
+// base.
+func MetaPath(base string) string { return metaPath(base) }
+
+// WriteCSR writes g to the three files rooted at base, with name recorded in
+// the metadata.
+func WriteCSR(base, name string, g *CSR) error {
+	n := g.NumVertices()
+	meta := Meta{
+		Name:        name,
+		NumVertices: int64(n),
+		NumEdges:    g.NumEdges(),
+		AdjEntries:  g.AdjEntries(),
+		Oriented:    g.Oriented,
+		MaxDegree:   g.MaxDegree(),
+	}
+	if g.Oriented {
+		meta.MaxOutDegree = g.MaxDegree()
+	}
+	if err := WriteMeta(base, meta); err != nil {
+		return err
+	}
+	if err := writeUint32File(DegPath(base), func(emit func(uint32)) {
+		for v := 0; v < n; v++ {
+			emit(uint32(g.Offsets[v+1] - g.Offsets[v]))
+		}
+	}); err != nil {
+		return err
+	}
+	return writeUint32File(AdjPath(base), func(emit func(uint32)) {
+		for _, w := range g.Adj {
+			emit(w)
+		}
+	})
+}
+
+// WriteMeta writes only the metadata file.
+func WriteMeta(base string, meta Meta) error {
+	blob, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("graph: marshal meta: %w", err)
+	}
+	return os.WriteFile(metaPath(base), append(blob, '\n'), 0o644)
+}
+
+// ReadMeta reads the metadata file of the store rooted at base.
+func ReadMeta(base string) (Meta, error) {
+	blob, err := os.ReadFile(metaPath(base))
+	if err != nil {
+		return Meta{}, fmt.Errorf("graph: read meta: %w", err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(blob, &meta); err != nil {
+		return Meta{}, fmt.Errorf("graph: parse meta %s: %w", metaPath(base), err)
+	}
+	return meta, nil
+}
+
+func writeUint32File(path string, fill func(emit func(uint32))) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var scratch [EntrySize]byte
+	var werr error
+	fill(func(x uint32) {
+		if werr != nil {
+			return
+		}
+		binary.LittleEndian.PutUint32(scratch[:], x)
+		_, werr = bw.Write(scratch[:])
+	})
+	if werr != nil {
+		f.Close()
+		return werr
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Disk is an opened on-disk graph: its metadata, its degree array (which the
+// paper assumes fits in memory for orientation and which every MGT runner
+// needs for walking the adjacency file), and the derived per-vertex offsets
+// into the adjacency file.
+type Disk struct {
+	Meta Meta
+	Base string
+	// Degrees[v] is the (out-)degree of v.
+	Degrees []uint32
+	// Offsets[v] is the entry index of v's list in the .adj file;
+	// Offsets[NumVertices] == AdjEntries.
+	Offsets []uint64
+}
+
+// Open loads the metadata and degree file of the store rooted at base.
+// The adjacency file is opened on demand by the scanners.
+func Open(base string) (*Disk, error) {
+	meta, err := ReadMeta(base)
+	if err != nil {
+		return nil, err
+	}
+	degrees, err := readUint32File(DegPath(base), int(meta.NumVertices))
+	if err != nil {
+		return nil, err
+	}
+	n := len(degrees)
+	offsets := make([]uint64, n+1)
+	var run uint64
+	for v, d := range degrees {
+		offsets[v] = run
+		run += uint64(d)
+	}
+	offsets[n] = run
+	if run != meta.AdjEntries {
+		return nil, fmt.Errorf("graph: %s: degree sum %d != meta adj_entries %d", base, run, meta.AdjEntries)
+	}
+	return &Disk{Meta: meta, Base: base, Degrees: degrees, Offsets: offsets}, nil
+}
+
+func readUint32File(path string, count int) ([]uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make([]uint32, count)
+	buf := make([]byte, count*EntrySize)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, fmt.Errorf("graph: read %s: %w", path, err)
+	}
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(buf[i*EntrySize:])
+	}
+	return out, nil
+}
+
+// OpenAdj opens the adjacency file for reading.
+func (d *Disk) OpenAdj() (*os.File, error) {
+	return os.Open(AdjPath(d.Base))
+}
+
+// NumVertices reports |V|.
+func (d *Disk) NumVertices() int { return len(d.Degrees) }
+
+// AdjBytes reports the size of the adjacency file in bytes.
+func (d *Disk) AdjBytes() int64 { return int64(d.Meta.AdjEntries) * EntrySize }
+
+// VertexAt returns the vertex whose adjacency list contains global entry
+// index pos, by binary search over the offsets.
+func (d *Disk) VertexAt(pos uint64) Vertex {
+	lo, hi := 0, d.NumVertices()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.Offsets[mid+1] <= pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return Vertex(lo)
+}
+
+// LoadCSR reads the whole graph into memory. Intended for small graphs,
+// tests, and the in-memory baselines.
+func (d *Disk) LoadCSR() (*CSR, error) {
+	adjFile, err := d.OpenAdj()
+	if err != nil {
+		return nil, err
+	}
+	defer adjFile.Close()
+	adj := make([]Vertex, d.Meta.AdjEntries)
+	buf := bufio.NewReaderSize(adjFile, 1<<20)
+	var scratch [EntrySize]byte
+	for i := range adj {
+		if _, err := io.ReadFull(buf, scratch[:]); err != nil {
+			return nil, fmt.Errorf("graph: read adj: %w", err)
+		}
+		adj[i] = binary.LittleEndian.Uint32(scratch[:])
+	}
+	return &CSR{Offsets: d.Offsets, Adj: adj, Oriented: d.Meta.Oriented}, nil
+}
+
+// Scanner streams the adjacency file list by list, in vertex order, through
+// an accounting reader. It is the sequential "read N(u) from disk" primitive
+// of Algorithm 2.
+//
+// With a segment cap (SetMaxList), lists longer than the cap are yielded in
+// consecutive sorted segments under the same vertex, so a scan never holds
+// more than the cap in memory — this is how the small-degree assumption of
+// the paper's Section IV-A is removed (its footnote 1).
+type Scanner struct {
+	disk    *Disk
+	file    *os.File
+	r       *bufio.Reader
+	next    Vertex
+	remain  int // entries of the current vertex still unread (segmented mode)
+	maxList int // segment cap; 0 = whole lists
+	listBuf []Vertex
+	byteBuf []byte
+	err     error
+}
+
+// SetMaxList caps the slice length Next returns; longer lists are split
+// into consecutive segments. Must be called before the first Next.
+func (s *Scanner) SetMaxList(maxList int) {
+	if maxList > 0 && maxList < len(s.listBuf) {
+		s.maxList = maxList
+		s.listBuf = s.listBuf[:maxList]
+		s.byteBuf = s.byteBuf[:maxList*EntrySize]
+	}
+}
+
+// NewScanner opens an adjacency scan charged to counter c (which may be
+// shared with other files of the same worker). bufSize is the read buffer in
+// bytes; non-positive selects 1 MiB.
+func (d *Disk) NewScanner(c *ioacct.Counter, bufSize int) (*Scanner, error) {
+	return d.NewScannerAt(0, c, bufSize)
+}
+
+// NewScannerAt opens an adjacency scan positioned at the start of vertex
+// start's list; Next will yield vertices start, start+1, ... in order.
+func (d *Disk) NewScannerAt(start Vertex, c *ioacct.Counter, bufSize int) (*Scanner, error) {
+	f, err := d.OpenAdj()
+	if err != nil {
+		return nil, err
+	}
+	if int(start) > d.NumVertices() {
+		f.Close()
+		return nil, fmt.Errorf("graph: scanner start vertex %d out of range", start)
+	}
+	if start > 0 {
+		if _, err := f.Seek(int64(d.Offsets[start])*EntrySize, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if bufSize <= 0 {
+		bufSize = 1 << 20
+	}
+	var r io.Reader = f
+	if c != nil {
+		r = ioacct.NewReader(f, c)
+	}
+	return &Scanner{
+		disk:    d,
+		file:    f,
+		r:       bufio.NewReaderSize(r, bufSize),
+		next:    start,
+		listBuf: make([]Vertex, int(maxU32(d.Degrees))),
+		byteBuf: make([]byte, int(maxU32(d.Degrees))*EntrySize),
+	}, nil
+}
+
+func maxU32(xs []uint32) uint32 {
+	var m uint32
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Next returns the next vertex and its neighbor list (or list segment in
+// segmented mode — the same vertex may be yielded several times, with
+// consecutive sorted segments). The returned slice is reused by subsequent
+// calls. ok is false when the scan is complete or an error occurred; check
+// Err afterwards.
+func (s *Scanner) Next() (u Vertex, list []Vertex, ok bool) {
+	if s.err != nil {
+		return 0, nil, false
+	}
+	var d int
+	if s.remain > 0 {
+		u = s.next - 1
+		d = s.remain
+	} else {
+		if int(s.next) >= s.disk.NumVertices() {
+			return 0, nil, false
+		}
+		u = s.next
+		s.next++
+		d = int(s.disk.Degrees[u])
+		if d == 0 {
+			return u, s.listBuf[:0], true
+		}
+	}
+	if s.maxList > 0 && d > s.maxList {
+		s.remain = d - s.maxList
+		d = s.maxList
+	} else {
+		s.remain = 0
+	}
+	raw := s.byteBuf[:d*EntrySize]
+	if _, err := io.ReadFull(s.r, raw); err != nil {
+		s.err = fmt.Errorf("graph: scan vertex %d: %w", u, err)
+		return 0, nil, false
+	}
+	list = s.listBuf[:d]
+	for i := 0; i < d; i++ {
+		list[i] = binary.LittleEndian.Uint32(raw[i*EntrySize:])
+	}
+	return u, list, true
+}
+
+// Err reports the first error encountered by Next.
+func (s *Scanner) Err() error { return s.err }
+
+// Close releases the underlying file.
+func (s *Scanner) Close() error { return s.file.Close() }

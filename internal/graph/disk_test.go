@@ -1,0 +1,226 @@
+package graph
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pdtl/internal/ioacct"
+)
+
+func writeTempGraph(t *testing.T, g *CSR, name string) string {
+	t.Helper()
+	base := filepath.Join(t.TempDir(), name)
+	if err := WriteCSR(base, name, g); err != nil {
+		t.Fatalf("WriteCSR: %v", err)
+	}
+	return base
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	g, err := FromEdges(5, []Edge{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := writeTempGraph(t, g, "tiny")
+
+	d, err := Open(base)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if d.Meta.Name != "tiny" || d.Meta.NumVertices != 5 || d.Meta.NumEdges != 5 {
+		t.Errorf("meta = %+v", d.Meta)
+	}
+	if d.Meta.Oriented {
+		t.Error("undirected graph marked oriented")
+	}
+	got, err := d.LoadCSR()
+	if err != nil {
+		t.Fatalf("LoadCSR: %v", err)
+	}
+	if !reflect.DeepEqual(got.Adj, g.Adj) || !reflect.DeepEqual(got.Offsets, g.Offsets) {
+		t.Error("round-tripped CSR differs")
+	}
+}
+
+func TestScannerMatchesCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := FromEdges(30, randomEdges(rng, 30, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := writeTempGraph(t, g, "scan")
+	d, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ioacct.NewCounter(0)
+	sc, err := d.NewScanner(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	seen := 0
+	for {
+		u, list, ok := sc.Next()
+		if !ok {
+			break
+		}
+		want := g.Neighbors(u)
+		if len(list) != len(want) {
+			t.Fatalf("vertex %d: got %d neighbors, want %d", u, len(list), len(want))
+		}
+		for i := range list {
+			if list[i] != want[i] {
+				t.Fatalf("vertex %d: neighbor %d = %d, want %d", u, i, list[i], want[i])
+			}
+		}
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 30 {
+		t.Errorf("scanned %d vertices, want 30", seen)
+	}
+	if got := c.Snapshot().BytesRead; got != int64(g.AdjEntries())*EntrySize {
+		t.Errorf("scan read %d bytes, want %d", got, int64(g.AdjEntries())*EntrySize)
+	}
+}
+
+func TestScannerSegmentation(t *testing.T) {
+	// A star vertex with 25 neighbors, cap 8: the scanner must yield the
+	// big list as consecutive sorted segments under the same vertex and
+	// keep small lists whole.
+	edges := make([]Edge, 0, 26)
+	for v := Vertex(1); v <= 25; v++ {
+		edges = append(edges, Edge{0, v})
+	}
+	edges = append(edges, Edge{1, 2})
+	g, err := FromEdges(26, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := writeTempGraph(t, g, "star")
+	d, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := d.NewScanner(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	sc.SetMaxList(8)
+
+	got := map[Vertex][]Vertex{}
+	for {
+		u, seg, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if len(seg) > 8 {
+			t.Fatalf("segment of %d exceeds cap 8", len(seg))
+		}
+		got[u] = append(got[u], seg...)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 26; v++ {
+		want := g.Neighbors(Vertex(v))
+		if len(got[Vertex(v)]) != len(want) {
+			t.Fatalf("vertex %d: reassembled %d entries, want %d", v, len(got[Vertex(v)]), len(want))
+		}
+		for i := range want {
+			if got[Vertex(v)][i] != want[i] {
+				t.Fatalf("vertex %d entry %d: %d != %d", v, i, got[Vertex(v)][i], want[i])
+			}
+		}
+	}
+}
+
+func TestVertexAt(t *testing.T) {
+	g, err := FromEdges(4, []Edge{{0, 1}, {0, 2}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := writeTempGraph(t, g, "vat")
+	d, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrees: 0->2, 1->2, 2->3, 3->1. Entry layout: [0,0][1,1][2,2,2][3].
+	wants := []Vertex{0, 0, 1, 1, 2, 2, 2, 3}
+	for pos, want := range wants {
+		if got := d.VertexAt(uint64(pos)); got != want {
+			t.Errorf("VertexAt(%d) = %d, want %d", pos, got, want)
+		}
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error for missing store")
+	}
+}
+
+func TestMetaMismatchDetected(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := writeTempGraph(t, g, "bad")
+	meta, err := ReadMeta(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta.AdjEntries = 999
+	if err := WriteMeta(base, meta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(base); err == nil {
+		t.Fatal("expected consistency error")
+	}
+}
+
+func TestEdgeListTextRoundTrip(t *testing.T) {
+	text := "# comment\n0 1\n1 2\n\n% another\n2 0\n"
+	edges, n, err := ReadEdgeListText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(edges) != 3 {
+		t.Fatalf("n=%d edges=%d", n, len(edges))
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteEdgeListText(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	edges2, n2, err := ReadEdgeListText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 3 || len(edges2) != 3 {
+		t.Fatalf("round trip n=%d edges=%d", n2, len(edges2))
+	}
+}
+
+func TestEdgeListTextErrors(t *testing.T) {
+	if _, _, err := ReadEdgeListText(strings.NewReader("1\n")); err == nil {
+		t.Error("want error for short line")
+	}
+	if _, _, err := ReadEdgeListText(strings.NewReader("a b\n")); err == nil {
+		t.Error("want error for non-numeric")
+	}
+	edges, n, err := ReadEdgeListText(strings.NewReader(""))
+	if err != nil || n != 0 || len(edges) != 0 {
+		t.Errorf("empty input: edges=%v n=%d err=%v", edges, n, err)
+	}
+}

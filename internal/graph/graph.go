@@ -1,0 +1,127 @@
+// Package graph provides the binary graph store and in-memory graph
+// representation used throughout the PDTL reproduction.
+//
+// The on-disk layout follows Section V-B of the paper (and the format of the
+// original MGT binary it is compatible with): a graph <base> is three files,
+//
+//	<base>.meta  — JSON metadata (vertex/edge counts, orientation flag, ...)
+//	<base>.deg   — little-endian uint32 degree per vertex (|V| entries)
+//	<base>.adj   — little-endian uint32 neighbor entries, the concatenation
+//	               of all adjacency lists in vertex order, each list sorted
+//	               by neighbor id
+//
+// An undirected graph stores every edge in both endpoint lists (2m entries);
+// an oriented graph stores only out-neighbors (m entries). Sortedness of the
+// lists is load-bearing: the modified MGT algorithm intersects adjacency
+// lists as sorted arrays (Section IV-A1 of the paper found hash sets >10×
+// slower), and orientation preserves sortedness because it only filters.
+package graph
+
+// Vertex identifies a graph vertex. The paper's largest graph (Yahoo) has
+// 1.4B vertices, which fits in 32 bits; using uint32 halves the I/O volume
+// relative to 64-bit ids, which matters for an external-memory algorithm.
+type Vertex = uint32
+
+// Edge is an edge between two vertices. For undirected graphs the canonical
+// form has U < V.
+type Edge struct {
+	U, V Vertex
+}
+
+// Canon returns e with endpoints swapped if necessary so that U <= V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		e.U, e.V = e.V, e.U
+	}
+	return e
+}
+
+// CSR is an in-memory graph in compressed sparse row form. The neighbor
+// list of vertex v is Adj[Offsets[v]:Offsets[v+1]], sorted by vertex id.
+type CSR struct {
+	// Offsets has NumVertices+1 entries; Offsets[0] == 0.
+	Offsets []uint64
+	// Adj holds the concatenated, per-list-sorted adjacency entries.
+	Adj []Vertex
+	// Oriented records whether Adj stores out-neighbors of an orientation
+	// (one entry per edge) rather than both directions of an undirected
+	// graph (two entries per edge).
+	Oriented bool
+}
+
+// NumVertices reports |V|.
+func (g *CSR) NumVertices() int { return len(g.Offsets) - 1 }
+
+// NumEdges reports the undirected edge count m: half the adjacency entries
+// of an undirected graph, or exactly the entry count of an oriented one.
+func (g *CSR) NumEdges() uint64 {
+	if g.Oriented {
+		return uint64(len(g.Adj))
+	}
+	return uint64(len(g.Adj)) / 2
+}
+
+// AdjEntries reports the number of entries in the adjacency array.
+func (g *CSR) AdjEntries() uint64 { return uint64(len(g.Adj)) }
+
+// Degree reports the (out-)degree of v.
+func (g *CSR) Degree(v Vertex) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns v's (out-)neighbor list. The returned slice aliases the
+// graph's storage and must not be modified.
+func (g *CSR) Neighbors(v Vertex) []Vertex {
+	return g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// Degrees materializes the degree array.
+func (g *CSR) Degrees() []uint32 {
+	n := g.NumVertices()
+	deg := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		deg[v] = uint32(g.Offsets[v+1] - g.Offsets[v])
+	}
+	return deg
+}
+
+// MaxDegree reports the maximum (out-)degree, or 0 for an empty graph.
+func (g *CSR) MaxDegree() uint32 {
+	var maxDeg uint64
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Offsets[v+1] - g.Offsets[v]; d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return uint32(maxDeg)
+}
+
+// HasEdge reports whether w appears in v's neighbor list, by binary search.
+func (g *CSR) HasEdge(v, w Vertex) bool {
+	list := g.Neighbors(v)
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid] < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(list) && list[lo] == w
+}
+
+// Edges materializes the canonical undirected edge list (u < v once per
+// edge) of an undirected graph, or the directed edge list of an oriented
+// graph. Intended for tests and small graphs.
+func (g *CSR) Edges() []Edge {
+	edges := make([]Edge, 0, g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(Vertex(v)) {
+			if g.Oriented || Vertex(v) < w {
+				edges = append(edges, Edge{Vertex(v), w})
+			}
+		}
+	}
+	return edges
+}

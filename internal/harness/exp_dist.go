@@ -1,0 +1,456 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"pdtl/internal/cluster"
+	"pdtl/internal/core"
+)
+
+// defaultUplink models the shared NIC for copy-time experiments: small
+// enough that copy times are visible at our replica sizes, large enough not
+// to dominate.
+const defaultUplink = 48 << 20 // 48 MiB/s aggregate
+
+// nodeGroups splits a cluster result's per-node worker stats.
+func nodeGroups(res *cluster.Result) [][]core.WorkerStat {
+	groups := make([][]core.WorkerStat, len(res.Nodes))
+	for i, n := range res.Nodes {
+		groups[i] = n.Workers
+	}
+	return groups
+}
+
+// avgCopy averages copy time over the non-master nodes.
+func avgCopy(res *cluster.Result) time.Duration {
+	if len(res.Nodes) <= 1 {
+		return 0
+	}
+	var sum time.Duration
+	for _, n := range res.Nodes[1:] {
+		sum += n.CopyTime
+	}
+	return sum / time.Duration(len(res.Nodes)-1)
+}
+
+// expFig4 reproduces Figure 4: distributed total time across node counts.
+// Wall time on this host is capped by its physical cores, so the struggler
+// work column carries the scaling signal (DESIGN.md §3).
+func expFig4(h *Harness, r *Report) error {
+	header := []string{"Graph"}
+	for _, n := range nodeList {
+		header = append(header, fmt.Sprintf("%dN total", n), fmt.Sprintf("%dN work/node", n))
+	}
+	rows := make([][]string, 0, len(sweepKeys))
+	for _, key := range sweepKeys {
+		row := []string{key}
+		for _, nodes := range nodeList {
+			mem, err := h.MemFull(key, nodes*2)
+			if err != nil {
+				return err
+			}
+			run, err := h.RunCluster(key, nodes, 2, mem, 0)
+			if err != nil {
+				return err
+			}
+			row = append(row, D(run.Total), N(MaxNodeWork(nodeGroups(run.Result))))
+		}
+		rows = append(rows, row)
+	}
+	r.Table(header, rows)
+	r.Note("paper: RMAT graphs scale to 128 cores; Yahoo stops benefiting past 16 cores")
+	return nil
+}
+
+// expTable3 reproduces Table III: total time and average copy time per
+// node count, under a rate-limited master uplink.
+func expTable3(h *Harness, r *Report) error {
+	header := []string{"Graph"}
+	for _, n := range nodeList {
+		if n == 1 {
+			header = append(header, "1 node total")
+			continue
+		}
+		header = append(header, fmt.Sprintf("%dN total", n), fmt.Sprintf("%dN avg copy", n))
+	}
+	keys := []string{"twitter-sim", "yahoo-sim", "rmat14", "rmat15", "rmat16", "rmat17"}
+	rows := make([][]string, 0, len(keys))
+	for _, key := range keys {
+		row := []string{key}
+		for _, nodes := range nodeList {
+			mem, err := h.MemFull(key, nodes*2)
+			if err != nil {
+				return err
+			}
+			run, err := h.RunCluster(key, nodes, 2, mem, defaultUplink)
+			if err != nil {
+				return err
+			}
+			if nodes == 1 {
+				row = append(row, D(run.Total))
+			} else {
+				row = append(row, D(run.Total), D(avgCopy(run.Result)))
+			}
+		}
+		rows = append(rows, row)
+	}
+	r.Table(header, rows)
+	r.Note("paper: copy time grows with graph size and node count (shared uplink)")
+	return nil
+}
+
+// expFig5 reproduces Figure 5: memory budget has little effect on calc
+// time.
+func expFig5(h *Harness, r *Report) error {
+	for _, cfg := range []struct {
+		nodes, workers int
+	}{{4, 1}, {4, 2}} {
+		procs := cfg.nodes * cfg.workers
+		rows := make([][]string, 0, len(sweepKeys))
+		for _, key := range sweepKeys {
+			full, err := h.MemFull(key, procs)
+			if err != nil {
+				return err
+			}
+			tight, err := h.MemTight(key, procs)
+			if err != nil {
+				return err
+			}
+			ample, err := h.RunCluster(key, cfg.nodes, cfg.workers, full, 0)
+			if err != nil {
+				return err
+			}
+			limited, err := h.RunCluster(key, cfg.nodes, cfg.workers, tight, 0)
+			if err != nil {
+				return err
+			}
+			var passesA, passesL int
+			for _, n := range ample.Nodes {
+				for _, w := range n.Workers {
+					passesA += w.Stats.Passes
+				}
+			}
+			for _, n := range limited.Nodes {
+				for _, w := range n.Workers {
+					passesL += w.Stats.Passes
+				}
+			}
+			rows = append(rows, []string{
+				key, D(ample.CalcTime), fmt.Sprintf("%d", passesA),
+				D(limited.CalcTime), fmt.Sprintf("%d", passesL),
+			})
+		}
+		r.Note("%d nodes (%d processors)", cfg.nodes, procs)
+		r.Table([]string{"Graph", "ample calc", "passes", "tight calc", "passes"}, rows)
+	}
+	r.Note("paper: limiting memory is negligible; more memory can even cost slightly more")
+	return nil
+}
+
+// expFig6 reproduces Figure 6: total CPU vs I/O breakdown across nodes
+// (Twitter stand-in) and cores (Yahoo stand-in).
+func expFig6(h *Harness, r *Report) error {
+	rows := make([][]string, 0, len(nodeList))
+	for _, nodes := range nodeList {
+		mem, err := h.MemFull("twitter-sim", nodes*2)
+		if err != nil {
+			return err
+		}
+		run, err := h.RunCluster("twitter-sim", nodes, 2, mem, 0)
+		if err != nil {
+			return err
+		}
+		var cpu, ioT time.Duration
+		for _, n := range run.Nodes {
+			c, i := AggCPUIO(n.Workers)
+			cpu += c
+			ioT += i
+		}
+		rows = append(rows, []string{fmt.Sprintf("%d nodes", nodes), D(cpu), D(ioT),
+			fmt.Sprintf("%.1f%%", 100*ioT.Seconds()/(cpu+ioT).Seconds())})
+	}
+	r.Note("twitter-sim across nodes")
+	r.Table([]string{"Config", "CPU", "I/O", "I/O share"}, rows)
+
+	rows = rows[:0]
+	for _, cores := range coreList {
+		mem, err := h.MemFull("yahoo-sim", cores)
+		if err != nil {
+			return err
+		}
+		res, err := h.CalcLocal("yahoo-sim", cores, mem, 0)
+		if err != nil {
+			return err
+		}
+		cpu, ioT := AggCPUIO(res.Workers)
+		rows = append(rows, []string{fmt.Sprintf("%d cores", cores), D(cpu), D(ioT),
+			fmt.Sprintf("%.1f%%", 100*ioT.Seconds()/(cpu+ioT).Seconds())})
+	}
+	r.Note("yahoo-sim across cores")
+	r.Table([]string{"Config", "CPU", "I/O", "I/O share"}, rows)
+	r.Note("paper: PDTL is not I/O-bound; absolute I/O grows with core count")
+	return nil
+}
+
+// perNodeBreakdown renders one dataset's per-node CPU/I-O at the given
+// node counts (Figures 7 and 8).
+func perNodeBreakdown(h *Harness, r *Report, key string, nodeCounts []int) error {
+	for _, nodes := range nodeCounts {
+		mem, err := h.MemFull(key, nodes*2)
+		if err != nil {
+			return err
+		}
+		run, err := h.RunCluster(key, nodes, 2, mem, 0)
+		if err != nil {
+			return err
+		}
+		rows := make([][]string, 0, nodes)
+		for i, n := range run.Nodes {
+			cpu, ioT := AggCPUIO(n.Workers)
+			rows = append(rows, []string{
+				fmt.Sprintf("node %d", i+1), D(cpu), D(ioT), N(Work(n.Workers)),
+			})
+		}
+		r.Note("%s on %d nodes", key, nodes)
+		r.Table([]string{"Node", "CPU", "I/O", "work"}, rows)
+	}
+	return nil
+}
+
+// expFig7 reproduces Figure 7 (balanced Twitter breakdown).
+func expFig7(h *Harness, r *Report) error {
+	if err := perNodeBreakdown(h, r, "twitter-sim", []int{2, 4}); err != nil {
+		return err
+	}
+	r.Note("paper: Twitter is well balanced; no CPU/I-O correlation")
+	return nil
+}
+
+// expFig8 reproduces Figure 8 (skewed Yahoo breakdown).
+func expFig8(h *Harness, r *Report) error {
+	if err := perNodeBreakdown(h, r, "yahoo-sim", []int{2, 4}); err != nil {
+		return err
+	}
+	r.Note("paper: Yahoo is heavily skewed; highest I/O at the busiest nodes")
+	return nil
+}
+
+// expTable4 reproduces Table IV: per-node CPU and I/O totals, showing how
+// load-balance discrepancies grow with node count.
+func expTable4(h *Harness, r *Report) error {
+	keys := []string{"twitter-sim", "yahoo-sim", "rmat14"}
+	for _, nodes := range []int{2, 3, 4} {
+		rows := make([][]string, 0, len(keys))
+		for _, key := range keys {
+			mem, err := h.MemFull(key, nodes*2)
+			if err != nil {
+				return err
+			}
+			run, err := h.RunCluster(key, nodes, 2, mem, 0)
+			if err != nil {
+				return err
+			}
+			row := []string{key}
+			var minW, maxW uint64
+			for i, n := range run.Nodes {
+				w := Work(n.Workers)
+				if i == 0 || w < minW {
+					minW = w
+				}
+				if w > maxW {
+					maxW = w
+				}
+				cpu, ioT := AggCPUIO(n.Workers)
+				row = append(row, fmt.Sprintf("%s/%s", D(cpu), D(ioT)))
+			}
+			imb := "1.00"
+			if minW > 0 {
+				imb = fmt.Sprintf("%.2f", float64(maxW)/float64(minW))
+			}
+			row = append(row, imb)
+			rows = append(rows, row)
+		}
+		header := []string{"Graph"}
+		for i := 1; i <= nodes; i++ {
+			header = append(header, fmt.Sprintf("node%d cpu/io", i))
+		}
+		header = append(header, "work imbalance")
+		r.Note("%d nodes", nodes)
+		r.Table(header, rows)
+	}
+	r.Note("paper: discrepancies grow with node count (Twitter 1%%->13%%, Yahoo 87%%->130%%)")
+	return nil
+}
+
+// expFig11 reproduces Figure 11: speedup of distributed PDTL over
+// single-core MGT (work-based, host cores cap wall-clock).
+func expFig11(h *Harness, r *Report) error {
+	header := []string{"Graph", "MGT 1-core"}
+	for _, nodes := range nodeList {
+		header = append(header, fmt.Sprintf("%dN speedup", nodes))
+	}
+	keys := []string{"twitter-sim", "yahoo-sim", "rmat14", "rmat15"}
+	rows := make([][]string, 0, len(keys))
+	for _, key := range keys {
+		memSingle, err := h.MemFull(key, 1)
+		if err != nil {
+			return err
+		}
+		mgtRes, err := h.CalcLocal(key, 1, memSingle, 0)
+		if err != nil {
+			return err
+		}
+		mgtWork := Work(mgtRes.Workers)
+		row := []string{key, D(mgtRes.CalcTime)}
+		for _, nodes := range nodeList {
+			mem, err := h.MemFull(key, nodes*2)
+			if err != nil {
+				return err
+			}
+			run, err := h.RunCluster(key, nodes, 2, mem, 0)
+			if err != nil {
+				return err
+			}
+			straggler := MaxNodeWork(nodeGroups(run.Result))
+			row = append(row, fmt.Sprintf("%.1fx", float64(mgtWork)/float64(straggler)))
+		}
+		rows = append(rows, row)
+	}
+	r.Table(header, rows)
+	r.Note("speedup = MGT work / straggler-node work (host-independent)")
+	r.Note("paper: up to 55x with 4 nodes; 30x Twitter; only 4x Yahoo")
+	return nil
+}
+
+// expTable7 reproduces Table VII: the EC2-style CPU/I-O grid.
+func expTable7(h *Harness, r *Report) error {
+	for _, key := range []string{"twitter-sim", "yahoo-sim"} {
+		rows := make([][]string, 0, 8)
+		for _, cores := range coreList {
+			mem, err := h.MemFull(key, cores)
+			if err != nil {
+				return err
+			}
+			res, err := h.CalcLocal(key, cores, mem, 0)
+			if err != nil {
+				return err
+			}
+			cpu, ioT := AggCPUIO(res.Workers)
+			rows = append(rows, []string{fmt.Sprintf("%d cores", cores), D(cpu), D(ioT)})
+		}
+		for _, nodes := range []int{2, 3, 4} {
+			mem, err := h.MemFull(key, nodes*2)
+			if err != nil {
+				return err
+			}
+			run, err := h.RunCluster(key, nodes, 2, mem, 0)
+			if err != nil {
+				return err
+			}
+			var cpu, ioT time.Duration
+			for _, n := range run.Nodes {
+				c, i := AggCPUIO(n.Workers)
+				cpu += c
+				ioT += i
+			}
+			rows = append(rows, []string{fmt.Sprintf("%d nodes", nodes), D(cpu), D(ioT)})
+		}
+		r.Note("%s", key)
+		r.Table([]string{"Config", "total CPU", "total I/O"}, rows)
+	}
+	return nil
+}
+
+// expTable8 reproduces Table VIII: the EC2-style runtime grid with an OPT
+// row.
+func expTable8(h *Harness, r *Report) error {
+	header := []string{"Graph"}
+	for _, c := range coreList {
+		header = append(header, fmt.Sprintf("%dc", c))
+	}
+	for _, n := range []int{2, 3, 4} {
+		header = append(header, fmt.Sprintf("%dN", n))
+	}
+	keys := []string{"lj-sim", "orkut-sim", "twitter-sim", "yahoo-sim", "rmat14", "rmat15"}
+	rows := make([][]string, 0, len(keys)+1)
+	for _, key := range keys {
+		row := []string{key}
+		for _, cores := range coreList {
+			mem, err := h.MemFull(key, cores)
+			if err != nil {
+				return err
+			}
+			res, err := h.CalcLocal(key, cores, mem, 0)
+			if err != nil {
+				return err
+			}
+			row = append(row, D(res.CalcTime))
+		}
+		for _, nodes := range []int{2, 3, 4} {
+			mem, err := h.MemFull(key, nodes*2)
+			if err != nil {
+				return err
+			}
+			run, err := h.RunCluster(key, nodes, 2, mem, 0)
+			if err != nil {
+				return err
+			}
+			row = append(row, D(run.CalcTime))
+		}
+		rows = append(rows, row)
+	}
+	r.Table(header, rows)
+	return nil
+}
+
+// expTable12 reproduces Table XII: cluster runtimes under tight per-node
+// memory (the 8 GB/node configuration).
+func expTable12(h *Harness, r *Report) error {
+	return clusterGrid(h, r, true)
+}
+
+// expTable13 reproduces Table XIII: cluster runtimes with ample memory
+// (the 32 GB/node configuration).
+func expTable13(h *Harness, r *Report) error {
+	return clusterGrid(h, r, false)
+}
+
+func clusterGrid(h *Harness, r *Report, tight bool) error {
+	nodesCounts := []int{2, 4, 8}
+	header := []string{"Graph"}
+	for _, n := range nodesCounts {
+		header = append(header, fmt.Sprintf("%d nodes", n))
+	}
+	keys := []string{"lj-sim", "orkut-sim", "twitter-sim", "yahoo-sim", "rmat14", "rmat15"}
+	rows := make([][]string, 0, len(keys))
+	for _, key := range keys {
+		row := []string{key}
+		for _, nodes := range nodesCounts {
+			procs := nodes * 2
+			var mem int
+			var err error
+			if tight {
+				mem, err = h.MemTight(key, procs)
+			} else {
+				mem, err = h.MemFull(key, procs)
+			}
+			if err != nil {
+				return err
+			}
+			run, err := h.RunCluster(key, nodes, 2, mem, 0)
+			if err != nil {
+				return err
+			}
+			row = append(row, D(run.Total))
+		}
+		rows = append(rows, row)
+	}
+	if tight {
+		r.Note("tight memory: max(2 d*max, |E*|/(16 P)) entries per processor")
+	} else {
+		r.Note("ample memory: one pass per processor")
+	}
+	r.Table(header, rows)
+	return nil
+}

@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"pdtl/internal/balance"
+)
+
+func newHarness(t *testing.T) *Harness {
+	t.Helper()
+	h, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := D(90 * time.Second); got != "1.5m" {
+		t.Errorf("D(90s) = %q", got)
+	}
+	if got := D(1500 * time.Millisecond); got != "1.50s" {
+		t.Errorf("D(1.5s) = %q", got)
+	}
+	if got := D(2500 * time.Microsecond); got != "2.5ms" {
+		t.Errorf("D(2.5ms) = %q", got)
+	}
+	if got := D(700 * time.Nanosecond); got != "0µs" {
+		t.Errorf("D(700ns) = %q", got)
+	}
+	if got := N(1234567); got != "1,234,567" {
+		t.Errorf("N = %q", got)
+	}
+	if got := N(999); got != "999" {
+		t.Errorf("N = %q", got)
+	}
+	if got := N(1000); got != "1,000" {
+		t.Errorf("N = %q", got)
+	}
+	if got := Bytes(3 << 20); got != "3.00MiB" {
+		t.Errorf("Bytes = %q", got)
+	}
+	if got := Bytes(512); got != "512B" {
+		t.Errorf("Bytes = %q", got)
+	}
+}
+
+func TestReportTable(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewReport(&buf)
+	r.Title("demo %d", 7)
+	r.Table([]string{"A", "LongHeader"}, [][]string{{"x", "1"}, {"yy", "22"}})
+	r.Note("note %s", "here")
+	out := buf.String()
+	for _, want := range []string{"== demo 7 ==", "A   LongHeader", "yy  22", "note here"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFindExperiments(t *testing.T) {
+	if _, err := Find("table2"); err != nil {
+		t.Errorf("Find(table2): %v", err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("Find should reject unknown ids")
+	}
+	seen := map[string]bool{}
+	for _, e := range Experiments {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Paper == "" || e.Desc == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+}
+
+func TestDatasetRegistry(t *testing.T) {
+	if _, err := dataset("twitter-sim"); err != nil {
+		t.Error(err)
+	}
+	if _, err := dataset("missing"); err == nil {
+		t.Error("want error for unknown dataset")
+	}
+}
+
+func TestStoreCachingAndOrientation(t *testing.T) {
+	h := newHarness(t)
+	base1, err := h.Store("rmat14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base2, err := h.Store("rmat14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base1 != base2 {
+		t.Error("store not cached")
+	}
+	o1, res1, err := h.Oriented("rmat14", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, res2, err := h.Oriented("rmat14", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 != o2 || res1 != res2 {
+		t.Error("orientation not cached")
+	}
+	if res1.MaxOutDegree == 0 {
+		t.Error("orientation result empty")
+	}
+}
+
+func TestMemBudgetsAndCalc(t *testing.T) {
+	h := newHarness(t)
+	full, err := h.MemFull("rmat14", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := h.MemTight("rmat14", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight >= full {
+		t.Errorf("tight budget %d should be below full %d", tight, full)
+	}
+	resFull, err := h.CalcLocal("rmat14", 2, full, balance.InDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resTight, err := h.CalcLocal("rmat14", 2, tight, balance.InDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resFull.Triangles != resTight.Triangles {
+		t.Errorf("budgets changed the count: %d vs %d", resFull.Triangles, resTight.Triangles)
+	}
+	var passesFull, passesTight int
+	for _, w := range resFull.Workers {
+		passesFull += w.Stats.Passes
+	}
+	for _, w := range resTight.Workers {
+		passesTight += w.Stats.Passes
+	}
+	if passesTight <= passesFull {
+		t.Errorf("tight budget should need more passes: %d vs %d", passesTight, passesFull)
+	}
+}
+
+func TestRunClusterAgreesWithLocal(t *testing.T) {
+	h := newHarness(t)
+	full, err := h.MemFull("rmat14", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := h.CalcLocal("rmat14", 2, full, balance.InDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := h.RunCluster("rmat14", 2, 2, full, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Triangles != local.Triangles {
+		t.Errorf("cluster %d != local %d", run.Triangles, local.Triangles)
+	}
+	if run.Total < run.Result.TotalTime {
+		t.Error("Total must include orientation")
+	}
+	if len(run.Nodes) != 2 {
+		t.Errorf("nodes = %d", len(run.Nodes))
+	}
+}
+
+func TestOrientTimedCleansUp(t *testing.T) {
+	h := newHarness(t)
+	base, res, cleanup, err := h.OrientTimed("rmat14", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= 0 {
+		t.Error("orientation not timed")
+	}
+	cleanup()
+	if _, _, _, err := h.OrientTimed("rmat14", 2); err != nil {
+		t.Fatal(err)
+	}
+	_ = base
+}
+
+func TestWorkHelpers(t *testing.T) {
+	h := newHarness(t)
+	full, err := h.MemFull("rmat14", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.CalcLocal("rmat14", 2, full, balance.InDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := Work(res.Workers)
+	if total == 0 {
+		t.Fatal("work should be nonzero")
+	}
+	if MaxWorkerWork(res.Workers) > total {
+		t.Error("max worker work cannot exceed total")
+	}
+	groups := [][]coreWorker{res.Workers[:1], res.Workers[1:]}
+	if MaxNodeWork(groups) > total {
+		t.Error("max node work cannot exceed total")
+	}
+}
+
+func TestRunExperimentEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	h := newHarness(t)
+	var buf bytes.Buffer
+	// fig12 touches only the cheapest dataset (rmat14).
+	if err := h.Run("fig12", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "PDTL calc") || !strings.Contains(out, "OPT calc") {
+		t.Errorf("fig12 output incomplete:\n%s", out)
+	}
+	if err := h.Run("bogus", &buf); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

@@ -1,0 +1,117 @@
+// Package harness materializes the paper's evaluation (Section V): it owns
+// the dataset registry (laptop-scale stand-ins for Table I, DESIGN.md §3),
+// caches generated stores and orientations per process, and implements one
+// experiment per table and figure of the paper, each rendering a plain-text
+// table with the same rows/series the paper reports.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Report renders experiment output as aligned text tables.
+type Report struct {
+	w io.Writer
+}
+
+// NewReport wraps a writer.
+func NewReport(w io.Writer) *Report { return &Report{w: w} }
+
+// Title prints an experiment heading.
+func (r *Report) Title(format string, args ...any) {
+	fmt.Fprintf(r.w, "\n== %s ==\n", fmt.Sprintf(format, args...))
+}
+
+// Note prints an annotation line.
+func (r *Report) Note(format string, args ...any) {
+	fmt.Fprintf(r.w, "   %s\n", fmt.Sprintf(format, args...))
+}
+
+// Table prints an aligned table with a header row.
+func (r *Report) Table(header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintf(r.w, "   %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// D formats a duration compactly (ms resolution above 1s, µs below).
+func D(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// N formats a large count with thousands separators.
+func N(x uint64) string {
+	s := fmt.Sprintf("%d", x)
+	if len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+		if len(s) > lead {
+			b.WriteByte(',')
+		}
+	}
+	for i := lead; i < len(s); i += 3 {
+		b.WriteString(s[i : i+3])
+		if i+3 < len(s) {
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}
+
+// Bytes formats a byte volume in binary units.
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,166 @@
+package ioacct
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterReadWrite(t *testing.T) {
+	c := NewCounter(0)
+	src := strings.NewReader("hello external memory")
+	var dst bytes.Buffer
+
+	n, err := io.Copy(NewWriter(&dst, c), NewReader(src, c))
+	if err != nil {
+		t.Fatalf("copy: %v", err)
+	}
+	s := c.Snapshot()
+	if s.BytesRead != n {
+		t.Errorf("BytesRead = %d, want %d", s.BytesRead, n)
+	}
+	if s.BytesWritten != n {
+		t.Errorf("BytesWritten = %d, want %d", s.BytesWritten, n)
+	}
+	if s.ReadOps == 0 || s.WriteOps == 0 {
+		t.Errorf("expected nonzero op counts, got %+v", s)
+	}
+	if s.BlockSize != DefaultBlockSize {
+		t.Errorf("BlockSize = %d, want default %d", s.BlockSize, DefaultBlockSize)
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	c := NewCounter(512)
+	c.AddRead(100, 5)
+	c.AddWrite(200, 7)
+	c.Reset()
+	s := c.Snapshot()
+	if s.BytesRead != 0 || s.BytesWritten != 0 || s.ReadOps != 0 || s.WriteOps != 0 {
+		t.Errorf("Reset left nonzero counters: %+v", s)
+	}
+}
+
+func TestBlockAccounting(t *testing.T) {
+	c := NewCounter(1024)
+	c.AddRead(1, 0)
+	c.AddRead(1023, 0)
+	c.AddRead(1, 0) // total 1025 bytes -> 2 blocks
+	s := c.Snapshot()
+	if got := s.BlockReads(); got != 2 {
+		t.Errorf("BlockReads = %d, want 2", got)
+	}
+	if got := s.BlockWrites(); got != 0 {
+		t.Errorf("BlockWrites = %d, want 0", got)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{BytesRead: 10, BytesWritten: 20, ReadOps: 1, WriteOps: 2, ReadTime: 3, WriteTime: 4, BlockSize: 512}
+	b := Stats{BytesRead: 1, BytesWritten: 2, ReadOps: 3, WriteOps: 4, ReadTime: 5, WriteTime: 6}
+	sum := a.Add(b)
+	if sum.BytesRead != 11 || sum.BytesWritten != 22 || sum.ReadOps != 4 || sum.WriteOps != 6 {
+		t.Errorf("Add mismatch: %+v", sum)
+	}
+	if sum.IOTime() != 18 {
+		t.Errorf("IOTime = %v, want 18", sum.IOTime())
+	}
+	if sum.BlockSize != 512 {
+		t.Errorf("BlockSize = %d, want 512", sum.BlockSize)
+	}
+}
+
+func TestReaderAtAccounting(t *testing.T) {
+	c := NewCounter(0)
+	data := bytes.NewReader([]byte("0123456789"))
+	ra := NewReaderAt(data, c)
+	buf := make([]byte, 4)
+	if _, err := ra.ReadAt(buf, 2); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if string(buf) != "2345" {
+		t.Errorf("ReadAt got %q", buf)
+	}
+	if s := c.Snapshot(); s.BytesRead != 4 {
+		t.Errorf("BytesRead = %d, want 4", s.BytesRead)
+	}
+}
+
+func TestSectionReader(t *testing.T) {
+	c := NewCounter(0)
+	data := bytes.NewReader([]byte("abcdefgh"))
+	sec := SectionReader(data, 2, 3, c)
+	got, err := io.ReadAll(sec)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if string(got) != "cde" {
+		t.Errorf("section read %q, want cde", got)
+	}
+	if s := c.Snapshot(); s.BytesRead != 3 {
+		t.Errorf("BytesRead = %d, want 3", s.BytesRead)
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	c := NewCounter(0)
+	const workers = 8
+	const per = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.AddRead(3, 1)
+				c.AddWrite(5, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.BytesRead != workers*per*3 {
+		t.Errorf("BytesRead = %d, want %d", s.BytesRead, workers*per*3)
+	}
+	if s.BytesWritten != workers*per*5 {
+		t.Errorf("BytesWritten = %d, want %d", s.BytesWritten, workers*per*5)
+	}
+	if s.ReadOps != workers*per || s.WriteOps != workers*per {
+		t.Errorf("ops mismatch: %+v", s)
+	}
+}
+
+// Property: for any byte volume and block size, ceil-division semantics hold:
+// BlockReads*B >= BytesRead > (BlockReads-1)*B.
+func TestBlockReadsProperty(t *testing.T) {
+	f := func(vol uint32, bs uint16) bool {
+		blockSize := int(bs%4096) + 1
+		c := NewCounter(blockSize)
+		c.AddRead(int(vol%(1<<20)), 0)
+		s := c.Snapshot()
+		br := s.BlockReads()
+		if s.BytesRead == 0 {
+			return br == 0
+		}
+		return br*int64(blockSize) >= s.BytesRead && (br-1)*int64(blockSize) < s.BytesRead
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeByteCountsIgnored(t *testing.T) {
+	c := NewCounter(0)
+	c.AddRead(-5, 0)
+	c.AddWrite(-5, 0)
+	s := c.Snapshot()
+	if s.BytesRead != 0 || s.BytesWritten != 0 {
+		t.Errorf("negative sizes should not be charged: %+v", s)
+	}
+	if s.ReadOps != 1 || s.WriteOps != 1 {
+		t.Errorf("ops should still count: %+v", s)
+	}
+}

@@ -1,0 +1,51 @@
+package ioacct
+
+import (
+	"io"
+	"time"
+)
+
+// Reader wraps an io.Reader, charging every Read to a Counter.
+type Reader struct {
+	r io.Reader
+	c *Counter
+}
+
+// NewReader returns a counting wrapper around r. The counter must not be
+// nil.
+func NewReader(r io.Reader, c *Counter) *Reader {
+	return &Reader{r: r, c: c}
+}
+
+// Read implements io.Reader.
+func (cr *Reader) Read(p []byte) (int, error) {
+	start := time.Now()
+	n, err := cr.r.Read(p)
+	cr.c.AddRead(n, time.Since(start))
+	return n, err
+}
+
+// ReaderAt wraps an io.ReaderAt, charging every ReadAt to a Counter.
+type ReaderAt struct {
+	r io.ReaderAt
+	c *Counter
+}
+
+// NewReaderAt returns a counting wrapper around r.
+func NewReaderAt(r io.ReaderAt, c *Counter) *ReaderAt {
+	return &ReaderAt{r: r, c: c}
+}
+
+// ReadAt implements io.ReaderAt.
+func (cr *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	start := time.Now()
+	n, err := cr.r.ReadAt(p, off)
+	cr.c.AddRead(n, time.Since(start))
+	return n, err
+}
+
+// SectionReader returns an io.Reader over [off, off+n) of r that charges
+// reads to c. It mirrors io.NewSectionReader but with accounting.
+func SectionReader(r io.ReaderAt, off, n int64, c *Counter) io.Reader {
+	return io.NewSectionReader(&ReaderAt{r: r, c: c}, off, n)
+}

@@ -1,0 +1,25 @@
+package ioacct
+
+import (
+	"io"
+	"time"
+)
+
+// Writer wraps an io.Writer, charging every Write to a Counter.
+type Writer struct {
+	w io.Writer
+	c *Counter
+}
+
+// NewWriter returns a counting wrapper around w.
+func NewWriter(w io.Writer, c *Counter) *Writer {
+	return &Writer{w: w, c: c}
+}
+
+// Write implements io.Writer.
+func (cw *Writer) Write(p []byte) (int, error) {
+	start := time.Now()
+	n, err := cw.w.Write(p)
+	cw.c.AddWrite(n, time.Since(start))
+	return n, err
+}

@@ -1,0 +1,570 @@
+// Package mgt implements the modified Massive Graph Triangulation algorithm
+// of Section IV-A (Algorithm 2 of the paper).
+//
+// MGT finds all triangles of an oriented graph G* held on disk by loading
+// consecutive out-edges into memory and, for every vertex u of the graph,
+// intersecting u's out-list with the in-memory out-lists of u's
+// out-neighbors. The paper's modification — kept faithfully here — is that
+// all per-vertex structures are *sorted arrays*, never hash sets (their
+// set-based implementation was more than 10× slower):
+//
+//	edg — the in-memory edge chunk: a copy of a contiguous slice of the
+//	      adjacency file (the runner's current window of pivot edges);
+//	ind — for each vertex v in [vlow, vhigh], the offset and length of the
+//	      in-memory portion Ev of v's out-list inside edg;
+//	nm  — N(u), the out-list of the current cone candidate u, read from a
+//	      sequential scan of the whole adjacency file;
+//	nmp — N+(u) = N(u) ∩ V+mem, computed by probing ind.
+//
+// A runner is additionally restricted to a contiguous *global* edge range
+// [Lo, Hi): its pivot responsibility in PDTL (Section IV-B). Every triangle
+// is reported exactly once across runners, by the runner (and pass) whose
+// window holds the triangle's pivot edge. With the full range this is
+// exactly the paper's single-core MGT, the baseline of Figure 11.
+package mgt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"pdtl/internal/balance"
+	"pdtl/internal/graph"
+	"pdtl/internal/ioacct"
+)
+
+// Sink consumes listed triangles (u, v, w), each with u ≺ v ≺ w in the
+// degree-based order. Implementations are called from a single goroutine
+// per runner.
+type Sink interface {
+	Triangle(u, v, w graph.Vertex)
+}
+
+// Config parameterizes a runner.
+type Config struct {
+	// MemEdges is M, the number of adjacency entries the runner may hold
+	// in its edg window at once. It drives the pass count R = ceil(S/M)
+	// (Section IV-B2). Must be ≥ 1.
+	MemEdges int
+	// Range is the runner's pivot-edge responsibility. A zero Range means
+	// the whole file.
+	Range balance.Range
+	// Counter receives the runner's I/O accounting; nil allocates a
+	// private one.
+	Counter *ioacct.Counter
+	// BufBytes is the size of the sequential-scan read buffer;
+	// non-positive selects 1 MiB.
+	BufBytes int
+	// Sink, when non-nil, receives every listed triangle. Counting-only
+	// runs leave it nil (the paper measures counting time, "or 0 for
+	// triangle counting" in Theorem IV.3).
+	Sink Sink
+}
+
+// Stats reports what a runner did — the per-processor raw material of the
+// paper's Figures 6–8 and Tables IV and VII.
+type Stats struct {
+	// Triangles found in the runner's range.
+	Triangles uint64
+	// Passes is R, the number of memory-window iterations over the graph.
+	Passes int
+	// EdgesLoaded is the total number of adjacency entries loaded into the
+	// window across passes (= the range size).
+	EdgesLoaded uint64
+	// Intersections is the number of sorted-array intersections performed
+	// (|nmp| summed over all scans).
+	Intersections uint64
+	// CmpOps counts merge steps inside the intersections — a
+	// machine-independent proxy for the CPU work of Theorem IV.2's
+	// O(|E|²/M + α|E|) term, used by the harness to report scaling
+	// independently of the host's core count.
+	CmpOps uint64
+	// LargeVertices counts cone vertices whose out-list exceeded M and
+	// went through the segmented large-vertex path (the removal of the
+	// small-degree assumption, footnote 1 of the paper). Each such vertex
+	// incurs one extra sequential read of its own list per pass.
+	LargeVertices uint64
+	// Wall is the runner's wall-clock time.
+	Wall time.Duration
+	// IO is the runner's I/O activity; Wall − IO.IOTime() is the "CPU
+	// time" of the paper's breakdowns.
+	IO ioacct.Stats
+}
+
+// CPUTime is wall time minus time spent inside I/O calls.
+func (s Stats) CPUTime() time.Duration {
+	cpu := s.Wall - s.IO.IOTime()
+	if cpu < 0 {
+		return 0
+	}
+	return cpu
+}
+
+// Add merges two runner stats (Wall becomes the max — the straggler defines
+// elapsed time; everything else sums).
+func (s Stats) Add(o Stats) Stats {
+	s.Triangles += o.Triangles
+	s.Passes += o.Passes
+	s.EdgesLoaded += o.EdgesLoaded
+	s.Intersections += o.Intersections
+	s.CmpOps += o.CmpOps
+	s.LargeVertices += o.LargeVertices
+	if o.Wall > s.Wall {
+		s.Wall = o.Wall
+	}
+	s.IO = s.IO.Add(o.IO)
+	return s
+}
+
+// indEntry locates the in-memory portion Ev of one vertex's out-list.
+type indEntry struct {
+	off uint32 // offset into edg
+	len uint32 // number of in-memory out-edges of the vertex
+}
+
+// Run executes modified MGT over the oriented on-disk graph d.
+func Run(d *graph.Disk, cfg Config) (Stats, error) {
+	start := time.Now()
+	if !d.Meta.Oriented {
+		return Stats{}, fmt.Errorf("mgt: store %q is not oriented", d.Base)
+	}
+	if cfg.MemEdges < 1 {
+		return Stats{}, fmt.Errorf("mgt: memory budget %d edges, need ≥ 1", cfg.MemEdges)
+	}
+	total := d.Meta.AdjEntries
+	rng := cfg.Range
+	if rng == (balance.Range{}) {
+		rng = balance.Range{Lo: 0, Hi: total}
+	}
+	if rng.Hi > total || rng.Lo > rng.Hi {
+		return Stats{}, fmt.Errorf("mgt: range [%d,%d) out of bounds for %d entries", rng.Lo, rng.Hi, total)
+	}
+	counter := cfg.Counter
+	if counter == nil {
+		counter = ioacct.NewCounter(0)
+	}
+
+	adjFile, err := d.OpenAdj()
+	if err != nil {
+		return Stats{}, err
+	}
+	defer adjFile.Close()
+
+	r := &runner{
+		disk:    d,
+		cfg:     cfg,
+		counter: counter,
+		reader:  ioacct.NewReaderAt(adjFile, counter),
+		edg:     make([]graph.Vertex, 0, cfg.MemEdges),
+		loadBuf: make([]byte, cfg.MemEdges*graph.EntrySize),
+	}
+
+	for pos := rng.Lo; pos < rng.Hi; {
+		end := pos + uint64(cfg.MemEdges)
+		if end > rng.Hi {
+			end = rng.Hi
+		}
+		if err := r.loadWindow(pos, end); err != nil {
+			return r.stats, err
+		}
+		if err := r.scanPass(); err != nil {
+			return r.stats, err
+		}
+		r.stats.Passes++
+		pos = end
+	}
+	r.stats.Wall = time.Since(start)
+	r.stats.IO = counter.Snapshot()
+	return r.stats, nil
+}
+
+// runner holds the per-run and per-window state of modified MGT.
+type runner struct {
+	disk    *graph.Disk
+	cfg     Config
+	counter *ioacct.Counter
+	reader  *ioacct.ReaderAt
+	stats   Stats
+
+	// Window state (Algorithm 2's edg/ind plus the window bounds).
+	edg     []graph.Vertex
+	loadBuf []byte
+	ind     []indEntry
+	vlow    graph.Vertex
+	vhigh   graph.Vertex
+	winLo   uint64
+
+	// Large-vertex state (removal of the small-degree assumption): a
+	// value-sorted index of the window's edges, an epoch-stamped mark
+	// array over the window span, and a chunk buffer for re-reading huge
+	// cone lists. All O(M + span).
+	idxBuilt bool
+	idxVals  []graph.Vertex
+	idxSrcs  []graph.Vertex
+	stamp    []uint32
+	epoch    uint32
+	chunkBuf []byte
+}
+
+// loadWindow loads the edge window [pos, end) and builds ind over its
+// vertex span.
+func (r *runner) loadWindow(pos, end uint64) error {
+	count := int(end - pos)
+	raw := r.loadBuf[:count*graph.EntrySize]
+	if _, err := r.reader.ReadAt(raw, int64(pos)*graph.EntrySize); err != nil {
+		return fmt.Errorf("mgt: load window: %w", err)
+	}
+	r.edg = r.edg[:count]
+	for i := 0; i < count; i++ {
+		r.edg[i] = binary.LittleEndian.Uint32(raw[i*graph.EntrySize:])
+	}
+	r.stats.EdgesLoaded += uint64(count)
+	r.winLo = pos
+
+	d := r.disk
+	r.vlow = d.VertexAt(pos)
+	r.vhigh = d.VertexAt(end - 1)
+	span := int(r.vhigh-r.vlow) + 1
+	if cap(r.ind) < span {
+		r.ind = make([]indEntry, span)
+		r.stamp = make([]uint32, span)
+		r.epoch = 0
+	} else {
+		r.ind = r.ind[:span]
+		r.stamp = r.stamp[:span]
+		for i := range r.ind {
+			r.ind[i] = indEntry{}
+		}
+	}
+	for v := r.vlow; v <= r.vhigh; v++ {
+		lo := d.Offsets[v]
+		hi := d.Offsets[v+1]
+		if lo < pos {
+			lo = pos
+		}
+		if hi > end {
+			hi = end
+		}
+		if hi > lo {
+			r.ind[v-r.vlow] = indEntry{off: uint32(lo - pos), len: uint32(hi - lo)}
+		}
+	}
+	r.idxBuilt = false
+	return nil
+}
+
+// scanPass streams the whole adjacency file once, reporting every triangle
+// whose pivot edge is inside the current window. Cone vertices whose
+// out-list exceeds M take the segmented large-vertex path.
+func (r *runner) scanPass() error {
+	d := r.disk
+	sc, err := d.NewScanner(r.counter, r.cfg.BufBytes)
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	sc.SetMaxList(r.cfg.MemEdges)
+
+	maxNmp := int(d.Meta.MaxOutDegree)
+	if maxNmp > r.cfg.MemEdges {
+		maxNmp = r.cfg.MemEdges
+	}
+	nmp := make([]graph.Vertex, 0, maxNmp)
+	for {
+		u, nm, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if int(d.Degrees[u]) > r.cfg.MemEdges {
+			if err := r.largeVertex(sc, u, nm); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(nm) < 2 {
+			continue // need at least a pivot source and a closing vertex
+		}
+		// Quick reject: nm is sorted, so if it cannot contain any vertex
+		// of [vlow, vhigh] there is nothing to do.
+		if nm[len(nm)-1] < r.vlow || nm[0] > r.vhigh {
+			continue
+		}
+		// nmp := N+(u) — out-neighbors of u with out-edges in memory.
+		nmp = nmp[:0]
+		for _, v := range nm {
+			if v < r.vlow {
+				continue
+			}
+			if v > r.vhigh {
+				break
+			}
+			if r.ind[v-r.vlow].len > 0 {
+				nmp = append(nmp, v)
+			}
+		}
+		for _, v := range nmp {
+			e := r.ind[v-r.vlow]
+			ev := r.edg[e.off : e.off+e.len]
+			r.stats.Intersections++
+			// Merge-intersect sorted nm with sorted Ev; every common
+			// vertex w closes triangle (u, v, w) with pivot (v, w).
+			i, j := 0, 0
+			var steps uint64
+			for i < len(nm) && j < len(ev) {
+				steps++
+				a, b := nm[i], ev[j]
+				switch {
+				case a < b:
+					i++
+				case a > b:
+					j++
+				default:
+					r.stats.Triangles++
+					if r.cfg.Sink != nil {
+						r.cfg.Sink.Triangle(u, v, a)
+					}
+					i++
+					j++
+				}
+			}
+			r.stats.CmpOps += steps
+		}
+	}
+	return sc.Err()
+}
+
+// largeVertex handles a cone vertex u with d*(u) > M without ever holding
+// N(u) in memory — the paper's footnote-1 removal of the small-degree
+// assumption. firstSeg is the first segment the scanner already yielded.
+//
+// Pass 1 (the scanner's remaining segments): mark every window vertex that
+// appears in N(u) with the current epoch. Pass 2 (a second sequential read
+// of N(u) via ReadAt): merge N(u) against the value-sorted index of the
+// window's edges; a match (w, v) with v marked means v, w ∈ N(u) and
+// (v, w) in the window — triangle (u, v, w). The extra I/O is one re-read
+// of u's list per pass, O(scan(d(u))).
+func (r *runner) largeVertex(sc *graph.Scanner, u graph.Vertex, firstSeg []graph.Vertex) error {
+	d := r.disk
+	r.stats.LargeVertices++
+	r.epoch++
+	if r.epoch == 0 { // stamp wrap-around: reset marks
+		for i := range r.stamp {
+			r.stamp[i] = 0
+		}
+		r.epoch = 1
+	}
+	mark := func(seg []graph.Vertex) {
+		for _, a := range seg {
+			if a >= r.vlow && a <= r.vhigh {
+				r.stamp[a-r.vlow] = r.epoch
+			}
+		}
+	}
+	mark(firstSeg)
+	remaining := int(d.Degrees[u]) - len(firstSeg)
+	for remaining > 0 {
+		u2, seg, ok := sc.Next()
+		if !ok {
+			return fmt.Errorf("mgt: truncated segments for vertex %d: %w", u, sc.Err())
+		}
+		if u2 != u {
+			return fmt.Errorf("mgt: segment stream switched from %d to %d mid-list", u, u2)
+		}
+		mark(seg)
+		remaining -= len(seg)
+	}
+	r.buildValueIndex()
+
+	// Pass 2: re-read N(u) in chunks, merging with the value index.
+	if r.chunkBuf == nil {
+		r.chunkBuf = make([]byte, r.cfg.MemEdges*graph.EntrySize)
+	}
+	lo, hi := d.Offsets[u], d.Offsets[u+1]
+	i := 0 // cursor into the value index, shared across chunks (N(u) sorted)
+	var steps uint64
+	for pos := lo; pos < hi; {
+		end := pos + uint64(r.cfg.MemEdges)
+		if end > hi {
+			end = hi
+		}
+		raw := r.chunkBuf[:int(end-pos)*graph.EntrySize]
+		if _, err := r.reader.ReadAt(raw, int64(pos)*graph.EntrySize); err != nil {
+			return fmt.Errorf("mgt: re-read large vertex %d: %w", u, err)
+		}
+		for k := 0; k < len(raw); k += graph.EntrySize {
+			w := binary.LittleEndian.Uint32(raw[k:])
+			for i < len(r.idxVals) && r.idxVals[i] < w {
+				i++
+				steps++
+			}
+			for i < len(r.idxVals) && r.idxVals[i] == w {
+				steps++
+				v := r.idxSrcs[i]
+				if r.stamp[v-r.vlow] == r.epoch {
+					r.stats.Triangles++
+					if r.cfg.Sink != nil {
+						r.cfg.Sink.Triangle(u, v, w)
+					}
+				}
+				i++
+			}
+		}
+		pos = end
+	}
+	r.stats.Intersections++
+	r.stats.CmpOps += steps
+	return nil
+}
+
+// buildValueIndex lazily builds the window's (value, source) edge index
+// sorted by value, used by the large-vertex path. Built at most once per
+// window.
+func (r *runner) buildValueIndex() {
+	if r.idxBuilt {
+		return
+	}
+	n := len(r.edg)
+	if cap(r.idxVals) < n {
+		r.idxVals = make([]graph.Vertex, n)
+		r.idxSrcs = make([]graph.Vertex, n)
+	} else {
+		r.idxVals = r.idxVals[:n]
+		r.idxSrcs = r.idxSrcs[:n]
+	}
+	pos := 0
+	for v := r.vlow; v <= r.vhigh; v++ {
+		e := r.ind[v-r.vlow]
+		for k := uint32(0); k < e.len; k++ {
+			r.idxVals[pos] = r.edg[e.off+k]
+			r.idxSrcs[pos] = v
+			pos++
+		}
+	}
+	r.idxVals = r.idxVals[:pos]
+	r.idxSrcs = r.idxSrcs[:pos]
+	sortByValue(r.idxVals, r.idxSrcs)
+	r.idxBuilt = true
+}
+
+// sortByValue sorts the parallel (vals, srcs) arrays by vals.
+func sortByValue(vals, srcs []graph.Vertex) {
+	sort.Sort(&valueIndex{vals: vals, srcs: srcs})
+}
+
+type valueIndex struct {
+	vals []graph.Vertex
+	srcs []graph.Vertex
+}
+
+func (x *valueIndex) Len() int { return len(x.vals) }
+func (x *valueIndex) Less(i, j int) bool {
+	if x.vals[i] != x.vals[j] {
+		return x.vals[i] < x.vals[j]
+	}
+	return x.srcs[i] < x.srcs[j]
+}
+func (x *valueIndex) Swap(i, j int) {
+	x.vals[i], x.vals[j] = x.vals[j], x.vals[i]
+	x.srcs[i], x.srcs[j] = x.srcs[j], x.srcs[i]
+}
+
+// FullRange returns the range covering the whole oriented store.
+func FullRange(d *graph.Disk) balance.Range {
+	return balance.Range{Lo: 0, Hi: d.Meta.AdjEntries}
+}
+
+// CheckSmallDegree verifies the paper's small-degree assumption
+// d*max ≤ c·M/2 for implementation constant c < 1 (we use c = 1 and warn at
+// equality): it returns an error describing the violation, or nil. The
+// algorithm stays correct without it — only the CPU bound of Theorem IV.2
+// needs it — so callers treat this as advisory.
+func CheckSmallDegree(d *graph.Disk, memEdges int) error {
+	if uint64(d.Meta.MaxOutDegree) > uint64(memEdges)/2 {
+		return fmt.Errorf("mgt: small-degree assumption violated: d*max=%d > M/2=%d (correctness unaffected; CPU bound of Theorem IV.2 may not hold)",
+			d.Meta.MaxOutDegree, memEdges/2)
+	}
+	return nil
+}
+
+// CountSink accumulates a plain count; it is the zero-cost sink used when
+// only the total is needed by a caller that still wants sink plumbing.
+type CountSink struct {
+	N uint64
+}
+
+// Triangle implements Sink.
+func (c *CountSink) Triangle(u, v, w graph.Vertex) { c.N++ }
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(u, v, w graph.Vertex)
+
+// Triangle implements Sink.
+func (f FuncSink) Triangle(u, v, w graph.Vertex) { f(u, v, w) }
+
+// FileSink streams triangles as little-endian uint32 triples to a writer —
+// the listing output path ("and possibly the triangle lists if necessary",
+// Section IV-B1). It buffers internally; call Flush when done.
+type FileSink struct {
+	w   io.Writer
+	buf []byte
+	n   int
+	err error
+	// Count is the number of triangles written.
+	Count uint64
+}
+
+// NewFileSink creates a FileSink with a 64 KiB buffer.
+func NewFileSink(w io.Writer) *FileSink {
+	return &FileSink{w: w, buf: make([]byte, 64*1024)}
+}
+
+// Triangle implements Sink.
+func (f *FileSink) Triangle(u, v, w graph.Vertex) {
+	if f.err != nil {
+		return
+	}
+	if f.n+12 > len(f.buf) {
+		f.flushBuf()
+	}
+	binary.LittleEndian.PutUint32(f.buf[f.n:], u)
+	binary.LittleEndian.PutUint32(f.buf[f.n+4:], v)
+	binary.LittleEndian.PutUint32(f.buf[f.n+8:], w)
+	f.n += 12
+	f.Count++
+}
+
+func (f *FileSink) flushBuf() {
+	if f.n > 0 && f.err == nil {
+		_, f.err = f.w.Write(f.buf[:f.n])
+		f.n = 0
+	}
+}
+
+// Flush writes any buffered triples and reports the first error encountered.
+func (f *FileSink) Flush() error {
+	f.flushBuf()
+	return f.err
+}
+
+// ReadTriangles decodes a FileSink stream back into triples (test/tool
+// helper).
+func ReadTriangles(r io.Reader) ([][3]graph.Vertex, error) {
+	var out [][3]graph.Vertex
+	buf := make([]byte, 12)
+	for {
+		_, err := io.ReadFull(r, buf)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, [3]graph.Vertex{
+			binary.LittleEndian.Uint32(buf[0:]),
+			binary.LittleEndian.Uint32(buf[4:]),
+			binary.LittleEndian.Uint32(buf[8:]),
+		})
+	}
+}

@@ -1,0 +1,192 @@
+// Package optlike is a reimplementation-in-spirit of the OPT system the
+// paper compares against (Kim et al., SIGMOD'14; Table V, Figure 12,
+// Table VIII): a single-machine, multi-core triangulation framework whose
+// preprocessing ("database creation") is far heavier than PDTL's
+// orientation, while its calculation phase is competitive.
+//
+// OPT requires its input sorted by vertex degree and builds an internal
+// database before counting. This comparator performs that work for real:
+// it sorts all vertices by degree, relabels the entire graph under the new
+// ids, rebuilds and re-sorts every adjacency list, orients the relabeled
+// graph, and writes the result to disk as the "database". That is
+// genuinely several passes and an O(|V| log |V| + |E| log d) sort heavier
+// than PDTL's single filtered scan — reproducing the Table II/V setup gap
+// (up to 75× in the paper) without artificial sleeps.
+package optlike
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pdtl/internal/graph"
+)
+
+// DBSuffix is appended to the source base path for the database store.
+const DBSuffix = ".optdb"
+
+// BuildResult reports database creation.
+type BuildResult struct {
+	// DBBase is the on-disk database store (an oriented, degree-relabeled
+	// graph in the standard binary layout).
+	DBBase string
+	// DBTime is the "Database" column of Table V.
+	DBTime time.Duration
+}
+
+// BuildDB creates the OPT-style database for the undirected store at
+// srcBase.
+func BuildDB(srcBase string) (*BuildResult, error) {
+	start := time.Now()
+	d, err := graph.Open(srcBase)
+	if err != nil {
+		return nil, err
+	}
+	if d.Meta.Oriented {
+		return nil, fmt.Errorf("optlike: database input must be the undirected store")
+	}
+	g, err := d.LoadCSR()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+
+	// Degree-sort relabeling: new id 0 is the lowest-degree vertex. This
+	// realizes OPT's required degree order as an explicit id remapping.
+	perm := make([]graph.Vertex, n)
+	for v := range perm {
+		perm[v] = graph.Vertex(v)
+	}
+	deg := g.Degrees()
+	sort.SliceStable(perm, func(i, j int) bool {
+		if deg[perm[i]] != deg[perm[j]] {
+			return deg[perm[i]] < deg[perm[j]]
+		}
+		return perm[i] < perm[j]
+	})
+	newID := make([]graph.Vertex, n)
+	for rank, old := range perm {
+		newID[old] = graph.Vertex(rank)
+	}
+
+	// Relabel, orient (keep edges from lower to higher new id — by
+	// construction the degree order), and re-sort every list.
+	outDeg := make([]uint32, n)
+	for old := 0; old < n; old++ {
+		u := newID[old]
+		for _, vOld := range g.Neighbors(graph.Vertex(old)) {
+			if newID[vOld] > u {
+				outDeg[u]++
+			}
+		}
+	}
+	offsets := make([]uint64, n+1)
+	var run uint64
+	for v := 0; v < n; v++ {
+		offsets[v] = run
+		run += uint64(outDeg[v])
+	}
+	offsets[n] = run
+	adj := make([]graph.Vertex, run)
+	cursor := make([]uint64, n)
+	copy(cursor, offsets[:n])
+	for old := 0; old < n; old++ {
+		u := newID[old]
+		for _, vOld := range g.Neighbors(graph.Vertex(old)) {
+			if v := newID[vOld]; v > u {
+				adj[cursor[u]] = v
+				cursor[u]++
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		list := adj[offsets[v]:offsets[v+1]]
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	}
+	db := &graph.CSR{Offsets: offsets, Adj: adj, Oriented: true}
+
+	dbBase := srcBase + DBSuffix
+	if err := graph.WriteCSR(dbBase, d.Meta.Name+"-optdb", db); err != nil {
+		return nil, err
+	}
+	return &BuildResult{DBBase: dbBase, DBTime: time.Since(start)}, nil
+}
+
+// CountResult reports a counting run.
+type CountResult struct {
+	Triangles uint64
+	// CalcTime is the "Calc" column of Table V.
+	CalcTime time.Duration
+}
+
+// Count runs OPT-style overlapped parallel counting against a database
+// built by BuildDB, with the given worker count.
+func Count(dbBase string, workers int) (*CountResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	start := time.Now()
+	d, err := graph.Open(dbBase)
+	if err != nil {
+		return nil, err
+	}
+	if !d.Meta.Oriented {
+		return nil, fmt.Errorf("optlike: %s is not a database store", dbBase)
+	}
+	db, err := d.LoadCSR()
+	if err != nil {
+		return nil, err
+	}
+	n := db.NumVertices()
+
+	// Static vertex-range split balanced by out-degree mass.
+	bounds := make([]int, workers+1)
+	total := db.AdjEntries()
+	v := 0
+	for p := 1; p < workers; p++ {
+		target := total * uint64(p) / uint64(workers)
+		for v < n && db.Offsets[v+1] <= target {
+			v++
+		}
+		bounds[p] = v
+	}
+	bounds[workers] = n
+
+	counts := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var cnt uint64
+			for u := bounds[p]; u < bounds[p+1]; u++ {
+				ou := db.Neighbors(graph.Vertex(u))
+				for _, v := range ou {
+					ov := db.Neighbors(v)
+					i, j := 0, 0
+					for i < len(ou) && j < len(ov) {
+						switch {
+						case ou[i] < ov[j]:
+							i++
+						case ou[i] > ov[j]:
+							j++
+						default:
+							cnt++
+							i++
+							j++
+						}
+					}
+				}
+			}
+			counts[p] = cnt
+		}(p)
+	}
+	wg.Wait()
+	res := &CountResult{}
+	for _, c := range counts {
+		res.Triangles += c
+	}
+	res.CalcTime = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,122 @@
+package optlike
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pdtl/internal/baseline"
+	"pdtl/internal/gen"
+	"pdtl/internal/graph"
+)
+
+func buildStore(t *testing.T, g *graph.CSR) string {
+	t.Helper()
+	base := filepath.Join(t.TempDir(), "g")
+	if err := graph.WriteCSR(base, "g", g); err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+func TestBuildAndCount(t *testing.T) {
+	g, err := gen.RMAT(9, 8, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.Forward(g)
+	base := buildStore(t, g)
+	db, err := BuildDB(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.DBTime <= 0 {
+		t.Error("DB time not recorded")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		res, err := Count(db.DBBase, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Triangles != want {
+			t.Errorf("workers=%d: triangles = %d, want %d", workers, res.Triangles, want)
+		}
+	}
+}
+
+func TestKnownCounts(t *testing.T) {
+	g, err := gen.Complete(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := buildStore(t, g)
+	db, err := BuildDB(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Count(db.DBBase, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triangles != gen.CompleteTriangles(15) {
+		t.Errorf("K15 = %d, want %d", res.Triangles, gen.CompleteTriangles(15))
+	}
+}
+
+func TestBuildDBRejectsOriented(t *testing.T) {
+	g, err := gen.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := buildStore(t, g)
+	db, err := BuildDB(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildDB(db.DBBase); err == nil {
+		t.Error("want error building DB from an oriented store")
+	}
+}
+
+func TestCountRejectsUndirected(t *testing.T) {
+	g, err := gen.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := buildStore(t, g)
+	if _, err := Count(base, 2); err == nil {
+		t.Error("want error counting on an undirected store")
+	}
+}
+
+func TestDBIsDegreeRelabeled(t *testing.T) {
+	// In the database, out-edges go from lower to higher new id, and ids
+	// are degree-ranked: vertex n-1 must have out-degree 0.
+	g, err := gen.PowerLaw(300, 3000, 2.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := buildStore(t, g)
+	db, err := BuildDB(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := graph.Open(db.DBBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, err := d.LoadCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := csr.NumVertices()
+	if got := csr.Degree(graph.Vertex(n - 1)); got != 0 {
+		t.Errorf("highest-ranked vertex has out-degree %d, want 0", got)
+	}
+	for v := 0; v < n; v++ {
+		for _, w := range csr.Neighbors(graph.Vertex(v)) {
+			if w <= graph.Vertex(v) {
+				t.Fatalf("edge (%d,%d) not ascending in relabeled ids", v, w)
+			}
+		}
+	}
+}

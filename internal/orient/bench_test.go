@@ -1,0 +1,49 @@
+package orient
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"pdtl/internal/gen"
+	"pdtl/internal/graph"
+)
+
+// BenchmarkOrient measures the orientation step at 1 and 2 workers.
+func BenchmarkOrient(b *testing.B) {
+	g, err := gen.RMAT(12, 16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	src := filepath.Join(dir, "g")
+	if err := graph.WriteCSR(src, "bench", g); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(g.AdjEntries()) * graph.EntrySize)
+			for i := 0; i < b.N; i++ {
+				dst := filepath.Join(dir, fmt.Sprintf("o%d-%d", workers, i))
+				if _, err := Orient(src, dst, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOrientCSR measures the in-memory orientation used by the
+// baselines.
+func BenchmarkOrientCSR(b *testing.B) {
+	g, err := gen.RMAT(12, 16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if o := CSR(g); o.NumEdges() != g.NumEdges() {
+			b.Fatal("edge count mismatch")
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package orient implements the degree-based orientation step of PDTL
+// (Definition III.2 and Section IV-B of the paper).
+//
+// The degree-based order ≺ on V is: u ≺ v iff d(u) < d(v), or d(u) = d(v)
+// and u < v. The orientation G* of G keeps edge (u, v) iff u ≺ v, turning
+// every triangle {u ≺ v ≺ w} into the unique tuple (u, v, w) with cone
+// vertex u and pivot edge (v, w).
+//
+// Orientation is the only preprocessing PDTL needs, and the paper
+// parallelizes it (Figure 2, Table IX): the master reads the entire degree
+// array into memory (assumed to fit, Section IV-A2), cuts the adjacency
+// file into P contiguous vertex spans, filters each span concurrently into
+// a spill file, and concatenates the spills. Because filtering preserves
+// order, the oriented lists remain sorted by vertex id — the property the
+// modified MGT's array intersections rely on.
+package orient
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"pdtl/internal/graph"
+	"pdtl/internal/ioacct"
+)
+
+// Less reports u ≺ v under the degree-based order for the given degree
+// array.
+func Less(deg []uint32, u, v graph.Vertex) bool {
+	if deg[u] != deg[v] {
+		return deg[u] < deg[v]
+	}
+	return u < v
+}
+
+// Result summarizes an orientation run.
+type Result struct {
+	// Base is the output store's base path.
+	Base string
+	// MaxOutDegree is d*max, the maximum out-degree of G*; MGT's nm/nmp
+	// scratch arrays are sized by it and the small-degree assumption
+	// compares it against the memory budget.
+	MaxOutDegree uint32
+	// OutDegrees is d_G*(v) for every v.
+	OutDegrees []uint32
+	// InDegrees is d_G(v) − d_G*(v) for every v: the number of incoming
+	// oriented edges, which Section IV-B uses as the load-balancing weight
+	// (it estimates the average size of N+(u) and thus the number of
+	// required intersections whose in-memory operand is Ev).
+	InDegrees []uint32
+	// Workers is the parallelism used.
+	Workers int
+	// Duration is the wall time of the orientation.
+	Duration time.Duration
+	// IO is the I/O activity charged during orientation.
+	IO ioacct.Stats
+}
+
+// Orient reads the undirected store rooted at src and writes its orientation
+// to a new store rooted at dst, using the given number of parallel workers
+// (minimum 1). The input must be an unoriented store.
+func Orient(src, dst string, workers int) (*Result, error) {
+	start := time.Now()
+	if workers < 1 {
+		workers = 1
+	}
+	d, err := graph.Open(src)
+	if err != nil {
+		return nil, err
+	}
+	if d.Meta.Oriented {
+		return nil, fmt.Errorf("orient: %s is already oriented", src)
+	}
+	n := d.NumVertices()
+	counter := ioacct.NewCounter(0)
+	outDeg := make([]uint32, n)
+
+	spans := vertexSpans(d, workers)
+	spills := make([]string, len(spans))
+	errs := make([]error, len(spans))
+	var wg sync.WaitGroup
+	for i, span := range spans {
+		spills[i] = fmt.Sprintf("%s.spill%d", dst, i)
+		wg.Add(1)
+		go func(i int, span [2]graph.Vertex) {
+			defer wg.Done()
+			errs[i] = orientSpan(d, span[0], span[1], spills[i], outDeg, counter)
+		}(i, span)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			cleanup(spills)
+			return nil, err
+		}
+	}
+	if err := concatFiles(graph.AdjPath(dst), spills, counter); err != nil {
+		cleanup(spills)
+		return nil, err
+	}
+	cleanup(spills)
+
+	var dstMax uint32
+	var outEntries uint64
+	inDeg := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		if outDeg[v] > dstMax {
+			dstMax = outDeg[v]
+		}
+		outEntries += uint64(outDeg[v])
+		inDeg[v] = d.Degrees[v] - outDeg[v]
+	}
+	if outEntries != d.Meta.NumEdges {
+		return nil, fmt.Errorf("orient: produced %d oriented edges, want %d", outEntries, d.Meta.NumEdges)
+	}
+	if err := writeDegrees(graph.DegPath(dst), outDeg, counter); err != nil {
+		return nil, err
+	}
+	// The in-degree file feeds the load balancer (Section IV-B); persisting
+	// it lets an engine rebalance an oriented store without re-reading G.
+	if err := writeDegrees(InDegPath(dst), inDeg, counter); err != nil {
+		return nil, err
+	}
+	meta := d.Meta
+	meta.Oriented = true
+	meta.AdjEntries = outEntries
+	meta.MaxOutDegree = dstMax
+	if err := graph.WriteMeta(dst, meta); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Base:         dst,
+		MaxOutDegree: dstMax,
+		OutDegrees:   outDeg,
+		InDegrees:    inDeg,
+		Workers:      workers,
+		Duration:     time.Since(start),
+		IO:           counter.Snapshot(),
+	}, nil
+}
+
+// vertexSpans cuts [0, n) into at most `workers` contiguous vertex spans of
+// approximately equal adjacency-entry volume.
+func vertexSpans(d *graph.Disk, workers int) [][2]graph.Vertex {
+	n := d.NumVertices()
+	total := d.Meta.AdjEntries
+	if n == 0 {
+		return [][2]graph.Vertex{{0, 0}}
+	}
+	if uint64(workers) > total {
+		if total == 0 {
+			workers = 1
+		} else {
+			workers = int(total)
+		}
+	}
+	spans := make([][2]graph.Vertex, 0, workers)
+	var v graph.Vertex
+	for i := 0; i < workers; i++ {
+		target := total * uint64(i+1) / uint64(workers)
+		end := v
+		for int(end) < n && d.Offsets[end+1] <= target {
+			end++
+		}
+		if i == workers-1 {
+			end = graph.Vertex(n)
+		}
+		if end > v || i == 0 {
+			spans = append(spans, [2]graph.Vertex{v, end})
+			v = end
+		}
+	}
+	if int(v) < n {
+		spans[len(spans)-1][1] = graph.Vertex(n)
+	}
+	return spans
+}
+
+// orientSpan filters the adjacency lists of vertices [lo, hi) through the
+// degree-based order into a spill file, and records out-degrees.
+func orientSpan(d *graph.Disk, lo, hi graph.Vertex, spill string, outDeg []uint32, c *ioacct.Counter) error {
+	out, err := os.Create(spill)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	bw := bufio.NewWriterSize(ioacct.NewWriter(out, c), 1<<20)
+
+	sc, err := d.NewScannerAt(lo, c, 1<<20)
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+
+	deg := d.Degrees
+	var scratch [graph.EntrySize]byte
+	for {
+		u, list, ok := sc.Next()
+		if !ok || u >= hi {
+			break
+		}
+		var kept uint32
+		for _, v := range list {
+			if Less(deg, u, v) {
+				binary.LittleEndian.PutUint32(scratch[:], v)
+				if _, err := bw.Write(scratch[:]); err != nil {
+					return err
+				}
+				kept++
+			}
+		}
+		outDeg[u] = kept
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func concatFiles(dst string, parts []string, c *ioacct.Counter) error {
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	bw := bufio.NewWriterSize(ioacct.NewWriter(out, c), 1<<20)
+	for _, p := range parts {
+		in, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		_, err = io.Copy(bw, ioacct.NewReader(in, c))
+		in.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeDegrees(path string, deg []uint32, c *ioacct.Counter) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(ioacct.NewWriter(f, c), 1<<20)
+	var scratch [graph.EntrySize]byte
+	for _, d := range deg {
+		binary.LittleEndian.PutUint32(scratch[:], d)
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func cleanup(paths []string) {
+	for _, p := range paths {
+		os.Remove(p)
+	}
+}
+
+// InDegPath is the path of the persisted in-degree file of an oriented
+// store rooted at base.
+func InDegPath(base string) string { return base + ".indeg" }
+
+// LoadInDegrees reads the persisted in-degree array of an oriented store.
+func LoadInDegrees(base string, n int) ([]uint32, error) {
+	f, err := os.Open(InDegPath(base))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n*graph.EntrySize)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, fmt.Errorf("orient: read in-degrees %s: %w", InDegPath(base), err)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(buf[i*graph.EntrySize:])
+	}
+	return out, nil
+}
+
+// CSR orients an in-memory graph, returning the oriented CSR (out-lists
+// sorted by id) — the in-memory analogue used by baselines and tests.
+func CSR(g *graph.CSR) *graph.CSR {
+	n := g.NumVertices()
+	deg := g.Degrees()
+	outDeg := make([]uint32, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(graph.Vertex(u)) {
+			if Less(deg, graph.Vertex(u), v) {
+				outDeg[u]++
+			}
+		}
+	}
+	offsets := make([]uint64, n+1)
+	var run uint64
+	for v := 0; v < n; v++ {
+		offsets[v] = run
+		run += uint64(outDeg[v])
+	}
+	offsets[n] = run
+	adj := make([]graph.Vertex, run)
+	cursor := make([]uint64, n)
+	copy(cursor, offsets[:n])
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(graph.Vertex(u)) {
+			if Less(deg, graph.Vertex(u), v) {
+				adj[cursor[u]] = v
+				cursor[u]++
+			}
+		}
+	}
+	return &graph.CSR{Offsets: offsets, Adj: adj, Oriented: true}
+}

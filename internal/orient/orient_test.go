@@ -1,0 +1,211 @@
+package orient
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pdtl/internal/gen"
+	"pdtl/internal/graph"
+)
+
+func writeStore(t *testing.T, g *graph.CSR, name string) string {
+	t.Helper()
+	base := filepath.Join(t.TempDir(), name)
+	if err := graph.WriteCSR(base, name, g); err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+func orientOnDisk(t *testing.T, g *graph.CSR, workers int) (*Result, *graph.CSR) {
+	t.Helper()
+	src := writeStore(t, g, "src")
+	dst := filepath.Join(t.TempDir(), "dst")
+	res, err := Orient(src, dst, workers)
+	if err != nil {
+		t.Fatalf("Orient: %v", err)
+	}
+	d, err := graph.Open(dst)
+	if err != nil {
+		t.Fatalf("Open oriented: %v", err)
+	}
+	if !d.Meta.Oriented {
+		t.Fatal("output not marked oriented")
+	}
+	oriented, err := d.LoadCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, oriented
+}
+
+func TestLessIsStrictTotalOrder(t *testing.T) {
+	deg := []uint32{3, 1, 1, 5, 3}
+	n := graph.Vertex(len(deg))
+	for u := graph.Vertex(0); u < n; u++ {
+		if Less(deg, u, u) {
+			t.Errorf("Less(%d,%d) must be false (irreflexive)", u, u)
+		}
+		for v := graph.Vertex(0); v < n; v++ {
+			if u == v {
+				continue
+			}
+			if Less(deg, u, v) == Less(deg, v, u) {
+				t.Errorf("Less not antisymmetric/total for (%d,%d)", u, v)
+			}
+			for w := graph.Vertex(0); w < n; w++ {
+				if Less(deg, u, v) && Less(deg, v, w) && !Less(deg, u, w) {
+					t.Errorf("Less not transitive: %d≺%d≺%d", u, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestOrientK4(t *testing.T) {
+	g, err := gen.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, oriented := orientOnDisk(t, g, 1)
+	// All degrees equal, so ≺ falls back to id order: v's out-list is
+	// {v+1, ..., 3}.
+	if oriented.NumEdges() != 6 {
+		t.Errorf("oriented edges = %d, want 6", oriented.NumEdges())
+	}
+	if res.MaxOutDegree != 3 {
+		t.Errorf("d*max = %d, want 3", res.MaxOutDegree)
+	}
+	if got := oriented.Neighbors(0); !reflect.DeepEqual(got, []graph.Vertex{1, 2, 3}) {
+		t.Errorf("out(0) = %v", got)
+	}
+	if got := oriented.Degree(3); got != 0 {
+		t.Errorf("out-degree of max vertex = %d, want 0", got)
+	}
+	// In-degrees: d(v) - d*(v).
+	wantIn := []uint32{0, 1, 2, 3}
+	if !reflect.DeepEqual(res.InDegrees, wantIn) {
+		t.Errorf("InDegrees = %v, want %v", res.InDegrees, wantIn)
+	}
+}
+
+func TestOrientMatchesCSR(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		g, err := gen.ErdosRenyi(200, 1500, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, onDisk := orientOnDisk(t, g, workers)
+		inMem := CSR(g)
+		if !reflect.DeepEqual(onDisk.Adj, inMem.Adj) {
+			t.Errorf("workers=%d: disk orientation differs from in-memory", workers)
+		}
+		if !reflect.DeepEqual(onDisk.Offsets, inMem.Offsets) {
+			t.Errorf("workers=%d: offsets differ", workers)
+		}
+	}
+}
+
+func TestOrientRejectsOriented(t *testing.T) {
+	g, err := gen.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := writeStore(t, g, "src")
+	dst := filepath.Join(t.TempDir(), "o1")
+	if _, err := Orient(src, dst, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Orient(dst, filepath.Join(t.TempDir(), "o2"), 1); err == nil {
+		t.Fatal("orienting an oriented store must fail")
+	}
+}
+
+func TestOrientEmptyAndTiny(t *testing.T) {
+	empty, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, oriented := orientOnDisk(t, empty, 4); oriented.NumEdges() != 0 {
+		t.Error("empty orientation should have no edges")
+	}
+	single, err := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, oriented := orientOnDisk(t, single, 8)
+	if oriented.NumEdges() != 1 {
+		t.Errorf("single edge oriented to %d edges", oriented.NumEdges())
+	}
+}
+
+// Property: orientation keeps exactly one direction of every undirected
+// edge, out-lists stay sorted, and Σ d_G(v)·d_G*(v) respects the arboricity
+// bound proof chain (≤ Σ min degrees, Theorem IV.1).
+func TestOrientationInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		g, err := gen.ErdosRenyi(n, rng.Intn(5*n), seed)
+		if err != nil {
+			return false
+		}
+		o := CSR(g)
+		if o.NumEdges() != g.NumEdges() {
+			return false
+		}
+		deg := g.Degrees()
+		for u := 0; u < n; u++ {
+			list := o.Neighbors(graph.Vertex(u))
+			for i, v := range list {
+				if !Less(deg, graph.Vertex(u), v) {
+					return false // wrong direction kept
+				}
+				if i > 0 && list[i-1] >= v {
+					return false // unsorted
+				}
+			}
+		}
+		// Theorem IV.1 chain: Σ d(v)·d*(v) ≤ Σ_(u,v)∈E min(d(u),d(v)).
+		outDeg := o.Degrees()
+		if graph.OrderingSum(g, outDeg) > graph.MinDegreeSum(g) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: worker count never changes the result.
+func TestOrientWorkerInvariance(t *testing.T) {
+	g, err := gen.RMAT(9, 8, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ref := orientOnDisk(t, g, 1)
+	for _, workers := range []int{2, 5, 16} {
+		_, got := orientOnDisk(t, g, workers)
+		if !reflect.DeepEqual(got.Adj, ref.Adj) {
+			t.Errorf("workers=%d changed orientation output", workers)
+		}
+	}
+}
+
+func TestOrientRecordsIO(t *testing.T) {
+	g, err := gen.ErdosRenyi(100, 800, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := orientOnDisk(t, g, 2)
+	if res.IO.BytesRead == 0 || res.IO.BytesWritten == 0 {
+		t.Errorf("orientation IO not recorded: %+v", res.IO)
+	}
+	if res.Duration <= 0 {
+		t.Error("duration not recorded")
+	}
+}

@@ -1,0 +1,199 @@
+// Package patric is an in-process reimplementation of the PATRIC-style
+// partitioned triangle counter the paper compares against (Arifuzzaman et
+// al., CIKM'13; Sections II and V-E4).
+//
+// PATRIC partitions the *vertices* across processors; each processor must
+// hold its core vertices' adjacency **plus the adjacency of all their
+// neighbors** in memory (overlapping subgraphs). That overlap is exactly
+// what the paper's Section IV-B2 analysis criticizes: total memory across
+// processors can exceed |E| by a large factor, while PDTL needs only
+// M ≥ d*max per core. This comparator reproduces both PATRIC's counting
+// (exact, via degree-ordered intersections) and its memory behaviour,
+// including its load-balancing schemes (per-vertex vs degree-weighted
+// partitioning) and an out-of-memory failure mode under a per-processor
+// budget.
+package patric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pdtl/internal/graph"
+	"pdtl/internal/orient"
+)
+
+// ErrOutOfMemory reports that a processor's overlapping subgraph exceeded
+// its budget.
+var ErrOutOfMemory = errors.New("patric: processor exceeded memory budget")
+
+// BalanceMode selects PATRIC's partition balancing scheme.
+type BalanceMode int
+
+const (
+	// ByVertex gives each processor the same number of core vertices.
+	ByVertex BalanceMode = iota
+	// ByDegree balances the sum of core degrees (one of PATRIC's proposed
+	// "novel load balancing mechanisms").
+	ByDegree
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Processors is the total parallel worker count (the paper quotes
+	// PATRIC on 200+ cores).
+	Processors int
+	// Balance selects the partitioning scheme.
+	Balance BalanceMode
+	// MemBudgetEntries is the per-processor logical memory budget in
+	// 4-byte entries; 0 means unlimited.
+	MemBudgetEntries uint64
+}
+
+// Result reports a run.
+type Result struct {
+	Triangles uint64
+	// SetupTime covers orientation, partitioning and subgraph (core +
+	// overlap) construction.
+	SetupTime time.Duration
+	// CalcTime covers the parallel counting phase.
+	CalcTime  time.Duration
+	TotalTime time.Duration
+	// PeakMemoryEntries is each processor's overlapping-subgraph size.
+	PeakMemoryEntries []uint64
+	// TotalMemoryEntries sums the per-processor subgraphs; dividing by the
+	// graph's own 2|E| entries gives the overlap blowup PDTL avoids.
+	TotalMemoryEntries uint64
+}
+
+// OverlapFactor is TotalMemoryEntries relative to the graph's own storage.
+func (r *Result) OverlapFactor(g *graph.CSR) float64 {
+	if g.AdjEntries() == 0 {
+		return 0
+	}
+	return float64(r.TotalMemoryEntries) / float64(g.AdjEntries())
+}
+
+// Count runs the PATRIC-style partitioned count over g.
+func Count(g *graph.CSR, cfg Config) (*Result, error) {
+	if cfg.Processors < 1 {
+		return nil, fmt.Errorf("patric: need ≥ 1 processor, got %d", cfg.Processors)
+	}
+	res := &Result{PeakMemoryEntries: make([]uint64, cfg.Processors)}
+	setupStart := time.Now()
+
+	// PATRIC also directs edges by the degree order to halve work.
+	o := orient.CSR(g)
+	n := o.NumVertices()
+
+	// Partition vertices into contiguous core ranges.
+	bounds := partition(o, cfg.Processors, cfg.Balance)
+
+	// Build each processor's subgraph: out-lists of core vertices plus
+	// out-lists of every vertex referenced by them (the overlap).
+	type shard struct {
+		lo, hi graph.Vertex
+		mem    uint64
+	}
+	shards := make([]shard, cfg.Processors)
+	for p := 0; p < cfg.Processors; p++ {
+		lo, hi := bounds[p], bounds[p+1]
+		var mem uint64
+		ghost := make(map[graph.Vertex]struct{})
+		for v := lo; v < hi; v++ {
+			list := o.Neighbors(v)
+			mem += uint64(len(list))
+			for _, u := range list {
+				if u < lo || u >= hi {
+					ghost[u] = struct{}{}
+				}
+			}
+		}
+		for u := range ghost {
+			mem += uint64(o.Degree(u))
+		}
+		shards[p] = shard{lo: lo, hi: hi, mem: mem}
+		res.PeakMemoryEntries[p] = mem
+		res.TotalMemoryEntries += mem
+		if cfg.MemBudgetEntries > 0 && mem > cfg.MemBudgetEntries {
+			res.SetupTime = time.Since(setupStart)
+			return res, fmt.Errorf("%w: processor %d needs %d entries, budget %d",
+				ErrOutOfMemory, p, mem, cfg.MemBudgetEntries)
+		}
+	}
+	res.SetupTime = time.Since(setupStart)
+
+	// Parallel counting: each processor counts triangles whose cone vertex
+	// is in its core range; the overlap guarantees out(u) is local for
+	// every u it touches (we read o directly — the subgraphs above are the
+	// memory accounting of what a message-passing PATRIC materializes).
+	calcStart := time.Now()
+	counts := make([]uint64, cfg.Processors)
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.Processors; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var cnt uint64
+			for v := shards[p].lo; v < shards[p].hi; v++ {
+				ov := o.Neighbors(v)
+				for _, u := range ov {
+					cnt += intersect(ov, o.Neighbors(u))
+				}
+			}
+			counts[p] = cnt
+		}(p)
+	}
+	wg.Wait()
+	for _, c := range counts {
+		res.Triangles += c
+	}
+	res.CalcTime = time.Since(calcStart)
+	res.TotalTime = res.SetupTime + res.CalcTime
+	_ = n
+	return res, nil
+}
+
+// partition returns processor core boundaries (len Processors+1).
+func partition(o *graph.CSR, processors int, mode BalanceMode) []graph.Vertex {
+	n := o.NumVertices()
+	bounds := make([]graph.Vertex, processors+1)
+	switch mode {
+	case ByDegree:
+		total := o.AdjEntries()
+		v := 0
+		for p := 1; p < processors; p++ {
+			target := total * uint64(p) / uint64(processors)
+			for v < n && o.Offsets[v+1] <= target {
+				v++
+			}
+			bounds[p] = graph.Vertex(v)
+		}
+	default: // ByVertex
+		for p := 1; p < processors; p++ {
+			bounds[p] = graph.Vertex(n * p / processors)
+		}
+	}
+	bounds[processors] = graph.Vertex(n)
+	return bounds
+}
+
+// intersect counts common elements of two sorted lists.
+func intersect(a, b []graph.Vertex) uint64 {
+	var count uint64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			count++
+			i++
+			j++
+		}
+	}
+	return count
+}

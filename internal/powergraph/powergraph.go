@@ -1,0 +1,240 @@
+// Package powergraph is an in-process reimplementation of the
+// PowerGraph-style vertex-cut Gather-Apply-Scatter engine the paper
+// compares against (Gonzalez et al., OSDI'12; Sections II and V-E3).
+//
+// The comparison points the paper makes — and which this comparator
+// reproduces — are:
+//
+//   - setup (graph loading + partitioning + replica construction) is much
+//     slower than PDTL's orientation (Table II);
+//   - calculation time is competitive (Figure 13, Table VI);
+//   - memory explodes: the triangle-count vertex program gathers the full
+//     neighbor id set at every vertex replica, so per-machine memory is
+//     proportional to replicated adjacency, and large graphs OOM even with
+//     ~1 TB aggregate RAM (Table VI/XIV "F" entries) while PDTL needs only
+//     M ≥ d*max per core.
+//
+// Memory is accounted logically in "entries" (one vertex id) against a
+// per-machine budget, and Count returns ErrOutOfMemory exactly where the
+// real system would fail — see DESIGN.md §3 for the substitution argument.
+package powergraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pdtl/internal/graph"
+)
+
+// ErrOutOfMemory reports that a machine exceeded its memory budget; it is
+// rendered as "F" in the Table VI reproduction.
+var ErrOutOfMemory = errors.New("powergraph: machine exceeded memory budget")
+
+// Config parameterizes the engine.
+type Config struct {
+	// Machines is the cluster size.
+	Machines int
+	// Threads is the per-machine parallelism of the compute phase.
+	Threads int
+	// MemBudgetEntries is the per-machine logical memory budget in
+	// 4-byte entries; 0 means unlimited.
+	MemBudgetEntries uint64
+}
+
+// Result reports a run.
+type Result struct {
+	Triangles uint64
+	// SetupTime covers partitioning and replica/gather construction — the
+	// phase Table II calls "Setup".
+	SetupTime time.Duration
+	// CalcTime covers the gather/scatter triangle computation, the number
+	// PowerGraph itself reports (Section V-E3).
+	CalcTime time.Duration
+	// TotalTime = SetupTime + CalcTime.
+	TotalTime time.Duration
+	// ReplicationFactor is the average number of machines hosting each
+	// vertex — the vertex-cut replication the memory cost scales with.
+	ReplicationFactor float64
+	// PeakMemoryEntries is the logical memory high-water mark per machine.
+	PeakMemoryEntries []uint64
+}
+
+// machine holds one simulated machine's shard.
+type machine struct {
+	edges [][2]graph.Vertex
+	// gathered maps each locally replicated vertex to its full neighbor
+	// id set (the gather result of the triangle-count vertex program).
+	gathered map[graph.Vertex][]graph.Vertex
+	memPeak  uint64
+}
+
+// Count runs the triangle-count vertex program over g on a simulated
+// vertex-cut cluster.
+func Count(g *graph.CSR, cfg Config) (*Result, error) {
+	if cfg.Machines < 1 {
+		return nil, fmt.Errorf("powergraph: need ≥ 1 machine, got %d", cfg.Machines)
+	}
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	res := &Result{PeakMemoryEntries: make([]uint64, cfg.Machines)}
+	setupStart := time.Now()
+
+	// --- Setup: vertex-cut partitioning + replica construction. ---
+	machines := make([]*machine, cfg.Machines)
+	for i := range machines {
+		machines[i] = &machine{gathered: make(map[graph.Vertex][]graph.Vertex)}
+	}
+	n := g.NumVertices()
+	// Greedy-hash vertex cut: an edge goes to a machine derived from both
+	// endpoints, which concentrates each vertex's edges on few machines
+	// (the property PowerGraph's greedy placement optimizes for).
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(graph.Vertex(u)) {
+			if graph.Vertex(u) >= v {
+				continue // place each undirected edge once
+			}
+			m := edgeMachine(graph.Vertex(u), v, cfg.Machines)
+			machines[m].edges = append(machines[m].edges, [2]graph.Vertex{graph.Vertex(u), v})
+		}
+	}
+	// Gather phase: every machine materializes the full neighbor list of
+	// every vertex it replicates (PowerGraph's triangle counting gathers
+	// neighbor id sets). This is the memory that kills large graphs.
+	replicaCount := make([]uint32, n)
+	for mi, m := range machines {
+		var mem uint64
+		mem += uint64(len(m.edges)) * 2
+		for _, e := range m.edges {
+			for _, v := range e {
+				if _, ok := m.gathered[v]; !ok {
+					list := g.Neighbors(v)
+					m.gathered[v] = list
+					mem += uint64(len(list))
+					replicaCount[v]++
+				}
+			}
+		}
+		m.memPeak = mem
+		res.PeakMemoryEntries[mi] = mem
+		if cfg.MemBudgetEntries > 0 && mem > cfg.MemBudgetEntries {
+			res.SetupTime = time.Since(setupStart)
+			return res, fmt.Errorf("%w: machine %d needs %d entries, budget %d",
+				ErrOutOfMemory, mi, mem, cfg.MemBudgetEntries)
+		}
+	}
+	var replicas uint64
+	var replicated int
+	for _, c := range replicaCount {
+		if c > 0 {
+			replicas += uint64(c)
+			replicated++
+		}
+	}
+	if replicated > 0 {
+		res.ReplicationFactor = float64(replicas) / float64(replicated)
+	}
+	res.SetupTime = time.Since(setupStart)
+
+	// --- Calc: per-edge neighbor-set intersection (scatter). Each
+	// triangle is seen by its three edges, possibly on three machines;
+	// counting closing vertices above both endpoints makes it exactly
+	// once. ---
+	calcStart := time.Now()
+	var total uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, m := range machines {
+		wg.Add(1)
+		go func(m *machine) {
+			defer wg.Done()
+			var local uint64
+			chunk := (len(m.edges) + cfg.Threads - 1) / cfg.Threads
+			if chunk == 0 {
+				chunk = 1
+			}
+			var inner sync.WaitGroup
+			results := make([]uint64, cfg.Threads)
+			for ti := 0; ti < cfg.Threads; ti++ {
+				lo := ti * chunk
+				if lo >= len(m.edges) {
+					break
+				}
+				hi := lo + chunk
+				if hi > len(m.edges) {
+					hi = len(m.edges)
+				}
+				inner.Add(1)
+				go func(ti, lo, hi int) {
+					defer inner.Done()
+					var cnt uint64
+					for _, e := range m.edges[lo:hi] {
+						cnt += intersectAbove(m.gathered[e[0]], m.gathered[e[1]], e[1])
+					}
+					results[ti] = cnt
+				}(ti, lo, hi)
+			}
+			inner.Wait()
+			for _, c := range results {
+				local += c
+			}
+			mu.Lock()
+			total += local
+			mu.Unlock()
+		}(m)
+	}
+	wg.Wait()
+	res.Triangles = total
+	res.CalcTime = time.Since(calcStart)
+	res.TotalTime = res.SetupTime + res.CalcTime
+	return res, nil
+}
+
+// edgeMachine places edge (u, v): it hashes the unordered pair onto a 2-D
+// machine grid, a simplified version of PowerGraph's constrained placement.
+func edgeMachine(u, v graph.Vertex, machines int) int {
+	hu := uint64(u) * 0x9e3779b97f4a7c15
+	hv := uint64(v) * 0xc2b2ae3d27d4eb4f
+	return int((hu ^ hv) % uint64(machines))
+}
+
+// intersectAbove counts common elements of two sorted lists strictly above
+// floor.
+func intersectAbove(a, b []graph.Vertex, floor graph.Vertex) uint64 {
+	i := sort.Search(len(a), func(k int) bool { return a[k] > floor })
+	j := sort.Search(len(b), func(k int) bool { return b[k] > floor })
+	var count uint64
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			count++
+			i++
+			j++
+		}
+	}
+	return count
+}
+
+// MinimumBudget reports the smallest per-machine budget (in entries) that
+// lets g run on the given machine count — used by the Table VI harness to
+// pick budgets that pass for small graphs and fail for large ones.
+func MinimumBudget(g *graph.CSR, machines int) (uint64, error) {
+	res, err := Count(g, Config{Machines: machines, Threads: 1})
+	if err != nil {
+		return 0, err
+	}
+	var maxMem uint64
+	for _, m := range res.PeakMemoryEntries {
+		if m > maxMem {
+			maxMem = m
+		}
+	}
+	return maxMem, nil
+}

@@ -1,0 +1,127 @@
+package powergraph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pdtl/internal/baseline"
+	"pdtl/internal/gen"
+)
+
+func TestCountMatchesReference(t *testing.T) {
+	for _, machines := range []int{1, 2, 4, 7} {
+		g, err := gen.RMAT(9, 8, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Count(g, Config{Machines: machines, Threads: 2})
+		if err != nil {
+			t.Fatalf("machines=%d: %v", machines, err)
+		}
+		if want := baseline.Forward(g); res.Triangles != want {
+			t.Errorf("machines=%d: triangles = %d, want %d", machines, res.Triangles, want)
+		}
+		if len(res.PeakMemoryEntries) != machines {
+			t.Errorf("machines=%d: mem entries = %d", machines, len(res.PeakMemoryEntries))
+		}
+	}
+}
+
+func TestOOMOnSmallBudget(t *testing.T) {
+	g, err := gen.RMAT(10, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minBudget, err := MinimumBudget(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget below the minimum must fail with ErrOutOfMemory...
+	_, err = Count(g, Config{Machines: 4, Threads: 1, MemBudgetEntries: minBudget / 2})
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("want ErrOutOfMemory, got %v", err)
+	}
+	// ...and a budget at the minimum must pass.
+	if _, err := Count(g, Config{Machines: 4, Threads: 1, MemBudgetEntries: minBudget}); err != nil {
+		t.Errorf("budget at minimum should pass: %v", err)
+	}
+}
+
+func TestReplicationFactorGrowsWithMachines(t *testing.T) {
+	g, err := gen.PowerLaw(2000, 20000, 2.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Count(g, Config{Machines: 1, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Count(g, Config{Machines: 8, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ReplicationFactor != 1 {
+		t.Errorf("1 machine replication = %.2f, want 1", r1.ReplicationFactor)
+	}
+	if r8.ReplicationFactor <= 1.5 {
+		t.Errorf("8 machines replication = %.2f, want > 1.5 (vertex-cut blowup)", r8.ReplicationFactor)
+	}
+	// Total memory with 8 machines must exceed the graph's own storage —
+	// the Section IV-B2 argument against partitioning systems.
+	var total8 uint64
+	for _, m := range r8.PeakMemoryEntries {
+		total8 += m
+	}
+	if total8 <= uint64(g.AdjEntries()) {
+		t.Errorf("8-machine total memory %d not above graph size %d", total8, g.AdjEntries())
+	}
+}
+
+func TestSetupSlowerThanCalcShape(t *testing.T) {
+	// Not a strict invariant at tiny scale, but the phases must both be
+	// recorded and total must be their sum.
+	g, err := gen.ErdosRenyi(500, 5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Count(g, Config{Machines: 2, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime != res.SetupTime+res.CalcTime {
+		t.Error("TotalTime != SetupTime + CalcTime")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g, err := gen.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Count(g, Config{Machines: 0}); err == nil {
+		t.Error("want error for 0 machines")
+	}
+}
+
+// Property: machine count never changes the count.
+func TestMachineInvariance(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(60)
+		g, err := gen.ErdosRenyi(n, rng.Intn(6*n), seed)
+		if err != nil {
+			return false
+		}
+		machines := 1 + int(mRaw%8)
+		res, err := Count(g, Config{Machines: machines, Threads: 1 + int(mRaw%3)})
+		if err != nil {
+			return false
+		}
+		return res.Triangles == baseline.Forward(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,273 @@
+// Package pdtl is a Go implementation of PDTL — Parallel and Distributed
+// Triangle Listing for massive graphs (Giechaskiel, Panagopoulos, Yoneki;
+// ICPP 2015 / UCAM-CL-TR-866).
+//
+// PDTL counts or lists the exact set of triangles of an undirected simple
+// graph using external memory: instead of fitting (sub)graphs into RAM, it
+// orients the graph by a degree-based order, replicates the oriented graph
+// to every machine, assigns every processor a contiguous range of "pivot"
+// edges, and streams the graph from disk once per memory-sized window of
+// that range (an extension of Hu et al.'s MGT algorithm). CPU, I/O, memory
+// and network use are all provably bounded; per-core memory need only hold
+// twice the maximum oriented degree.
+//
+// The top-level entry points are:
+//
+//   - Count / List / ForEachTriangle — single-machine, multi-core runs
+//     against an on-disk graph store;
+//   - CountDistributed / ServeWorker — the distributed protocol with a
+//     master and TCP worker nodes;
+//   - Generate* / Import* — dataset creation and ingest into the binary
+//     store format (degree file + adjacency file + JSON metadata).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-reproduction results.
+package pdtl
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"pdtl/internal/balance"
+	"pdtl/internal/core"
+	"pdtl/internal/graph"
+	"pdtl/internal/mgt"
+)
+
+// Options parameterize a local (single-machine) run.
+type Options struct {
+	// Workers is the number of concurrent MGT runners (P). Non-positive
+	// selects the number of CPUs.
+	Workers int
+	// MemEdges is the per-worker memory budget M, in adjacency entries
+	// (4 bytes each). Non-positive selects a 16 MiB default. Correctness
+	// never depends on M; it only trades passes for memory.
+	MemEdges int
+	// NaiveBalance disables the paper's in-degree load balancer and splits
+	// edges equally instead (the "w/o LB" ablation of Figure 9).
+	NaiveBalance bool
+	// BufBytes is each runner's sequential read buffer; non-positive
+	// selects 1 MiB.
+	BufBytes int
+}
+
+func (o Options) toCore() core.Options {
+	strategy := balance.InDegree
+	if o.NaiveBalance {
+		strategy = balance.Naive
+	}
+	return core.Options{
+		Workers:  o.Workers,
+		MemEdges: o.MemEdges,
+		Strategy: strategy,
+		BufBytes: o.BufBytes,
+	}
+}
+
+// WorkerStats describes one runner's share of a run.
+type WorkerStats struct {
+	// Worker is the runner index.
+	Worker int
+	// EdgeLo and EdgeHi delimit the runner's pivot-edge range.
+	EdgeLo, EdgeHi uint64
+	// Triangles found in the range.
+	Triangles uint64
+	// Passes is the number of memory windows the runner iterated.
+	Passes int
+	// CPUTime and IOTime split the runner's wall time into computation
+	// and time spent inside disk reads.
+	CPUTime, IOTime time.Duration
+	// BytesRead is the runner's total disk read volume.
+	BytesRead int64
+}
+
+// Result reports a local run.
+type Result struct {
+	// Triangles is the exact triangle count of the graph.
+	Triangles uint64
+	// OrientTime is the preprocessing time (zero if the input store was
+	// already oriented).
+	OrientTime time.Duration
+	// CalcTime is the calculation phase (load balancing + slowest runner).
+	CalcTime time.Duration
+	// TotalTime is OrientTime + CalcTime.
+	TotalTime time.Duration
+	// MaxOutDegree is d*max of the orientation.
+	MaxOutDegree uint32
+	// Workers holds per-runner statistics.
+	Workers []WorkerStats
+	// OrientedBase is the path of the oriented store used (reusable as the
+	// input of later runs to skip orientation).
+	OrientedBase string
+}
+
+func resultFrom(cr *core.Result) *Result {
+	res := &Result{
+		Triangles:    cr.Triangles,
+		CalcTime:     cr.CalcTime,
+		TotalTime:    cr.TotalTime,
+		OrientedBase: cr.OrientedBase,
+	}
+	if cr.Orientation != nil {
+		res.OrientTime = cr.Orientation.Duration
+		res.MaxOutDegree = cr.Orientation.MaxOutDegree
+	}
+	for _, w := range cr.Workers {
+		res.Workers = append(res.Workers, WorkerStats{
+			Worker:    w.Worker,
+			EdgeLo:    w.Range.Lo,
+			EdgeHi:    w.Range.Hi,
+			Triangles: w.Stats.Triangles,
+			Passes:    w.Stats.Passes,
+			CPUTime:   w.Stats.CPUTime(),
+			IOTime:    w.Stats.IO.IOTime(),
+			BytesRead: w.Stats.IO.BytesRead,
+		})
+	}
+	return res
+}
+
+// Count counts the triangles of the graph stored at base (see WriteGraph
+// and the Generate/Import helpers for creating stores). Unoriented stores
+// are oriented first; the oriented store is left at Result.OrientedBase for
+// reuse.
+func Count(base string, opt Options) (*Result, error) {
+	cr, err := core.Process(base, opt.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return resultFrom(cr), nil
+}
+
+// ForEachTriangle invokes fn once per triangle (u, v, w), ordered by the
+// degree-based order u ≺ v ≺ w. fn is called concurrently from Workers
+// goroutines; it must be safe for concurrent use (or set Workers to 1).
+func ForEachTriangle(base string, opt Options, fn func(u, v, w uint32)) (*Result, error) {
+	return forEach(base, opt, fn)
+}
+
+func forEach(base string, opt Options, fn func(u, v, w uint32)) (*Result, error) {
+	copt := opt.toCore()
+	workers := copt.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+		copt.Workers = workers
+	}
+	copt.Sinks = make([]mgt.Sink, workers)
+	for i := range copt.Sinks {
+		copt.Sinks[i] = mgt.FuncSink(fn)
+	}
+	cr, err := core.Process(base, copt)
+	if err != nil {
+		return nil, err
+	}
+	return resultFrom(cr), nil
+}
+
+// List writes every triangle to outPath as little-endian uint32 triples
+// (12 bytes per triangle) and returns the run's statistics. Use
+// ReadTriangleFile to decode.
+func List(base, outPath string, opt Options) (*Result, error) {
+	copt := opt.toCore()
+	workers := copt.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+		copt.Workers = workers
+	}
+	parts := make([]*os.File, workers)
+	sinks := make([]*mgt.FileSink, workers)
+	copt.Sinks = make([]mgt.Sink, workers)
+	defer func() {
+		for _, f := range parts {
+			if f != nil {
+				f.Close()
+				os.Remove(f.Name())
+			}
+		}
+	}()
+	for i := range sinks {
+		f, err := os.Create(fmt.Sprintf("%s.part%d", outPath, i))
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = f
+		sinks[i] = mgt.NewFileSink(f)
+		copt.Sinks[i] = sinks[i]
+	}
+	cr, err := core.Process(base, copt)
+	if err != nil {
+		return nil, err
+	}
+	out, err := os.Create(outPath)
+	if err != nil {
+		return nil, err
+	}
+	for i, sink := range sinks {
+		if err := sink.Flush(); err != nil {
+			out.Close()
+			return nil, err
+		}
+		if _, err := parts[i].Seek(0, 0); err != nil {
+			out.Close()
+			return nil, err
+		}
+		if _, err := io.Copy(out, parts[i]); err != nil {
+			out.Close()
+			return nil, err
+		}
+	}
+	if err := out.Close(); err != nil {
+		return nil, err
+	}
+	return resultFrom(cr), nil
+}
+
+// TriangleDegrees returns, for every vertex, the number of triangles it
+// participates in — the per-vertex quantity behind local clustering
+// coefficients and related metrics from the paper's introduction.
+func TriangleDegrees(base string, opt Options) ([]uint64, *Result, error) {
+	info, err := Info(base)
+	if err != nil {
+		return nil, nil, err
+	}
+	counts := make([]uint64, info.NumVertices)
+	var mu sync.Mutex
+	res, err := forEach(base, opt, func(u, v, w uint32) {
+		mu.Lock()
+		counts[u]++
+		counts[v]++
+		counts[w]++
+		mu.Unlock()
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return counts, res, nil
+}
+
+// ReadTriangleFile decodes a List output file.
+func ReadTriangleFile(path string) ([][3]uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return mgt.ReadTriangles(f)
+}
+
+func defaultWorkers() int { return runtime.NumCPU() }
+
+// VerifySmallDegree checks the paper's small-degree assumption
+// (d*max ≤ M/2) for an oriented store and budget; the returned error is
+// advisory — counting stays exact without it, only the CPU bound weakens.
+func VerifySmallDegree(orientedBase string, memEdges int) error {
+	d, err := graph.Open(orientedBase)
+	if err != nil {
+		return err
+	}
+	return mgt.CheckSmallDegree(d, memEdges)
+}
