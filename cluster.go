@@ -5,6 +5,7 @@ import (
 
 	"pdtl/internal/balance"
 	"pdtl/internal/cluster"
+	"pdtl/internal/scan"
 )
 
 // ClusterOptions parameterize a distributed run.
@@ -18,6 +19,12 @@ type ClusterOptions struct {
 	// UplinkBytesPerSec rate-limits the master's aggregate outgoing graph
 	// copies (0 = unlimited); it models a shared NIC.
 	UplinkBytesPerSec int64
+	// ScanSource selects every node's scan source ("auto", "buffered",
+	// "shared", "mem"); see Options.ScanSource.
+	ScanSource string
+	// Kernel selects every node's intersection kernel ("merge", "gallop",
+	// "adaptive"); see Options.Kernel.
+	Kernel string
 	// List requests triangle listing into ListPath (12-byte triples).
 	List     bool
 	ListPath string
@@ -34,6 +41,9 @@ type NodeStats struct {
 	Triangles uint64
 	// CPUTime and IOTime aggregate the node's runners.
 	CPUTime, IOTime time.Duration
+	// SourceBytesRead is the disk volume the node's scan source read on
+	// its own behalf (shared broadcast scans, in-memory preload).
+	SourceBytesRead int64
 	// Workers holds the node's per-runner breakdown.
 	Workers []WorkerStats
 }
@@ -62,12 +72,22 @@ func CountDistributed(base string, workerAddrs []string, opt ClusterOptions) (*C
 	if opt.NaiveBalance {
 		strategy = balance.Naive
 	}
+	scanKind, err := scan.ParseSource(opt.ScanSource)
+	if err != nil {
+		return nil, err
+	}
+	kernelKind, err := scan.ParseKernel(opt.Kernel)
+	if err != nil {
+		return nil, err
+	}
 	cres, err := cluster.Run(cluster.Config{
 		GraphBase:         base,
 		Workers:           opt.Workers,
 		MemEdges:          opt.MemEdges,
 		Strategy:          strategy,
 		UplinkBytesPerSec: opt.UplinkBytesPerSec,
+		Scan:              scanKind,
+		Kernel:            kernelKind,
 		List:              opt.List,
 		ListPath:          opt.ListPath,
 	}, workerAddrs)
@@ -86,12 +106,13 @@ func CountDistributed(base string, workerAddrs []string, opt ClusterOptions) (*C
 	}
 	for _, n := range cres.Nodes {
 		ns := NodeStats{
-			Name:      n.Name,
-			Addr:      n.Addr,
-			CopyTime:  n.CopyTime,
-			CopyBytes: n.CopyBytes,
-			CalcTime:  n.CalcTime,
-			Triangles: n.Triangles,
+			Name:            n.Name,
+			Addr:            n.Addr,
+			CopyTime:        n.CopyTime,
+			CopyBytes:       n.CopyBytes,
+			CalcTime:        n.CalcTime,
+			Triangles:       n.Triangles,
+			SourceBytesRead: n.SourceIO.BytesRead,
 		}
 		for _, w := range n.Workers {
 			ns.CPUTime += w.Stats.CPUTime()

@@ -8,6 +8,9 @@
 //	pdtl-bench -exp table2           # run one experiment
 //	pdtl-bench -all                  # run everything (minutes)
 //	pdtl-bench -all -cache ./cache   # persist generated datasets
+//	pdtl-bench -exp fig6 -scan buffered -kernel adaptive
+//	                                 # any experiment under a different
+//	                                 # scan source / intersection kernel
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"os"
 
 	"pdtl/internal/harness"
+	"pdtl/internal/scan"
 )
 
 func main() {
@@ -23,6 +27,10 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	list := flag.Bool("list", false, "list experiments")
 	cache := flag.String("cache", "", "persistent dataset cache directory")
+	scanSource := flag.String("scan", "",
+		"override the scan source for every experiment: auto, buffered, shared, or mem")
+	kernel := flag.String("kernel", "",
+		"override the intersection kernel for every experiment: merge, gallop, or adaptive")
 	flag.Parse()
 
 	if *list {
@@ -39,6 +47,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdtl-bench:", err)
 		os.Exit(1)
+	}
+	if h.Scan, err = scan.ParseSource(*scanSource); err != nil {
+		fmt.Fprintln(os.Stderr, "pdtl-bench:", err)
+		os.Exit(2)
+	}
+	if h.Kernel, err = scan.ParseKernel(*kernel); err != nil {
+		fmt.Fprintln(os.Stderr, "pdtl-bench:", err)
+		os.Exit(2)
 	}
 	if *all {
 		err = h.RunAll(os.Stdout)

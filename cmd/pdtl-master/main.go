@@ -28,6 +28,9 @@ func main() {
 	mem := flag.Int("mem", 0, "memory budget per processor, in adjacency entries")
 	uplink := flag.Int64("uplink", 0, "master uplink rate limit in bytes/s (0 = unlimited)")
 	naive := flag.Bool("naive-balance", false, "disable in-degree load balancing")
+	scanSource := flag.String("scan", "auto",
+		"per-node scan source: auto (shared when workers > 1), buffered, shared, or mem")
+	kernel := flag.String("kernel", "merge", "intersection kernel: merge, gallop, or adaptive")
 	list := flag.String("list", "", "write triangle listing to this file")
 	flag.Parse()
 
@@ -44,6 +47,8 @@ func main() {
 		MemEdges:          *mem,
 		NaiveBalance:      *naive,
 		UplinkBytesPerSec: *uplink,
+		ScanSource:        *scanSource,
+		Kernel:            *kernel,
 		List:              *list != "",
 		ListPath:          *list,
 	})

@@ -47,7 +47,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pdtl count -graph BASE [-workers P] [-mem ENTRIES] [-naive-balance]
+             [-scan auto|buffered|shared|mem] [-kernel merge|gallop|adaptive]
   pdtl list  -graph BASE -out FILE [-workers P] [-mem ENTRIES]
+             [-scan auto|buffered|shared|mem] [-kernel merge|gallop|adaptive]
   pdtl info  -graph BASE`)
 }
 
@@ -57,6 +59,10 @@ func commonFlags(fs *flag.FlagSet) (graphBase *string, opt *pdtl.Options) {
 	fs.IntVar(&opt.Workers, "workers", 0, "parallel workers (default: CPUs)")
 	fs.IntVar(&opt.MemEdges, "mem", 0, "memory budget per worker, in adjacency entries")
 	fs.BoolVar(&opt.NaiveBalance, "naive-balance", false, "disable in-degree load balancing")
+	fs.StringVar(&opt.ScanSource, "scan", "auto",
+		"scan source: auto (shared when workers > 1), buffered, shared, or mem")
+	fs.StringVar(&opt.Kernel, "kernel", "merge",
+		"intersection kernel: merge, gallop, or adaptive")
 	return graphBase, opt
 }
 
@@ -120,6 +126,11 @@ func printResult(res *pdtl.Result) {
 	fmt.Printf("triangles: %d\n", res.Triangles)
 	fmt.Printf("orientation: %v  calculation: %v  total: %v\n",
 		res.OrientTime, res.CalcTime, res.TotalTime)
+	if res.SourceBytesRead > 0 {
+		fmt.Printf("scan source: %s (%d bytes read by the source)\n", res.ScanSource, res.SourceBytesRead)
+	} else {
+		fmt.Printf("scan source: %s\n", res.ScanSource)
+	}
 	for _, w := range res.Workers {
 		fmt.Printf("  worker %d: edges [%d,%d) triangles %d passes %d cpu %v io %v\n",
 			w.Worker, w.EdgeLo, w.EdgeHi, w.Triangles, w.Passes, w.CPUTime, w.IOTime)

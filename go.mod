@@ -1,0 +1,3 @@
+module pdtl
+
+go 1.24

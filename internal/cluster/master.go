@@ -13,8 +13,10 @@ import (
 	"pdtl/internal/balance"
 	"pdtl/internal/core"
 	"pdtl/internal/graph"
+	"pdtl/internal/ioacct"
 	"pdtl/internal/mgt"
 	"pdtl/internal/orient"
+	"pdtl/internal/scan"
 )
 
 // Config parameterizes a distributed run.
@@ -38,6 +40,13 @@ type Config struct {
 	OrientWorkers int
 	// BufBytes is the per-runner scan buffer size.
 	BufBytes int
+	// Scan selects every node's scan source; the default (auto) gives
+	// each node one shared physical scan per round of passes when it runs
+	// more than one processor.
+	Scan scan.SourceKind
+	// Kernel selects the intersection kernel on every node (default
+	// merge).
+	Kernel scan.KernelKind
 	// UplinkBytesPerSec rate-limits the master's outgoing graph copies in
 	// aggregate (0 = unlimited), modeling the shared NIC.
 	UplinkBytesPerSec int64
@@ -88,6 +97,9 @@ type NodeResult struct {
 	Triangles uint64
 	// Workers holds the node's per-runner statistics.
 	Workers []core.WorkerStat
+	// SourceIO is the I/O the node's scan source performed on its own
+	// behalf (shared broadcast scans, in-memory preload).
+	SourceIO ioacct.Stats
 }
 
 // Result is the outcome of a distributed run.
@@ -216,6 +228,8 @@ func runLocal(cfg Config, d *graph.Disk, ranges []balance.Range) (*NodeResult, [
 		Workers:  len(ranges),
 		MemEdges: cfg.MemEdges,
 		BufBytes: cfg.BufBytes,
+		Scan:     cfg.Scan,
+		Kernel:   cfg.Kernel,
 	}
 	var buffers []*bytes.Buffer
 	if cfg.List {
@@ -226,11 +240,11 @@ func runLocal(cfg Config, d *graph.Disk, ranges []balance.Range) (*NodeResult, [
 			opt.Sinks[i] = mgt.NewFileSink(buffers[i])
 		}
 	}
-	stats, err := core.RunRanges(d, ranges, opt)
+	stats, srcIO, err := core.RunRanges(d, ranges, opt)
 	if err != nil {
 		return nil, nil, err
 	}
-	nr := &NodeResult{Name: "master", Addr: "local", Workers: stats, CalcTime: time.Since(calcStart)}
+	nr := &NodeResult{Name: "master", Addr: "local", Workers: stats, SourceIO: srcIO, CalcTime: time.Since(calcStart)}
 	for _, w := range stats {
 		nr.Triangles += w.Stats.Triangles
 	}
@@ -273,6 +287,8 @@ func runRemote(cfg Config, orientedBase, addr string, ranges []balance.Range, li
 		Ranges:    ranges,
 		MemEdges:  cfg.MemEdges,
 		BufBytes:  cfg.BufBytes,
+		Scan:      string(cfg.Scan),
+		Kernel:    string(cfg.Kernel),
 		List:      cfg.List,
 	}
 	var reply CountReply
@@ -282,6 +298,7 @@ func runRemote(cfg Config, orientedBase, addr string, ranges []balance.Range, li
 	nr.CalcTime = reply.CalcTime
 	nr.Triangles = reply.Triangles
 	nr.Workers = reply.Workers
+	nr.SourceIO = reply.SourceIO
 	return nr, reply.Triples, nil
 }
 

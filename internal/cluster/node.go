@@ -13,6 +13,7 @@ import (
 	"pdtl/internal/core"
 	"pdtl/internal/graph"
 	"pdtl/internal/mgt"
+	"pdtl/internal/scan"
 )
 
 // Node is the client-side RPC service of the PDTL protocol: it receives a
@@ -135,10 +136,20 @@ func (n *Node) Count(args *CountArgs, reply *CountReply) error {
 	if err != nil {
 		return fmt.Errorf("cluster: node %s: open replica: %w", n.name, err)
 	}
+	scanKind, err := scan.ParseSource(args.Scan)
+	if err != nil {
+		return fmt.Errorf("cluster: node %s: %w", n.name, err)
+	}
+	kernelKind, err := scan.ParseKernel(args.Kernel)
+	if err != nil {
+		return fmt.Errorf("cluster: node %s: %w", n.name, err)
+	}
 	opt := core.Options{
 		Workers:  len(args.Ranges),
 		MemEdges: args.MemEdges,
 		BufBytes: args.BufBytes,
+		Scan:     scanKind,
+		Kernel:   kernelKind,
 	}
 	var buffers []*bytes.Buffer
 	if args.List {
@@ -149,11 +160,12 @@ func (n *Node) Count(args *CountArgs, reply *CountReply) error {
 			opt.Sinks[i] = mgt.NewFileSink(buffers[i])
 		}
 	}
-	stats, err := core.RunRanges(d, args.Ranges, opt)
+	stats, srcIO, err := core.RunRanges(d, args.Ranges, opt)
 	if err != nil {
 		return err
 	}
 	reply.Workers = stats
+	reply.SourceIO = srcIO
 	for _, w := range stats {
 		reply.Triangles += w.Stats.Triangles
 	}

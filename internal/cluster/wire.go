@@ -15,6 +15,7 @@ import (
 
 	"pdtl/internal/balance"
 	"pdtl/internal/core"
+	"pdtl/internal/ioacct"
 )
 
 // FileKind identifies which of the three store files a chunk belongs to.
@@ -70,6 +71,13 @@ type CountArgs struct {
 	MemEdges int
 	// BufBytes is the runner scan buffer size.
 	BufBytes int
+	// Scan names the node's scan source ("auto", "buffered", "shared",
+	// "mem"); empty means auto. Strings rather than enum ints travel on
+	// the wire so heterogeneous builds stay compatible.
+	Scan string
+	// Kernel names the intersection kernel ("merge", "gallop",
+	// "adaptive"); empty means merge.
+	Kernel string
 	// List requests triangle listing; the triples come back in the reply
 	// (the paper's clients send lists back to the master, which
 	// concatenates them sequentially).
@@ -82,6 +90,9 @@ type CountReply struct {
 	// Workers is the per-runner statistics (feeds Tables IV/VII and
 	// Figures 6–8).
 	Workers []core.WorkerStat
+	// SourceIO is the I/O the node's scan source performed on its own
+	// behalf (shared broadcast scans, in-memory preload).
+	SourceIO ioacct.Stats
 	// CalcTime is the node's wall time for the calculation phase.
 	CalcTime time.Duration
 	// Triples is the binary triangle list (12 bytes per triangle) when

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"pdtl/internal/balance"
+	"pdtl/internal/baseline"
+	"pdtl/internal/gen"
+	"pdtl/internal/graph"
+	"pdtl/internal/mgt"
+	"pdtl/internal/orient"
+	"pdtl/internal/scan"
+)
+
+// orientedDisk writes g, orients it, and opens the oriented store.
+func orientedDisk(t testing.TB, g *graph.CSR) *graph.Disk {
+	t.Helper()
+	dir := t.TempDir()
+	src := filepath.Join(dir, "g")
+	if err := graph.WriteCSR(src, "g", g); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "g.oriented")
+	if _, err := orient.Orient(src, dst, 2); err != nil {
+		t.Fatal(err)
+	}
+	d, err := graph.Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// equalSplit cuts the adjacency range into p equal pieces.
+func equalSplit(d *graph.Disk, p int) []balance.Range {
+	total := d.Meta.AdjEntries
+	ranges := make([]balance.Range, p)
+	for i := 0; i < p; i++ {
+		ranges[i] = balance.Range{
+			Lo: total * uint64(i) / uint64(p),
+			Hi: total * uint64(i+1) / uint64(p),
+		}
+	}
+	return ranges
+}
+
+// recordingSink appends triangles in listing order; one per runner, so no
+// locking and the per-runner sequence is deterministic.
+type recordingSink struct {
+	tris [][3]graph.Vertex
+}
+
+func (s *recordingSink) Triangle(u, v, w graph.Vertex) {
+	s.tris = append(s.tris, [3]graph.Vertex{u, v, w})
+}
+
+// TestAllSourceKernelCombosIdentical is the cross-check demanded by the
+// execution-layer refactor: for several generated graphs, every
+// (ScanSource × IntersectKernel) combination must produce the same
+// triangle count as the in-memory baseline AND the same listed triangle
+// sequence per runner — not just the same set, since sources and kernels
+// both promise order-preserving equivalence.
+func TestAllSourceKernelCombosIdentical(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    func() (*graph.CSR, error)
+		// memEdges small enough to force several passes; for k40 it is
+		// below d*max, forcing the segmented large-vertex path too.
+		memEdges int
+	}{
+		{"er", func() (*graph.CSR, error) { return gen.ErdosRenyi(300, 3000, 7) }, 128},
+		{"powerlaw", func() (*graph.CSR, error) { return gen.PowerLaw(400, 6000, 2.2, 11) }, 96},
+		{"community", func() (*graph.CSR, error) {
+			return gen.Community(300, 4000, gen.CommunityParams{Communities: 6, IntraProb: 0.8, Exponent: 2.3}, 3)
+		}, 128},
+		{"k40", func() (*graph.CSR, error) { return gen.Complete(40) }, 16},
+		{"trigrid", func() (*graph.CSR, error) { return gen.TriGrid(9, 9) }, 32},
+	}
+	sources := []scan.SourceKind{scan.SourceBuffered, scan.SourceShared, scan.SourceMem}
+	kernels := []scan.KernelKind{scan.KernelMerge, scan.KernelGallop, scan.KernelAdaptive}
+	const workers = 3
+
+	for _, tc := range graphs {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.g()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := baseline.Forward(g)
+			wantSet := map[[3]graph.Vertex]bool{}
+			baseline.ForwardList(g, func(u, v, w graph.Vertex) {
+				wantSet[[3]graph.Vertex{u, v, w}] = true
+			})
+			d := orientedDisk(t, g)
+			ranges := equalSplit(d, workers)
+
+			// refTris[i] is runner i's listing under the first combo; every
+			// other combo must reproduce it exactly.
+			var refTris [][][3]graph.Vertex
+			for _, src := range sources {
+				for _, kern := range kernels {
+					label := fmt.Sprintf("%s/%s", src, kern)
+					sinks := make([]mgt.Sink, workers)
+					recs := make([]*recordingSink, workers)
+					for i := range sinks {
+						recs[i] = &recordingSink{}
+						sinks[i] = recs[i]
+					}
+					stats, _, err := RunRanges(d, ranges, Options{
+						MemEdges: tc.memEdges,
+						Scan:     src,
+						Kernel:   kern,
+						Sinks:    sinks,
+					})
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					var total uint64
+					for _, w := range stats {
+						total += w.Stats.Triangles
+					}
+					if total != want {
+						t.Fatalf("%s: %d triangles, want %d", label, total, want)
+					}
+					listed := map[[3]graph.Vertex]bool{}
+					for _, rec := range recs {
+						for _, tri := range rec.tris {
+							if listed[tri] {
+								t.Fatalf("%s: triangle %v listed twice", label, tri)
+							}
+							listed[tri] = true
+							if !wantSet[tri] {
+								t.Fatalf("%s: listed %v which the baseline does not contain", label, tri)
+							}
+						}
+					}
+					if len(listed) != len(wantSet) {
+						t.Fatalf("%s: listed %d distinct triangles, want %d", label, len(listed), len(wantSet))
+					}
+					if refTris == nil {
+						refTris = make([][][3]graph.Vertex, workers)
+						for i, rec := range recs {
+							refTris[i] = rec.tris
+						}
+						continue
+					}
+					for i, rec := range recs {
+						if len(rec.tris) != len(refTris[i]) {
+							t.Fatalf("%s: runner %d listed %d triangles, reference combo listed %d",
+								label, i, len(rec.tris), len(refTris[i]))
+						}
+						for k := range rec.tris {
+							if rec.tris[k] != refTris[i][k] {
+								t.Fatalf("%s: runner %d triangle %d = %v, reference %v",
+									label, i, k, rec.tris[k], refTris[i][k])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSharedScanReadsFileOncePerRound is the I/O claim of the shared
+// source, asserted exactly: with P runners doing one pass each, the
+// buffered configuration scans the file P times while the shared
+// broadcaster reads it once — total scan volume is 1/P.
+func TestSharedScanReadsFileOncePerRound(t *testing.T) {
+	g, err := gen.ErdosRenyi(500, 8000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := orientedDisk(t, g)
+	const P = 4
+	ranges := equalSplit(d, P)
+	// One pass per runner, and M far above d*max so the large-vertex
+	// path (with its extra re-reads) stays cold.
+	mem := int(d.Meta.AdjEntries)/P + 1
+	if int(d.Meta.MaxOutDegree) > mem {
+		t.Fatalf("test graph too skewed: d*max %d > M %d", d.Meta.MaxOutDegree, mem)
+	}
+
+	scanBytes := func(kind scan.SourceKind) (scanVol, srcVol int64, triangles uint64) {
+		t.Helper()
+		stats, srcIO, err := RunRanges(d, ranges, Options{MemEdges: mem, Scan: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var workerBytes, loads int64
+		for _, w := range stats {
+			if w.Stats.Passes != 1 {
+				t.Fatalf("%s: runner did %d passes, want 1", kind, w.Stats.Passes)
+			}
+			workerBytes += w.Stats.IO.BytesRead
+			loads += int64(w.Stats.EdgesLoaded) * graph.EntrySize
+			triangles += w.Stats.Triangles
+		}
+		// Window loads cost the same |E*| entries under every source;
+		// subtracting them isolates the sequential-scan volume.
+		return workerBytes - loads + srcIO.BytesRead, srcIO.BytesRead, triangles
+	}
+
+	bufScan, bufSrc, bufTris := scanBytes(scan.SourceBuffered)
+	shScan, shSrc, shTris := scanBytes(scan.SourceShared)
+	if bufTris != shTris {
+		t.Fatalf("counts differ: buffered %d, shared %d", bufTris, shTris)
+	}
+	if bufSrc != 0 {
+		t.Errorf("buffered source read %d bytes itself, want 0", bufSrc)
+	}
+	if want := int64(P) * d.AdjBytes(); bufScan != want {
+		t.Errorf("buffered scan volume = %d, want P·|E*| = %d", bufScan, want)
+	}
+	if shSrc != d.AdjBytes() {
+		t.Errorf("shared broadcaster read %d bytes, want exactly one scan = %d", shSrc, d.AdjBytes())
+	}
+	if shScan*P != bufScan {
+		t.Errorf("shared scan volume %d is not 1/P of buffered %d (P=%d)", shScan, bufScan, P)
+	}
+}
+
+// TestMemSourcePreloadsOnce: the in-memory source reads the file exactly
+// once at construction and the runners do no disk I/O at all.
+func TestMemSourcePreloadsOnce(t *testing.T) {
+	g, err := gen.PowerLaw(300, 4000, 2.4, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.Forward(g)
+	d := orientedDisk(t, g)
+	ranges := equalSplit(d, 3)
+	stats, srcIO, err := RunRanges(d, ranges, Options{MemEdges: 64, Scan: scan.SourceMem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, w := range stats {
+		total += w.Stats.Triangles
+		if w.Stats.IO.BytesRead != 0 {
+			t.Errorf("runner %d read %d bytes from disk under mem source, want 0", w.Worker, w.Stats.IO.BytesRead)
+		}
+	}
+	if total != want {
+		t.Errorf("triangles = %d, want %d", total, want)
+	}
+	if srcIO.BytesRead != d.AdjBytes() {
+		t.Errorf("preload read %d bytes, want exactly %d", srcIO.BytesRead, d.AdjBytes())
+	}
+}

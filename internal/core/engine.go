@@ -23,6 +23,7 @@ import (
 	"pdtl/internal/ioacct"
 	"pdtl/internal/mgt"
 	"pdtl/internal/orient"
+	"pdtl/internal/scan"
 )
 
 // Options parameterize a local PDTL run.
@@ -47,6 +48,16 @@ type Options struct {
 	// KeepOriented leaves the oriented store on disk after the run (the
 	// cluster layer relies on this to copy it to clients).
 	KeepOriented bool
+	// Scan selects the scan source the engine constructs and owns for the
+	// run. The default (scan.SourceAuto) picks scan.SourceShared when
+	// more than one runner shares the store — one physical scan per round
+	// of passes instead of P — and scan.SourceBuffered (the paper's
+	// per-runner scans) for a single runner.
+	Scan scan.SourceKind
+	// Kernel selects the sorted-array intersection kernel; the default is
+	// scan.KernelMerge, the paper's. All kernels produce identical
+	// triangles.
+	Kernel scan.KernelKind
 }
 
 // DefaultMemEdges is 1<<22 entries = 16 MiB per worker, the same order as
@@ -92,14 +103,24 @@ type Result struct {
 	TotalTime time.Duration
 	// OrientedBase is the path of the oriented store used.
 	OrientedBase string
+	// Scan is the concrete scan source the run used (auto resolved).
+	Scan scan.SourceKind
+	// SourceIO is the I/O the scan source performed on its own behalf:
+	// the shared broadcaster's single scan per round, or the in-memory
+	// preload. Zero for buffered sources, whose scans are charged to the
+	// per-worker counters.
+	SourceIO ioacct.Stats
 }
 
-// TotalStats sums the runner statistics (Wall is the straggler max).
+// TotalStats sums the runner statistics (Wall is the straggler max) plus
+// the source-level I/O, so total byte volumes are comparable across scan
+// sources.
 func (r *Result) TotalStats() mgt.Stats {
 	var total mgt.Stats
 	for _, w := range r.Workers {
 		total = total.Add(w.Stats)
 	}
+	total.IO = total.IO.Add(r.SourceIO)
 	return total
 }
 
@@ -137,11 +158,13 @@ func Process(base string, opt Options) (*Result, error) {
 	}
 	res.Plan = plan
 
-	stats, err := RunRanges(d, plan.Ranges, opt)
+	stats, srcIO, err := RunRanges(d, plan.Ranges, opt)
 	if err != nil {
 		return nil, err
 	}
 	res.Workers = stats
+	res.Scan = opt.Scan.Resolve(len(plan.Ranges))
+	res.SourceIO = srcIO
 	for _, w := range stats {
 		res.Triangles += w.Stats.Triangles
 	}
@@ -179,14 +202,51 @@ func Plan(d *graph.Disk, orientedBase string, processors int, strategy balance.S
 // RunRanges runs one MGT runner per range, concurrently, against the
 // oriented store d. It is the node-side calculation phase: the distributed
 // layer calls it with the ranges assigned by the master.
-func RunRanges(d *graph.Disk, ranges []balance.Range, opt Options) ([]WorkerStat, error) {
+//
+// The engine constructs and owns the scan source here: every runner gets a
+// per-runner handle (charged to its own counter), and the source-level I/O
+// — the shared broadcaster's physical scans, or the in-memory preload — is
+// returned alongside the per-worker stats.
+func RunRanges(d *graph.Disk, ranges []balance.Range, opt Options) ([]WorkerStat, ioacct.Stats, error) {
 	opt = opt.withDefaults()
 	if !d.Meta.Oriented {
-		return nil, fmt.Errorf("core: RunRanges requires an oriented store")
+		return nil, ioacct.Stats{}, fmt.Errorf("core: RunRanges requires an oriented store")
 	}
 	if opt.Sinks != nil && len(opt.Sinks) != len(ranges) {
-		return nil, fmt.Errorf("core: %d sinks for %d ranges", len(opt.Sinks), len(ranges))
+		return nil, ioacct.Stats{}, fmt.Errorf("core: %d sinks for %d ranges", len(opt.Sinks), len(ranges))
 	}
+	kernel, err := scan.NewKernel(opt.Kernel)
+	if err != nil {
+		return nil, ioacct.Stats{}, err
+	}
+	src, err := scan.New(opt.Scan.Resolve(len(ranges)), d, scan.Config{
+		BufBytes: opt.BufBytes,
+		Counter:  ioacct.NewCounter(0),
+	})
+	if err != nil {
+		return nil, ioacct.Stats{}, err
+	}
+	defer src.Close()
+
+	// All handles are opened before any runner starts: a shared source
+	// uses the set of open handles as its broadcast-round quorum, so
+	// opening them up front makes round formation deterministic — every
+	// runner's pass k rides the same physical scan, P full-file reads
+	// collapse to one.
+	counters := make([]*ioacct.Counter, len(ranges))
+	handles := make([]scan.Handle, len(ranges))
+	for i := range ranges {
+		counters[i] = ioacct.NewCounter(0)
+		h, err := src.Handle(counters[i])
+		if err != nil {
+			for _, open := range handles[:i] {
+				open.Close()
+			}
+			return nil, src.IO(), err
+		}
+		handles[i] = h
+	}
+
 	stats := make([]WorkerStat, len(ranges))
 	errs := make([]error, len(ranges))
 	var wg sync.WaitGroup
@@ -194,11 +254,16 @@ func RunRanges(d *graph.Disk, ranges []balance.Range, opt Options) ([]WorkerStat
 		wg.Add(1)
 		go func(i int, r balance.Range) {
 			defer wg.Done()
+			// The handle must be closed as soon as this runner is done
+			// (not when all runners are), so that stragglers with more
+			// passes left stop waiting on it for round quorum.
+			defer handles[i].Close()
 			cfg := mgt.Config{
 				MemEdges: opt.MemEdges,
 				Range:    r,
-				Counter:  ioacct.NewCounter(0),
-				BufBytes: opt.BufBytes,
+				Counter:  counters[i],
+				Source:   handles[i],
+				Kernel:   kernel,
 			}
 			if opt.Sinks != nil {
 				cfg.Sink = opt.Sinks[i]
@@ -211,8 +276,8 @@ func RunRanges(d *graph.Disk, ranges []balance.Range, opt Options) ([]WorkerStat
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return stats, err
+			return stats, src.IO(), err
 		}
 	}
-	return stats, nil
+	return stats, src.IO(), nil
 }

@@ -138,7 +138,7 @@ func TestRunRangesRequiresOriented(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunRanges(d, []balance.Range{{Lo: 0, Hi: 1}}, Options{MemEdges: 4}); err == nil {
+	if _, _, err := RunRanges(d, []balance.Range{{Lo: 0, Hi: 1}}, Options{MemEdges: 4}); err == nil {
 		t.Fatal("want error for unoriented store")
 	}
 }
@@ -168,7 +168,7 @@ func TestPlanSubdividesForCluster(t *testing.T) {
 	groups := plan.Subdivide(3)
 	var sum uint64
 	for _, ranges := range groups {
-		stats, err := RunRanges(d, ranges, Options{MemEdges: 256})
+		stats, _, err := RunRanges(d, ranges, Options{MemEdges: 256})
 		if err != nil {
 			t.Fatal(err)
 		}

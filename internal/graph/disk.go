@@ -232,21 +232,63 @@ func (d *Disk) LoadCSR() (*CSR, error) {
 	return &CSR{Offsets: d.Offsets, Adj: adj, Oriented: d.Meta.Oriented}, nil
 }
 
+// SegCursor is the vertex/segment iteration order of a sequential
+// adjacency pass: vertices in id order, zero-degree vertices yielding one
+// empty segment, and lists longer than the cap split into consecutive
+// sorted segments under the same vertex — how the small-degree assumption
+// of the paper's Section IV-A is removed (its footnote 1).
+//
+// Every sequential reader of the adjacency data — Scanner here, and every
+// scan source in internal/scan — drives its decoding off this one type, so
+// the "bitwise identical segment streams across sources" contract has a
+// single implementation.
+type SegCursor struct {
+	disk    *Disk
+	maxList int // segment cap; 0 = whole lists
+	next    Vertex
+	remain  int // entries of the current vertex still unread
+}
+
+// NewSegCursor returns a cursor over d's vertices starting at start, with
+// segments capped at maxList entries (0 = whole lists).
+func NewSegCursor(d *Disk, start Vertex, maxList int) SegCursor {
+	return SegCursor{disk: d, next: start, maxList: maxList}
+}
+
+// Step returns the next segment's vertex and entry count; n is 0 for a
+// zero-degree vertex, and ok is false at the end of the pass.
+func (c *SegCursor) Step() (u Vertex, n int, ok bool) {
+	if c.remain > 0 {
+		u = c.next - 1
+		n = c.remain
+	} else {
+		if int(c.next) >= c.disk.NumVertices() {
+			return 0, 0, false
+		}
+		u = c.next
+		c.next++
+		n = int(c.disk.Degrees[u])
+		if n == 0 {
+			return u, 0, true
+		}
+	}
+	if c.maxList > 0 && n > c.maxList {
+		c.remain = n - c.maxList
+		n = c.maxList
+	} else {
+		c.remain = 0
+	}
+	return u, n, true
+}
+
 // Scanner streams the adjacency file list by list, in vertex order, through
 // an accounting reader. It is the sequential "read N(u) from disk" primitive
-// of Algorithm 2.
-//
-// With a segment cap (SetMaxList), lists longer than the cap are yielded in
-// consecutive sorted segments under the same vertex, so a scan never holds
-// more than the cap in memory — this is how the small-degree assumption of
-// the paper's Section IV-A is removed (its footnote 1).
+// of Algorithm 2. Segmentation follows SegCursor.
 type Scanner struct {
 	disk    *Disk
 	file    *os.File
 	r       *bufio.Reader
-	next    Vertex
-	remain  int // entries of the current vertex still unread (segmented mode)
-	maxList int // segment cap; 0 = whole lists
+	cur     SegCursor
 	listBuf []Vertex
 	byteBuf []byte
 	err     error
@@ -256,7 +298,7 @@ type Scanner struct {
 // into consecutive segments. Must be called before the first Next.
 func (s *Scanner) SetMaxList(maxList int) {
 	if maxList > 0 && maxList < len(s.listBuf) {
-		s.maxList = maxList
+		s.cur.maxList = maxList
 		s.listBuf = s.listBuf[:maxList]
 		s.byteBuf = s.byteBuf[:maxList*EntrySize]
 	}
@@ -297,7 +339,7 @@ func (d *Disk) NewScannerAt(start Vertex, c *ioacct.Counter, bufSize int) (*Scan
 		disk:    d,
 		file:    f,
 		r:       bufio.NewReaderSize(r, bufSize),
-		next:    start,
+		cur:     NewSegCursor(d, start, 0),
 		listBuf: make([]Vertex, int(maxU32(d.Degrees))),
 		byteBuf: make([]byte, int(maxU32(d.Degrees))*EntrySize),
 	}, nil
@@ -322,26 +364,12 @@ func (s *Scanner) Next() (u Vertex, list []Vertex, ok bool) {
 	if s.err != nil {
 		return 0, nil, false
 	}
-	var d int
-	if s.remain > 0 {
-		u = s.next - 1
-		d = s.remain
-	} else {
-		if int(s.next) >= s.disk.NumVertices() {
-			return 0, nil, false
-		}
-		u = s.next
-		s.next++
-		d = int(s.disk.Degrees[u])
-		if d == 0 {
-			return u, s.listBuf[:0], true
-		}
+	u, d, ok := s.cur.Step()
+	if !ok {
+		return 0, nil, false
 	}
-	if s.maxList > 0 && d > s.maxList {
-		s.remain = d - s.maxList
-		d = s.maxList
-	} else {
-		s.remain = 0
+	if d == 0 {
+		return u, s.listBuf[:0], true
 	}
 	raw := s.byteBuf[:d*EntrySize]
 	if _, err := io.ReadFull(s.r, raw); err != nil {

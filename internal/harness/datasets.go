@@ -9,6 +9,7 @@ import (
 	"pdtl/internal/gen"
 	"pdtl/internal/graph"
 	"pdtl/internal/orient"
+	"pdtl/internal/scan"
 )
 
 // Dataset is one entry of the Table I stand-in registry.
@@ -84,6 +85,14 @@ func dataset(key string) (Dataset, error) {
 // persistent cache directory when given one).
 type Harness struct {
 	cacheDir string
+
+	// Scan and Kernel, when set, override the execution layer for every
+	// experiment run through the harness (CalcLocal and RunCluster) —
+	// the pdtl-bench -scan/-kernel flags land here, so any table or
+	// figure can be regenerated under a different scan source or
+	// intersection kernel. Zero values keep the engine defaults.
+	Scan   scan.SourceKind
+	Kernel scan.KernelKind
 
 	mu       sync.Mutex
 	stores   map[string]string

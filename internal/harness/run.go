@@ -51,6 +51,8 @@ func (h *Harness) CalcLocal(key string, workers, memEdges int, strategy balance.
 		Workers:  workers,
 		MemEdges: memEdges,
 		Strategy: strategy,
+		Scan:     h.Scan,
+		Kernel:   h.Kernel,
 	})
 }
 
@@ -90,6 +92,8 @@ func (h *Harness) RunCluster(key string, nodes, workersPerNode, memEdges int, up
 		MemEdges:          memEdges,
 		Strategy:          balance.InDegree,
 		UplinkBytesPerSec: uplink,
+		Scan:              h.Scan,
+		Kernel:            h.Kernel,
 	}, addrs)
 	if err != nil {
 		return nil, err

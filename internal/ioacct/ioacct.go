@@ -56,6 +56,15 @@ func (c *Counter) AddRead(n int, d time.Duration) {
 	c.readNanos.Add(int64(d))
 }
 
+// AddReadWait records time spent blocked waiting for data that is read
+// (and charged byte- and op-wise) elsewhere — e.g. a runner stalled on a
+// shared scan's ring buffer while the broadcaster owns the physical read.
+// Only read time accrues; ops and bytes stay untouched, so ReadOps keeps
+// meaning "physical requests".
+func (c *Counter) AddReadWait(d time.Duration) {
+	c.readNanos.Add(int64(d))
+}
+
 // AddWrite records a write of n bytes that took d of wall time.
 func (c *Counter) AddWrite(n int, d time.Duration) {
 	if n > 0 {

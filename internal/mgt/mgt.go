@@ -21,6 +21,13 @@
 // is reported exactly once across runners, by the runner (and pass) whose
 // window holds the triangle's pivot edge. With the full range this is
 // exactly the paper's single-core MGT, the baseline of Figure 11.
+//
+// The runner does not open the adjacency file itself: all data access —
+// window loads, sequential scan passes, large-vertex re-reads — goes
+// through a scan.Handle, and the intersection through a scan.Kernel, both
+// supplied by Config (see internal/scan and DESIGN.md §5). The engine
+// layer decides whether the P runners each scan the file privately, share
+// one broadcast scan, or run fully in memory; this package is agnostic.
 package mgt
 
 import (
@@ -33,6 +40,7 @@ import (
 	"pdtl/internal/balance"
 	"pdtl/internal/graph"
 	"pdtl/internal/ioacct"
+	"pdtl/internal/scan"
 )
 
 // Sink consumes listed triangles (u, v, w), each with u ≺ v ≺ w in the
@@ -55,12 +63,25 @@ type Config struct {
 	// private one.
 	Counter *ioacct.Counter
 	// BufBytes is the size of the sequential-scan read buffer;
-	// non-positive selects 1 MiB.
+	// non-positive selects 1 MiB. Only consulted when Source is nil.
 	BufBytes int
 	// Sink, when non-nil, receives every listed triangle. Counting-only
 	// runs leave it nil (the paper measures counting time, "or 0 for
 	// triangle counting" in Theorem IV.3).
 	Sink Sink
+	// Source is the runner's access to the adjacency data. The runner
+	// never opens the adjacency file itself: window loads, scan passes,
+	// and large-vertex re-reads all go through this handle, so the engine
+	// decides the I/O strategy (per-runner buffered scans, one shared
+	// broadcast scan, or fully in-memory). Nil selects a private
+	// scan.SourceBuffered handle charged to Counter — the paper's
+	// configuration, and bitwise-identical to the pre-refactor behavior.
+	Source scan.Handle
+	// Kernel is the sorted-array intersection used on the hot path. Nil
+	// selects scan.Merge (Section IV-A's two-pointer merge). All kernels
+	// produce identical triangles in identical order; they differ only in
+	// comparison count on skewed operand lengths.
+	Kernel scan.Kernel
 }
 
 // Stats reports what a runner did — the per-processor raw material of the
@@ -146,20 +167,31 @@ func Run(d *graph.Disk, cfg Config) (Stats, error) {
 		counter = ioacct.NewCounter(0)
 	}
 
-	adjFile, err := d.OpenAdj()
-	if err != nil {
-		return Stats{}, err
+	handle := cfg.Source
+	if handle == nil {
+		src, err := scan.New(scan.SourceBuffered, d, scan.Config{BufBytes: cfg.BufBytes, Counter: counter})
+		if err != nil {
+			return Stats{}, err
+		}
+		defer src.Close()
+		if handle, err = src.Handle(counter); err != nil {
+			return Stats{}, err
+		}
+		defer handle.Close()
 	}
-	defer adjFile.Close()
+	kernel := cfg.Kernel
+	if kernel == nil {
+		kernel = scan.Merge
+	}
 
 	r := &runner{
-		disk:    d,
-		cfg:     cfg,
-		counter: counter,
-		reader:  ioacct.NewReaderAt(adjFile, counter),
-		edg:     make([]graph.Vertex, 0, cfg.MemEdges),
-		loadBuf: make([]byte, cfg.MemEdges*graph.EntrySize),
+		disk:   d,
+		cfg:    cfg,
+		handle: handle,
+		kernel: kernel,
+		edg:    make([]graph.Vertex, 0, cfg.MemEdges),
 	}
+	r.emitFn = r.emit
 
 	for pos := rng.Lo; pos < rng.Hi; {
 		end := pos + uint64(cfg.MemEdges)
@@ -182,19 +214,24 @@ func Run(d *graph.Disk, cfg Config) (Stats, error) {
 
 // runner holds the per-run and per-window state of modified MGT.
 type runner struct {
-	disk    *graph.Disk
-	cfg     Config
-	counter *ioacct.Counter
-	reader  *ioacct.ReaderAt
-	stats   Stats
+	disk   *graph.Disk
+	cfg    Config
+	handle scan.Handle
+	kernel scan.Kernel
+	stats  Stats
+
+	// Kernel emit plumbing: the pivot pair of the in-flight intersection
+	// and the bound emit method, created once so the hot path does not
+	// allocate a closure per intersection.
+	curU, curV graph.Vertex
+	emitFn     func(graph.Vertex)
 
 	// Window state (Algorithm 2's edg/ind plus the window bounds).
-	edg     []graph.Vertex
-	loadBuf []byte
-	ind     []indEntry
-	vlow    graph.Vertex
-	vhigh   graph.Vertex
-	winLo   uint64
+	edg   []graph.Vertex
+	ind   []indEntry
+	vlow  graph.Vertex
+	vhigh graph.Vertex
+	winLo uint64
 
 	// Large-vertex state (removal of the small-degree assumption): a
 	// value-sorted index of the window's edges, an epoch-stamped mark
@@ -205,20 +242,25 @@ type runner struct {
 	idxSrcs  []graph.Vertex
 	stamp    []uint32
 	epoch    uint32
-	chunkBuf []byte
+	chunkBuf []graph.Vertex
+}
+
+// emit consumes one kernel match: common vertex w closes triangle
+// (curU, curV, w).
+func (r *runner) emit(w graph.Vertex) {
+	r.stats.Triangles++
+	if r.cfg.Sink != nil {
+		r.cfg.Sink.Triangle(r.curU, r.curV, w)
+	}
 }
 
 // loadWindow loads the edge window [pos, end) and builds ind over its
 // vertex span.
 func (r *runner) loadWindow(pos, end uint64) error {
 	count := int(end - pos)
-	raw := r.loadBuf[:count*graph.EntrySize]
-	if _, err := r.reader.ReadAt(raw, int64(pos)*graph.EntrySize); err != nil {
-		return fmt.Errorf("mgt: load window: %w", err)
-	}
 	r.edg = r.edg[:count]
-	for i := 0; i < count; i++ {
-		r.edg[i] = binary.LittleEndian.Uint32(raw[i*graph.EntrySize:])
+	if err := r.handle.ReadEntries(r.edg, pos); err != nil {
+		return fmt.Errorf("mgt: load window: %w", err)
 	}
 	r.stats.EdgesLoaded += uint64(count)
 	r.winLo = pos
@@ -260,12 +302,11 @@ func (r *runner) loadWindow(pos, end uint64) error {
 // out-list exceeds M take the segmented large-vertex path.
 func (r *runner) scanPass() error {
 	d := r.disk
-	sc, err := d.NewScanner(r.counter, r.cfg.BufBytes)
+	sc, err := r.handle.Scan(r.cfg.MemEdges)
 	if err != nil {
 		return err
 	}
 	defer sc.Close()
-	sc.SetMaxList(r.cfg.MemEdges)
 
 	maxNmp := int(d.Meta.MaxOutDegree)
 	if maxNmp > r.cfg.MemEdges {
@@ -308,28 +349,11 @@ func (r *runner) scanPass() error {
 			e := r.ind[v-r.vlow]
 			ev := r.edg[e.off : e.off+e.len]
 			r.stats.Intersections++
-			// Merge-intersect sorted nm with sorted Ev; every common
-			// vertex w closes triangle (u, v, w) with pivot (v, w).
-			i, j := 0, 0
-			var steps uint64
-			for i < len(nm) && j < len(ev) {
-				steps++
-				a, b := nm[i], ev[j]
-				switch {
-				case a < b:
-					i++
-				case a > b:
-					j++
-				default:
-					r.stats.Triangles++
-					if r.cfg.Sink != nil {
-						r.cfg.Sink.Triangle(u, v, a)
-					}
-					i++
-					j++
-				}
-			}
-			r.stats.CmpOps += steps
+			// Intersect sorted nm with sorted Ev via the configured
+			// kernel; every common vertex w closes triangle (u, v, w)
+			// with pivot (v, w).
+			r.curU, r.curV = u, v
+			r.stats.CmpOps += r.kernel.Intersect(nm, ev, r.emitFn)
 		}
 	}
 	return sc.Err()
@@ -345,7 +369,7 @@ func (r *runner) scanPass() error {
 // window's edges; a match (w, v) with v marked means v, w ∈ N(u) and
 // (v, w) in the window — triangle (u, v, w). The extra I/O is one re-read
 // of u's list per pass, O(scan(d(u))).
-func (r *runner) largeVertex(sc *graph.Scanner, u graph.Vertex, firstSeg []graph.Vertex) error {
+func (r *runner) largeVertex(sc scan.Scan, u graph.Vertex, firstSeg []graph.Vertex) error {
 	d := r.disk
 	r.stats.LargeVertices++
 	r.epoch++
@@ -379,7 +403,7 @@ func (r *runner) largeVertex(sc *graph.Scanner, u graph.Vertex, firstSeg []graph
 
 	// Pass 2: re-read N(u) in chunks, merging with the value index.
 	if r.chunkBuf == nil {
-		r.chunkBuf = make([]byte, r.cfg.MemEdges*graph.EntrySize)
+		r.chunkBuf = make([]graph.Vertex, r.cfg.MemEdges)
 	}
 	lo, hi := d.Offsets[u], d.Offsets[u+1]
 	i := 0 // cursor into the value index, shared across chunks (N(u) sorted)
@@ -389,12 +413,11 @@ func (r *runner) largeVertex(sc *graph.Scanner, u graph.Vertex, firstSeg []graph
 		if end > hi {
 			end = hi
 		}
-		raw := r.chunkBuf[:int(end-pos)*graph.EntrySize]
-		if _, err := r.reader.ReadAt(raw, int64(pos)*graph.EntrySize); err != nil {
+		chunk := r.chunkBuf[:end-pos]
+		if err := r.handle.ReadEntries(chunk, pos); err != nil {
 			return fmt.Errorf("mgt: re-read large vertex %d: %w", u, err)
 		}
-		for k := 0; k < len(raw); k += graph.EntrySize {
-			w := binary.LittleEndian.Uint32(raw[k:])
+		for _, w := range chunk {
 			for i < len(r.idxVals) && r.idxVals[i] < w {
 				i++
 				steps++

@@ -1,0 +1,102 @@
+package scan
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"pdtl/internal/graph"
+	"pdtl/internal/ioacct"
+)
+
+// bufferedSource is the paper's configuration: each handle owns a file
+// descriptor for random access, and every Scan opens a private buffered
+// sequential read of the whole adjacency file. With P runners doing R
+// passes each, the file is read P·R times (modulo the OS page cache).
+type bufferedSource struct {
+	d   *graph.Disk
+	cfg Config
+}
+
+func newBuffered(d *graph.Disk, cfg Config) *bufferedSource {
+	return &bufferedSource{d: d, cfg: cfg}
+}
+
+func (s *bufferedSource) Kind() SourceKind { return SourceBuffered }
+
+func (s *bufferedSource) IO() ioacct.Stats { return s.cfg.Counter.Snapshot() }
+
+func (s *bufferedSource) Close() error { return nil }
+
+func (s *bufferedSource) Handle(c *ioacct.Counter) (Handle, error) {
+	if c == nil {
+		c = ioacct.NewCounter(0)
+	}
+	ra, err := openRandomAccess(s.d, c)
+	if err != nil {
+		return nil, err
+	}
+	return &bufferedHandle{src: s, c: c, ra: ra}, nil
+}
+
+type bufferedHandle struct {
+	src *bufferedSource
+	c   *ioacct.Counter
+	ra  *randomAccess
+}
+
+func (h *bufferedHandle) Scan(maxList int) (Scan, error) {
+	sc, err := h.src.d.NewScanner(h.c, h.src.cfg.BufBytes)
+	if err != nil {
+		return nil, err
+	}
+	sc.SetMaxList(maxList)
+	return sc, nil
+}
+
+func (h *bufferedHandle) ReadEntries(dst []graph.Vertex, pos uint64) error {
+	return h.ra.readEntries(dst, pos)
+}
+
+func (h *bufferedHandle) Close() error { return h.ra.close() }
+
+// randomAccess reads entry ranges from the adjacency file through an
+// accounting ReaderAt; it is the shared random-access half of the Buffered
+// and Shared handles.
+type randomAccess struct {
+	f       *os.File
+	r       *ioacct.ReaderAt
+	byteBuf []byte
+}
+
+func openRandomAccess(d *graph.Disk, c *ioacct.Counter) (*randomAccess, error) {
+	f, err := d.OpenAdj()
+	if err != nil {
+		return nil, err
+	}
+	return &randomAccess{f: f, r: ioacct.NewReaderAt(f, c)}, nil
+}
+
+func (ra *randomAccess) readEntries(dst []graph.Vertex, pos uint64) error {
+	need := len(dst) * graph.EntrySize
+	if cap(ra.byteBuf) < need {
+		ra.byteBuf = make([]byte, need)
+	}
+	raw := ra.byteBuf[:need]
+	if _, err := ra.r.ReadAt(raw, int64(pos)*graph.EntrySize); err != nil {
+		return fmt.Errorf("scan: read entries [%d,%d): %w", pos, pos+uint64(len(dst)), err)
+	}
+	decodeEntries(dst, raw)
+	return nil
+}
+
+func (ra *randomAccess) close() error { return ra.f.Close() }
+
+// decodeEntries decodes len(dst) little-endian adjacency entries from raw
+// — the one place the on-disk entry encoding is interpreted by the scan
+// sources.
+func decodeEntries(dst []graph.Vertex, raw []byte) {
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(raw[i*graph.EntrySize:])
+	}
+}

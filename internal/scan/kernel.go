@@ -1,0 +1,171 @@
+package scan
+
+import (
+	"fmt"
+
+	"pdtl/internal/graph"
+)
+
+// KernelKind names an IntersectKernel implementation, as used by CLI
+// flags, the cluster wire format, and core.Options.
+type KernelKind string
+
+const (
+	// KernelMerge is the paper's two-pointer merge (Section IV-A: sorted
+	// arrays, never hash sets).
+	KernelMerge KernelKind = "merge"
+	// KernelGallop probes the longer list by exponential + binary search
+	// for each element of the shorter — O(s·log(l/s)), a large win when
+	// the operands are badly skewed, as they are on social graphs where a
+	// hub's cone list meets tiny in-memory Ev lists.
+	KernelGallop KernelKind = "gallop"
+	// KernelAdaptive picks merge or gallop per pair by length ratio.
+	KernelAdaptive KernelKind = "adaptive"
+)
+
+// ParseKernel validates a kernel name from a flag or wire message. The
+// empty string means KernelMerge, the paper-faithful default.
+func ParseKernel(s string) (KernelKind, error) {
+	switch KernelKind(s) {
+	case "":
+		return KernelMerge, nil
+	case KernelMerge, KernelGallop, KernelAdaptive:
+		return KernelKind(s), nil
+	}
+	return "", fmt.Errorf("scan: unknown intersect kernel %q (want merge, gallop, or adaptive)", s)
+}
+
+// Kernel intersects two sorted duplicate-free vertex lists. Every kernel
+// emits the common elements in ascending order — triangle listing order is
+// therefore identical across kernels — and returns its comparison-step
+// count, the machine-independent CPU proxy behind mgt.Stats.CmpOps.
+type Kernel interface {
+	Kind() KernelKind
+	Intersect(a, b []graph.Vertex, emit func(w graph.Vertex)) (steps uint64)
+}
+
+// The kernel implementations are stateless; these singletons are the only
+// instances anyone needs.
+var (
+	// Merge is the paper-faithful two-pointer merge kernel.
+	Merge Kernel = mergeKernel{}
+	// Gallop is the exponential/binary-search kernel for skewed operands.
+	Gallop Kernel = gallopKernel{}
+	// Adaptive picks Merge or Gallop per pair by length ratio.
+	Adaptive Kernel = adaptiveKernel{}
+)
+
+// NewKernel returns the kernel implementation for kind.
+func NewKernel(kind KernelKind) (Kernel, error) {
+	switch kind {
+	case KernelMerge, "":
+		return Merge, nil
+	case KernelGallop:
+		return Gallop, nil
+	case KernelAdaptive:
+		return Adaptive, nil
+	}
+	return nil, fmt.Errorf("scan: unknown kernel kind %q", kind)
+}
+
+// mergeKernel is the classic two-pointer merge; steps counts loop
+// iterations, exactly as the previously hardwired loop in internal/mgt
+// did, so CmpOps-based results are comparable with the seed.
+type mergeKernel struct{}
+
+func (mergeKernel) Kind() KernelKind { return KernelMerge }
+
+func (mergeKernel) Intersect(a, b []graph.Vertex, emit func(graph.Vertex)) uint64 {
+	i, j := 0, 0
+	var steps uint64
+	for i < len(a) && j < len(b) {
+		steps++
+		x, y := a[i], b[j]
+		switch {
+		case x < y:
+			i++
+		case x > y:
+			j++
+		default:
+			emit(x)
+			i++
+			j++
+		}
+	}
+	return steps
+}
+
+// gallopKernel walks the shorter list and locates each element in the
+// longer one by galloping (exponential probe doubling from the current
+// cursor, then binary search inside the located window). steps counts
+// probes and bisections.
+type gallopKernel struct{}
+
+func (gallopKernel) Kind() KernelKind { return KernelGallop }
+
+func (gallopKernel) Intersect(a, b []graph.Vertex, emit func(graph.Vertex)) uint64 {
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	var steps uint64
+	lo := 0
+	for _, x := range small {
+		if lo >= len(large) {
+			break
+		}
+		// Exponential probe: find a window [lo, hi) that must contain
+		// the first element >= x.
+		bound := 1
+		for lo+bound < len(large) && large[lo+bound] < x {
+			bound <<= 1
+			steps++
+		}
+		hi := lo + bound + 1
+		if hi > len(large) {
+			hi = len(large)
+		}
+		// Binary search for the first element >= x in [lo, hi).
+		for lo < hi {
+			steps++
+			mid := int(uint(lo+hi) >> 1)
+			if large[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(large) && large[lo] == x {
+			emit(x)
+			lo++
+		}
+	}
+	return steps
+}
+
+// adaptiveRatio is the operand length ratio beyond which galloping beats
+// the merge: below it the merge's branch-predictable linear walk wins,
+// above it the O(s·log l) probe count does.
+const adaptiveRatio = 8
+
+// adaptiveKernel picks merge or gallop per pair by length ratio — the
+// per-pair adaptivity that skewed (social) degree distributions reward,
+// since one cone list meets both hub-sized and leaf-sized Ev operands
+// within a single pass.
+type adaptiveKernel struct{}
+
+func (adaptiveKernel) Kind() KernelKind { return KernelAdaptive }
+
+func (adaptiveKernel) Intersect(a, b []graph.Vertex, emit func(graph.Vertex)) uint64 {
+	s, l := len(a), len(b)
+	if s > l {
+		s, l = l, s
+	}
+	if s == 0 {
+		return 0
+	}
+	if l/s >= adaptiveRatio {
+		return gallopKernel{}.Intersect(a, b, emit)
+	}
+	return mergeKernel{}.Intersect(a, b, emit)
+}

@@ -1,0 +1,168 @@
+// Package scan is the pluggable execution layer under the MGT runners: it
+// decides *how* adjacency data reaches a runner (the ScanSource) and *how*
+// two sorted lists are intersected (the IntersectKernel). PDTL's engine
+// (Section IV-B of the paper) gives every one of the P runners its own
+// end-to-end sequential scan of the adjacency file and hardwires the merge
+// intersection of Section IV-A; extracting both decisions behind interfaces
+// lets the engine trade them per run:
+//
+//   - Buffered — the paper's configuration: every runner performs its own
+//     buffered sequential scan (P full-file scans per round of passes,
+//     deduplicated only by the OS page cache).
+//   - Shared — one sequential reader broadcasts each block of the
+//     adjacency file to all subscribed runners through per-runner ring
+//     buffers, turning P concurrent full-file scans into one physical scan
+//     (the explicit scan sharing that engineering work on distributed
+//     triangle counting shows is where the I/O constant factors live).
+//   - Mem — the whole adjacency array pinned in RAM for graphs that fit;
+//     scan passes and window loads cost no I/O at all.
+//
+// All sources present identical semantics: a full pass yields every vertex
+// in order with its out-list split into sorted segments of at most maxList
+// entries (exactly like graph.Scanner, whose segmentation removes the
+// paper's small-degree assumption), and random access reads any entry
+// range. Triangle output is therefore bitwise identical across sources —
+// the cross-check tests in internal/core assert this.
+package scan
+
+import (
+	"fmt"
+
+	"pdtl/internal/graph"
+	"pdtl/internal/ioacct"
+)
+
+// SourceKind names a ScanSource implementation, as used by CLI flags, the
+// cluster wire format, and core.Options.
+type SourceKind string
+
+const (
+	// SourceAuto defers the choice to the engine: Shared when more than
+	// one runner shares the source, Buffered otherwise.
+	SourceAuto SourceKind = "auto"
+	// SourceBuffered is one private buffered sequential scan per runner
+	// pass (the paper's configuration).
+	SourceBuffered SourceKind = "buffered"
+	// SourceShared is one physical sequential scan broadcast to all
+	// concurrently-scanning runners.
+	SourceShared SourceKind = "shared"
+	// SourceMem holds the whole adjacency array in memory.
+	SourceMem SourceKind = "mem"
+)
+
+// ParseSource validates a source name from a flag or wire message. The
+// empty string means SourceAuto.
+func ParseSource(s string) (SourceKind, error) {
+	switch SourceKind(s) {
+	case "":
+		return SourceAuto, nil
+	case SourceAuto, SourceBuffered, SourceShared, SourceMem:
+		return SourceKind(s), nil
+	}
+	return "", fmt.Errorf("scan: unknown scan source %q (want auto, buffered, shared, or mem)", s)
+}
+
+// Resolve maps SourceAuto to a concrete kind for a run with the given
+// number of runners; concrete kinds pass through unchanged.
+func (k SourceKind) Resolve(runners int) SourceKind {
+	if k != SourceAuto && k != "" {
+		return k
+	}
+	if runners > 1 {
+		return SourceShared
+	}
+	return SourceBuffered
+}
+
+// Config parameterizes a source.
+type Config struct {
+	// BufBytes is the sequential read buffer (Buffered) or broadcast block
+	// size (Shared); non-positive selects 1 MiB.
+	BufBytes int
+	// Counter receives the I/O the source performs on its own behalf —
+	// the Shared broadcaster's single scan, or the Mem preload. Per-runner
+	// I/O (window loads, large-vertex re-reads, Buffered scans) is charged
+	// to the counter each Handle was opened with instead. Nil allocates a
+	// private counter.
+	Counter *ioacct.Counter
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufBytes <= 0 {
+		c.BufBytes = 1 << 20
+	}
+	// Blocks must hold whole entries: the mem preload and the shared
+	// broadcaster both decode block-by-block, so an unaligned size would
+	// split an entry across blocks. Round up to the next entry boundary.
+	if rem := c.BufBytes % graph.EntrySize; rem != 0 {
+		c.BufBytes += graph.EntrySize - rem
+	}
+	if c.Counter == nil {
+		c.Counter = ioacct.NewCounter(0)
+	}
+	return c
+}
+
+// Source supplies adjacency data for one oriented store to a set of
+// concurrent runners. A Source is safe for concurrent Handle calls; it is
+// owned (created and closed) by the engine, never by a runner.
+type Source interface {
+	// Handle opens a per-runner accessor whose I/O is charged to c (nil
+	// allocates a private counter). Handles are not safe for concurrent
+	// use; each runner gets its own and must Close it as soon as it is
+	// done — a Shared source uses the set of open handles to decide when a
+	// broadcast round can start.
+	Handle(c *ioacct.Counter) (Handle, error)
+	// IO reports the I/O performed by the source itself (see
+	// Config.Counter).
+	IO() ioacct.Stats
+	// Kind reports the concrete source kind.
+	Kind() SourceKind
+	// Close releases the source. All handles must be closed first.
+	Close() error
+}
+
+// Handle is one runner's access to the adjacency data.
+type Handle interface {
+	// Scan starts a full sequential pass over the adjacency file. Lists
+	// longer than maxList entries are yielded in consecutive sorted
+	// segments under the same vertex (maxList <= 0 means whole lists). At
+	// most one Scan may be in flight per handle.
+	Scan(maxList int) (Scan, error)
+	// ReadEntries fills dst with the adjacency entries
+	// [pos, pos+len(dst)) — the random-access path of the window loads
+	// and large-vertex re-reads.
+	ReadEntries(dst []graph.Vertex, pos uint64) error
+	// Close releases the handle.
+	Close() error
+}
+
+// Scan is one sequential pass in progress. *graph.Scanner satisfies it.
+type Scan interface {
+	// Next returns the next vertex and its list (or list segment); the
+	// returned slice is only valid until the following call. ok is false
+	// at the end of the pass or on error — check Err.
+	Next() (u graph.Vertex, list []graph.Vertex, ok bool)
+	// Err reports the first error encountered by Next.
+	Err() error
+	// Close abandons the pass; it must be called even after a complete
+	// pass.
+	Close() error
+}
+
+// New creates a source of the given concrete kind over the oriented store
+// d. SourceAuto must be Resolved first.
+func New(kind SourceKind, d *graph.Disk, cfg Config) (Source, error) {
+	cfg = cfg.withDefaults()
+	switch kind {
+	case SourceBuffered:
+		return newBuffered(d, cfg), nil
+	case SourceShared:
+		return newShared(d, cfg), nil
+	case SourceMem:
+		return newMem(d, cfg)
+	case SourceAuto:
+		return nil, fmt.Errorf("scan: SourceAuto must be resolved before New (call Resolve)")
+	}
+	return nil, fmt.Errorf("scan: unknown source kind %q", kind)
+}

@@ -1,0 +1,345 @@
+package scan
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"pdtl/internal/graph"
+	"pdtl/internal/ioacct"
+)
+
+// sharedRingBlocks is the per-subscriber ring-buffer depth, in broadcast
+// blocks. A subscriber that falls more than this far behind stalls the
+// broadcaster (and with it the round) until it catches up — the convoy is
+// inherent to sharing one physical scan.
+const sharedRingBlocks = 4
+
+// errSourceClosed reports a subscription outliving its source.
+var errSourceClosed = errors.New("scan: shared source closed")
+
+// sharedSource turns the P concurrent full-file scans of a round of MGT
+// passes into one: a single broadcaster goroutine reads the adjacency file
+// sequentially and fans every block out to all subscribed runners through
+// per-runner ring buffers.
+//
+// Round formation is deterministic, with no timers: a broadcast round
+// starts exactly when every open handle has a scan pending. Runners that
+// finish their final pass close their handle, shrinking the quorum, so
+// stragglers with more passes left keep scanning without waiting on anyone
+// — the worst case (runners never in step) degrades to one private scan
+// each, never to a deadlock. This is why Handle documents that a runner
+// must close its handle as soon as it is done.
+type sharedSource struct {
+	d   *graph.Disk
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*subscription // scans waiting for the next round
+	open    int             // open handles = the round quorum
+	closed  bool
+	done    chan struct{} // broadcaster exit
+}
+
+// block is one broadcast unit: a shared, immutable, entry-aligned byte run.
+type block struct {
+	data []byte
+	err  error // terminates the subscriber's pass when non-nil
+}
+
+// subscription is one runner's attachment to a broadcast round.
+type subscription struct {
+	ch       chan block
+	canceled chan struct{} // closed by the subscriber's Scan.Close
+}
+
+func newShared(d *graph.Disk, cfg Config) *sharedSource {
+	s := &sharedSource{d: d, cfg: cfg, done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	go s.broadcastLoop()
+	return s
+}
+
+func (s *sharedSource) Kind() SourceKind { return SourceShared }
+
+func (s *sharedSource) IO() ioacct.Stats { return s.cfg.Counter.Snapshot() }
+
+// Close stops the broadcaster. Outstanding subscriptions are failed with
+// errSourceClosed rather than left hanging.
+func (s *sharedSource) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.done
+	return nil
+}
+
+func (s *sharedSource) Handle(c *ioacct.Counter) (Handle, error) {
+	if c == nil {
+		c = ioacct.NewCounter(0)
+	}
+	ra, err := openRandomAccess(s.d, c)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ra.close()
+		return nil, errSourceClosed
+	}
+	s.open++
+	s.mu.Unlock()
+	return &sharedHandle{src: s, c: c, ra: ra}, nil
+}
+
+// subscribe queues a scan for the next broadcast round.
+func (s *sharedSource) subscribe() (*subscription, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errSourceClosed
+	}
+	sub := &subscription{
+		ch:       make(chan block, sharedRingBlocks),
+		canceled: make(chan struct{}),
+	}
+	s.pending = append(s.pending, sub)
+	s.cond.Broadcast()
+	return sub, nil
+}
+
+// handleClosed shrinks the round quorum.
+func (s *sharedSource) handleClosed() {
+	s.mu.Lock()
+	s.open--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// broadcastLoop runs rounds until the source closes.
+func (s *sharedSource) broadcastLoop() {
+	defer close(s.done)
+	for {
+		subs := s.nextRound()
+		if subs == nil {
+			return
+		}
+		s.broadcast(subs)
+	}
+}
+
+// nextRound blocks until every open handle has a pending scan (the quorum
+// rule above), then claims the pending set as the next round. A nil return
+// means the source closed; any pending scans are failed.
+func (s *sharedSource) nextRound() []*subscription {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			for _, sub := range s.pending {
+				// Ring buffer is empty at this point, so the send
+				// cannot block; be defensive anyway.
+				select {
+				case sub.ch <- block{err: errSourceClosed}:
+				default:
+				}
+			}
+			s.pending = nil
+			return nil
+		}
+		if len(s.pending) > 0 && len(s.pending) >= s.open {
+			subs := s.pending
+			s.pending = nil
+			return subs
+		}
+		s.cond.Wait()
+	}
+}
+
+// broadcast performs one physical scan of the adjacency file, fanning each
+// block out to every live subscriber of the round.
+func (s *sharedSource) broadcast(subs []*subscription) {
+	live := len(subs)
+	dead := make([]bool, len(subs))
+	deliver := func(b block) {
+		for i, sub := range subs {
+			if dead[i] {
+				continue
+			}
+			select {
+			case sub.ch <- b:
+			case <-sub.canceled:
+				dead[i] = true
+				live--
+			}
+		}
+	}
+	fail := func(err error) {
+		deliver(block{err: err})
+	}
+
+	f, err := s.d.OpenAdj()
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer f.Close()
+	r := ioacct.NewReader(f, s.cfg.Counter)
+	total := s.d.AdjBytes()
+	for sent := int64(0); sent < total && live > 0; {
+		n := int64(s.cfg.BufBytes)
+		if total-sent < n {
+			n = total - sent
+		}
+		// A fresh buffer per block: it is shared read-only across all
+		// subscribers and consumed asynchronously.
+		data := make([]byte, n)
+		if _, err := io.ReadFull(r, data); err != nil {
+			fail(fmt.Errorf("scan: shared broadcast at byte %d of %d: %w", sent, total, err))
+			return
+		}
+		deliver(block{data: data})
+		sent += n
+	}
+	for i, sub := range subs {
+		if !dead[i] {
+			close(sub.ch)
+		}
+	}
+}
+
+// sharedHandle is one runner's access to a shared source. Random access
+// uses a private file descriptor (window loads are range-local, so there is
+// no redundancy to share); sequential passes subscribe to broadcast rounds.
+type sharedHandle struct {
+	src    *sharedSource
+	c      *ioacct.Counter
+	ra     *randomAccess
+	closed bool
+}
+
+func (h *sharedHandle) Scan(maxList int) (Scan, error) {
+	sub, err := h.src.subscribe()
+	if err != nil {
+		return nil, err
+	}
+	d := h.src.d
+	bufEntries := int(d.Meta.MaxOutDegree)
+	if !d.Meta.Oriented {
+		bufEntries = int(d.Meta.MaxDegree)
+	}
+	if maxList > 0 && maxList < bufEntries {
+		bufEntries = maxList
+	}
+	return &sharedScan{
+		cur:     graph.NewSegCursor(d, 0, maxList),
+		sub:     sub,
+		c:       h.c,
+		listBuf: make([]graph.Vertex, bufEntries),
+		byteBuf: make([]byte, bufEntries*graph.EntrySize),
+	}, nil
+}
+
+func (h *sharedHandle) ReadEntries(dst []graph.Vertex, pos uint64) error {
+	return h.ra.readEntries(dst, pos)
+}
+
+func (h *sharedHandle) Close() error {
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	h.src.handleClosed()
+	return h.ra.close()
+}
+
+// sharedScan decodes one subscriber's view of a broadcast round into the
+// per-vertex segment stream of graph.Scanner. Time spent blocked on the
+// ring buffer is charged to the runner's counter as read-wait time (zero
+// bytes, zero ops — the bytes are charged once, to the source counter), so
+// the CPU/I-O breakdowns of the paper's figures keep their meaning:
+// waiting for the shared disk is I/O time, not CPU time. The wait before
+// the round's first block is *not* charged — it measures round formation
+// (other runners still computing), not the disk.
+type sharedScan struct {
+	cur graph.SegCursor
+	sub *subscription
+	c   *ioacct.Counter
+
+	blk     []byte // unconsumed remainder of the current block
+	started bool   // first block received; ring waits now reflect the disk
+	listBuf []graph.Vertex
+	byteBuf []byte
+	err     error
+	closed  bool
+}
+
+// fill copies the next len(raw) stream bytes into raw, receiving blocks as
+// needed.
+func (sc *sharedScan) fill(raw []byte) error {
+	for len(raw) > 0 {
+		if len(sc.blk) == 0 {
+			var b block
+			var ok bool
+			select {
+			case b, ok = <-sc.sub.ch:
+			default:
+				start := time.Now()
+				b, ok = <-sc.sub.ch
+				if sc.started {
+					sc.c.AddReadWait(time.Since(start))
+				}
+			}
+			sc.started = true
+			if !ok {
+				return io.ErrUnexpectedEOF
+			}
+			if b.err != nil {
+				return b.err
+			}
+			sc.blk = b.data
+		}
+		n := copy(raw, sc.blk)
+		raw = raw[n:]
+		sc.blk = sc.blk[n:]
+	}
+	return nil
+}
+
+func (sc *sharedScan) Next() (graph.Vertex, []graph.Vertex, bool) {
+	if sc.err != nil {
+		return 0, nil, false
+	}
+	u, d, ok := sc.cur.Step()
+	if !ok {
+		return 0, nil, false
+	}
+	if d == 0 {
+		return u, sc.listBuf[:0], true
+	}
+	raw := sc.byteBuf[:d*graph.EntrySize]
+	if err := sc.fill(raw); err != nil {
+		sc.err = fmt.Errorf("scan: shared scan vertex %d: %w", u, err)
+		return 0, nil, false
+	}
+	list := sc.listBuf[:d]
+	decodeEntries(list, raw)
+	return u, list, true
+}
+
+func (sc *sharedScan) Err() error { return sc.err }
+
+// Close cancels the subscription so an abandoned pass cannot stall the
+// broadcaster (and with it every other subscriber of the round).
+func (sc *sharedScan) Close() error {
+	if !sc.closed {
+		sc.closed = true
+		close(sc.sub.canceled)
+	}
+	return nil
+}

@@ -36,6 +36,7 @@ import (
 	"pdtl/internal/core"
 	"pdtl/internal/graph"
 	"pdtl/internal/mgt"
+	"pdtl/internal/scan"
 )
 
 // Options parameterize a local (single-machine) run.
@@ -53,19 +54,43 @@ type Options struct {
 	// BufBytes is each runner's sequential read buffer; non-positive
 	// selects 1 MiB.
 	BufBytes int
+	// ScanSource selects how adjacency data reaches the runners: "auto"
+	// (or empty — one shared physical scan per round of passes when
+	// Workers > 1, per-runner buffered scans otherwise), "buffered" (the
+	// paper's configuration: every runner scans the file itself),
+	// "shared" (one sequential reader broadcasts to all runners), or
+	// "mem" (whole adjacency array in RAM; for graphs that fit). The
+	// triangle output is identical for every choice.
+	ScanSource string
+	// Kernel selects the sorted-array intersection kernel: "merge" (or
+	// empty — the paper's two-pointer merge), "gallop" (exponential +
+	// binary search, for skewed list lengths), or "adaptive" (picks per
+	// pair by length ratio). The triangle output is identical for every
+	// choice.
+	Kernel string
 }
 
-func (o Options) toCore() core.Options {
+func (o Options) toCore() (core.Options, error) {
 	strategy := balance.InDegree
 	if o.NaiveBalance {
 		strategy = balance.Naive
+	}
+	scanKind, err := scan.ParseSource(o.ScanSource)
+	if err != nil {
+		return core.Options{}, err
+	}
+	kernelKind, err := scan.ParseKernel(o.Kernel)
+	if err != nil {
+		return core.Options{}, err
 	}
 	return core.Options{
 		Workers:  o.Workers,
 		MemEdges: o.MemEdges,
 		Strategy: strategy,
 		BufBytes: o.BufBytes,
-	}
+		Scan:     scanKind,
+		Kernel:   kernelKind,
+	}, nil
 }
 
 // WorkerStats describes one runner's share of a run.
@@ -103,14 +128,24 @@ type Result struct {
 	// OrientedBase is the path of the oriented store used (reusable as the
 	// input of later runs to skip orientation).
 	OrientedBase string
+	// ScanSource is the concrete scan source the run used ("buffered",
+	// "shared", or "mem" — "auto" resolved).
+	ScanSource string
+	// SourceBytesRead is the disk volume the scan source read on its own
+	// behalf: the shared broadcaster's single scan per round of passes,
+	// or the in-memory preload. Zero for "buffered", whose scans are
+	// charged to the per-worker BytesRead instead.
+	SourceBytesRead int64
 }
 
 func resultFrom(cr *core.Result) *Result {
 	res := &Result{
-		Triangles:    cr.Triangles,
-		CalcTime:     cr.CalcTime,
-		TotalTime:    cr.TotalTime,
-		OrientedBase: cr.OrientedBase,
+		Triangles:       cr.Triangles,
+		CalcTime:        cr.CalcTime,
+		TotalTime:       cr.TotalTime,
+		OrientedBase:    cr.OrientedBase,
+		ScanSource:      string(cr.Scan),
+		SourceBytesRead: cr.SourceIO.BytesRead,
 	}
 	if cr.Orientation != nil {
 		res.OrientTime = cr.Orientation.Duration
@@ -136,7 +171,11 @@ func resultFrom(cr *core.Result) *Result {
 // are oriented first; the oriented store is left at Result.OrientedBase for
 // reuse.
 func Count(base string, opt Options) (*Result, error) {
-	cr, err := core.Process(base, opt.toCore())
+	copt, err := opt.toCore()
+	if err != nil {
+		return nil, err
+	}
+	cr, err := core.Process(base, copt)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +190,10 @@ func ForEachTriangle(base string, opt Options, fn func(u, v, w uint32)) (*Result
 }
 
 func forEach(base string, opt Options, fn func(u, v, w uint32)) (*Result, error) {
-	copt := opt.toCore()
+	copt, err := opt.toCore()
+	if err != nil {
+		return nil, err
+	}
 	workers := copt.Workers
 	if workers <= 0 {
 		workers = defaultWorkers()
@@ -172,7 +214,10 @@ func forEach(base string, opt Options, fn func(u, v, w uint32)) (*Result, error)
 // (12 bytes per triangle) and returns the run's statistics. Use
 // ReadTriangleFile to decode.
 func List(base, outPath string, opt Options) (*Result, error) {
-	copt := opt.toCore()
+	copt, err := opt.toCore()
+	if err != nil {
+		return nil, err
+	}
 	workers := copt.Workers
 	if workers <= 0 {
 		workers = defaultWorkers()
