@@ -10,11 +10,37 @@ import (
 // paper's conclusion proposes as future work ("altering it for dynamic or
 // approximate triangle counting", Section VI).
 
+// EstimateDoulion estimates the handle's triangle count with Doulion edge
+// sparsification: each edge survives with probability p and the count on
+// the sparsified graph is scaled by 1/p³ (unbiased). The graph is loaded
+// into memory once per handle and cached; use the exact Count for graphs
+// larger than RAM.
+func (g *Graph) EstimateDoulion(p float64, seed int64) (estimate float64, err error) {
+	csr, err := g.csrCached()
+	if err != nil {
+		return 0, err
+	}
+	est, _, err := approx.Doulion(csr, p, seed)
+	return est, err
+}
+
+// EstimateWedges estimates the handle's triangle count by sampling
+// `samples` uniform wedges and scaling their closure rate by the total
+// wedge count over three. The in-memory graph is cached on the handle, so
+// repeated estimates (e.g. at growing sample sizes) pay the load once.
+func (g *Graph) EstimateWedges(samples int, seed int64) (estimate float64, err error) {
+	csr, err := g.csrCached()
+	if err != nil {
+		return 0, err
+	}
+	return approx.WedgeSample(csr, samples, seed)
+}
+
 // EstimateDoulion estimates the triangle count of the store at base with
-// Doulion edge sparsification: each edge survives with probability p and
-// the count on the sparsified graph is scaled by 1/p³ (unbiased). The
-// graph is loaded into memory; use the exact Count for graphs larger than
-// RAM.
+// Doulion edge sparsification.
+//
+// Deprecated: one-shot wrapper. Use Open and (*Graph).EstimateDoulion,
+// which caches the in-memory graph across estimates.
 func EstimateDoulion(base string, p float64, seed int64) (estimate float64, err error) {
 	g, err := loadCSR(base)
 	if err != nil {
@@ -27,6 +53,9 @@ func EstimateDoulion(base string, p float64, seed int64) (estimate float64, err 
 // EstimateWedges estimates the triangle count of the store at base by
 // sampling `samples` uniform wedges and scaling their closure rate by the
 // total wedge count over three.
+//
+// Deprecated: one-shot wrapper. Use Open and (*Graph).EstimateWedges,
+// which caches the in-memory graph across estimates.
 func EstimateWedges(base string, samples int, seed int64) (estimate float64, err error) {
 	g, err := loadCSR(base)
 	if err != nil {

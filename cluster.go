@@ -1,6 +1,9 @@
 package pdtl
 
 import (
+	"context"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"pdtl/internal/balance"
@@ -63,11 +66,21 @@ type ClusterResult struct {
 	OrientedBase string
 }
 
-// CountDistributed runs the full PDTL protocol: the master (this process)
-// orients the store at base, replicates it to every worker address, assigns
-// contiguous edge ranges, and sums the results. With an empty address list
-// it degrades to a local run through the same protocol path.
-func CountDistributed(base string, workerAddrs []string, opt ClusterOptions) (*ClusterResult, error) {
+// CountDistributed runs the full PDTL protocol with this handle's graph:
+// the master (this process) replicates the handle's cached oriented store
+// to every worker address, assigns contiguous edge ranges, and sums the
+// results. The orientation is performed at most once per handle — repeated
+// distributed (or mixed local/distributed) runs reuse it. With an empty
+// address list the protocol degrades to a local run through the same path.
+//
+// Cancelling ctx aborts the whole protocol: local runners stop within one
+// memory window, in-flight graph copies stop at the next chunk, and remote
+// nodes are told (via a Cancel RPC) to abandon their calculation;
+// CountDistributed then returns ctx.Err().
+func (g *Graph) CountDistributed(ctx context.Context, workerAddrs []string, opt ClusterOptions) (*ClusterResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	strategy := balance.InDegree
 	if opt.NaiveBalance {
 		strategy = balance.Naive
@@ -80,8 +93,19 @@ func CountDistributed(base string, workerAddrs []string, opt ClusterOptions) (*C
 	if err != nil {
 		return nil, err
 	}
-	cres, err := cluster.Run(cluster.Config{
-		GraphBase:         base,
+	start := time.Now()
+	orientWorkers := opt.Workers
+	if orientWorkers <= 0 {
+		orientWorkers = 1
+	}
+	d, orientedBase, ores, err := g.ensureOriented(ctx, orientWorkers)
+	if err != nil {
+		return nil, err
+	}
+	cres, err := cluster.Run(ctx, cluster.Config{
+		GraphBase:         orientedBase,
+		Disk:              d,
+		GraphName:         filepath.Base(g.base),
 		Workers:           opt.Workers,
 		MemEdges:          opt.MemEdges,
 		Strategy:          strategy,
@@ -94,6 +118,15 @@ func CountDistributed(base string, workerAddrs []string, opt ClusterOptions) (*C
 	if err != nil {
 		return nil, err
 	}
+	res := clusterResultFrom(cres)
+	if ores != nil {
+		res.OrientTime = ores.Duration
+	}
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+func clusterResultFrom(cres *cluster.Result) *ClusterResult {
 	res := &ClusterResult{
 		Triangles:    cres.Triangles,
 		CalcTime:     cres.CalcTime,
@@ -130,12 +163,28 @@ func CountDistributed(base string, workerAddrs []string, opt ClusterOptions) (*C
 		}
 		res.Nodes = append(res.Nodes, ns)
 	}
-	return res, nil
+	return res
+}
+
+// CountDistributed runs the full PDTL protocol on the store at base.
+//
+// Deprecated: one-shot wrapper. Use Open and (*Graph).CountDistributed,
+// which reuses the cached orientation across runs and accepts a
+// context.Context for cancellation.
+func CountDistributed(base string, workerAddrs []string, opt ClusterOptions) (*ClusterResult, error) {
+	g, err := Open(base)
+	if err != nil {
+		return nil, err
+	}
+	defer g.Close()
+	return g.CountDistributed(context.Background(), workerAddrs, opt)
 }
 
 // WorkerServer is a running PDTL worker node.
 type WorkerServer struct {
-	srv *cluster.Server
+	srv  *cluster.Server
+	done chan struct{}
+	once sync.Once
 }
 
 // ServeWorker starts a worker node that stores graph replicas under workDir
@@ -147,14 +196,45 @@ func ServeWorker(addr, name, workDir string) (*WorkerServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &WorkerServer{srv: srv}, nil
+	return &WorkerServer{srv: srv, done: make(chan struct{})}, nil
+}
+
+// ServeWorkerContext is ServeWorker bound to a context: when ctx is
+// cancelled the server stops accepting, aborts its in-flight calculations,
+// and closes — the lifecycle hook for daemons wiring SIGINT/SIGTERM to a
+// context (as cmd/pdtl-worker does).
+func ServeWorkerContext(ctx context.Context, addr, name, workDir string) (*WorkerServer, error) {
+	w, err := ServeWorker(addr, name, workDir)
+	if err != nil {
+		return nil, err
+	}
+	if ctx != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				w.Close()
+			case <-w.done:
+			}
+		}()
+	}
+	return w, nil
 }
 
 // Addr reports the worker's listen address.
 func (w *WorkerServer) Addr() string { return w.srv.Addr() }
 
-// Close stops the worker.
-func (w *WorkerServer) Close() error { return w.srv.Close() }
+// Done is closed when the worker has stopped (by Close or by its context).
+func (w *WorkerServer) Done() <-chan struct{} { return w.done }
+
+// Close stops the worker, cancelling any in-flight calculations.
+func (w *WorkerServer) Close() error {
+	var err error
+	w.once.Do(func() {
+		err = w.srv.Close()
+		close(w.done)
+	})
+	return err
+}
 
 // WorkerPool is a set of local in-process worker nodes, convenient for
 // examples and tests.

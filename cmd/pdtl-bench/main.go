@@ -14,9 +14,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"pdtl/internal/harness"
 	"pdtl/internal/scan"
@@ -56,12 +60,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pdtl-bench:", err)
 		os.Exit(2)
 	}
+	// SIGINT/SIGTERM cancel the in-flight experiment's runners at their
+	// next memory window instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	h.Ctx = ctx
 	if *all {
 		err = h.RunAll(os.Stdout)
 	} else {
 		err = h.Run(*exp, os.Stdout)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "pdtl-bench: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "pdtl-bench:", err)
 		os.Exit(1)
 	}

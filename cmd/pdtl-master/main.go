@@ -9,14 +9,20 @@
 //	            [-workers P] [-mem ENTRIES] [-uplink BYTES/S] [-list out.bin]
 //
 // The master participates as node 0. With no -nodes it runs the protocol
-// locally.
+// locally. SIGINT/SIGTERM cancel the run cooperatively: local runners stop
+// at their next memory window, in-flight replica copies stop at the next
+// chunk, and remote nodes are told to abandon their calculation.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"pdtl"
 )
@@ -42,7 +48,15 @@ func main() {
 	if *nodes != "" {
 		addrs = strings.Split(*nodes, ",")
 	}
-	res, err := pdtl.CountDistributed(*graphBase, addrs, pdtl.ClusterOptions{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	g, err := pdtl.Open(*graphBase)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdtl-master:", err)
+		os.Exit(1)
+	}
+	defer g.Close()
+	res, err := g.CountDistributed(ctx, addrs, pdtl.ClusterOptions{
 		Workers:           *workers,
 		MemEdges:          *mem,
 		NaiveBalance:      *naive,
@@ -53,6 +67,10 @@ func main() {
 		ListPath:          *list,
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "pdtl-master: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "pdtl-master:", err)
 		os.Exit(1)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,16 +30,16 @@ func main() {
 	if nodeName == "" {
 		nodeName = *addr
 	}
-	w, err := pdtl.ServeWorker(*addr, nodeName, *dir)
+	// SIGINT/SIGTERM cancel the context, which stops the server and aborts
+	// any calculation still in flight.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	w, err := pdtl.ServeWorkerContext(ctx, *addr, nodeName, *dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdtl-worker:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("pdtl-worker %q serving on %s (replicas in %s)\n", nodeName, w.Addr(), *dir)
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	<-w.Done()
 	fmt.Println("pdtl-worker: shutting down")
-	w.Close()
 }

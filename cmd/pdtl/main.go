@@ -10,13 +10,19 @@
 // The graph store is the three-file binary layout produced by pdtl-gen (or
 // the pdtl library's Generate/Import functions). Unoriented stores are
 // oriented automatically; the oriented store is left next to the input for
-// reuse.
+// reuse. SIGINT/SIGTERM cancel the run cooperatively: the workers stop at
+// their next memory window and the command exits cleanly instead of
+// mid-write.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"pdtl"
 )
@@ -26,12 +32,14 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "count":
-		err = runCount(os.Args[2:])
+		err = runCount(ctx, os.Args[2:])
 	case "list":
-		err = runList(os.Args[2:])
+		err = runList(ctx, os.Args[2:])
 	case "info":
 		err = runInfo(os.Args[2:])
 	default:
@@ -39,6 +47,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "pdtl: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "pdtl:", err)
 		os.Exit(1)
 	}
@@ -66,14 +78,19 @@ func commonFlags(fs *flag.FlagSet) (graphBase *string, opt *pdtl.Options) {
 	return graphBase, opt
 }
 
-func runCount(args []string) error {
+func runCount(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("count", flag.ExitOnError)
 	graphBase, opt := commonFlags(fs)
 	fs.Parse(args)
 	if *graphBase == "" {
 		return fmt.Errorf("-graph is required")
 	}
-	res, err := pdtl.Count(*graphBase, *opt)
+	g, err := pdtl.Open(*graphBase)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	res, err := g.Count(ctx, *opt)
 	if err != nil {
 		return err
 	}
@@ -81,7 +98,7 @@ func runCount(args []string) error {
 	return nil
 }
 
-func runList(args []string) error {
+func runList(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
 	graphBase, opt := commonFlags(fs)
 	out := fs.String("out", "", "output file for binary triangle triples (required)")
@@ -89,7 +106,15 @@ func runList(args []string) error {
 	if *graphBase == "" || *out == "" {
 		return fmt.Errorf("-graph and -out are required")
 	}
-	res, err := pdtl.List(*graphBase, *out, *opt)
+	g, err := pdtl.Open(*graphBase)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	// ListFile writes through a temp file renamed into place, so an
+	// interrupted listing never leaves a truncated file under the
+	// requested name.
+	res, err := g.ListFile(ctx, *out, *opt)
 	if err != nil {
 		return err
 	}
@@ -105,10 +130,12 @@ func runInfo(args []string) error {
 	if *graphBase == "" {
 		return fmt.Errorf("-graph is required")
 	}
-	info, err := pdtl.Info(*graphBase)
+	g, err := pdtl.Open(*graphBase)
 	if err != nil {
 		return err
 	}
+	defer g.Close()
+	info := g.Info()
 	fmt.Printf("name:          %s\n", info.Name)
 	fmt.Printf("vertices:      %d\n", info.NumVertices)
 	fmt.Printf("edges:         %d\n", info.NumEdges)

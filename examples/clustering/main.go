@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -33,8 +34,14 @@ func main() {
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", info.NumVertices, info.NumEdges)
 
-	// Per-vertex triangle counts via the listing API.
-	triangles, res, err := pdtl.TriangleDegrees(base, pdtl.Options{Workers: 4})
+	// Per-vertex triangle counts via the handle API: each worker fills a
+	// private count shard, merged after the run.
+	g, err := pdtl.Open(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+	triangles, res, err := g.TriangleDegrees(context.Background(), pdtl.Options{Workers: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

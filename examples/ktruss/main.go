@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -43,9 +44,22 @@ func main() {
 
 	// 1. List every triangle with PDTL and build the edge-support map and
 	//    per-edge triangle incidence (which edges each triangle touches).
-	listPath := filepath.Join(dir, "triangles.bin")
-	res, err := pdtl.List(base, listPath, pdtl.Options{Workers: 2})
+	//    The handle's List streams to any io.Writer; here, a plain file.
+	g, err := pdtl.Open(base)
 	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+	listPath := filepath.Join(dir, "triangles.bin")
+	out, err := os.Create(listPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := g.List(context.Background(), out, pdtl.Options{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
 		log.Fatal(err)
 	}
 	tris, err := pdtl.ReadTriangleFile(listPath)

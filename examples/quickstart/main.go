@@ -1,10 +1,13 @@
-// Quickstart: generate a scale-free graph, count its triangles with PDTL,
-// and inspect the per-worker breakdown.
+// Quickstart: generate a scale-free graph, open a reusable pdtl.Graph
+// handle, count its triangles, rerun against the cached preprocessing, and
+// stream triangles through the iterator — stopping early without leaking
+// the workers behind it.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,6 +23,7 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 	base := filepath.Join(dir, "rmat")
+	ctx := context.Background()
 
 	// 1. Create a graph store: an RMAT graph with 2^12 vertices and
 	//    16·2^12 edge samples (the paper's synthetic family).
@@ -30,12 +34,21 @@ func main() {
 	fmt.Printf("graph: %d vertices, %d edges, max degree %d\n",
 		info.NumVertices, info.NumEdges, info.MaxDegree)
 
-	// 2. Count triangles. PDTL orients the graph by the degree-based
+	// 2. Open a handle. The store's metadata and degree index are read
+	//    once, here; orientation and load-balance planning happen on the
+	//    first run and are cached for the handle's lifetime.
+	g, err := pdtl.Open(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+
+	// 3. Count triangles. PDTL orients the graph by the degree-based
 	//    order, load-balances contiguous edge ranges across workers, and
 	//    runs one external-memory MGT runner per worker. MemEdges is the
 	//    per-worker memory budget M in 4-byte adjacency entries —
 	//    correctness never depends on it, only the number of passes.
-	res, err := pdtl.Count(base, pdtl.Options{Workers: 4, MemEdges: 1 << 16})
+	res, err := g.Count(ctx, pdtl.Options{Workers: 4, MemEdges: 1 << 16})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,10 +60,11 @@ func main() {
 			w.Worker, w.EdgeLo, w.EdgeHi, w.Triangles, w.Passes, w.CPUTime, w.IOTime)
 	}
 
-	// 3. Rerun against the oriented store to skip preprocessing — e.g.
-	//    with a tiny memory budget to see the pass count grow while the
-	//    answer stays exact.
-	tight, err := pdtl.Count(res.OrientedBase, pdtl.Options{Workers: 4, MemEdges: 4096})
+	// 4. Rerun on the same handle — e.g. with a tiny memory budget to see
+	//    the pass count grow while the answer stays exact. The cached
+	//    orientation and degree index are reused: no preprocessing, no
+	//    re-reads, OrientTime is zero.
+	tight, err := g.Count(ctx, pdtl.Options{Workers: 4, MemEdges: 4096})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,6 +72,31 @@ func main() {
 	for _, w := range tight.Workers {
 		passes += w.Passes
 	}
-	fmt.Printf("rerun with M=4096 entries/worker: %d triangles across %d passes (same count: %v)\n",
-		tight.Triangles, passes, tight.Triangles == res.Triangles)
+	fmt.Printf("rerun with M=4096 entries/worker: %d triangles across %d passes (same count: %v, orientation reused: %v)\n",
+		tight.Triangles, passes, tight.Triangles == res.Triangles, tight.OrientTime == 0)
+
+	// 5. Stream triangles with the iterator. Breaking out of the loop
+	//    cancels the run: the workers stop at their next memory window and
+	//    everything is torn down before the loop statement completes.
+	seq, iterErr := g.Triangles(ctx, pdtl.Options{Workers: 2, MemEdges: 1 << 14})
+	shown := 0
+	for t := range seq {
+		fmt.Printf("  triangle %v\n", t)
+		shown++
+		if shown == 5 {
+			break // tears the runners down; not an error
+		}
+	}
+	if err := iterErr(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stopped after %d of %d triangles — early break cancels the run\n", shown, res.Triangles)
+
+	// 6. Contexts cancel runs the same way: a deadline or Ctrl-C style
+	//    cancellation makes the run return ctx.Err() promptly.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := g.Count(cancelled, pdtl.Options{Workers: 2}); err != nil {
+		fmt.Printf("cancelled run returns: %v\n", err)
+	}
 }

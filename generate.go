@@ -21,34 +21,15 @@ type GraphInfo struct {
 	MaxOutDegree uint32
 }
 
-// Info reads the metadata and degree statistics of the store at base.
+// Info reads the metadata and degree statistics of the store at base. With
+// an open handle, prefer (*Graph).Info, which computed the same once at
+// Open.
 func Info(base string) (GraphInfo, error) {
 	d, err := graph.Open(base)
 	if err != nil {
 		return GraphInfo{}, err
 	}
-	info := GraphInfo{
-		Name:         d.Meta.Name,
-		NumVertices:  d.NumVertices(),
-		NumEdges:     d.Meta.NumEdges,
-		MaxDegree:    d.Meta.MaxDegree,
-		Oriented:     d.Meta.Oriented,
-		MaxOutDegree: d.Meta.MaxOutDegree,
-	}
-	if n := float64(info.NumVertices); n > 0 {
-		var sum, sumSq float64
-		for _, deg := range d.Degrees {
-			df := float64(deg)
-			sum += df
-			sumSq += df * df
-		}
-		info.AvgDegree = sum / n
-		variance := sumSq/n - info.AvgDegree*info.AvgDegree
-		if variance > 0 {
-			info.StdDegree = sqrt(variance)
-		}
-	}
-	return info, nil
+	return infoFrom(d), nil
 }
 
 func sqrt(x float64) float64 {

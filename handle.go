@@ -1,0 +1,609 @@
+// Handle-based public API: a *Graph is a long-lived, reusable handle on one
+// on-disk graph store. Open loads the store's metadata and degree index
+// once; the first run orients the graph (if needed) and computes the
+// in-degree load-balance plan, and every later run on the same handle
+// reuses both — the amortized-preprocessing shape of PDTL §IV, where the
+// oriented graph is built once and "can be reused if necessary". All run
+// methods take a context.Context and abort cooperatively: every MGT runner
+// checks it once per memory window, the shared scan broadcaster unblocks
+// waiting runners, and cluster nodes are told to abandon their calculation,
+// so cancellation returns ctx.Err() promptly with no leaked goroutines or
+// file handles. See DESIGN.md §6 for the lifecycle.
+
+package pdtl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"iter"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pdtl/internal/balance"
+	"pdtl/internal/core"
+	"pdtl/internal/graph"
+	"pdtl/internal/mgt"
+	"pdtl/internal/orient"
+)
+
+// ErrClosed is returned by every method of a closed Graph handle.
+var ErrClosed = errors.New("pdtl: graph handle is closed")
+
+// triangleIterBuf is the channel depth between the runners and a Triangles
+// consumer; it only smooths bursts, correctness never depends on it.
+const triangleIterBuf = 1024
+
+// planKey identifies one cached load-balance plan.
+type planKey struct {
+	workers  int
+	strategy balance.Strategy
+}
+
+// Graph is an open handle on a graph store. It is safe for concurrent use;
+// runs on the same handle share the cached orientation, degree index, and
+// load-balance plans. A handle holds no open file descriptors between runs
+// (the store's data files are opened per run), so Close only invalidates
+// the handle.
+type Graph struct {
+	base string
+	info GraphInfo
+
+	mu     sync.Mutex
+	closed bool
+	// src is the store as opened; ord is its orientation (the same *Disk
+	// when the store was already oriented). ord is nil until the first run
+	// orients — the one-time preprocessing every later run reuses.
+	src          *graph.Disk
+	ord          *graph.Disk
+	orientedBase string
+	inDeg        []uint32
+	plans        map[planKey]balance.Plan
+	csr          *graph.CSR
+	// orienting / csrLoading are non-nil (and closed on completion) while
+	// one caller performs the orientation or the whole-graph CSR load. The
+	// work happens outside mu, so Close, Info accessors, and concurrent
+	// runs stay responsive during the potentially long reads, and waiters
+	// can still honor their contexts (orientation) or block only on the
+	// load itself (CSR).
+	orienting  chan struct{}
+	csrLoading chan struct{}
+}
+
+// Open opens the graph store at base (see WriteGraph and the
+// Generate/Import helpers for creating stores) and returns a reusable
+// handle. The metadata and degree index are read exactly once, here;
+// orientation and load-balance planning happen on the first run and are
+// cached for the handle's lifetime.
+func Open(base string) (*Graph, error) {
+	d, err := graph.Open(base)
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		base:  base,
+		info:  infoFrom(d),
+		src:   d,
+		plans: make(map[planKey]balance.Plan),
+	}
+	if d.Meta.Oriented {
+		g.ord = d
+		g.orientedBase = base
+	}
+	return g, nil
+}
+
+// Close invalidates the handle; subsequent runs fail with ErrClosed. Runs
+// already in flight are not interrupted (cancel their contexts for that).
+func (g *Graph) Close() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.closed = true
+	return nil
+}
+
+// Base reports the store path the handle was opened on.
+func (g *Graph) Base() string { return g.base }
+
+// Info reports the store's metadata and degree statistics, computed once at
+// Open.
+func (g *Graph) Info() GraphInfo { return g.info }
+
+// OrientedBase reports the oriented store the handle's runs use, or "" if
+// no run has oriented the graph yet.
+func (g *Graph) OrientedBase() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.orientedBase
+}
+
+// ensureOriented returns the oriented store, orienting the graph on first
+// use. The returned *orient.Result is non-nil exactly when this call
+// performed the orientation — the run that triggered preprocessing is the
+// one that reports its cost. Only one orientation runs at a time; it runs
+// outside the handle mutex, and a concurrent run waiting for it returns
+// ctx.Err() if its context fires first (the orientation itself is not
+// interrupted — it completes and is cached for the next caller).
+func (g *Graph) ensureOriented(ctx context.Context, workers int) (*graph.Disk, string, *orient.Result, error) {
+	for {
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			return nil, "", nil, ErrClosed
+		}
+		if g.ord != nil {
+			d, base := g.ord, g.orientedBase
+			g.mu.Unlock()
+			return d, base, nil, nil
+		}
+		if err := ctx.Err(); err != nil {
+			g.mu.Unlock()
+			return nil, "", nil, err
+		}
+		if g.orienting != nil {
+			// Another run is orienting; wait for it (or our context) and
+			// re-check.
+			wait := g.orienting
+			g.mu.Unlock()
+			select {
+			case <-wait:
+			case <-ctx.Done():
+				return nil, "", nil, ctx.Err()
+			}
+			continue
+		}
+		done := make(chan struct{})
+		g.orienting = done
+		g.mu.Unlock()
+
+		orientedBase := g.base + ".oriented"
+		ores, err := orient.Orient(g.base, orientedBase, workers)
+		var d *graph.Disk
+		if err == nil {
+			d, err = graph.Open(orientedBase)
+		}
+		g.mu.Lock()
+		g.orienting = nil
+		if err == nil {
+			g.ord = d
+			g.orientedBase = orientedBase
+			// The orientation already produced the in-degree array the
+			// load balancer needs; caching it here means no later run
+			// touches the in-degree file at all.
+			g.inDeg = ores.InDegrees
+		}
+		g.mu.Unlock()
+		close(done)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return d, orientedBase, ores, nil
+	}
+}
+
+// planCached returns the load-balance plan for (workers, strategy),
+// computing it at most once per handle. The in-degree array is read from
+// the store only if orientation did not happen on this handle (an
+// already-oriented store), and then only once. No closed check here: a run
+// checks the handle once, at ensureOriented — Close only gates runs that
+// have not started, never one already in flight.
+func (g *Graph) planCached(workers int, strategy balance.Strategy) (balance.Plan, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := planKey{workers: workers, strategy: strategy}
+	if p, ok := g.plans[key]; ok {
+		return p, nil
+	}
+	in := balance.Inputs{Offsets: g.ord.Offsets, OutDeg: g.ord.Degrees}
+	if strategy == balance.InDegree || strategy == balance.Cost {
+		if g.inDeg == nil {
+			inDeg, err := orient.LoadInDegrees(g.orientedBase, g.ord.NumVertices())
+			if err != nil {
+				return balance.Plan{}, fmt.Errorf("pdtl: load balancing needs the in-degree file: %w", err)
+			}
+			g.inDeg = inDeg
+		}
+		in.InDeg = g.inDeg
+	}
+	if strategy == balance.Cost {
+		costs, err := balance.ConeCosts(g.ord)
+		if err != nil {
+			return balance.Plan{}, fmt.Errorf("pdtl: cost balancing scan: %w", err)
+		}
+		in.ConeCost = costs
+	}
+	p, err := balance.SplitInputs(in, workers, strategy)
+	if err != nil {
+		return balance.Plan{}, err
+	}
+	g.plans[key] = p
+	return p, nil
+}
+
+// resolveWorkers reports the runner count a run with these Options uses.
+func (o Options) resolveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return defaultWorkers()
+}
+
+// run executes one calculation on the handle: ensure orientation (cached),
+// look up the plan (cached), and run one MGT runner per range. sinks, when
+// non-nil, must have exactly opt.Workers entries.
+func (g *Graph) run(ctx context.Context, opt Options, sinks []mgt.Sink) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	copt, err := opt.toCore()
+	if err != nil {
+		return nil, err
+	}
+	workers := copt.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+		copt.Workers = workers
+	}
+	copt.Sinks = sinks
+
+	start := time.Now()
+	d, orientedBase, ores, err := g.ensureOriented(ctx, workers)
+	if err != nil {
+		return nil, err
+	}
+	calcStart := time.Now()
+	plan, err := g.planCached(workers, copt.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	stats, srcIO, err := core.RunRanges(ctx, d, plan.Ranges, copt)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		OrientedBase:    orientedBase,
+		ScanSource:      string(copt.Scan.Resolve(len(plan.Ranges))),
+		SourceBytesRead: srcIO.BytesRead,
+		MaxOutDegree:    d.Meta.MaxOutDegree,
+	}
+	if ores != nil {
+		res.OrientTime = ores.Duration
+		res.MaxOutDegree = ores.MaxOutDegree
+	}
+	for _, w := range stats {
+		res.Triangles += w.Stats.Triangles
+		res.Workers = append(res.Workers, WorkerStats{
+			Worker:    w.Worker,
+			EdgeLo:    w.Range.Lo,
+			EdgeHi:    w.Range.Hi,
+			Triangles: w.Stats.Triangles,
+			Passes:    w.Stats.Passes,
+			CPUTime:   w.Stats.CPUTime(),
+			IOTime:    w.Stats.IO.IOTime(),
+			BytesRead: w.Stats.IO.BytesRead,
+		})
+	}
+	res.CalcTime = time.Since(calcStart)
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// Count counts the graph's triangles. The first call orients the graph (if
+// the store was unoriented) and plans the load balance; later calls with
+// any options reuse both and go straight to the calculation phase.
+func (g *Graph) Count(ctx context.Context, opt Options) (*Result, error) {
+	return g.run(ctx, opt, nil)
+}
+
+// ForEach invokes fn once per triangle (u, v, w), ordered by the
+// degree-based order u ≺ v ≺ w. fn is called concurrently from Workers
+// goroutines; it must be safe for concurrent use (or set Workers to 1).
+func (g *Graph) ForEach(ctx context.Context, opt Options, fn func(u, v, w uint32)) (*Result, error) {
+	workers := opt.resolveWorkers()
+	opt.Workers = workers
+	sinks := make([]mgt.Sink, workers)
+	for i := range sinks {
+		sinks[i] = mgt.FuncSink(fn)
+	}
+	return g.run(ctx, opt, sinks)
+}
+
+// List streams every triangle to w as little-endian uint32 triples (12
+// bytes per triangle), in the deterministic per-worker order; use
+// ReadTriangleFile (or mgt.ReadTriangles) to decode. Workers buffer their
+// shares in private temporary files and the shares are concatenated into w
+// after the run, so w itself sees one sequential write.
+func (g *Graph) List(ctx context.Context, w io.Writer, opt Options) (*Result, error) {
+	return g.listTo(ctx, w, "", opt)
+}
+
+// listTo is List with an explicit directory for the per-worker part files
+// ("" means the default temp dir). os.CreateTemp names the parts, so
+// concurrent listings — even of the same graph to the same output path —
+// never collide on their intermediates.
+func (g *Graph) listTo(ctx context.Context, out io.Writer, partDir string, opt Options) (*Result, error) {
+	workers := opt.resolveWorkers()
+	opt.Workers = workers
+	parts := make([]*os.File, 0, workers)
+	defer func() {
+		for _, f := range parts {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}()
+	sinks := make([]mgt.Sink, workers)
+	fileSinks := make([]*mgt.FileSink, workers)
+	for i := range sinks {
+		f, err := os.CreateTemp(partDir, "pdtl-list-*.part")
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, f)
+		fileSinks[i] = mgt.NewFileSink(f)
+		sinks[i] = fileSinks[i]
+	}
+	res, err := g.run(ctx, opt, sinks)
+	if err != nil {
+		return nil, err
+	}
+	for i, sink := range fileSinks {
+		if err := sink.Flush(); err != nil {
+			return nil, err
+		}
+		if _, err := parts[i].Seek(0, 0); err != nil {
+			return nil, err
+		}
+		if _, err := io.Copy(out, parts[i]); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ListFile writes the listing to outPath atomically: the per-worker parts
+// and the output temp file live in outPath's directory, and the temp is
+// renamed into place only on success — a failed or cancelled run never
+// truncates or disturbs an existing file at outPath. The final file gets
+// os.Create's permissions (0666 clipped by the umask).
+func (g *Graph) ListFile(ctx context.Context, outPath string, opt Options) (*Result, error) {
+	dir := filepath.Dir(outPath)
+	out, err := createExclusive(dir, ".pdtl-out-", 0o666)
+	if err != nil {
+		return nil, err
+	}
+	res, err := g.listTo(ctx, out, dir, opt)
+	if err != nil {
+		out.Close()
+		os.Remove(out.Name())
+		return nil, err
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(out.Name())
+		return nil, err
+	}
+	if err := os.Rename(out.Name(), outPath); err != nil {
+		os.Remove(out.Name())
+		return nil, err
+	}
+	return res, nil
+}
+
+// createExclusive is os.CreateTemp with a caller-chosen mode: CreateTemp
+// hardwires 0600, which would leave a listing owner-only, while O_EXCL
+// creation at 0666 gets the umask applied by the kernel — exactly
+// os.Create's semantics, minus the truncation of an existing file.
+func createExclusive(dir, prefix string, mode os.FileMode) (*os.File, error) {
+	for try := 0; try < 10000; try++ {
+		name := filepath.Join(dir, prefix+strconv.FormatUint(rand.Uint64(), 36))
+		f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, mode)
+		if err == nil {
+			return f, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("pdtl: could not create a unique temp file in %s", dir)
+}
+
+// Triangles returns a single-use iterator over every triangle (u, v, w)
+// with u ≺ v ≺ w, plus an error function to check after iteration (like
+// bufio.Scanner.Err). Breaking out of the loop early cancels the underlying
+// run: the runners abort within one memory window and every goroutine and
+// file handle is torn down before the loop statement completes. A break is
+// not an error; a cancelled ctx or a failed run is, and surfaces through
+// the returned error function.
+func (g *Graph) Triangles(ctx context.Context, opt Options) (iter.Seq[[3]uint32], func() error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var runErr error
+	seq := func(yield func([3]uint32) bool) {
+		runErr = nil
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		ch := make(chan [3]uint32, triangleIterBuf)
+		done := make(chan error, 1)
+		go func() {
+			_, err := g.ForEach(runCtx, opt, func(u, v, w uint32) {
+				select {
+				case ch <- [3]uint32{u, v, w}:
+				case <-runCtx.Done():
+				}
+			})
+			close(ch)
+			done <- err
+		}()
+		broke := false
+		for t := range ch {
+			if !yield(t) {
+				broke = true
+				cancel()
+				break
+			}
+		}
+		if broke {
+			// Drain so no runner stays blocked on a send between the
+			// cancellation and its next per-window context check.
+			for range ch {
+			}
+		}
+		err := <-done
+		if broke && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			// The teardown we triggered, not a failure.
+			err = nil
+		}
+		runErr = err
+	}
+	return seq, func() error { return runErr }
+}
+
+// maxShardEntries caps the total uint64 counters TriangleDegrees allocates
+// across its per-worker shards (1<<27 entries = 1 GiB). Past the cap the
+// workers share one array with atomic adds instead — still lock-free,
+// bounded at n counters regardless of worker count.
+const maxShardEntries = 1 << 27
+
+// TriangleDegrees returns, for every vertex, the number of triangles it
+// participates in — the per-vertex quantity behind local clustering
+// coefficients. Each worker accumulates into a private count shard merged
+// once after the run, so the hot path takes no lock; when workers × n
+// counters would exceed maxShardEntries, the workers share a single array
+// with atomic adds instead, trading some cache-line contention for bounded
+// memory on huge graphs.
+func (g *Graph) TriangleDegrees(ctx context.Context, opt Options) ([]uint64, *Result, error) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	n := g.src.NumVertices()
+	g.mu.Unlock()
+
+	workers := opt.resolveWorkers()
+	opt.Workers = workers
+	sinks := make([]mgt.Sink, workers)
+	if uint64(n)*uint64(workers) > maxShardEntries {
+		counts := make([]uint64, n)
+		for i := range sinks {
+			sinks[i] = mgt.FuncSink(func(u, v, w uint32) {
+				atomic.AddUint64(&counts[u], 1)
+				atomic.AddUint64(&counts[v], 1)
+				atomic.AddUint64(&counts[w], 1)
+			})
+		}
+		res, err := g.run(ctx, opt, sinks)
+		if err != nil {
+			return nil, nil, err
+		}
+		return counts, res, nil
+	}
+	shards := make([][]uint64, workers)
+	for i := range sinks {
+		shard := make([]uint64, n)
+		shards[i] = shard
+		sinks[i] = mgt.FuncSink(func(u, v, w uint32) {
+			shard[u]++
+			shard[v]++
+			shard[w]++
+		})
+	}
+	res, err := g.run(ctx, opt, sinks)
+	if err != nil {
+		return nil, nil, err
+	}
+	counts := shards[0]
+	for _, shard := range shards[1:] {
+		for v, c := range shard {
+			counts[v] += c
+		}
+	}
+	return counts, res, nil
+}
+
+// VerifySmallDegree checks the paper's small-degree assumption
+// (d*max ≤ M/2) against the handle's oriented store, orienting first if no
+// run has yet. The returned error is advisory — counting stays exact
+// without the assumption, only the CPU bound of Theorem IV.2 weakens.
+func (g *Graph) VerifySmallDegree(memEdges int) error {
+	d, _, _, err := g.ensureOriented(context.Background(), defaultWorkers())
+	if err != nil {
+		return err
+	}
+	return mgt.CheckSmallDegree(d, memEdges)
+}
+
+// csrCached lazily loads (and caches) the opened store as an in-memory CSR
+// for the approximate estimators. Like the orientation, the load runs
+// outside the handle mutex (one loader at a time, concurrent callers wait
+// on its completion channel), so a multi-second whole-graph read never
+// blocks Close or a concurrent run's cache lookups.
+func (g *Graph) csrCached() (*graph.CSR, error) {
+	for {
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if g.csr != nil {
+			csr := g.csr
+			g.mu.Unlock()
+			return csr, nil
+		}
+		if g.csrLoading != nil {
+			wait := g.csrLoading
+			g.mu.Unlock()
+			<-wait
+			continue
+		}
+		done := make(chan struct{})
+		g.csrLoading = done
+		src := g.src
+		g.mu.Unlock()
+
+		csr, err := src.LoadCSR()
+		g.mu.Lock()
+		g.csrLoading = nil
+		if err == nil {
+			g.csr = csr
+		}
+		g.mu.Unlock()
+		close(done)
+		return csr, err
+	}
+}
+
+// infoFrom computes a store's GraphInfo from its opened metadata and degree
+// index.
+func infoFrom(d *graph.Disk) GraphInfo {
+	info := GraphInfo{
+		Name:         d.Meta.Name,
+		NumVertices:  d.NumVertices(),
+		NumEdges:     d.Meta.NumEdges,
+		MaxDegree:    d.Meta.MaxDegree,
+		Oriented:     d.Meta.Oriented,
+		MaxOutDegree: d.Meta.MaxOutDegree,
+	}
+	if n := float64(info.NumVertices); n > 0 {
+		var sum, sumSq float64
+		for _, deg := range d.Degrees {
+			df := float64(deg)
+			sum += df
+			sumSq += df * df
+		}
+		info.AvgDegree = sum / n
+		variance := sumSq/n - info.AvgDegree*info.AvgDegree
+		if variance > 0 {
+			info.StdDegree = sqrt(variance)
+		}
+	}
+	return info
+}

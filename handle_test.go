@@ -1,0 +1,399 @@
+package pdtl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pdtl/internal/baseline"
+	"pdtl/internal/gen"
+	"pdtl/internal/graph"
+	"pdtl/internal/orient"
+)
+
+func TestHandleCountAndReuse(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "k25")
+	if _, err := GenerateComplete(base, 25); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.Info().NumVertices != 25 {
+		t.Fatalf("info = %+v", g.Info())
+	}
+	ctx := context.Background()
+	res1, err := g.Count(ctx, Options{Workers: 3, MemEdges: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Triangles != gen.CompleteTriangles(25) {
+		t.Fatalf("triangles = %d", res1.Triangles)
+	}
+	if res1.OrientTime <= 0 {
+		t.Error("first run should report the orientation it performed")
+	}
+	res2, err := g.Count(ctx, Options{Workers: 3, MemEdges: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Triangles != res1.Triangles {
+		t.Errorf("rerun triangles = %d, want %d", res2.Triangles, res1.Triangles)
+	}
+	if res2.OrientTime != 0 {
+		t.Error("second run must reuse the cached orientation (OrientTime 0)")
+	}
+}
+
+// TestHandleNoRereadAfterFirstRun is the I/O-accounting check of the
+// handle cache: after the first Count, every store file except the oriented
+// adjacency data is deleted. A second Count (and a different-worker-count
+// third) can only succeed if the handle re-reads nothing — no orientation,
+// no metadata, no degree file, no in-degree file.
+func TestHandleNoRereadAfterFirstRun(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "rmat")
+	if _, err := GenerateRMAT(base, 9, 8, 7); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx := context.Background()
+	res1, err := g.Count(ctx, Options{Workers: 2, MemEdges: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oriented := res1.OrientedBase
+	for _, p := range []string{
+		graph.MetaPath(base), graph.DegPath(base), graph.AdjPath(base),
+		graph.MetaPath(oriented), graph.DegPath(oriented), orient.InDegPath(oriented),
+	} {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res2, err := g.Count(ctx, Options{Workers: 2, MemEdges: 1 << 12})
+	if err != nil {
+		t.Fatalf("rerun after deleting metadata/degree/in-degree files: %v", err)
+	}
+	if res2.Triangles != res1.Triangles || res2.OrientTime != 0 {
+		t.Errorf("rerun = %d triangles orient %v, want %d and 0", res2.Triangles, res2.OrientTime, res1.Triangles)
+	}
+	// A different worker count needs a fresh plan — still from cached
+	// arrays only.
+	res3, err := g.Count(ctx, Options{Workers: 4, MemEdges: 1 << 12})
+	if err != nil {
+		t.Fatalf("new worker count after deleting files: %v", err)
+	}
+	if res3.Triangles != res1.Triangles {
+		t.Errorf("4-worker rerun = %d, want %d", res3.Triangles, res1.Triangles)
+	}
+}
+
+// TestHandleCancelMidPassAllSources cancels from inside the triangle
+// callback over every scan source and expects the bare ctx.Err().
+func TestHandleCancelMidPassAllSources(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "rmat")
+	if _, err := GenerateRMAT(base, 10, 16, 3); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	for _, source := range []string{"buffered", "shared", "mem"} {
+		t.Run(source, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var fired atomic.Bool
+			// MemEdges 128 gives every runner dozens of windows, so the
+			// cancellation lands mid-run with most of the range left.
+			_, err := g.ForEach(ctx, Options{Workers: 2, MemEdges: 128, ScanSource: source},
+				func(u, v, w uint32) {
+					if fired.CompareAndSwap(false, true) {
+						cancel()
+					}
+				})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if !fired.Load() {
+				t.Fatal("callback never fired")
+			}
+		})
+	}
+}
+
+func TestHandleTrianglesIterator(t *testing.T) {
+	g4, err := gen.ErdosRenyi(200, 1500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tempStore(t, g4, "er")
+	want := baseline.Forward(g4)
+	g, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	seq, errf := g.Triangles(context.Background(), Options{Workers: 3, MemEdges: 64})
+	var n uint64
+	for range seq {
+		n++
+	}
+	if err := errf(); err != nil {
+		t.Fatal(err)
+	}
+	if n != want {
+		t.Errorf("iterated %d triangles, want %d", n, want)
+	}
+}
+
+// TestHandleTrianglesEarlyBreakNoLeak breaks out of the iterator early,
+// repeatedly, and checks the goroutine count settles back to its baseline —
+// the teardown contract of g.Triangles.
+func TestHandleTrianglesEarlyBreakNoLeak(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "rmat")
+	if _, err := GenerateRMAT(base, 10, 16, 5); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	// Warm the handle (orientation) so the loop below measures only runs.
+	if _, err := g.Count(context.Background(), Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		seq, errf := g.Triangles(context.Background(), Options{Workers: 4, MemEdges: 256})
+		n := 0
+		for range seq {
+			n++
+			if n >= 3 {
+				break
+			}
+		}
+		if err := errf(); err != nil {
+			t.Fatalf("early break reported error: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d, baseline %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestHandleListWriter(t *testing.T) {
+	g6, err := gen.TriGrid(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tempStore(t, g6, "tg")
+	g, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	var buf bytes.Buffer
+	res, err := g.List(context.Background(), &buf, Options{Workers: 2, MemEdges: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gen.TriGridTriangles(5, 5)
+	if res.Triangles != want || uint64(buf.Len()) != want*12 {
+		t.Errorf("triangles %d bytes %d, want %d and %d", res.Triangles, buf.Len(), want, want*12)
+	}
+}
+
+// TestListConcurrentSamePath runs two legacy List calls on the same output
+// path at once. With the old predictable %s.partN temp names the part files
+// clobbered each other; with os.CreateTemp parts they cannot, and both runs
+// produce the complete, exact listing.
+func TestListConcurrentSamePath(t *testing.T) {
+	g6, err := gen.TriGrid(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tempStore(t, g6, "tg")
+	// Pre-orient so the two runs do not race on writing the oriented store.
+	if _, err := Count(base, Options{Workers: 1, MemEdges: 1 << 12}); err != nil {
+		t.Fatal(err)
+	}
+	oriented := base + ".oriented"
+	out := filepath.Join(t.TempDir(), "tris.bin")
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			_, errs[slot] = List(oriented, out, Options{Workers: 2, MemEdges: 32})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	tris, err := ReadTriangleFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gen.TriGridTriangles(8, 8)
+	if uint64(len(tris)) != want {
+		t.Fatalf("listed %d triangles, want %d", len(tris), want)
+	}
+	seen := map[[3]uint32]bool{}
+	for _, tri := range tris {
+		if seen[tri] {
+			t.Fatalf("duplicate %v", tri)
+		}
+		seen[tri] = true
+	}
+}
+
+func TestHandleDistributedCancel(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "rmat")
+	if _, err := GenerateRMAT(base, 13, 16, 9); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := StartLocalWorkers(2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	g, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// Pre-cancelled context: nothing starts.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.CountDistributed(cancelled, pool.Addrs(), ClusterOptions{Workers: 2, MemEdges: 256}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v, want context.Canceled", err)
+	}
+
+	// A 1 ms deadline expires during orientation/copy/calculation of a
+	// scale-13 graph; the protocol must surface the deadline error.
+	ctx, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	if _, err := g.CountDistributed(ctx, pool.Addrs(), ClusterOptions{Workers: 2, MemEdges: 256}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// The same handle still works with a live context, reusing whatever
+	// preprocessing survived the aborted attempts.
+	res, err := g.CountDistributed(context.Background(), pool.Addrs(), ClusterOptions{Workers: 2, MemEdges: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := g.Count(context.Background(), Options{Workers: 2, MemEdges: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triangles != local.Triangles {
+		t.Errorf("distributed %d vs local %d", res.Triangles, local.Triangles)
+	}
+}
+
+func TestServeWorkerContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	w, err := ServeWorkerContext(ctx, "127.0.0.1:0", "ctxworker", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-w.Done():
+		t.Fatal("worker stopped before cancellation")
+	default:
+	}
+	cancel()
+	select {
+	case <-w.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker did not stop on context cancellation")
+	}
+	// Close after context-stop is a no-op, not a panic.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedHandle(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "k10")
+	if _, err := GenerateComplete(base, 10); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Count(context.Background(), Options{Workers: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if _, _, err := g.TriangleDegrees(context.Background(), Options{Workers: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if _, err := g.EstimateDoulion(0.5, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestHandleEstimators(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "rmat")
+	if _, err := GenerateRMAT(base, 10, 16, 5); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	res, err := g.Count(context.Background(), Options{Workers: 2, MemEdges: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := float64(res.Triangles)
+	doulion, err := g.EstimateDoulion(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doulion < exact/2 || doulion > exact*2 {
+		t.Errorf("Doulion estimate %.0f far from exact %.0f", doulion, exact)
+	}
+	wedges, err := g.EstimateWedges(50_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wedges < exact*0.8 || wedges > exact*1.2 {
+		t.Errorf("wedge estimate %.0f far from exact %.0f", wedges, exact)
+	}
+}

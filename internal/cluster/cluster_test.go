@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"sort"
@@ -43,7 +44,7 @@ func TestDistributedCountMatchesReference(t *testing.T) {
 
 	for _, clients := range []int{0, 1, 3} {
 		lc := startCluster(t, clients)
-		res, err := Run(Config{
+		res, err := Run(context.Background(), Config{
 			GraphBase: base,
 			Workers:   2,
 			MemEdges:  512,
@@ -79,7 +80,7 @@ func TestDistributedNetworkTraffic(t *testing.T) {
 	}
 	base := writeStore(t, g, "er")
 	lc := startCluster(t, 3)
-	res, err := Run(Config{GraphBase: base, Workers: 2, MemEdges: 1024}, lc.Addrs())
+	res, err := Run(context.Background(), Config{GraphBase: base, Workers: 2, MemEdges: 1024}, lc.Addrs())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestDistributedListing(t *testing.T) {
 	base := writeStore(t, g, "tg")
 	lc := startCluster(t, 2)
 	listPath := filepath.Join(t.TempDir(), "triangles.bin")
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		GraphBase: base,
 		Workers:   2,
 		MemEdges:  64,
@@ -157,11 +158,11 @@ func TestDistributedOrientedInput(t *testing.T) {
 	base := writeStore(t, g, "k16")
 	// Pre-orient via a first run, then feed the oriented store.
 	lc := startCluster(t, 1)
-	res1, err := Run(Config{GraphBase: base, Workers: 1, MemEdges: 64}, lc.Addrs())
+	res1, err := Run(context.Background(), Config{GraphBase: base, Workers: 1, MemEdges: 64}, lc.Addrs())
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := Run(Config{GraphBase: res1.OrientedBase, Workers: 1, MemEdges: 64}, lc.Addrs())
+	res2, err := Run(context.Background(), Config{GraphBase: res1.OrientedBase, Workers: 1, MemEdges: 64}, lc.Addrs())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestUplinkLimiterSlowsCopies(t *testing.T) {
 	base := writeStore(t, g, "big")
 	lc := startCluster(t, 1)
 
-	fast, err := Run(Config{GraphBase: base, Workers: 1, MemEdges: 1 << 16}, lc.Addrs())
+	fast, err := Run(context.Background(), Config{GraphBase: base, Workers: 1, MemEdges: 1 << 16}, lc.Addrs())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestUplinkLimiterSlowsCopies(t *testing.T) {
 	// must spend at least (replica − 0.4·replica)/(4·replica/s) = 150ms
 	// waiting, regardless of host speed.
 	replica := fast.Nodes[1].CopyBytes
-	slow, err := Run(Config{
+	slow, err := Run(context.Background(), Config{
 		GraphBase:         base,
 		Workers:           1,
 		MemEdges:          1 << 16,
@@ -254,7 +255,7 @@ func TestRunFailsOnDeadNode(t *testing.T) {
 	lc := startCluster(t, 1)
 	addr := lc.Addrs()[0]
 	lc.Close()
-	if _, err := Run(Config{GraphBase: base, Workers: 1, MemEdges: 16}, []string{addr}); err == nil {
+	if _, err := Run(context.Background(), Config{GraphBase: base, Workers: 1, MemEdges: 16}, []string{addr}); err == nil {
 		t.Fatal("want error when node is unreachable")
 	}
 }
@@ -265,7 +266,7 @@ func TestListRequiresPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := writeStore(t, g, "k5")
-	if _, err := Run(Config{GraphBase: base, Workers: 1, MemEdges: 16, List: true}, nil); err == nil {
+	if _, err := Run(context.Background(), Config{GraphBase: base, Workers: 1, MemEdges: 16, List: true}, nil); err == nil {
 		t.Fatal("want error for List without ListPath")
 	}
 }

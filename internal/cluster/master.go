@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"math/rand/v2"
 	"net/rpc"
 	"os"
 	"path/filepath"
@@ -29,6 +31,12 @@ type Config struct {
 	// GraphName names the replicas on the clients; defaults to the base
 	// name of GraphBase.
 	GraphName string
+	// Disk, when non-nil, is an already-open handle on the store GraphBase
+	// names; Run uses it instead of re-opening (re-reading metadata and
+	// the whole degree file). The public Graph handle passes its cached
+	// oriented disk here, so repeated distributed runs pay the degree scan
+	// once. The files GraphBase names are still read for replication.
+	Disk *graph.Disk
 	// Workers is P, the processors per node.
 	Workers int
 	// MemEdges is M per processor.
@@ -125,20 +133,48 @@ type Result struct {
 	OrientedBase string
 }
 
+// runSeq plus a per-process random token feed RunIDs for remote
+// cancellation. The token keeps two masters sharing a worker from minting
+// the same id (a bare per-process counter would collide and let one
+// master's cancellation abort the other's run).
+var (
+	runSeq   atomic.Int64
+	runToken = rand.Uint64()
+)
+
+// cancelDrainTimeout bounds how long a cancelled master waits for a
+// worker's aborted Count RPC to drain; a wedged worker must not keep a
+// cancelled master alive (closing the client kills the pending calls).
+const cancelDrainTimeout = 10 * time.Second
+
 // Run executes a distributed triangle count/listing with the master as node
 // 0 and one client per address in workerAddrs. With no addresses it
 // degrades to a purely local run through the same code path.
-func Run(cfg Config, workerAddrs []string) (*Result, error) {
+//
+// Cancelling ctx aborts the whole protocol: the master's own runners stop
+// within one memory window, in-flight graph copies stop at the next chunk,
+// and every client is told (via a Cancel RPC) to abandon its calculation.
+// Run then returns ctx.Err().
+func Run(ctx context.Context, cfg Config, workerAddrs []string) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	start := time.Now()
 
-	d, err := graph.Open(cfg.GraphBase)
-	if err != nil {
-		return nil, err
+	d := cfg.Disk
+	if d == nil {
+		var err error
+		if d, err = graph.Open(cfg.GraphBase); err != nil {
+			return nil, err
+		}
 	}
 	res := &Result{}
 	orientedBase := cfg.GraphBase
 	if !d.Meta.Oriented {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		orientedBase = cfg.GraphBase + ".oriented"
 		ores, err := orient.Orient(cfg.GraphBase, orientedBase, cfg.OrientWorkers)
 		if err != nil {
@@ -174,7 +210,7 @@ func Run(cfg Config, workerAddrs []string) (*Result, error) {
 		wg.Add(1)
 		go func(slot int, addr string, ranges []balance.Range) {
 			defer wg.Done()
-			nr, tp, err := runRemote(cfg, orientedBase, addr, ranges, limiter)
+			nr, tp, err := runRemote(ctx, cfg, orientedBase, addr, ranges, limiter)
 			if err != nil {
 				errs[slot] = err
 				return
@@ -189,7 +225,7 @@ func Run(cfg Config, workerAddrs []string) (*Result, error) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		nr, tp, err := runLocal(cfg, d, groups[0])
+		nr, tp, err := runLocal(ctx, cfg, d, groups[0])
 		if err != nil {
 			errs[0] = err
 			return
@@ -199,6 +235,11 @@ func Run(cfg Config, workerAddrs []string) (*Result, error) {
 		totalTriangles.Add(nr.Triangles)
 	}()
 	wg.Wait()
+	// A cancelled protocol reports the bare ctx.Err(), whichever node
+	// surfaced the cancellation first.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -222,7 +263,7 @@ func Run(cfg Config, workerAddrs []string) (*Result, error) {
 }
 
 // runLocal is the master acting as node 0.
-func runLocal(cfg Config, d *graph.Disk, ranges []balance.Range) (*NodeResult, []byte, error) {
+func runLocal(ctx context.Context, cfg Config, d *graph.Disk, ranges []balance.Range) (*NodeResult, []byte, error) {
 	calcStart := time.Now()
 	opt := core.Options{
 		Workers:  len(ranges),
@@ -240,7 +281,7 @@ func runLocal(cfg Config, d *graph.Disk, ranges []balance.Range) (*NodeResult, [
 			opt.Sinks[i] = mgt.NewFileSink(buffers[i])
 		}
 	}
-	stats, srcIO, err := core.RunRanges(d, ranges, opt)
+	stats, srcIO, err := core.RunRanges(ctx, d, ranges, opt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -260,8 +301,21 @@ func runLocal(cfg Config, d *graph.Disk, ranges []balance.Range) (*NodeResult, [
 	return nr, tp, nil
 }
 
+// callCtx issues one RPC and honors ctx: on cancellation it returns
+// ctx.Err() immediately, leaving the in-flight call to die with the
+// connection (runRemote closes the client on every return path).
+func callCtx(ctx context.Context, client *rpc.Client, method string, args, reply any) error {
+	call := client.Go(method, args, reply, make(chan *rpc.Call, 1))
+	select {
+	case c := <-call.Done:
+		return c.Error
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // runRemote copies the graph to one client and runs its calculation phase.
-func runRemote(cfg Config, orientedBase, addr string, ranges []balance.Range, limiter *Limiter) (*NodeResult, []byte, error) {
+func runRemote(ctx context.Context, cfg Config, orientedBase, addr string, ranges []balance.Range, limiter *Limiter) (*NodeResult, []byte, error) {
 	client, err := rpc.Dial("tcp", addr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
@@ -269,13 +323,13 @@ func runRemote(cfg Config, orientedBase, addr string, ranges []balance.Range, li
 	defer client.Close()
 
 	var hello HelloReply
-	if err := client.Call("Node.Hello", &HelloArgs{}, &hello); err != nil {
+	if err := callCtx(ctx, client, "Node.Hello", &HelloArgs{}, &hello); err != nil {
 		return nil, nil, fmt.Errorf("cluster: hello %s: %w", addr, err)
 	}
 	nr := &NodeResult{Name: hello.Name, Addr: addr}
 
 	copyStart := time.Now()
-	sent, err := copyGraph(client, cfg, orientedBase, limiter)
+	sent, err := copyGraph(ctx, client, cfg, orientedBase, limiter)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cluster: copy to %s: %w", addr, err)
 	}
@@ -284,6 +338,7 @@ func runRemote(cfg Config, orientedBase, addr string, ranges []balance.Range, li
 
 	args := &CountArgs{
 		GraphName: cfg.GraphName,
+		RunID:     fmt.Sprintf("%s#%x-%d", cfg.GraphName, runToken, runSeq.Add(1)),
 		Ranges:    ranges,
 		MemEdges:  cfg.MemEdges,
 		BufBytes:  cfg.BufBytes,
@@ -292,8 +347,26 @@ func runRemote(cfg Config, orientedBase, addr string, ranges []balance.Range, li
 		List:      cfg.List,
 	}
 	var reply CountReply
-	if err := client.Call("Node.Count", args, &reply); err != nil {
-		return nil, nil, fmt.Errorf("cluster: count on %s: %w", addr, err)
+	count := client.Go("Node.Count", args, &reply, make(chan *rpc.Call, 1))
+	select {
+	case c := <-count.Done:
+		if c.Error != nil {
+			return nil, nil, fmt.Errorf("cluster: count on %s: %w", addr, c.Error)
+		}
+	case <-ctx.Done():
+		// Tell the node to abandon the run (net/rpc multiplexes, so the
+		// Cancel travels on the same connection while Count is pending),
+		// then wait — bounded — for the aborted Count to drain so a
+		// healthy node is idle by the time we report cancellation. Both
+		// calls are asynchronous and time-limited: a wedged worker cannot
+		// block a cancelled master, and the deferred client.Close kills
+		// whatever is still pending on return.
+		client.Go("Node.Cancel", &CancelArgs{RunID: args.RunID}, &CancelReply{}, make(chan *rpc.Call, 1))
+		select {
+		case <-count.Done:
+		case <-time.After(cancelDrainTimeout):
+		}
+		return nil, nil, ctx.Err()
 	}
 	nr.CalcTime = reply.CalcTime
 	nr.Triangles = reply.Triangles
@@ -302,9 +375,10 @@ func runRemote(cfg Config, orientedBase, addr string, ranges []balance.Range, li
 	return nr, reply.Triples, nil
 }
 
-// copyGraph streams the three store files to a client through the limiter.
-func copyGraph(client *rpc.Client, cfg Config, orientedBase string, limiter *Limiter) (int64, error) {
-	if err := client.Call("Node.BeginGraph", &BeginGraphArgs{Name: cfg.GraphName}, &struct{}{}); err != nil {
+// copyGraph streams the three store files to a client through the limiter,
+// checking ctx between chunks so a cancelled run stops replicating promptly.
+func copyGraph(ctx context.Context, client *rpc.Client, cfg Config, orientedBase string, limiter *Limiter) (int64, error) {
+	if err := callCtx(ctx, client, "Node.BeginGraph", &BeginGraphArgs{Name: cfg.GraphName}, &struct{}{}); err != nil {
 		return 0, err
 	}
 	var sent int64
@@ -323,11 +397,15 @@ func copyGraph(client *rpc.Client, cfg Config, orientedBase string, limiter *Lim
 			return sent, err
 		}
 		for {
+			if err := ctx.Err(); err != nil {
+				f.Close()
+				return sent, err
+			}
 			k, rerr := f.Read(buf)
 			if k > 0 {
 				limiter.Wait(k)
 				chunk := ChunkArgs{Kind: file.kind, Data: buf[:k]}
-				if err := client.Call("Node.GraphChunk", &chunk, &struct{}{}); err != nil {
+				if err := callCtx(ctx, client, "Node.GraphChunk", &chunk, &struct{}{}); err != nil {
 					f.Close()
 					return sent, err
 				}
@@ -340,7 +418,7 @@ func copyGraph(client *rpc.Client, cfg Config, orientedBase string, limiter *Lim
 		f.Close()
 	}
 	var end EndGraphReply
-	if err := client.Call("Node.EndGraph", &EndGraphArgs{}, &end); err != nil {
+	if err := callCtx(ctx, client, "Node.EndGraph", &EndGraphArgs{}, &end); err != nil {
 		return sent, err
 	}
 	if end.BytesReceived != sent {

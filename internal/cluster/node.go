@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -29,7 +30,21 @@ type Node struct {
 	incoming map[FileKind]*os.File
 	curName  string
 	received int64
+	// runs maps the RunID of every in-flight Count to its cancel func, so
+	// a master's Cancel RPC (or a server shutdown) can abort it mid-run.
+	runs map[string]context.CancelFunc
+	// cancelledRuns tombstones RunIDs whose Cancel arrived before the
+	// Count registered (net/rpc serves each request in its own goroutine,
+	// so a short-deadline master can race the two): a late-registering
+	// Count sees its tombstone and aborts instead of computing the whole
+	// run uncancellably.
+	cancelledRuns map[string]struct{}
 }
+
+// maxCancelTombstones bounds cancelledRuns (entries whose Count already
+// finished are never claimed); past the bound the set is simply cleared —
+// losing a tombstone only costs one wasted (not incorrect) run.
+const maxCancelTombstones = 1024
 
 // NewNode creates a node that stores graph replicas under workDir. workers
 // is advertised to the master as the node's processor count; non-positive
@@ -129,9 +144,32 @@ func (n *Node) abortLocked() {
 }
 
 // Count runs the node's calculation phase: one MGT runner per assigned
-// range against the local replica.
+// range against the local replica. When args.RunID is set the run is
+// registered for cancellation: a Cancel RPC with the same id (or a server
+// shutdown) makes every runner abort within one memory window and Count
+// return the cancellation error.
 func (n *Node) Count(args *CountArgs, reply *CountReply) error {
 	start := time.Now()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if args.RunID != "" {
+		n.mu.Lock()
+		if _, dead := n.cancelledRuns[args.RunID]; dead {
+			delete(n.cancelledRuns, args.RunID)
+			n.mu.Unlock()
+			return context.Canceled
+		}
+		if n.runs == nil {
+			n.runs = make(map[string]context.CancelFunc)
+		}
+		n.runs[args.RunID] = cancel
+		n.mu.Unlock()
+		defer func() {
+			n.mu.Lock()
+			delete(n.runs, args.RunID)
+			n.mu.Unlock()
+		}()
+	}
 	d, err := graph.Open(n.base(args.GraphName))
 	if err != nil {
 		return fmt.Errorf("cluster: node %s: open replica: %w", n.name, err)
@@ -160,7 +198,7 @@ func (n *Node) Count(args *CountArgs, reply *CountReply) error {
 			opt.Sinks[i] = mgt.NewFileSink(buffers[i])
 		}
 	}
-	stats, srcIO, err := core.RunRanges(d, args.Ranges, opt)
+	stats, srcIO, err := core.RunRanges(ctx, d, args.Ranges, opt)
 	if err != nil {
 		return err
 	}
@@ -179,6 +217,45 @@ func (n *Node) Count(args *CountArgs, reply *CountReply) error {
 	}
 	reply.CalcTime = time.Since(start)
 	return nil
+}
+
+// Cancel aborts the in-flight Count registered under args.RunID. If the
+// Count has not registered yet, the id is tombstoned so the registration
+// aborts on arrival — without this, a Cancel racing ahead of its Count
+// would be lost and the run would compute to completion uncancellably.
+func (n *Node) Cancel(args *CancelArgs, reply *CancelReply) error {
+	n.mu.Lock()
+	cancel, ok := n.runs[args.RunID]
+	if !ok && args.RunID != "" {
+		if n.cancelledRuns == nil {
+			n.cancelledRuns = make(map[string]struct{})
+		}
+		if len(n.cancelledRuns) >= maxCancelTombstones {
+			clear(n.cancelledRuns)
+		}
+		n.cancelledRuns[args.RunID] = struct{}{}
+	}
+	n.mu.Unlock()
+	if ok {
+		cancel()
+	}
+	reply.Found = ok
+	return nil
+}
+
+// cancelActive aborts every in-flight Count; used by Server.Close so a
+// worker shutdown does not leave runners computing for a master that will
+// never hear the answer.
+func (n *Node) cancelActive() {
+	n.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(n.runs))
+	for _, c := range n.runs {
+		cancels = append(cancels, c)
+	}
+	n.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
 }
 
 // Server wraps a Node in an rpc.Server bound to a listener.
@@ -240,7 +317,8 @@ func (s *Server) acceptLoop() {
 // Addr reports the server's listen address.
 func (s *Server) Addr() string { return s.lis.Addr().String() }
 
-// Close stops accepting and closes live connections.
+// Close stops accepting, cancels the node's in-flight calculations, and
+// closes live connections.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -249,6 +327,7 @@ func (s *Server) Close() error {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	s.Node.cancelActive()
 	err := s.lis.Close()
 	for _, c := range conns {
 		c.Close()

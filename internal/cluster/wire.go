@@ -64,6 +64,10 @@ type EndGraphReply struct {
 type CountArgs struct {
 	// GraphName selects which received graph copy to process.
 	GraphName string
+	// RunID identifies this calculation for cooperative cancellation: the
+	// master may abort it mid-run with a Cancel RPC carrying the same id.
+	// Empty means the run is not cancellable remotely.
+	RunID string
 	// Ranges are the node's processors' pivot responsibilities; one MGT
 	// runner is started per range.
 	Ranges []balance.Range
@@ -106,4 +110,16 @@ type PingArgs struct{}
 // PingReply acknowledges a ping.
 type PingReply struct {
 	OK bool
+}
+
+// CancelArgs aborts an in-flight Count by its RunID. The cancelled Count
+// RPC itself returns promptly (within one memory window per runner) with a
+// cancellation error; Cancel only triggers it.
+type CancelArgs struct {
+	RunID string
+}
+
+// CancelReply reports whether the run was found still in flight.
+type CancelReply struct {
+	Found bool
 }

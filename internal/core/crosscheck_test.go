@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"testing"
@@ -108,7 +109,7 @@ func TestAllSourceKernelCombosIdentical(t *testing.T) {
 						recs[i] = &recordingSink{}
 						sinks[i] = recs[i]
 					}
-					stats, _, err := RunRanges(d, ranges, Options{
+					stats, _, err := RunRanges(context.Background(), d, ranges, Options{
 						MemEdges: tc.memEdges,
 						Scan:     src,
 						Kernel:   kern,
@@ -185,7 +186,7 @@ func TestSharedScanReadsFileOncePerRound(t *testing.T) {
 
 	scanBytes := func(kind scan.SourceKind) (scanVol, srcVol int64, triangles uint64) {
 		t.Helper()
-		stats, srcIO, err := RunRanges(d, ranges, Options{MemEdges: mem, Scan: kind})
+		stats, srcIO, err := RunRanges(context.Background(), d, ranges, Options{MemEdges: mem, Scan: kind})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -232,7 +233,7 @@ func TestMemSourcePreloadsOnce(t *testing.T) {
 	want := baseline.Forward(g)
 	d := orientedDisk(t, g)
 	ranges := equalSplit(d, 3)
-	stats, srcIO, err := RunRanges(d, ranges, Options{MemEdges: 64, Scan: scan.SourceMem})
+	stats, srcIO, err := RunRanges(context.Background(), d, ranges, Options{MemEdges: 64, Scan: scan.SourceMem})
 	if err != nil {
 		t.Fatal(err)
 	}

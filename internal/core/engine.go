@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -127,8 +128,12 @@ func (r *Result) TotalStats() mgt.Stats {
 // Process counts (or lists) the triangles of the graph stored at base.
 // Unoriented inputs are oriented first into base+".oriented" (the paper's
 // master-side preprocessing); oriented inputs go straight to the
-// calculation phase.
-func Process(base string, opt Options) (*Result, error) {
+// calculation phase. Cancelling ctx aborts the run within one memory window
+// per runner and returns ctx.Err(); nil means context.Background().
+func Process(ctx context.Context, base string, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.withDefaults()
 	start := time.Now()
 	d, err := graph.Open(base)
@@ -139,6 +144,9 @@ func Process(base string, opt Options) (*Result, error) {
 	res := &Result{}
 	orientedBase := base
 	if !d.Meta.Oriented {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		orientedBase = base + ".oriented"
 		ores, err := orient.Orient(base, orientedBase, opt.OrientWorkers)
 		if err != nil {
@@ -158,7 +166,7 @@ func Process(base string, opt Options) (*Result, error) {
 	}
 	res.Plan = plan
 
-	stats, srcIO, err := RunRanges(d, plan.Ranges, opt)
+	stats, srcIO, err := RunRanges(ctx, d, plan.Ranges, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +215,15 @@ func Plan(d *graph.Disk, orientedBase string, processors int, strategy balance.S
 // per-runner handle (charged to its own counter), and the source-level I/O
 // — the shared broadcaster's physical scans, or the in-memory preload — is
 // returned alongside the per-worker stats.
-func RunRanges(d *graph.Disk, ranges []balance.Range, opt Options) ([]WorkerStat, ioacct.Stats, error) {
+//
+// ctx cancels the run cooperatively: every runner aborts within one memory
+// window, blocked shared-broadcast waits unblock immediately, and the
+// source plus all handles are torn down before RunRanges returns ctx.Err()
+// — no goroutines or file descriptors outlive the call.
+func RunRanges(ctx context.Context, d *graph.Disk, ranges []balance.Range, opt Options) ([]WorkerStat, ioacct.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.withDefaults()
 	if !d.Meta.Oriented {
 		return nil, ioacct.Stats{}, fmt.Errorf("core: RunRanges requires an oriented store")
@@ -219,9 +235,13 @@ func RunRanges(d *graph.Disk, ranges []balance.Range, opt Options) ([]WorkerStat
 	if err != nil {
 		return nil, ioacct.Stats{}, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, ioacct.Stats{}, err
+	}
 	src, err := scan.New(opt.Scan.Resolve(len(ranges)), d, scan.Config{
 		BufBytes: opt.BufBytes,
 		Counter:  ioacct.NewCounter(0),
+		Ctx:      ctx,
 	})
 	if err != nil {
 		return nil, ioacct.Stats{}, err
@@ -268,12 +288,17 @@ func RunRanges(d *graph.Disk, ranges []balance.Range, opt Options) ([]WorkerStat
 			if opt.Sinks != nil {
 				cfg.Sink = opt.Sinks[i]
 			}
-			st, err := mgt.Run(d, cfg)
+			st, err := mgt.Run(ctx, d, cfg)
 			stats[i] = WorkerStat{Worker: i, Range: r, Stats: st}
 			errs[i] = err
 		}(i, r)
 	}
 	wg.Wait()
+	// A cancelled run reports the bare ctx.Err() regardless of which runner
+	// (or the scan source) surfaced the cancellation first.
+	if err := ctx.Err(); err != nil {
+		return stats, src.IO(), err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return stats, src.IO(), err

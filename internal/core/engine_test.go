@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -27,7 +28,7 @@ func TestProcessCountsK20(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := writeStore(t, g, "k20")
-	res, err := Process(base, Options{Workers: 4, MemEdges: 16, Strategy: balance.InDegree})
+	res, err := Process(context.Background(), base, Options{Workers: 4, MemEdges: 16, Strategy: balance.InDegree})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestProcessWorkerCountInvariance(t *testing.T) {
 	for _, workers := range []int{1, 2, 3, 7, 16} {
 		for _, strategy := range []balance.Strategy{balance.Naive, balance.InDegree, balance.Cost} {
 			base := writeStore(t, g, "rmat")
-			res, err := Process(base, Options{Workers: workers, MemEdges: 500, Strategy: strategy})
+			res, err := Process(context.Background(), base, Options{Workers: workers, MemEdges: 500, Strategy: strategy})
 			if err != nil {
 				t.Fatalf("workers=%d strategy=%v: %v", workers, strategy, err)
 			}
@@ -74,11 +75,11 @@ func TestProcessOrientedInput(t *testing.T) {
 	want := baseline.Forward(g)
 	base := writeStore(t, g, "er")
 	// First run orients; second run feeds the oriented store directly.
-	res1, err := Process(base, Options{Workers: 2, MemEdges: 128})
+	res1, err := Process(context.Background(), base, Options{Workers: 2, MemEdges: 128})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := Process(res1.OrientedBase, Options{Workers: 2, MemEdges: 128})
+	res2, err := Process(context.Background(), res1.OrientedBase, Options{Workers: 2, MemEdges: 128})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestProcessListing(t *testing.T) {
 	for i := range sinks {
 		sinks[i] = &counts[i]
 	}
-	res, err := Process(base, Options{Workers: workers, MemEdges: 8, Sinks: sinks})
+	res, err := Process(context.Background(), base, Options{Workers: workers, MemEdges: 8, Sinks: sinks})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestProcessSinkMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := writeStore(t, g, "k6")
-	_, err = Process(base, Options{Workers: 3, MemEdges: 8, Sinks: []mgt.Sink{&mgt.CountSink{}}})
+	_, err = Process(context.Background(), base, Options{Workers: 3, MemEdges: 8, Sinks: []mgt.Sink{&mgt.CountSink{}}})
 	if err == nil {
 		t.Fatal("want sink/worker mismatch error")
 	}
@@ -138,7 +139,7 @@ func TestRunRangesRequiresOriented(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := RunRanges(d, []balance.Range{{Lo: 0, Hi: 1}}, Options{MemEdges: 4}); err == nil {
+	if _, _, err := RunRanges(context.Background(), d, []balance.Range{{Lo: 0, Hi: 1}}, Options{MemEdges: 4}); err == nil {
 		t.Fatal("want error for unoriented store")
 	}
 }
@@ -149,7 +150,7 @@ func TestPlanSubdividesForCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := writeStore(t, g, "pl")
-	res, err := Process(base, Options{Workers: 2, MemEdges: 256, KeepOriented: true})
+	res, err := Process(context.Background(), base, Options{Workers: 2, MemEdges: 256, KeepOriented: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestPlanSubdividesForCluster(t *testing.T) {
 	groups := plan.Subdivide(3)
 	var sum uint64
 	for _, ranges := range groups {
-		stats, _, err := RunRanges(d, ranges, Options{MemEdges: 256})
+		stats, _, err := RunRanges(context.Background(), d, ranges, Options{MemEdges: 256})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,7 +188,7 @@ func TestResultTotalStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := writeStore(t, g, "er2")
-	res, err := Process(base, Options{Workers: 4, MemEdges: 64})
+	res, err := Process(context.Background(), base, Options{Workers: 4, MemEdges: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestResultTotalStats(t *testing.T) {
 }
 
 func TestProcessMissingStore(t *testing.T) {
-	if _, err := Process(filepath.Join(t.TempDir(), "missing"), Options{}); err == nil {
+	if _, err := Process(context.Background(), filepath.Join(t.TempDir(), "missing"), Options{}); err == nil {
 		t.Fatal("want error for missing store")
 	}
 }
@@ -223,18 +224,18 @@ func TestProcessLoadBalanceFallbackError(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := writeStore(t, g, "k8")
-	res, err := Process(base, Options{Workers: 2, MemEdges: 16})
+	res, err := Process(context.Background(), base, Options{Workers: 2, MemEdges: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := os.Remove(res.OrientedBase + ".indeg"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Process(res.OrientedBase, Options{Workers: 2, MemEdges: 16, Strategy: balance.InDegree}); err == nil {
+	if _, err := Process(context.Background(), res.OrientedBase, Options{Workers: 2, MemEdges: 16, Strategy: balance.InDegree}); err == nil {
 		t.Fatal("want error when in-degree file is missing")
 	}
 	// Naive strategy still works.
-	res2, err := Process(res.OrientedBase, Options{Workers: 2, MemEdges: 16, Strategy: balance.Naive})
+	res2, err := Process(context.Background(), res.OrientedBase, Options{Workers: 2, MemEdges: 16, Strategy: balance.Naive})
 	if err != nil {
 		t.Fatal(err)
 	}

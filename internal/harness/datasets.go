@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -93,6 +94,10 @@ type Harness struct {
 	// intersection kernel. Zero values keep the engine defaults.
 	Scan   scan.SourceKind
 	Kernel scan.KernelKind
+	// Ctx, when set, bounds every run the harness performs: cancelling it
+	// aborts the in-flight experiment (pdtl-bench wires SIGINT/SIGTERM
+	// here) and stops between experiments. Nil means context.Background().
+	Ctx context.Context
 
 	mu       sync.Mutex
 	stores   map[string]string

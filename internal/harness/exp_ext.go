@@ -74,7 +74,7 @@ func expSmallDegree(h *Harness, r *Report) error {
 	var exact uint64
 	rows := make([][]string, 0, 4)
 	for _, m := range []int{4 * dmax, dmax + 1, dmax / 2, dmax / 4} {
-		res, err := core.Process(oriented, core.Options{Workers: 2, MemEdges: m, Strategy: balance.InDegree})
+		res, err := core.Process(h.ctx(), oriented, core.Options{Workers: 2, MemEdges: m, Strategy: balance.InDegree})
 		if err != nil {
 			return err
 		}

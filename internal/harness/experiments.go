@@ -69,12 +69,16 @@ func (h *Harness) Run(id string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if err := h.ctx().Err(); err != nil {
+		return err
+	}
 	r := NewReport(w)
 	r.Title("%s (%s): %s", e.ID, e.Paper, e.Desc)
 	return e.Run(h, r)
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment in order, stopping early when the
+// harness context is cancelled.
 func (h *Harness) RunAll(w io.Writer) error {
 	for _, e := range Experiments {
 		if err := h.Run(e.ID, w); err != nil {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -16,6 +17,14 @@ import (
 
 // counter for unique scratch paths.
 var scratchSeq atomic.Int64
+
+// ctx resolves the harness's run context (nil field means Background).
+func (h *Harness) ctx() context.Context {
+	if h.Ctx != nil {
+		return h.Ctx
+	}
+	return context.Background()
+}
 
 // OrientTimed orients a dataset into a fresh scratch store (bypassing the
 // orientation cache) so the orientation itself can be timed at a given
@@ -47,7 +56,7 @@ func (h *Harness) CalcLocal(key string, workers, memEdges int, strategy balance.
 	if err != nil {
 		return nil, err
 	}
-	return core.Process(orientedBase, core.Options{
+	return core.Process(h.ctx(), orientedBase, core.Options{
 		Workers:  workers,
 		MemEdges: memEdges,
 		Strategy: strategy,
@@ -85,7 +94,7 @@ func (h *Harness) RunCluster(key string, nodes, workersPerNode, memEdges int, up
 		defer lc.Close()
 		addrs = lc.Addrs()
 	}
-	cres, err := cluster.Run(cluster.Config{
+	cres, err := cluster.Run(h.ctx(), cluster.Config{
 		GraphBase:         orientedBase,
 		GraphName:         key,
 		Workers:           workersPerNode,

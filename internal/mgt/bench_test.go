@@ -1,6 +1,7 @@
 package mgt
 
 import (
+	"context"
 	"testing"
 
 	"pdtl/internal/gen"
@@ -18,7 +19,7 @@ func BenchmarkMGTFullPass(b *testing.B) {
 	b.SetBytes(d.AdjBytes())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st, err := Run(d, Config{MemEdges: m})
+		st, err := Run(context.Background(), d, Config{MemEdges: m})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -40,7 +41,7 @@ func BenchmarkMGTManyPasses(b *testing.B) {
 	b.SetBytes(d.AdjBytes() * 16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(d, Config{MemEdges: m}); err != nil {
+		if _, err := Run(context.Background(), d, Config{MemEdges: m}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -57,7 +58,7 @@ func BenchmarkMGTListing(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var sink CountSink
-		st, err := Run(d, Config{MemEdges: m, Sink: &sink})
+		st, err := Run(context.Background(), d, Config{MemEdges: m, Sink: &sink})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -31,6 +31,7 @@
 package mgt
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -145,9 +146,17 @@ type indEntry struct {
 	len uint32 // number of in-memory out-edges of the vertex
 }
 
-// Run executes modified MGT over the oriented on-disk graph d.
-func Run(d *graph.Disk, cfg Config) (Stats, error) {
+// Run executes modified MGT over the oriented on-disk graph d. The context
+// is the runner's cancellation point: it is checked once per memory window,
+// so cancellation aborts the run within one window (and, for a shared scan
+// source, also unblocks mid-pass ring-buffer waits). A cancelled run returns
+// ctx.Err() with the statistics accumulated so far. A nil ctx means
+// context.Background().
+func Run(ctx context.Context, d *graph.Disk, cfg Config) (Stats, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if !d.Meta.Oriented {
 		return Stats{}, fmt.Errorf("mgt: store %q is not oriented", d.Base)
 	}
@@ -193,23 +202,37 @@ func Run(d *graph.Disk, cfg Config) (Stats, error) {
 	}
 	r.emitFn = r.emit
 
+	finish := func(err error) (Stats, error) {
+		r.stats.Wall = time.Since(start)
+		r.stats.IO = counter.Snapshot()
+		// A cancelled run reports the bare ctx.Err(), whichever layer the
+		// cancellation surfaced through first (window check here, or a scan
+		// source's wrapped ring-buffer error).
+		if cerr := ctx.Err(); cerr != nil {
+			return r.stats, cerr
+		}
+		return r.stats, err
+	}
 	for pos := rng.Lo; pos < rng.Hi; {
+		// The per-window cancellation point: one check per memory window
+		// bounds abort latency at a single window's load + pass.
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
 		end := pos + uint64(cfg.MemEdges)
 		if end > rng.Hi {
 			end = rng.Hi
 		}
 		if err := r.loadWindow(pos, end); err != nil {
-			return r.stats, err
+			return finish(err)
 		}
 		if err := r.scanPass(); err != nil {
-			return r.stats, err
+			return finish(err)
 		}
 		r.stats.Passes++
 		pos = end
 	}
-	r.stats.Wall = time.Since(start)
-	r.stats.IO = counter.Snapshot()
-	return r.stats, nil
+	return finish(nil)
 }
 
 // runner holds the per-run and per-window state of modified MGT.

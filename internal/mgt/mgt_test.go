@@ -2,6 +2,7 @@ package mgt
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"path/filepath"
 	"sort"
@@ -52,7 +53,7 @@ func TestMGTKnownGraphs(t *testing.T) {
 				t.Fatal(err)
 			}
 			d := orientedStore(t, g)
-			st, err := Run(d, Config{MemEdges: 64})
+			st, err := Run(context.Background(), d, Config{MemEdges: 64})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -71,7 +72,7 @@ func TestMGTMemoryBudgetInvariance(t *testing.T) {
 	want := baseline.Forward(g)
 	d := orientedStore(t, g)
 	for _, m := range []int{2, 7, 33, 128, 1 << 20} {
-		st, err := Run(d, Config{MemEdges: m})
+		st, err := Run(context.Background(), d, Config{MemEdges: m})
 		if err != nil {
 			t.Fatalf("M=%d: %v", m, err)
 		}
@@ -94,7 +95,7 @@ func TestMGTScanVolumeMatchesTheory(t *testing.T) {
 	}
 	d := orientedStore(t, g)
 	m := int(d.Meta.AdjEntries)/4 + 1
-	st, err := Run(d, Config{MemEdges: m})
+	st, err := Run(context.Background(), d, Config{MemEdges: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestMGTRangePartition(t *testing.T) {
 		sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
 		var sum uint64
 		for i := 0; i+1 < len(cuts); i++ {
-			st, err := Run(d, Config{MemEdges: 97, Range: balance.Range{Lo: cuts[i], Hi: cuts[i+1]}})
+			st, err := Run(context.Background(), d, Config{MemEdges: 97, Range: balance.Range{Lo: cuts[i], Hi: cuts[i+1]}})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -161,7 +162,7 @@ func TestMGTListingMatchesForward(t *testing.T) {
 		}
 		gotSet[key] = true
 	})
-	st, err := Run(d, Config{MemEdges: 53, Sink: sink})
+	st, err := Run(context.Background(), d, Config{MemEdges: 53, Sink: sink})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,10 +188,10 @@ func TestMGTConfigValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := orientedStore(t, g)
-	if _, err := Run(d, Config{MemEdges: 0}); err == nil {
+	if _, err := Run(context.Background(), d, Config{MemEdges: 0}); err == nil {
 		t.Error("want error for M=0")
 	}
-	if _, err := Run(d, Config{MemEdges: 8, Range: balance.Range{Lo: 5, Hi: 99999}}); err == nil {
+	if _, err := Run(context.Background(), d, Config{MemEdges: 8, Range: balance.Range{Lo: 5, Hi: 99999}}); err == nil {
 		t.Error("want error for out-of-bounds range")
 	}
 	// Unoriented store must be rejected.
@@ -203,7 +204,7 @@ func TestMGTConfigValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(ud, Config{MemEdges: 8}); err == nil {
+	if _, err := Run(context.Background(), ud, Config{MemEdges: 8}); err == nil {
 		t.Error("want error for unoriented store")
 	}
 }
@@ -216,7 +217,7 @@ func TestLargeVertexPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := orientedStore(t, g)
-	st, err := Run(d, Config{MemEdges: 32})
+	st, err := Run(context.Background(), d, Config{MemEdges: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestLargeVertexPath(t *testing.T) {
 	// The same budget must also list exactly once.
 	seen := map[[3]graph.Vertex]bool{}
 	dup := false
-	st2, err := Run(d, Config{MemEdges: 32, Sink: FuncSink(func(u, v, w graph.Vertex) {
+	st2, err := Run(context.Background(), d, Config{MemEdges: 32, Sink: FuncSink(func(u, v, w graph.Vertex) {
 		key := [3]graph.Vertex{u, v, w}
 		if seen[key] {
 			dup = true
@@ -262,7 +263,7 @@ func TestLargeVertexSkewedGraph(t *testing.T) {
 		t.Skipf("generator produced d*max=%d, too small to exercise the path", d.Meta.MaxOutDegree)
 	}
 	for _, m := range []int{3, 11, int(d.Meta.MaxOutDegree) / 2} {
-		st, err := Run(d, Config{MemEdges: m})
+		st, err := Run(context.Background(), d, Config{MemEdges: m})
 		if err != nil {
 			t.Fatalf("M=%d: %v", m, err)
 		}
@@ -347,7 +348,7 @@ func TestMGTMatchesReferenceProperty(t *testing.T) {
 		}
 		d := orientedStore(t, g)
 		m := 1 + int(mRaw%512)
-		st, err := Run(d, Config{MemEdges: m})
+		st, err := Run(context.Background(), d, Config{MemEdges: m})
 		if err != nil {
 			return false
 		}

@@ -30,6 +30,9 @@ func newMem(d *graph.Disk, cfg Config) (*memSource, error) {
 	adj := make([]graph.Vertex, d.Meta.AdjEntries)
 	raw := make([]byte, cfg.BufBytes)
 	for off := 0; off < len(adj); {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, err
+		}
 		want := len(raw)
 		if rem := (len(adj) - off) * graph.EntrySize; rem < want {
 			want = rem

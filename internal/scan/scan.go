@@ -26,6 +26,7 @@
 package scan
 
 import (
+	"context"
 	"fmt"
 
 	"pdtl/internal/graph"
@@ -85,6 +86,13 @@ type Config struct {
 	// to the counter each Handle was opened with instead. Nil allocates a
 	// private counter.
 	Counter *ioacct.Counter
+	// Ctx bounds the source's lifetime: a source is created for exactly one
+	// run, so the run's context cancels it. On cancellation the Shared
+	// broadcaster abandons its round loop and unblocks every runner waiting
+	// on a ring buffer or round quorum, and the Mem preload stops between
+	// blocks; blocked operations return the context's error. Nil means
+	// context.Background() (never cancelled).
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Counter == nil {
 		c.Counter = ioacct.NewCounter(0)
+	}
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
 	}
 	return c
 }

@@ -1,10 +1,12 @@
 package scan
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pdtl/internal/graph"
@@ -42,12 +44,35 @@ type sharedSource struct {
 	open    int             // open handles = the round quorum
 	closed  bool
 	done    chan struct{} // broadcaster exit
+
+	// bufPool recycles broadcast buffers between blocks: without it every
+	// round allocates garbage equal to the whole adjacency file (one fresh
+	// BufBytes slice per block, shared read-only across subscribers).
+	// Blocks are reference-counted — the last subscriber to fully consume
+	// a block returns its buffer.
+	bufPool sync.Pool
 }
 
 // block is one broadcast unit: a shared, immutable, entry-aligned byte run.
+// Data blocks carry a reference count initialized to the number of
+// subscribers the broadcaster delivers to; each consumer (and the
+// broadcaster, for a delivery that failed) calls release, and the last
+// release returns the buffer to the pool. Error blocks have no count and
+// release is a no-op. A subscriber that abandons its pass simply never
+// releases — the buffer falls out of the pool cycle and is reclaimed by
+// the GC, which is safe, just not recycled.
 type block struct {
 	data []byte
-	err  error // terminates the subscriber's pass when non-nil
+	err  error         // terminates the subscriber's pass when non-nil
+	refs *atomic.Int32 // remaining releases; nil for error blocks
+	src  *sharedSource // pool to return the buffer to
+}
+
+// release drops one reference; the last one recycles the buffer.
+func (b block) release() {
+	if b.refs != nil && b.refs.Add(-1) == 0 {
+		b.src.bufPool.Put(b.data[:cap(b.data)])
+	}
 }
 
 // subscription is one runner's attachment to a broadcast round.
@@ -60,6 +85,19 @@ func newShared(d *graph.Disk, cfg Config) *sharedSource {
 	s := &sharedSource{d: d, cfg: cfg, done: make(chan struct{})}
 	s.cond = sync.NewCond(&s.mu)
 	go s.broadcastLoop()
+	// Cancellation waker: nextRound blocks in cond.Wait, which a context
+	// cannot interrupt directly, so one goroutine bridges ctx.Done into a
+	// Broadcast. It exits with the broadcaster, so a Background context
+	// (nil Done channel) leaks nothing.
+	go func() {
+		select {
+		case <-cfg.Ctx.Done():
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		case <-s.done:
+		}
+	}()
 	return s
 }
 
@@ -101,6 +139,9 @@ func (s *sharedSource) Handle(c *ioacct.Counter) (Handle, error) {
 func (s *sharedSource) subscribe() (*subscription, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.cfg.Ctx.Err(); err != nil {
+		return nil, err
+	}
 	if s.closed {
 		return nil, errSourceClosed
 	}
@@ -140,12 +181,16 @@ func (s *sharedSource) nextRound() []*subscription {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		if s.closed {
+		if s.closed || s.cfg.Ctx.Err() != nil {
+			reason := errSourceClosed
+			if err := s.cfg.Ctx.Err(); err != nil {
+				reason = err
+			}
 			for _, sub := range s.pending {
 				// Ring buffer is empty at this point, so the send
 				// cannot block; be defensive anyway.
 				select {
-				case sub.ch <- block{err: errSourceClosed}:
+				case sub.ch <- block{err: reason}:
 				default:
 				}
 			}
@@ -171,11 +216,20 @@ func (s *sharedSource) broadcast(subs []*subscription) {
 			if dead[i] {
 				continue
 			}
+			// The ctx case keeps a stalled subscriber's full ring from
+			// wedging the broadcaster (and with it the whole round) past
+			// cancellation; the subscriber itself unblocks through its own
+			// ctx select in fill.
 			select {
 			case sub.ch <- b:
 			case <-sub.canceled:
 				dead[i] = true
 				live--
+				b.release() // planned delivery that will not happen
+			case <-s.cfg.Ctx.Done():
+				dead[i] = true
+				live--
+				b.release()
 			}
 		}
 	}
@@ -192,18 +246,30 @@ func (s *sharedSource) broadcast(subs []*subscription) {
 	r := ioacct.NewReader(f, s.cfg.Counter)
 	total := s.d.AdjBytes()
 	for sent := int64(0); sent < total && live > 0; {
+		if err := s.cfg.Ctx.Err(); err != nil {
+			fail(err)
+			return
+		}
 		n := int64(s.cfg.BufBytes)
 		if total-sent < n {
 			n = total - sent
 		}
-		// A fresh buffer per block: it is shared read-only across all
-		// subscribers and consumed asynchronously.
-		data := make([]byte, n)
+		// The buffer is shared read-only across all subscribers and
+		// consumed asynchronously; a reference count (one per planned
+		// delivery) recycles it through the pool once the last subscriber
+		// is done with it.
+		buf, _ := s.bufPool.Get().([]byte)
+		if cap(buf) < int(n) {
+			buf = make([]byte, s.cfg.BufBytes)
+		}
+		data := buf[:n]
 		if _, err := io.ReadFull(r, data); err != nil {
 			fail(fmt.Errorf("scan: shared broadcast at byte %d of %d: %w", sent, total, err))
 			return
 		}
-		deliver(block{data: data})
+		refs := new(atomic.Int32)
+		refs.Store(int32(live))
+		deliver(block{data: data, refs: refs, src: s})
 		sent += n
 	}
 	for i, sub := range subs {
@@ -239,6 +305,7 @@ func (h *sharedHandle) Scan(maxList int) (Scan, error) {
 	return &sharedScan{
 		cur:     graph.NewSegCursor(d, 0, maxList),
 		sub:     sub,
+		ctx:     h.src.cfg.Ctx,
 		c:       h.c,
 		listBuf: make([]graph.Vertex, bufEntries),
 		byteBuf: make([]byte, bufEntries*graph.EntrySize),
@@ -269,9 +336,11 @@ func (h *sharedHandle) Close() error {
 type sharedScan struct {
 	cur graph.SegCursor
 	sub *subscription
+	ctx context.Context
 	c   *ioacct.Counter
 
 	blk     []byte // unconsumed remainder of the current block
+	curBlk  block  // the block blk points into, released once fully consumed
 	started bool   // first block received; ring waits now reflect the disk
 	listBuf []graph.Vertex
 	byteBuf []byte
@@ -290,7 +359,11 @@ func (sc *sharedScan) fill(raw []byte) error {
 			case b, ok = <-sc.sub.ch:
 			default:
 				start := time.Now()
-				b, ok = <-sc.sub.ch
+				select {
+				case b, ok = <-sc.sub.ch:
+				case <-sc.ctx.Done():
+					return sc.ctx.Err()
+				}
 				if sc.started {
 					sc.c.AddReadWait(time.Since(start))
 				}
@@ -302,11 +375,16 @@ func (sc *sharedScan) fill(raw []byte) error {
 			if b.err != nil {
 				return b.err
 			}
+			sc.curBlk = b
 			sc.blk = b.data
 		}
 		n := copy(raw, sc.blk)
 		raw = raw[n:]
 		sc.blk = sc.blk[n:]
+		if len(sc.blk) == 0 {
+			sc.curBlk.release()
+			sc.curBlk = block{}
+		}
 	}
 	return nil
 }

@@ -11,25 +11,31 @@
 // and network use are all provably bounded; per-core memory need only hold
 // twice the maximum oriented degree.
 //
-// The top-level entry points are:
+// The primary entry point is the Graph handle (see handle.go):
 //
-//   - Count / List / ForEachTriangle — single-machine, multi-core runs
-//     against an on-disk graph store;
-//   - CountDistributed / ServeWorker — the distributed protocol with a
-//     master and TCP worker nodes;
+//   - Open — a long-lived handle on one graph store, with the orientation,
+//     degree index, and load-balance plan computed once and reused by every
+//     run; all run methods take a context.Context for cancellation;
+//   - g.Count / g.List / g.ForEach / g.Triangles / g.TriangleDegrees —
+//     single-machine, multi-core runs;
+//   - g.CountDistributed / ServeWorkerContext — the distributed protocol
+//     with a master and TCP worker nodes;
 //   - Generate* / Import* — dataset creation and ingest into the binary
 //     store format (degree file + adjacency file + JSON metadata).
+//
+// The free functions (Count, List, ForEachTriangle, TriangleDegrees,
+// CountDistributed) are deprecated one-shot wrappers — each opens a handle,
+// runs once with context.Background(), and closes — kept so existing
+// callers compile unchanged.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-reproduction results.
 package pdtl
 
 import (
-	"fmt"
-	"io"
+	"context"
 	"os"
 	"runtime"
-	"sync"
 	"time"
 
 	"pdtl/internal/balance"
@@ -138,160 +144,67 @@ type Result struct {
 	SourceBytesRead int64
 }
 
-func resultFrom(cr *core.Result) *Result {
-	res := &Result{
-		Triangles:       cr.Triangles,
-		CalcTime:        cr.CalcTime,
-		TotalTime:       cr.TotalTime,
-		OrientedBase:    cr.OrientedBase,
-		ScanSource:      string(cr.Scan),
-		SourceBytesRead: cr.SourceIO.BytesRead,
-	}
-	if cr.Orientation != nil {
-		res.OrientTime = cr.Orientation.Duration
-		res.MaxOutDegree = cr.Orientation.MaxOutDegree
-	}
-	for _, w := range cr.Workers {
-		res.Workers = append(res.Workers, WorkerStats{
-			Worker:    w.Worker,
-			EdgeLo:    w.Range.Lo,
-			EdgeHi:    w.Range.Hi,
-			Triangles: w.Stats.Triangles,
-			Passes:    w.Stats.Passes,
-			CPUTime:   w.Stats.CPUTime(),
-			IOTime:    w.Stats.IO.IOTime(),
-			BytesRead: w.Stats.IO.BytesRead,
-		})
-	}
-	return res
-}
-
 // Count counts the triangles of the graph stored at base (see WriteGraph
 // and the Generate/Import helpers for creating stores). Unoriented stores
 // are oriented first; the oriented store is left at Result.OrientedBase for
 // reuse.
+//
+// Deprecated: one-shot wrapper. Use Open and (*Graph).Count, which caches
+// the orientation and load-balance plan across calls and accepts a
+// context.Context for cancellation.
 func Count(base string, opt Options) (*Result, error) {
-	copt, err := opt.toCore()
+	g, err := Open(base)
 	if err != nil {
 		return nil, err
 	}
-	cr, err := core.Process(base, copt)
-	if err != nil {
-		return nil, err
-	}
-	return resultFrom(cr), nil
+	defer g.Close()
+	return g.Count(context.Background(), opt)
 }
 
 // ForEachTriangle invokes fn once per triangle (u, v, w), ordered by the
 // degree-based order u ≺ v ≺ w. fn is called concurrently from Workers
 // goroutines; it must be safe for concurrent use (or set Workers to 1).
+//
+// Deprecated: one-shot wrapper. Use Open and (*Graph).ForEach (or the
+// (*Graph).Triangles iterator).
 func ForEachTriangle(base string, opt Options, fn func(u, v, w uint32)) (*Result, error) {
-	return forEach(base, opt, fn)
-}
-
-func forEach(base string, opt Options, fn func(u, v, w uint32)) (*Result, error) {
-	copt, err := opt.toCore()
+	g, err := Open(base)
 	if err != nil {
 		return nil, err
 	}
-	workers := copt.Workers
-	if workers <= 0 {
-		workers = defaultWorkers()
-		copt.Workers = workers
-	}
-	copt.Sinks = make([]mgt.Sink, workers)
-	for i := range copt.Sinks {
-		copt.Sinks[i] = mgt.FuncSink(fn)
-	}
-	cr, err := core.Process(base, copt)
-	if err != nil {
-		return nil, err
-	}
-	return resultFrom(cr), nil
+	defer g.Close()
+	return g.ForEach(context.Background(), opt, fn)
 }
 
 // List writes every triangle to outPath as little-endian uint32 triples
 // (12 bytes per triangle) and returns the run's statistics. Use
-// ReadTriangleFile to decode.
+// ReadTriangleFile to decode. The per-worker intermediates are anonymous
+// temp files next to outPath, so concurrent List calls — even onto the
+// same path — never clobber each other's parts.
+//
+// Deprecated: one-shot wrapper. Use Open and (*Graph).List, which streams
+// to any io.Writer.
 func List(base, outPath string, opt Options) (*Result, error) {
-	copt, err := opt.toCore()
+	g, err := Open(base)
 	if err != nil {
 		return nil, err
 	}
-	workers := copt.Workers
-	if workers <= 0 {
-		workers = defaultWorkers()
-		copt.Workers = workers
-	}
-	parts := make([]*os.File, workers)
-	sinks := make([]*mgt.FileSink, workers)
-	copt.Sinks = make([]mgt.Sink, workers)
-	defer func() {
-		for _, f := range parts {
-			if f != nil {
-				f.Close()
-				os.Remove(f.Name())
-			}
-		}
-	}()
-	for i := range sinks {
-		f, err := os.Create(fmt.Sprintf("%s.part%d", outPath, i))
-		if err != nil {
-			return nil, err
-		}
-		parts[i] = f
-		sinks[i] = mgt.NewFileSink(f)
-		copt.Sinks[i] = sinks[i]
-	}
-	cr, err := core.Process(base, copt)
-	if err != nil {
-		return nil, err
-	}
-	out, err := os.Create(outPath)
-	if err != nil {
-		return nil, err
-	}
-	for i, sink := range sinks {
-		if err := sink.Flush(); err != nil {
-			out.Close()
-			return nil, err
-		}
-		if _, err := parts[i].Seek(0, 0); err != nil {
-			out.Close()
-			return nil, err
-		}
-		if _, err := io.Copy(out, parts[i]); err != nil {
-			out.Close()
-			return nil, err
-		}
-	}
-	if err := out.Close(); err != nil {
-		return nil, err
-	}
-	return resultFrom(cr), nil
+	defer g.Close()
+	return g.ListFile(context.Background(), outPath, opt)
 }
 
 // TriangleDegrees returns, for every vertex, the number of triangles it
 // participates in — the per-vertex quantity behind local clustering
 // coefficients and related metrics from the paper's introduction.
+//
+// Deprecated: one-shot wrapper. Use Open and (*Graph).TriangleDegrees.
 func TriangleDegrees(base string, opt Options) ([]uint64, *Result, error) {
-	info, err := Info(base)
+	g, err := Open(base)
 	if err != nil {
 		return nil, nil, err
 	}
-	counts := make([]uint64, info.NumVertices)
-	var mu sync.Mutex
-	res, err := forEach(base, opt, func(u, v, w uint32) {
-		mu.Lock()
-		counts[u]++
-		counts[v]++
-		counts[w]++
-		mu.Unlock()
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return counts, res, nil
+	defer g.Close()
+	return g.TriangleDegrees(context.Background(), opt)
 }
 
 // ReadTriangleFile decodes a List output file.
