@@ -9,6 +9,7 @@ import (
 	"pdtl/internal/balance"
 	"pdtl/internal/cluster"
 	"pdtl/internal/scan"
+	"pdtl/internal/sched"
 )
 
 // ClusterOptions parameterize a distributed run.
@@ -28,6 +29,15 @@ type ClusterOptions struct {
 	// Kernel selects every node's intersection kernel ("merge", "gallop",
 	// "adaptive"); see Options.Kernel.
 	Kernel string
+	// Sched selects the chunk scheduler: "static" (or empty — the paper's
+	// up-front pre-split of the global plan across nodes) or "stealing"
+	// (the master dispenses weighted chunk batches to nodes on demand, so
+	// a node that finishes early pulls the work a slow node would have
+	// stalled on).
+	Sched string
+	// Chunks is the chunks-per-worker factor K of the stealing scheduler;
+	// non-positive selects the default (8). Ignored under "static".
+	Chunks int
 	// List requests triangle listing into ListPath (12-byte triples).
 	List     bool
 	ListPath string
@@ -93,6 +103,10 @@ func (g *Graph) CountDistributed(ctx context.Context, workerAddrs []string, opt 
 	if err != nil {
 		return nil, err
 	}
+	schedMode, err := sched.ParseMode(opt.Sched)
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	orientWorkers := opt.Workers
 	if orientWorkers <= 0 {
@@ -112,6 +126,8 @@ func (g *Graph) CountDistributed(ctx context.Context, workerAddrs []string, opt 
 		UplinkBytesPerSec: opt.UplinkBytesPerSec,
 		Scan:              scanKind,
 		Kernel:            kernelKind,
+		Sched:             schedMode,
+		Chunks:            opt.Chunks,
 		List:              opt.List,
 		ListPath:          opt.ListPath,
 	}, workerAddrs)
@@ -154,6 +170,7 @@ func clusterResultFrom(cres *cluster.Result) *ClusterResult {
 				Worker:    w.Worker,
 				EdgeLo:    w.Range.Lo,
 				EdgeHi:    w.Range.Hi,
+				Chunks:    w.Chunks,
 				Triangles: w.Stats.Triangles,
 				Passes:    w.Stats.Passes,
 				CPUTime:   w.Stats.CPUTime(),

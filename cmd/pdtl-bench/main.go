@@ -11,6 +11,9 @@
 //	pdtl-bench -exp fig6 -scan buffered -kernel adaptive
 //	                                 # any experiment under a different
 //	                                 # scan source / intersection kernel
+//	pdtl-bench -json -datasets tiny  # machine-readable per-run results
+//	                                 # (wall/CPU/IO/worker-imbalance) for
+//	                                 # the BENCH_*.json perf trajectory
 package main
 
 import (
@@ -20,10 +23,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"pdtl/internal/harness"
 	"pdtl/internal/scan"
+	"pdtl/internal/sched"
 )
 
 func main() {
@@ -35,6 +40,15 @@ func main() {
 		"override the scan source for every experiment: auto, buffered, shared, or mem")
 	kernel := flag.String("kernel", "",
 		"override the intersection kernel for every experiment: merge, gallop, or adaptive")
+	schedMode := flag.String("sched", "",
+		"override the chunk scheduler for every experiment: static or stealing")
+	chunks := flag.Int("chunks", 0, "chunks per worker for the stealing scheduler (default 8)")
+	jsonOut := flag.Bool("json", false,
+		"emit machine-readable per-run results (JSON) instead of the experiment tables")
+	datasets := flag.String("datasets", "tiny,twitter-sim",
+		"comma-separated dataset keys for -json")
+	workers := flag.Int("workers", 4, "worker count for -json runs")
+	mem := flag.Int("mem", 0, "memory budget per worker for -json runs (0 = tight default)")
 	flag.Parse()
 
 	if *list {
@@ -43,8 +57,8 @@ func main() {
 		}
 		return
 	}
-	if !*all && *exp == "" {
-		fmt.Fprintln(os.Stderr, "pdtl-bench: need -exp ID, -all, or -list")
+	if !*all && *exp == "" && !*jsonOut {
+		fmt.Fprintln(os.Stderr, "pdtl-bench: need -exp ID, -all, -json, or -list")
 		os.Exit(2)
 	}
 	h, err := harness.New(*cache)
@@ -60,14 +74,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pdtl-bench:", err)
 		os.Exit(2)
 	}
+	if h.Sched, err = sched.ParseMode(*schedMode); err != nil {
+		fmt.Fprintln(os.Stderr, "pdtl-bench:", err)
+		os.Exit(2)
+	}
+	h.Chunks = *chunks
 	// SIGINT/SIGTERM cancel the in-flight experiment's runners at their
 	// next memory window instead of killing the process mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	h.Ctx = ctx
-	if *all {
+	switch {
+	case *jsonOut:
+		// An explicit -sched narrows the report to that scheduler; the
+		// default is one record per scheduler for the ablation trajectory.
+		var modes []sched.Mode
+		if *schedMode != "" {
+			modes = []sched.Mode{h.Sched}
+		}
+		err = h.BenchJSON(os.Stdout, strings.Split(*datasets, ","), *workers, *mem, modes)
+	case *all:
 		err = h.RunAll(os.Stdout)
-	} else {
+	default:
 		err = h.Run(*exp, os.Stdout)
 	}
 	if err != nil {

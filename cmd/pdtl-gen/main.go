@@ -11,13 +11,20 @@
 //
 // from-bin ingests binary uint32-pair edge files through the
 // external-memory pipeline (mirror, external sort, dedup scan), so inputs
-// larger than RAM are fine.
+// larger than RAM are fine. SIGINT/SIGTERM cancel an in-flight ingest
+// cooperatively — the pipeline stops between record batches and the
+// command exits cleanly (intermediates removed) instead of mid-write,
+// matching the cancellation story of the other pdtl commands.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"pdtl"
 )
@@ -75,13 +82,24 @@ func main() {
 		if *out == "" || *in == "" {
 			err = fmt.Errorf("-out and -in are required")
 		} else {
-			info, err = pdtl.ImportEdgeFileBinary(*in, *out, *name, *mem)
+			// Signal wiring is scoped to from-bin, the one subcommand whose
+			// pipeline honors a context: a process-wide NotifyContext would
+			// swallow SIGINT for the generators too, leaving them
+			// uninterruptible (the default signal behavior — immediate
+			// exit — is right for them).
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			info, err = pdtl.ImportEdgeFileBinaryContext(ctx, *in, *out, *name, *mem)
+			stop()
 		}
 	default:
 		usage()
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "pdtl-gen: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "pdtl-gen:", err)
 		os.Exit(1)
 	}

@@ -37,6 +37,9 @@ func main() {
 	scanSource := flag.String("scan", "auto",
 		"per-node scan source: auto (shared when workers > 1), buffered, shared, or mem")
 	kernel := flag.String("kernel", "merge", "intersection kernel: merge, gallop, or adaptive")
+	schedMode := flag.String("sched", "static",
+		"chunk scheduler: static (pre-split plan, the paper's) or stealing (master dispenses chunk batches on demand)")
+	chunks := flag.Int("chunks", 0, "chunks per processor for -sched stealing (default 8)")
 	list := flag.String("list", "", "write triangle listing to this file")
 	flag.Parse()
 
@@ -63,6 +66,8 @@ func main() {
 		UplinkBytesPerSec: *uplink,
 		ScanSource:        *scanSource,
 		Kernel:            *kernel,
+		Sched:             *schedMode,
+		Chunks:            *chunks,
 		List:              *list != "",
 		ListPath:          *list,
 	})

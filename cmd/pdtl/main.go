@@ -60,8 +60,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pdtl count -graph BASE [-workers P] [-mem ENTRIES] [-naive-balance]
              [-scan auto|buffered|shared|mem] [-kernel merge|gallop|adaptive]
+             [-sched static|stealing] [-chunks K]
   pdtl list  -graph BASE -out FILE [-workers P] [-mem ENTRIES]
              [-scan auto|buffered|shared|mem] [-kernel merge|gallop|adaptive]
+             [-sched static|stealing] [-chunks K]
   pdtl info  -graph BASE`)
 }
 
@@ -75,6 +77,10 @@ func commonFlags(fs *flag.FlagSet) (graphBase *string, opt *pdtl.Options) {
 		"scan source: auto (shared when workers > 1), buffered, shared, or mem")
 	fs.StringVar(&opt.Kernel, "kernel", "merge",
 		"intersection kernel: merge, gallop, or adaptive")
+	fs.StringVar(&opt.Sched, "sched", "static",
+		"chunk scheduler: static (one range per worker, the paper's) or stealing (dynamic chunk queue)")
+	fs.IntVar(&opt.Chunks, "chunks", 0,
+		"chunks per worker for -sched stealing (default 8)")
 	return graphBase, opt
 }
 
@@ -154,12 +160,13 @@ func printResult(res *pdtl.Result) {
 	fmt.Printf("orientation: %v  calculation: %v  total: %v\n",
 		res.OrientTime, res.CalcTime, res.TotalTime)
 	if res.SourceBytesRead > 0 {
-		fmt.Printf("scan source: %s (%d bytes read by the source)\n", res.ScanSource, res.SourceBytesRead)
+		fmt.Printf("scan source: %s (%d bytes read by the source)  scheduler: %s\n",
+			res.ScanSource, res.SourceBytesRead, res.Sched)
 	} else {
-		fmt.Printf("scan source: %s\n", res.ScanSource)
+		fmt.Printf("scan source: %s  scheduler: %s\n", res.ScanSource, res.Sched)
 	}
 	for _, w := range res.Workers {
-		fmt.Printf("  worker %d: edges [%d,%d) triangles %d passes %d cpu %v io %v\n",
-			w.Worker, w.EdgeLo, w.EdgeHi, w.Triangles, w.Passes, w.CPUTime, w.IOTime)
+		fmt.Printf("  worker %d: edges [%d,%d) chunks %d triangles %d passes %d cpu %v io %v\n",
+			w.Worker, w.EdgeLo, w.EdgeHi, w.Chunks, w.Triangles, w.Passes, w.CPUTime, w.IOTime)
 	}
 }

@@ -1,6 +1,7 @@
 package pdtl
 
 import (
+	"context"
 	"io"
 
 	"pdtl/internal/extsort"
@@ -173,7 +174,17 @@ func ImportEdgeListText(r io.Reader, base, name string) (GraphInfo, error) {
 // edges in memory. This is the O(sort(E)) path of Theorem IV.2 and the way
 // to ingest graphs larger than RAM.
 func ImportEdgeFileBinary(edgeFile, base, name string, memEdges int) (GraphInfo, error) {
-	if err := extsort.BuildStore(edgeFile, base, name, memEdges, nil); err != nil {
+	return ImportEdgeFileBinaryContext(context.Background(), edgeFile, base, name, memEdges)
+}
+
+// ImportEdgeFileBinaryContext is ImportEdgeFileBinary bound to a context:
+// cancelling ctx aborts the ingest between record batches (within ~64k
+// records at any pipeline stage) and returns ctx.Err() — the cancellation
+// story the run methods already have, extended to dataset creation so
+// pdtl-gen can wire SIGINT/SIGTERM to it. Intermediate files are cleaned
+// up; a partially written store at base may remain.
+func ImportEdgeFileBinaryContext(ctx context.Context, edgeFile, base, name string, memEdges int) (GraphInfo, error) {
+	if err := extsort.BuildStore(ctx, edgeFile, base, name, memEdges, nil); err != nil {
 		return GraphInfo{}, err
 	}
 	return Info(base)

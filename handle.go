@@ -30,8 +30,10 @@ import (
 	"pdtl/internal/balance"
 	"pdtl/internal/core"
 	"pdtl/internal/graph"
+	"pdtl/internal/ioacct"
 	"pdtl/internal/mgt"
 	"pdtl/internal/orient"
+	"pdtl/internal/sched"
 )
 
 // ErrClosed is returned by every method of a closed Graph handle.
@@ -235,9 +237,29 @@ func (o Options) resolveWorkers() int {
 	return defaultWorkers()
 }
 
+// sinkCount reports how many sinks a run with these Options routes
+// triangles through: one per worker under the static scheduler, one per
+// chunk under stealing. Chunk-indexed sinks are what keep stealing output
+// deterministic — a chunk's triangles land in the same sink no matter
+// which runner happened to execute it, and a sink is only ever driven by
+// one runner at a time.
+func (o Options) sinkCount() (int, error) {
+	mode, err := sched.ParseMode(o.Sched)
+	if err != nil {
+		return 0, err
+	}
+	if mode == sched.Stealing {
+		return sched.ChunksFor(o.resolveWorkers(), o.Chunks), nil
+	}
+	return o.resolveWorkers(), nil
+}
+
 // run executes one calculation on the handle: ensure orientation (cached),
-// look up the plan (cached), and run one MGT runner per range. sinks, when
-// non-nil, must have exactly opt.Workers entries.
+// look up the plan (cached), and run the scheduler opt selects — one MGT
+// runner per range (static) or a pool of Workers runners draining a
+// chunked plan (stealing). sinks, when non-nil, must have exactly
+// opt.sinkCount() entries: per worker under static, per chunk under
+// stealing.
 func (g *Graph) run(ctx context.Context, opt Options, sinks []mgt.Sink) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -259,18 +281,34 @@ func (g *Graph) run(ctx context.Context, opt Options, sinks []mgt.Sink) (*Result
 		return nil, err
 	}
 	calcStart := time.Now()
-	plan, err := g.planCached(workers, copt.Strategy)
-	if err != nil {
-		return nil, err
-	}
-	stats, srcIO, err := core.RunRanges(ctx, d, plan.Ranges, copt)
-	if err != nil {
-		return nil, err
+	var stats []core.WorkerStat
+	var srcIO ioacct.Stats
+	if copt.Sched == sched.Stealing {
+		// The chunked plan is a plain k-way split with k = K·P, so the
+		// per-(workers,strategy) plan cache applies unchanged.
+		plan, err := g.planCached(sched.ChunksFor(workers, copt.Chunks), copt.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		stats, _, srcIO, err = core.RunChunks(ctx, d, plan.Ranges, copt)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		plan, err := g.planCached(workers, copt.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		stats, srcIO, err = core.RunRanges(ctx, d, plan.Ranges, copt)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	res := &Result{
 		OrientedBase:    orientedBase,
-		ScanSource:      string(copt.Scan.Resolve(len(plan.Ranges))),
+		ScanSource:      string(copt.Scan.Resolve(workers)),
+		Sched:           copt.Sched.String(),
 		SourceBytesRead: srcIO.BytesRead,
 		MaxOutDegree:    d.Meta.MaxOutDegree,
 	}
@@ -284,6 +322,7 @@ func (g *Graph) run(ctx context.Context, opt Options, sinks []mgt.Sink) (*Result
 			Worker:    w.Worker,
 			EdgeLo:    w.Range.Lo,
 			EdgeHi:    w.Range.Hi,
+			Chunks:    w.Chunks,
 			Triangles: w.Stats.Triangles,
 			Passes:    w.Stats.Passes,
 			CPUTime:   w.Stats.CPUTime(),
@@ -307,9 +346,12 @@ func (g *Graph) Count(ctx context.Context, opt Options) (*Result, error) {
 // degree-based order u ≺ v ≺ w. fn is called concurrently from Workers
 // goroutines; it must be safe for concurrent use (or set Workers to 1).
 func (g *Graph) ForEach(ctx context.Context, opt Options, fn func(u, v, w uint32)) (*Result, error) {
-	workers := opt.resolveWorkers()
-	opt.Workers = workers
-	sinks := make([]mgt.Sink, workers)
+	opt.Workers = opt.resolveWorkers()
+	n, err := opt.sinkCount()
+	if err != nil {
+		return nil, err
+	}
+	sinks := make([]mgt.Sink, n)
 	for i := range sinks {
 		sinks[i] = mgt.FuncSink(fn)
 	}
@@ -325,22 +367,28 @@ func (g *Graph) List(ctx context.Context, w io.Writer, opt Options) (*Result, er
 	return g.listTo(ctx, w, "", opt)
 }
 
-// listTo is List with an explicit directory for the per-worker part files
-// ("" means the default temp dir). os.CreateTemp names the parts, so
-// concurrent listings — even of the same graph to the same output path —
-// never collide on their intermediates.
+// listTo is List with an explicit directory for the part files ("" means
+// the default temp dir) — one per worker under the static scheduler, one
+// per chunk under stealing, concatenated in part order either way (chunk
+// order makes a stealing listing deterministic despite dynamic
+// assignment). os.CreateTemp names the parts, so concurrent listings —
+// even of the same graph to the same output path — never collide on their
+// intermediates.
 func (g *Graph) listTo(ctx context.Context, out io.Writer, partDir string, opt Options) (*Result, error) {
-	workers := opt.resolveWorkers()
-	opt.Workers = workers
-	parts := make([]*os.File, 0, workers)
+	opt.Workers = opt.resolveWorkers()
+	n, err := opt.sinkCount()
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*os.File, 0, n)
 	defer func() {
 		for _, f := range parts {
 			f.Close()
 			os.Remove(f.Name())
 		}
 	}()
-	sinks := make([]mgt.Sink, workers)
-	fileSinks := make([]*mgt.FileSink, workers)
+	sinks := make([]mgt.Sink, n)
+	fileSinks := make([]*mgt.FileSink, n)
 	for i := range sinks {
 		f, err := os.CreateTemp(partDir, "pdtl-list-*.part")
 		if err != nil {
@@ -474,11 +522,12 @@ const maxShardEntries = 1 << 27
 
 // TriangleDegrees returns, for every vertex, the number of triangles it
 // participates in — the per-vertex quantity behind local clustering
-// coefficients. Each worker accumulates into a private count shard merged
-// once after the run, so the hot path takes no lock; when workers × n
-// counters would exceed maxShardEntries, the workers share a single array
-// with atomic adds instead, trading some cache-line contention for bounded
-// memory on huge graphs.
+// coefficients. Each sink (one per worker, or per chunk under the stealing
+// scheduler) accumulates into a private count shard merged once after the
+// run, so the hot path takes no lock; when sinks × n counters would exceed
+// maxShardEntries, the sinks share a single array with atomic adds
+// instead, trading some cache-line contention for bounded memory on huge
+// graphs (or high chunk counts).
 func (g *Graph) TriangleDegrees(ctx context.Context, opt Options) ([]uint64, *Result, error) {
 	g.mu.Lock()
 	if g.closed {
@@ -488,10 +537,13 @@ func (g *Graph) TriangleDegrees(ctx context.Context, opt Options) ([]uint64, *Re
 	n := g.src.NumVertices()
 	g.mu.Unlock()
 
-	workers := opt.resolveWorkers()
-	opt.Workers = workers
-	sinks := make([]mgt.Sink, workers)
-	if uint64(n)*uint64(workers) > maxShardEntries {
+	opt.Workers = opt.resolveWorkers()
+	numSinks, err := opt.sinkCount()
+	if err != nil {
+		return nil, nil, err
+	}
+	sinks := make([]mgt.Sink, numSinks)
+	if uint64(n)*uint64(numSinks) > maxShardEntries {
 		counts := make([]uint64, n)
 		for i := range sinks {
 			sinks[i] = mgt.FuncSink(func(u, v, w uint32) {
@@ -506,7 +558,7 @@ func (g *Graph) TriangleDegrees(ctx context.Context, opt Options) ([]uint64, *Re
 		}
 		return counts, res, nil
 	}
-	shards := make([][]uint64, workers)
+	shards := make([][]uint64, numSinks)
 	for i := range sinks {
 		shard := make([]uint64, n)
 		shards[i] = shard

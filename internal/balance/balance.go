@@ -95,6 +95,22 @@ func Split(offsets []uint64, outDeg, inDeg []uint32, k int, strategy Strategy) (
 	return SplitInputs(Inputs{Offsets: offsets, OutDeg: outDeg, InDeg: inDeg}, k, strategy)
 }
 
+// SplitChunks cuts the plan into workers·perWorker weighted chunks for the
+// work-stealing scheduler: the same cost model that would assign one range
+// per processor instead produces K chunks per processor, each carrying
+// ≈ 1/K of a processor's expected work, so a pool drawing chunks
+// dynamically self-corrects whatever the model misjudges. perWorker ≤ 0
+// degrades to the static split (one chunk per worker).
+func SplitChunks(in Inputs, workers, perWorker int, strategy Strategy) (Plan, error) {
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	if workers < 1 {
+		return Plan{}, fmt.Errorf("balance: need at least one worker, got %d", workers)
+	}
+	return SplitInputs(in, workers*perWorker, strategy)
+}
+
 // SplitInputs is Split with the full input bundle.
 func SplitInputs(in Inputs, k int, strategy Strategy) (Plan, error) {
 	start := time.Now()

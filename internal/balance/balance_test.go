@@ -244,3 +244,45 @@ func TestSplitCoverageProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSplitChunks: the chunked split for the stealing scheduler is the
+// same weighted cover, K× finer — k·perWorker valid contiguous ranges
+// whose boundaries refine the same cost model.
+func TestSplitChunks(t *testing.T) {
+	g, err := gen.PowerLaw(300, 4000, 2.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets, outDeg, inDeg := orientedArrays(t, g)
+	in := Inputs{Offsets: offsets, OutDeg: outDeg, InDeg: inDeg}
+	total := offsets[len(offsets)-1]
+
+	plan, err := SplitChunks(in, 4, 8, InDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Ranges) != 32 {
+		t.Fatalf("got %d chunks, want 32", len(plan.Ranges))
+	}
+	if err := plan.Validate(total); err != nil {
+		t.Fatal(err)
+	}
+	// Chunk weights equalize like the coarse split does: no chunk should
+	// carry more than a few times the mean (weighted interpolation can't
+	// split a single vertex's list weight, so allow slack).
+	if imb := plan.Imbalance(); imb > 3 {
+		t.Errorf("chunk imbalance %.2f too high for a weighted split", imb)
+	}
+
+	// perWorker <= 0 degrades to the static split.
+	coarse, err := SplitChunks(in, 4, 0, InDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coarse.Ranges) != 4 {
+		t.Fatalf("perWorker<=0 produced %d ranges, want 4", len(coarse.Ranges))
+	}
+	if _, err := SplitChunks(in, 0, 8, InDegree); err == nil {
+		t.Error("SplitChunks accepted zero workers")
+	}
+}

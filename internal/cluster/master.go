@@ -8,6 +8,7 @@ import (
 	"net/rpc"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"pdtl/internal/mgt"
 	"pdtl/internal/orient"
 	"pdtl/internal/scan"
+	"pdtl/internal/sched"
 )
 
 // Config parameterizes a distributed run.
@@ -55,6 +57,16 @@ type Config struct {
 	// Kernel selects the intersection kernel on every node (default
 	// merge).
 	Kernel scan.KernelKind
+	// Sched selects the chunk scheduler. Static pre-splits the global
+	// N·P-range plan across nodes up front (the paper's Figure 1
+	// configurations); Stealing cuts the plan into Chunks·N·P weighted
+	// chunks that the master dispenses to nodes in batches on demand — a
+	// node that finishes its batch pulls the next one, so a fast node
+	// absorbs the work a slow node would have stalled on.
+	Sched sched.Mode
+	// Chunks is K, the chunks-per-worker factor of the stealing scheduler;
+	// non-positive selects sched.DefaultChunksPerWorker.
+	Chunks int
 	// UplinkBytesPerSec rate-limits the master's outgoing graph copies in
 	// aggregate (0 = unlimited), modeling the shared NIC.
 	UplinkBytesPerSec int64
@@ -187,10 +199,26 @@ func Run(ctx context.Context, cfg Config, workerAddrs []string) (*Result, error)
 	}
 	res.OrientedBase = orientedBase
 
+	var runErr error
+	if cfg.Sched == sched.Stealing {
+		runErr = runStealing(ctx, cfg, d, orientedBase, workerAddrs, res)
+	} else {
+		runErr = runStatic(ctx, cfg, d, orientedBase, workerAddrs, res)
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// runStatic is the paper's protocol: the global N·P-range plan is
+// pre-split across nodes up front, one Count RPC per node.
+func runStatic(ctx context.Context, cfg Config, d *graph.Disk, orientedBase string, workerAddrs []string, res *Result) error {
 	nodes := 1 + len(workerAddrs)
 	plan, err := core.Plan(d, orientedBase, nodes*cfg.Workers, cfg.Strategy)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	res.Plan = plan
 	groups := plan.Subdivide(nodes)
@@ -238,11 +266,11 @@ func Run(ctx context.Context, cfg Config, workerAddrs []string) (*Result, error)
 	// A cancelled protocol reports the bare ctx.Err(), whichever node
 	// surfaced the cancellation first.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
 
@@ -255,11 +283,282 @@ func Run(ctx context.Context, cfg Config, workerAddrs []string) (*Result, error)
 	}
 	if cfg.List {
 		if err := writeTriples(cfg.ListPath, triples); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	res.TotalTime = time.Since(start)
-	return res, nil
+	return nil
+}
+
+// tripleSeg is one batch's listing bytes, tagged with the global index of
+// the batch's first chunk so the master can concatenate segments in chunk
+// order — the stealing analog of "concatenating the triangle listing
+// (sequentially)". Chunk-ordered assembly makes the distributed listing
+// deterministic even though batch→node assignment is not.
+type tripleSeg struct {
+	start int
+	data  []byte
+}
+
+// runStealing drives the work-stealing protocol: the global plan is cut
+// into Chunks·N·P weighted chunks and every node's driver goroutine pulls
+// batches of P chunks from the shared dispenser until it is drained — a
+// node that finishes early pulls more work instead of idling behind the
+// inter-machine struggler. Node 0 (the master itself) participates through
+// the same dispenser, so its relative speed is accounted for automatically.
+func runStealing(ctx context.Context, cfg Config, d *graph.Disk, orientedBase string, workerAddrs []string, res *Result) error {
+	nodes := 1 + len(workerAddrs)
+	plan, err := core.PlanChunks(d, orientedBase, nodes*cfg.Workers, cfg.Chunks, cfg.Strategy)
+	if err != nil {
+		return err
+	}
+	res.Plan = plan
+	disp := sched.NewDispenser(plan.Ranges)
+
+	limiter := NewLimiter(cfg.UplinkBytesPerSec)
+	res.Nodes = make([]NodeResult, nodes)
+	segs := make([][]tripleSeg, nodes)
+	errs := make([]error, nodes)
+	var totalTriangles atomic.Uint64
+	var netBytes atomic.Int64
+
+	var wg sync.WaitGroup
+	for i, addr := range workerAddrs {
+		wg.Add(1)
+		go func(slot int, addr string) {
+			defer wg.Done()
+			nr, sg, err := driveRemote(ctx, cfg, orientedBase, addr, disp, limiter)
+			if err != nil {
+				errs[slot] = err
+				// Stop the drain: the run is lost, so the healthy nodes
+				// must not keep computing the rest of the chunk list.
+				disp.Stop()
+				return
+			}
+			res.Nodes[slot] = *nr
+			segs[slot] = sg
+			totalTriangles.Add(nr.Triangles)
+			var listBytes int64
+			for _, s := range sg {
+				listBytes += int64(len(s.data))
+			}
+			netBytes.Add(nr.CopyBytes + listBytes)
+		}(i+1, addr)
+	}
+	// The master's own driver (node 0) starts pulling immediately, while
+	// the replicas are still streaming — remote nodes join the drain as
+	// soon as their copy lands.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		nr, sg, err := driveLocal(ctx, cfg, d, disp)
+		if err != nil {
+			errs[0] = err
+			disp.Stop()
+			return
+		}
+		res.Nodes[0] = *nr
+		segs[0] = sg
+		totalTriangles.Add(nr.Triangles)
+	}()
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	res.Triangles = totalTriangles.Load()
+	res.NetworkBytes = netBytes.Load()
+	for _, n := range res.Nodes {
+		if n.CalcTime > res.CalcTime {
+			res.CalcTime = n.CalcTime
+		}
+	}
+	if cfg.List {
+		var all []tripleSeg
+		for _, sg := range segs {
+			all = append(all, sg...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].start < all[j].start })
+		ordered := make([][]byte, len(all))
+		for i, s := range all {
+			ordered[i] = s.data
+		}
+		if err := writeTriples(cfg.ListPath, ordered); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// foldWorkerStats merges one batch's pool-runner stats into a node's
+// running totals by worker index. Batches execute sequentially on a node,
+// so the per-chunk folding discipline of sched.Ledger applies verbatim
+// per batch (wall sums, range hulls, chunk counts accumulate) — the rule
+// itself lives in Ledger.FoldWorker.
+func foldWorkerStats(dst []core.WorkerStat, batch []core.WorkerStat) []core.WorkerStat {
+	for _, w := range batch {
+		for len(dst) <= w.Worker {
+			dst = append(dst, core.WorkerStat{Worker: len(dst)})
+		}
+		t := &dst[w.Worker]
+		l := sched.Ledger{Worker: t.Worker, Chunks: t.Chunks, Lo: t.Range.Lo, Hi: t.Range.Hi, Stats: t.Stats}
+		l.FoldWorker(w.Range.Lo, w.Range.Hi, w.Chunks, w.Stats)
+		*t = core.WorkerStat{
+			Worker: l.Worker,
+			Range:  balance.Range{Lo: l.Lo, Hi: l.Hi},
+			Chunks: l.Chunks,
+			Stats:  l.Stats,
+		}
+	}
+	return dst
+}
+
+// driveLocal is the master's node-0 driver: it pulls chunk batches from the
+// dispenser and runs each through the local stealing pool until the work is
+// drained. CalcTime is the driver's wall — the node's whole busy period.
+func driveLocal(ctx context.Context, cfg Config, d *graph.Disk, disp *sched.Dispenser) (*NodeResult, []tripleSeg, error) {
+	calcStart := time.Now()
+	nr := &NodeResult{Name: "master", Addr: "local"}
+	var segs []tripleSeg
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		start, batch := disp.NextBatch(cfg.Workers)
+		if len(batch) == 0 {
+			break
+		}
+		opt := core.Options{
+			Workers:  cfg.Workers,
+			MemEdges: cfg.MemEdges,
+			BufBytes: cfg.BufBytes,
+			Scan:     cfg.Scan,
+			Kernel:   cfg.Kernel,
+			Sched:    sched.Stealing,
+		}
+		var buffers []*bytes.Buffer
+		if cfg.List {
+			opt.Sinks = make([]mgt.Sink, len(batch))
+			buffers = make([]*bytes.Buffer, len(batch))
+			for i := range opt.Sinks {
+				buffers[i] = &bytes.Buffer{}
+				opt.Sinks[i] = mgt.NewFileSink(buffers[i])
+			}
+		}
+		stats, _, srcIO, err := core.RunChunks(ctx, d, batch, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		nr.Workers = foldWorkerStats(nr.Workers, stats)
+		nr.SourceIO = nr.SourceIO.Add(srcIO)
+		for _, w := range stats {
+			nr.Triangles += w.Stats.Triangles
+		}
+		if cfg.List {
+			var data []byte
+			for i, sink := range opt.Sinks {
+				if err := sink.(*mgt.FileSink).Flush(); err != nil {
+					return nil, nil, err
+				}
+				data = append(data, buffers[i].Bytes()...)
+			}
+			segs = append(segs, tripleSeg{start: start, data: data})
+		}
+	}
+	nr.CalcTime = time.Since(calcStart)
+	return nr, segs, nil
+}
+
+// driveRemote copies the graph to one client, then pulls chunk batches from
+// the dispenser and ships each as a Count RPC until the work is drained.
+func driveRemote(ctx context.Context, cfg Config, orientedBase, addr string, disp *sched.Dispenser, limiter *Limiter) (*NodeResult, []tripleSeg, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	defer client.Close()
+
+	var hello HelloReply
+	if err := callCtx(ctx, client, "Node.Hello", &HelloArgs{}, &hello); err != nil {
+		return nil, nil, fmt.Errorf("cluster: hello %s: %w", addr, err)
+	}
+	nr := &NodeResult{Name: hello.Name, Addr: addr}
+
+	copyStart := time.Now()
+	sent, err := copyGraph(ctx, client, cfg, orientedBase, limiter)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: copy to %s: %w", addr, err)
+	}
+	nr.CopyTime = time.Since(copyStart)
+	nr.CopyBytes = sent
+
+	calcStart := time.Now()
+	var segs []tripleSeg
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		start, batch := disp.NextBatch(cfg.Workers)
+		if len(batch) == 0 {
+			break
+		}
+		args := &CountArgs{
+			GraphName: cfg.GraphName,
+			RunID:     fmt.Sprintf("%s#%x-%d", cfg.GraphName, runToken, runSeq.Add(1)),
+			Ranges:    batch,
+			Sched:     sched.Stealing.String(),
+			Workers:   cfg.Workers,
+			MemEdges:  cfg.MemEdges,
+			BufBytes:  cfg.BufBytes,
+			Scan:      string(cfg.Scan),
+			Kernel:    string(cfg.Kernel),
+			List:      cfg.List,
+		}
+		reply, err := countWithCancel(ctx, client, addr, args)
+		if err != nil {
+			return nil, nil, err
+		}
+		nr.Workers = foldWorkerStats(nr.Workers, reply.Workers)
+		nr.SourceIO = nr.SourceIO.Add(reply.SourceIO)
+		nr.Triangles += reply.Triangles
+		if cfg.List {
+			segs = append(segs, tripleSeg{start: start, data: reply.Triples})
+		}
+	}
+	// The node's calculation time spans its whole batch loop, RPC overhead
+	// included — the honest "time until this node ran out of work" that
+	// the straggler rule compares across nodes.
+	nr.CalcTime = time.Since(calcStart)
+	return nr, segs, nil
+}
+
+// countWithCancel issues one Count RPC, converting a ctx cancellation into
+// the Cancel-and-drain dance (shared with the static path's runRemote).
+func countWithCancel(ctx context.Context, client *rpc.Client, addr string, args *CountArgs) (*CountReply, error) {
+	var reply CountReply
+	count := client.Go("Node.Count", args, &reply, make(chan *rpc.Call, 1))
+	select {
+	case c := <-count.Done:
+		if c.Error != nil {
+			return nil, fmt.Errorf("cluster: count on %s: %w", addr, c.Error)
+		}
+		return &reply, nil
+	case <-ctx.Done():
+		// Tell the node to abandon the run (net/rpc multiplexes, so the
+		// Cancel travels on the same connection while Count is pending),
+		// then wait — bounded — for the aborted Count to drain so a
+		// healthy node is idle by the time we report cancellation.
+		client.Go("Node.Cancel", &CancelArgs{RunID: args.RunID}, &CancelReply{}, make(chan *rpc.Call, 1))
+		select {
+		case <-count.Done:
+		case <-time.After(cancelDrainTimeout):
+		}
+		return nil, ctx.Err()
+	}
 }
 
 // runLocal is the master acting as node 0.
@@ -346,27 +645,9 @@ func runRemote(ctx context.Context, cfg Config, orientedBase, addr string, range
 		Kernel:    string(cfg.Kernel),
 		List:      cfg.List,
 	}
-	var reply CountReply
-	count := client.Go("Node.Count", args, &reply, make(chan *rpc.Call, 1))
-	select {
-	case c := <-count.Done:
-		if c.Error != nil {
-			return nil, nil, fmt.Errorf("cluster: count on %s: %w", addr, c.Error)
-		}
-	case <-ctx.Done():
-		// Tell the node to abandon the run (net/rpc multiplexes, so the
-		// Cancel travels on the same connection while Count is pending),
-		// then wait — bounded — for the aborted Count to drain so a
-		// healthy node is idle by the time we report cancellation. Both
-		// calls are asynchronous and time-limited: a wedged worker cannot
-		// block a cancelled master, and the deferred client.Close kills
-		// whatever is still pending on return.
-		client.Go("Node.Cancel", &CancelArgs{RunID: args.RunID}, &CancelReply{}, make(chan *rpc.Call, 1))
-		select {
-		case <-count.Done:
-		case <-time.After(cancelDrainTimeout):
-		}
-		return nil, nil, ctx.Err()
+	reply, err := countWithCancel(ctx, client, addr, args)
+	if err != nil {
+		return nil, nil, err
 	}
 	nr.CalcTime = reply.CalcTime
 	nr.Triangles = reply.Triangles

@@ -13,8 +13,10 @@ import (
 
 	"pdtl/internal/core"
 	"pdtl/internal/graph"
+	"pdtl/internal/ioacct"
 	"pdtl/internal/mgt"
 	"pdtl/internal/scan"
+	"pdtl/internal/sched"
 )
 
 // Node is the client-side RPC service of the PDTL protocol: it receives a
@@ -30,6 +32,15 @@ type Node struct {
 	incoming map[FileKind]*os.File
 	curName  string
 	received int64
+	// disks caches opened replica stores per graph name. The stealing
+	// master sends many small Count batches per run; without the cache
+	// every batch would re-read the replica's metadata and whole degree
+	// file. A Disk holds no open file descriptors, so cache entries need
+	// no teardown; a re-received graph (EndGraph) drops its stale entry
+	// and bumps diskGen so an open that was racing the re-replication
+	// cannot re-poison the cache with the old copy's handle.
+	disks   map[string]*graph.Disk
+	diskGen map[string]int
 	// runs maps the RunID of every in-flight Count to its cancel func, so
 	// a master's Cancel RPC (or a server shutdown) can abort it mid-run.
 	runs map[string]context.CancelFunc
@@ -131,8 +142,45 @@ func (n *Node) EndGraph(args *EndGraphArgs, reply *EndGraphReply) error {
 		}
 	}
 	n.incoming = nil
+	// The replica just changed on disk; a cached handle on the old copy
+	// (metadata, degree index) is stale, and any graph.Open racing this
+	// transfer read old files — the generation bump keeps its result out
+	// of the cache.
+	delete(n.disks, n.curName)
+	if n.diskGen == nil {
+		n.diskGen = make(map[string]int)
+	}
+	n.diskGen[n.curName]++
 	reply.BytesReceived = n.received
 	return firstErr
+}
+
+// openReplica opens (or returns the cached handle on) a received graph.
+// The open runs outside the node mutex (it reads the whole degree file),
+// so the insert re-checks the replica generation: a straggler that opened
+// the pre-replication copy returns it for its own doomed run but never
+// caches it.
+func (n *Node) openReplica(name string) (*graph.Disk, error) {
+	n.mu.Lock()
+	if d, ok := n.disks[name]; ok {
+		n.mu.Unlock()
+		return d, nil
+	}
+	gen := n.diskGen[name]
+	n.mu.Unlock()
+	d, err := graph.Open(n.base(name))
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.diskGen[name] == gen {
+		if n.disks == nil {
+			n.disks = make(map[string]*graph.Disk)
+		}
+		n.disks[name] = d
+	}
+	n.mu.Unlock()
+	return d, nil
 }
 
 func (n *Node) abortLocked() {
@@ -170,7 +218,7 @@ func (n *Node) Count(args *CountArgs, reply *CountReply) error {
 			n.mu.Unlock()
 		}()
 	}
-	d, err := graph.Open(n.base(args.GraphName))
+	d, err := n.openReplica(args.GraphName)
 	if err != nil {
 		return fmt.Errorf("cluster: node %s: open replica: %w", n.name, err)
 	}
@@ -182,13 +230,26 @@ func (n *Node) Count(args *CountArgs, reply *CountReply) error {
 	if err != nil {
 		return fmt.Errorf("cluster: node %s: %w", n.name, err)
 	}
+	schedMode, err := sched.ParseMode(args.Sched)
+	if err != nil {
+		return fmt.Errorf("cluster: node %s: %w", n.name, err)
+	}
+	workers := len(args.Ranges)
+	if schedMode == sched.Stealing && args.Workers > 0 {
+		workers = args.Workers
+	}
 	opt := core.Options{
-		Workers:  len(args.Ranges),
+		Workers:  workers,
 		MemEdges: args.MemEdges,
 		BufBytes: args.BufBytes,
 		Scan:     scanKind,
 		Kernel:   kernelKind,
+		Sched:    schedMode,
 	}
+	// Sinks are per range in both modes: a static range is one runner's
+	// whole responsibility, a stealing range is one chunk of the master's
+	// global list. Either way, concatenating the buffers in range order
+	// keeps the listing deterministic under dynamic assignment.
 	var buffers []*bytes.Buffer
 	if args.List {
 		opt.Sinks = make([]mgt.Sink, len(args.Ranges))
@@ -198,7 +259,13 @@ func (n *Node) Count(args *CountArgs, reply *CountReply) error {
 			opt.Sinks[i] = mgt.NewFileSink(buffers[i])
 		}
 	}
-	stats, srcIO, err := core.RunRanges(ctx, d, args.Ranges, opt)
+	var stats []core.WorkerStat
+	var srcIO ioacct.Stats
+	if schedMode == sched.Stealing {
+		stats, _, srcIO, err = core.RunChunks(ctx, d, args.Ranges, opt)
+	} else {
+		stats, srcIO, err = core.RunRanges(ctx, d, args.Ranges, opt)
+	}
 	if err != nil {
 		return err
 	}

@@ -68,9 +68,19 @@ type CountArgs struct {
 	// master may abort it mid-run with a Cancel RPC carrying the same id.
 	// Empty means the run is not cancellable remotely.
 	RunID string
-	// Ranges are the node's processors' pivot responsibilities; one MGT
-	// runner is started per range.
+	// Ranges are the node's processors' pivot responsibilities. Under the
+	// static scheduler one MGT runner is started per range; under stealing
+	// they are one batch of the master's global chunk list, drained by a
+	// pool of Workers runners.
 	Ranges []balance.Range
+	// Sched names the node's chunk scheduler ("static", "stealing"); empty
+	// means static — the paper's one-shot binding. Strings travel on the
+	// wire for the same compatibility reason as Scan/Kernel.
+	Sched string
+	// Workers is the runner-pool size for the stealing scheduler;
+	// non-positive falls back to one runner per range (the static rule).
+	// Ignored under static, where len(Ranges) is the pool.
+	Workers int
 	// MemEdges is M per runner.
 	MemEdges int
 	// BufBytes is the runner scan buffer size.

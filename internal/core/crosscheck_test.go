@@ -13,6 +13,7 @@ import (
 	"pdtl/internal/mgt"
 	"pdtl/internal/orient"
 	"pdtl/internal/scan"
+	"pdtl/internal/sched"
 )
 
 // orientedDisk writes g, orients it, and opens the oriented store.
@@ -156,6 +157,128 @@ func TestAllSourceKernelCombosIdentical(t *testing.T) {
 							if rec.tris[k] != refTris[i][k] {
 								t.Fatalf("%s: runner %d triangle %d = %v, reference %v",
 									label, i, k, rec.tris[k], refTris[i][k])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSchedSourceKernelCombosIdentical extends the cross-check to the
+// scheduler axis: sched(static, stealing) × scan(buffered, shared, mem) ×
+// kernel(merge, gallop, adaptive) must all produce identical,
+// order-normalized triangle listings versus the in-memory baseline. On top
+// of the set identity, the chunk-indexed listings of every stealing combo
+// must agree exactly (same sequence per chunk) — sources and kernels
+// promise order-preserving equivalence, and chunk-indexed sinks make that
+// promise hold under dynamic assignment too.
+func TestSchedSourceKernelCombosIdentical(t *testing.T) {
+	graphs := []struct {
+		name     string
+		g        func() (*graph.CSR, error)
+		memEdges int
+	}{
+		{"powerlaw", func() (*graph.CSR, error) { return gen.PowerLaw(400, 6000, 2.2, 11) }, 96},
+		{"k40", func() (*graph.CSR, error) { return gen.Complete(40) }, 16},
+	}
+	sources := []scan.SourceKind{scan.SourceBuffered, scan.SourceShared, scan.SourceMem}
+	kernels := []scan.KernelKind{scan.KernelMerge, scan.KernelGallop, scan.KernelAdaptive}
+	const workers = 3
+	const perWorker = 4
+
+	for _, tc := range graphs {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.g()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := baseline.Forward(g)
+			wantSet := map[[3]graph.Vertex]bool{}
+			baseline.ForwardList(g, func(u, v, w graph.Vertex) {
+				wantSet[[3]graph.Vertex{u, v, w}] = true
+			})
+			d := orientedDisk(t, g)
+			staticRanges := equalSplit(d, workers)
+			chunks := equalSplit(d, workers*perWorker)
+
+			// refChunkTris[c] is chunk c's exact listing under the first
+			// stealing combo; every other stealing combo must match it.
+			var refChunkTris [][][3]graph.Vertex
+			for _, mode := range []sched.Mode{sched.Static, sched.Stealing} {
+				for _, src := range sources {
+					for _, kern := range kernels {
+						label := fmt.Sprintf("%s/%s/%s", mode, src, kern)
+						ranges := staticRanges
+						if mode == sched.Stealing {
+							ranges = chunks
+						}
+						sinks := make([]mgt.Sink, len(ranges))
+						recs := make([]*recordingSink, len(ranges))
+						for i := range sinks {
+							recs[i] = &recordingSink{}
+							sinks[i] = recs[i]
+						}
+						opt := Options{
+							Workers:  workers,
+							MemEdges: tc.memEdges,
+							Scan:     src,
+							Kernel:   kern,
+							Sinks:    sinks,
+						}
+						var stats []WorkerStat
+						var err error
+						if mode == sched.Stealing {
+							stats, _, _, err = RunChunks(context.Background(), d, ranges, opt)
+						} else {
+							stats, _, err = RunRanges(context.Background(), d, ranges, opt)
+						}
+						if err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+						var total uint64
+						for _, w := range stats {
+							total += w.Stats.Triangles
+						}
+						if total != want {
+							t.Fatalf("%s: %d triangles, want %d", label, total, want)
+						}
+						listed := map[[3]graph.Vertex]bool{}
+						for _, rec := range recs {
+							for _, tri := range rec.tris {
+								if listed[tri] {
+									t.Fatalf("%s: triangle %v listed twice", label, tri)
+								}
+								listed[tri] = true
+								if !wantSet[tri] {
+									t.Fatalf("%s: listed %v, absent from baseline", label, tri)
+								}
+							}
+						}
+						if len(listed) != len(wantSet) {
+							t.Fatalf("%s: %d distinct triangles, want %d", label, len(listed), len(wantSet))
+						}
+						if mode != sched.Stealing {
+							continue
+						}
+						if refChunkTris == nil {
+							refChunkTris = make([][][3]graph.Vertex, len(recs))
+							for i, rec := range recs {
+								refChunkTris[i] = rec.tris
+							}
+							continue
+						}
+						for c, rec := range recs {
+							if len(rec.tris) != len(refChunkTris[c]) {
+								t.Fatalf("%s: chunk %d listed %d triangles, reference combo %d",
+									label, c, len(rec.tris), len(refChunkTris[c]))
+							}
+							for k := range rec.tris {
+								if rec.tris[k] != refChunkTris[c][k] {
+									t.Fatalf("%s: chunk %d triangle %d = %v, reference %v",
+										label, c, k, rec.tris[k], refChunkTris[c][k])
+								}
 							}
 						}
 					}

@@ -25,6 +25,7 @@ import (
 	"pdtl/internal/mgt"
 	"pdtl/internal/orient"
 	"pdtl/internal/scan"
+	"pdtl/internal/sched"
 )
 
 // Options parameterize a local PDTL run.
@@ -59,6 +60,16 @@ type Options struct {
 	// scan.KernelMerge, the paper's. All kernels produce identical
 	// triangles.
 	Kernel scan.KernelKind
+	// Sched selects the chunk scheduler: sched.Static (the paper's one-shot
+	// range→runner binding, the default) or sched.Stealing (the plan is cut
+	// into Chunks·Workers weighted chunks drawn dynamically by a pool of
+	// Workers runners, so an early finisher takes the struggler's remaining
+	// work instead of idling).
+	Sched sched.Mode
+	// Chunks is K, the chunks-per-worker factor of the stealing scheduler;
+	// non-positive selects sched.DefaultChunksPerWorker. Ignored under
+	// Static.
+	Chunks int
 }
 
 // DefaultMemEdges is 1<<22 entries = 16 MiB per worker, the same order as
@@ -78,8 +89,27 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// WorkerStat is one runner's outcome.
+// WorkerStat is one runner's outcome. Under the static scheduler Range is
+// the runner's single assigned range and Chunks is 1; under stealing Range
+// is the convex hull of the chunks the runner drew from the queue and
+// Chunks counts them (the ranges need not be contiguous), with the folded
+// Stats summing wall time across the runner's sequential chunks.
 type WorkerStat struct {
+	Worker int
+	Range  balance.Range
+	Chunks int
+	mgt.Stats
+}
+
+// ChunkStat is one chunk's outcome under the stealing scheduler. Everything
+// except Worker is deterministic for a given (store, plan, MemEdges): which
+// runner executed the chunk depends on timing, but what the chunk computed
+// does not — the straggler regression tests rely on this.
+type ChunkStat struct {
+	// Chunk is the index in the chunked plan (= listing concatenation
+	// order).
+	Chunk int
+	// Worker is the pool runner that executed the chunk.
 	Worker int
 	Range  balance.Range
 	mgt.Stats
@@ -111,6 +141,11 @@ type Result struct {
 	// preload. Zero for buffered sources, whose scans are charged to the
 	// per-worker counters.
 	SourceIO ioacct.Stats
+	// Sched is the chunk scheduler the run used.
+	Sched sched.Mode
+	// ChunkStats holds the per-chunk outcomes of a stealing run (nil under
+	// the static scheduler). Plan.Ranges and ChunkStats are index-aligned.
+	ChunkStats []ChunkStat
 }
 
 // TotalStats sums the runner statistics (Wall is the straggler max) plus
@@ -160,18 +195,26 @@ func Process(ctx context.Context, base string, opt Options) (*Result, error) {
 	res.OrientedBase = orientedBase
 
 	calcStart := time.Now()
+	res.Sched = opt.Sched
+	// planFor cuts one range per worker under static, Chunks per worker
+	// under stealing — the same cost model, K× finer.
 	plan, err := planFor(d, orientedBase, opt)
 	if err != nil {
 		return nil, err
 	}
 	res.Plan = plan
-
-	stats, srcIO, err := RunRanges(ctx, d, plan.Ranges, opt)
+	res.Scan = opt.Scan.Resolve(opt.Workers)
+	var stats []WorkerStat
+	var srcIO ioacct.Stats
+	if opt.Sched == sched.Stealing {
+		stats, res.ChunkStats, srcIO, err = RunChunks(ctx, d, plan.Ranges, opt)
+	} else {
+		stats, srcIO, err = RunRanges(ctx, d, plan.Ranges, opt)
+	}
 	if err != nil {
 		return nil, err
 	}
 	res.Workers = stats
-	res.Scan = opt.Scan.Resolve(len(plan.Ranges))
 	res.SourceIO = srcIO
 	for _, w := range stats {
 		res.Triangles += w.Stats.Triangles
@@ -181,7 +224,9 @@ func Process(ctx context.Context, base string, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// planFor computes the per-worker ranges for an oriented store.
+// planFor computes the ranges for an oriented store: one per worker under
+// the static scheduler, Chunks per worker under stealing (the same cost
+// model cut K× finer via balance.SplitChunks).
 func planFor(d *graph.Disk, orientedBase string, opt Options) (balance.Plan, error) {
 	in := balance.Inputs{Offsets: d.Offsets, OutDeg: d.Degrees}
 	if opt.Strategy == balance.InDegree || opt.Strategy == balance.Cost {
@@ -198,6 +243,13 @@ func planFor(d *graph.Disk, orientedBase string, opt Options) (balance.Plan, err
 			return balance.Plan{}, fmt.Errorf("core: cost balancing scan: %w", err)
 		}
 	}
+	if opt.Sched == sched.Stealing {
+		perWorker := opt.Chunks
+		if perWorker <= 0 {
+			perWorker = sched.DefaultChunksPerWorker
+		}
+		return balance.SplitChunks(in, opt.Workers, perWorker, opt.Strategy)
+	}
 	return balance.SplitInputs(in, opt.Workers, opt.Strategy)
 }
 
@@ -205,6 +257,19 @@ func planFor(d *graph.Disk, orientedBase string, opt Options) (balance.Plan, err
 // global N·P-range plan centrally (Section IV-B1).
 func Plan(d *graph.Disk, orientedBase string, processors int, strategy balance.Strategy) (balance.Plan, error) {
 	return planFor(d, orientedBase, Options{Workers: processors, Strategy: strategy})
+}
+
+// PlanChunks is the stealing master's plan: the global N·P-processor
+// assignment cut into perWorker weighted chunks per processor
+// (non-positive perWorker selects the default), dispensed in batches
+// instead of pre-split.
+func PlanChunks(d *graph.Disk, orientedBase string, processors, perWorker int, strategy balance.Strategy) (balance.Plan, error) {
+	return planFor(d, orientedBase, Options{
+		Workers:  processors,
+		Chunks:   perWorker,
+		Strategy: strategy,
+		Sched:    sched.Stealing,
+	})
 }
 
 // RunRanges runs one MGT runner per range, concurrently, against the
@@ -289,7 +354,7 @@ func RunRanges(ctx context.Context, d *graph.Disk, ranges []balance.Range, opt O
 				cfg.Sink = opt.Sinks[i]
 			}
 			st, err := mgt.Run(ctx, d, cfg)
-			stats[i] = WorkerStat{Worker: i, Range: r, Stats: st}
+			stats[i] = WorkerStat{Worker: i, Range: r, Chunks: 1, Stats: st}
 			errs[i] = err
 		}(i, r)
 	}
@@ -305,4 +370,150 @@ func RunRanges(ctx context.Context, d *graph.Disk, ranges []balance.Range, opt O
 		}
 	}
 	return stats, src.IO(), nil
+}
+
+// RunChunks is the stealing-mode calculation phase: a pool of opt.Workers
+// persistent MGT runners drains the chunk queue, each runner drawing the
+// next chunk the moment it finishes its current one. chunks is typically a
+// K·P-way weighted plan (balance.SplitChunks); any partition of the global
+// edge range is correct — every triangle is still reported exactly once, by
+// the chunk holding its pivot edge.
+//
+// Sinks, when non-nil in opt, must have one entry per CHUNK (not per
+// worker): chunk i's triangles go to Sinks[i] regardless of which runner
+// executed it, so listing output concatenated in chunk order is
+// deterministic even though the chunk→runner assignment is not. A sink is
+// only ever used by one runner at a time (the one executing its chunk), so
+// per-sink state needs no locking.
+//
+// The returned WorkerStats fold each runner's chunks (wall summed, range =
+// hull); ChunkStats align with chunks index-wise, zero-valued for chunks a
+// cancelled or failed run never started.
+//
+// Scan-source semantics are identical to RunRanges: every runner holds one
+// handle for its whole lifetime, opened up front, so a shared source's
+// quorum-based rounds keep doing exactly one physical scan per round — a
+// runner between chunks looks no different to the broadcaster than a runner
+// between memory windows. A runner that finds the queue empty closes its
+// handle, shrinking the quorum for the ones still working.
+func RunChunks(ctx context.Context, d *graph.Disk, chunks []balance.Range, opt Options) ([]WorkerStat, []ChunkStat, ioacct.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opt = opt.withDefaults()
+	if !d.Meta.Oriented {
+		return nil, nil, ioacct.Stats{}, fmt.Errorf("core: RunChunks requires an oriented store")
+	}
+	if opt.Sinks != nil && len(opt.Sinks) != len(chunks) {
+		return nil, nil, ioacct.Stats{}, fmt.Errorf("core: %d sinks for %d chunks (stealing sinks are per chunk)", len(opt.Sinks), len(chunks))
+	}
+	workers := opt.Workers
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	kernel, err := scan.NewKernel(opt.Kernel)
+	if err != nil {
+		return nil, nil, ioacct.Stats{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, ioacct.Stats{}, err
+	}
+	src, err := scan.New(opt.Scan.Resolve(workers), d, scan.Config{
+		BufBytes: opt.BufBytes,
+		Counter:  ioacct.NewCounter(0),
+		Ctx:      ctx,
+	})
+	if err != nil {
+		return nil, nil, ioacct.Stats{}, err
+	}
+	defer src.Close()
+
+	// One handle per pool runner, opened before any runner starts: the
+	// same deterministic quorum rule as RunRanges.
+	counters := make([]*ioacct.Counter, workers)
+	handles := make([]scan.Handle, workers)
+	for i := range handles {
+		counters[i] = ioacct.NewCounter(0)
+		h, err := src.Handle(counters[i])
+		if err != nil {
+			for _, open := range handles[:i] {
+				open.Close()
+			}
+			return nil, nil, src.IO(), err
+		}
+		handles[i] = h
+	}
+
+	queue := sched.NewQueue(chunks)
+	ledgers := make([]sched.Ledger, workers)
+	chunkStats := make([]ChunkStat, len(chunks))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Closing the handle as soon as this runner is out of work
+			// shrinks the shared source's round quorum, exactly like a
+			// static runner finishing its final pass.
+			defer handles[i].Close()
+			ledgers[i].Worker = i
+			runner, err := mgt.NewRunner(d, mgt.Config{
+				MemEdges: opt.MemEdges,
+				Counter:  counters[i],
+				Source:   handles[i],
+				Kernel:   kernel,
+			})
+			if err != nil {
+				errs[i] = err
+				queue.Stop()
+				return
+			}
+			for {
+				ci, rng, ok := queue.Next()
+				if !ok {
+					return
+				}
+				var sink mgt.Sink
+				if opt.Sinks != nil {
+					sink = opt.Sinks[ci]
+				}
+				st, err := runner.RunRange(ctx, rng, sink)
+				chunkStats[ci] = ChunkStat{Chunk: ci, Worker: i, Range: rng, Stats: st}
+				ledgers[i].Fold(rng, st)
+				if err != nil {
+					errs[i] = err
+					// Stop the drain; runners mid-chunk finish (or hit the
+					// same cancellation) on their own.
+					queue.Stop()
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	stats := make([]WorkerStat, workers)
+	for i, l := range ledgers {
+		stats[i] = WorkerStat{
+			Worker: l.Worker,
+			Range:  balance.Range{Lo: l.Lo, Hi: l.Hi},
+			Chunks: l.Chunks,
+			Stats:  l.Stats,
+		}
+	}
+	// A cancelled run reports the bare ctx.Err() regardless of which runner
+	// (or the scan source) surfaced the cancellation first.
+	if err := ctx.Err(); err != nil {
+		return stats, chunkStats, src.IO(), err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return stats, chunkStats, src.IO(), err
+		}
+	}
+	return stats, chunkStats, src.IO(), nil
 }

@@ -25,7 +25,7 @@ func BenchmarkExternalSort(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dst := filepath.Join(dir, "out.bin")
-		if err := Sort(src, dst, len(edges)/16, nil); err != nil {
+		if err := Sort(nil, src, dst, len(edges)/16, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

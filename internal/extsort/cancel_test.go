@@ -1,0 +1,84 @@
+package extsort
+
+import (
+	"context"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeEdges writes n sequential synthetic edges.
+func writeEdges(t *testing.T, path string, n int) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, n*EdgeBytes)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(buf[i*EdgeBytes:], uint32(i%997))
+		binary.LittleEndian.PutUint32(buf[i*EdgeBytes+4:], uint32((i+1)%997))
+	}
+	if _, err := f.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildStoreCancelled: a pre-cancelled context aborts the ingest with
+// the bare context error and leaves no intermediate files behind.
+func TestBuildStoreCancelled(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "edges.bin")
+	writeEdges(t, src, 200_000)
+	base := filepath.Join(dir, "store")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := BuildStore(ctx, src, base, "x", 1<<16, nil); err != context.Canceled {
+		t.Fatalf("BuildStore returned %v, want context.Canceled", err)
+	}
+	for _, suffix := range []string{".mirror", ".sorted"} {
+		if _, err := os.Stat(base + suffix); !os.IsNotExist(err) {
+			t.Errorf("intermediate %s survived a cancelled ingest", suffix)
+		}
+	}
+}
+
+// TestSortCancelled: Sort honors its context too.
+func TestSortCancelled(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "edges.bin")
+	writeEdges(t, src, 100_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sort(ctx, src, filepath.Join(dir, "out.bin"), 1<<14, nil); err != context.Canceled {
+		t.Fatalf("Sort returned %v, want context.Canceled", err)
+	}
+}
+
+// TestSortCancelledLeavesNoRunFiles: a failed/cancelled sort must remove
+// the spilled run files it already produced (the cleanup is installed
+// before the spilling starts).
+func TestSortCancelledLeavesNoRunFiles(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "edges.bin")
+	writeEdges(t, src, 300_000)
+	dst := filepath.Join(dir, "out.bin")
+	// Cancel mid-spill: small memory so several runs spill, and a context
+	// cancelled after the first batch boundary check window.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Sort(ctx, src, dst, 1<<15, nil) }()
+	cancel()
+	if err := <-done; err != nil && err != context.Canceled {
+		t.Fatalf("Sort returned %v", err)
+	}
+	matches, err := filepath.Glob(dst + ".run*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("run files survived a cancelled sort: %v", matches)
+	}
+}

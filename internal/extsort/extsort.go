@@ -13,6 +13,7 @@ package extsort
 import (
 	"bufio"
 	"container/heap"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -77,23 +78,32 @@ func edgeLess(a, b graph.Edge) bool {
 
 // Sort externally sorts the edge file at src into dst by (U, V), holding at
 // most memEdges edges in memory at a time. I/O is charged to c (nil for a
-// private counter).
-func Sort(src, dst string, memEdges int, c *ioacct.Counter) error {
+// private counter). Cancelling ctx aborts between record batches and
+// returns ctx.Err(); run files are cleaned up, a partial dst may remain. A
+// nil ctx means context.Background().
+func Sort(ctx context.Context, src, dst string, memEdges int, c *ioacct.Counter) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if memEdges < 1 {
 		return fmt.Errorf("extsort: memory budget %d, need ≥ 1", memEdges)
 	}
 	if c == nil {
 		c = ioacct.NewCounter(0)
 	}
-	runs, err := makeRuns(src, dst, memEdges, c)
-	if err != nil {
-		return err
-	}
+	// The cleanup is installed before makeRuns because makeRuns returns
+	// the partial run list alongside its error — a cancelled or failed
+	// spill must not leave .runN files behind.
+	var runs []string
 	defer func() {
 		for _, r := range runs {
 			os.Remove(r)
 		}
 	}()
+	var err error
+	if runs, err = makeRuns(ctx, src, dst, memEdges, c); err != nil {
+		return err
+	}
 	if len(runs) == 0 {
 		// Empty input: emit an empty output.
 		f, err := os.Create(dst)
@@ -105,11 +115,11 @@ func Sort(src, dst string, memEdges int, c *ioacct.Counter) error {
 	if len(runs) == 1 {
 		return os.Rename(runs[0], dst)
 	}
-	return mergeRuns(runs, dst, c)
+	return mergeRuns(ctx, runs, dst, c)
 }
 
 // makeRuns splits src into sorted run files.
-func makeRuns(src, dst string, memEdges int, c *ioacct.Counter) ([]string, error) {
+func makeRuns(ctx context.Context, src, dst string, memEdges int, c *ioacct.Counter) ([]string, error) {
 	f, err := os.Open(src)
 	if err != nil {
 		return nil, err
@@ -120,7 +130,12 @@ func makeRuns(src, dst string, memEdges int, c *ioacct.Counter) ([]string, error
 	var runs []string
 	buf := make([]graph.Edge, 0, memEdges)
 	rec := make([]byte, EdgeBytes)
-	for {
+	for count := 0; ; count++ {
+		if count%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return runs, err
+			}
+		}
 		_, rerr := io.ReadFull(br, rec)
 		if rerr == io.EOF {
 			break
@@ -219,7 +234,7 @@ func (h *runHeap) Pop() interface{} {
 }
 
 // mergeRuns k-way merges sorted runs into dst.
-func mergeRuns(runs []string, dst string, c *ioacct.Counter) error {
+func mergeRuns(ctx context.Context, runs []string, dst string, c *ioacct.Counter) error {
 	h := make(runHeap, 0, len(runs))
 	defer func() {
 		for _, r := range h {
@@ -250,7 +265,13 @@ func mergeRuns(runs []string, dst string, c *ioacct.Counter) error {
 	}
 	bw := bufio.NewWriterSize(ioacct.NewWriter(out, c), 1<<20)
 	var rec [EdgeBytes]byte
-	for h.Len() > 0 {
+	for count := 0; h.Len() > 0; count++ {
+		if count%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				out.Close()
+				return err
+			}
+		}
 		top := h[0]
 		binary.LittleEndian.PutUint32(rec[0:], top.head.U)
 		binary.LittleEndian.PutUint32(rec[4:], top.head.V)

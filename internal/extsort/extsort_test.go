@@ -42,7 +42,7 @@ func TestSortSmallBudget(t *testing.T) {
 	for _, mem := range []int{1, 7, 64, 5000} {
 		dst := filepath.Join(dir, "out.bin")
 		c := ioacct.NewCounter(0)
-		if err := Sort(src, dst, mem, c); err != nil {
+		if err := Sort(nil, src, dst, mem, c); err != nil {
 			t.Fatalf("mem=%d: %v", mem, err)
 		}
 		got, err := ReadEdgeFile(dst)
@@ -70,17 +70,17 @@ func TestSortEmptyAndErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	dst := filepath.Join(dir, "out.bin")
-	if err := Sort(src, dst, 8, nil); err != nil {
+	if err := Sort(nil, src, dst, 8, nil); err != nil {
 		t.Fatal(err)
 	}
 	got, err := ReadEdgeFile(dst)
 	if err != nil || len(got) != 0 {
 		t.Errorf("empty sort: %v %v", got, err)
 	}
-	if err := Sort(src, dst, 0, nil); err == nil {
+	if err := Sort(nil, src, dst, 0, nil); err == nil {
 		t.Error("want error for zero budget")
 	}
-	if err := Sort(filepath.Join(dir, "missing"), dst, 8, nil); err == nil {
+	if err := Sort(nil, filepath.Join(dir, "missing"), dst, 8, nil); err == nil {
 		t.Error("want error for missing input")
 	}
 }
@@ -104,7 +104,7 @@ func TestBuildStoreMatchesInMemory(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := filepath.Join(dir, "store")
-	if err := BuildStore(src, base, "ingest", 100, nil); err != nil {
+	if err := BuildStore(nil, src, base, "ingest", 100, nil); err != nil {
 		t.Fatal(err)
 	}
 	d, err := graph.Open(base)
@@ -140,7 +140,7 @@ func TestBuildStoreEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := filepath.Join(dir, "store")
-	if err := BuildStore(src, base, "empty", 8, nil); err != nil {
+	if err := BuildStore(nil, src, base, "empty", 8, nil); err != nil {
 		t.Fatal(err)
 	}
 	d, err := graph.Open(base)
@@ -167,7 +167,7 @@ func TestSortProperty(t *testing.T) {
 			return false
 		}
 		mem := 1 + int(memRaw%100)
-		if Sort(src, dst, mem, nil) != nil {
+		if Sort(nil, src, dst, mem, nil) != nil {
 			return false
 		}
 		got, err := ReadEdgeFile(dst)
@@ -210,7 +210,7 @@ func TestBuildStoreThenCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := filepath.Join(dir, "store")
-	if err := BuildStore(src, base, "rmat8", 512, nil); err != nil {
+	if err := BuildStore(nil, src, base, "rmat8", 512, nil); err != nil {
 		t.Fatal(err)
 	}
 	d, err := graph.Open(base)

@@ -2,6 +2,7 @@ package extsort
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -10,6 +11,11 @@ import (
 	"pdtl/internal/graph"
 	"pdtl/internal/ioacct"
 )
+
+// ctxCheckEvery is how many records the streaming passes process between
+// context checks: frequent enough that a SIGINT aborts an ingest of any
+// size within milliseconds, rare enough to cost nothing per record.
+const ctxCheckEvery = 1 << 16
 
 // BuildStore converts an arbitrary (unsorted, possibly multi-edged) binary
 // edge file into the bidirectional sorted graph store PDTL consumes — the
@@ -21,29 +27,37 @@ import (
 //
 // memEdges bounds the edges held in memory during sorting. Vertex count is
 // the max id + 1 discovered during the mirror pass.
-func BuildStore(edgeFile, base, name string, memEdges int, c *ioacct.Counter) error {
+//
+// Cancelling ctx aborts the pipeline between record batches and returns
+// ctx.Err(); the intermediate files are removed, but a partially written
+// store at base is left behind (the caller owns base's lifecycle). A nil
+// ctx means context.Background().
+func BuildStore(ctx context.Context, edgeFile, base, name string, memEdges int, c *ioacct.Counter) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if c == nil {
 		c = ioacct.NewCounter(0)
 	}
 	mirrored := base + ".mirror"
-	n, err := mirrorEdges(edgeFile, mirrored, c)
+	defer os.Remove(mirrored)
+	n, err := mirrorEdges(ctx, edgeFile, mirrored, c)
 	if err != nil {
 		return err
 	}
-	defer os.Remove(mirrored)
 
 	sorted := base + ".sorted"
-	if err := Sort(mirrored, sorted, memEdges, c); err != nil {
+	defer os.Remove(sorted)
+	if err := Sort(ctx, mirrored, sorted, memEdges, c); err != nil {
 		return err
 	}
-	defer os.Remove(sorted)
 
-	return emitStore(sorted, base, name, n, c)
+	return emitStore(ctx, sorted, base, name, n, c)
 }
 
 // mirrorEdges writes (u,v) and (v,u) for every non-loop input edge and
 // reports the vertex count.
-func mirrorEdges(src, dst string, c *ioacct.Counter) (int, error) {
+func mirrorEdges(ctx context.Context, src, dst string, c *ioacct.Counter) (int, error) {
 	in, err := os.Open(src)
 	if err != nil {
 		return 0, err
@@ -59,7 +73,13 @@ func mirrorEdges(src, dst string, c *ioacct.Counter) (int, error) {
 	var maxID uint32
 	seen := false
 	var rec [EdgeBytes]byte
-	for {
+	for count := 0; ; count++ {
+		if count%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				out.Close()
+				return 0, err
+			}
+		}
 		_, rerr := io.ReadFull(br, rec[:])
 		if rerr == io.EOF {
 			break
@@ -108,7 +128,7 @@ func mirrorEdges(src, dst string, c *ioacct.Counter) (int, error) {
 
 // emitStore scans a sorted bidirectional edge file once, deduplicating, and
 // writes the degree/adjacency/meta files.
-func emitStore(sorted, base, name string, n int, c *ioacct.Counter) error {
+func emitStore(ctx context.Context, sorted, base, name string, n int, c *ioacct.Counter) error {
 	in, err := os.Open(sorted)
 	if err != nil {
 		return err
@@ -128,7 +148,13 @@ func emitStore(sorted, base, name string, n int, c *ioacct.Counter) error {
 	var prevU, prevV uint32
 	first := true
 	var rec [EdgeBytes]byte
-	for {
+	for count := 0; ; count++ {
+		if count%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				adjOut.Close()
+				return err
+			}
+		}
 		_, rerr := io.ReadFull(br, rec[:])
 		if rerr == io.EOF {
 			break

@@ -11,6 +11,7 @@ import (
 	"pdtl/internal/graph"
 	"pdtl/internal/orient"
 	"pdtl/internal/scan"
+	"pdtl/internal/sched"
 )
 
 // Dataset is one entry of the Table I stand-in registry.
@@ -70,6 +71,14 @@ var Datasets = []Dataset{
 		Key: "rmat17", Paper: "RMAT-29",
 		Build: func() (*graph.CSR, error) { return gen.RMAT(17, 16, 108) },
 	},
+	{
+		// tiny is not a Table I stand-in: it is the seconds-scale smoke
+		// dataset CI runs `pdtl-bench -json` against to keep the JSON
+		// schema honest. Skewed on purpose so the worker-imbalance field
+		// is non-trivial.
+		Key: "tiny", Paper: "(smoke)",
+		Build: func() (*graph.CSR, error) { return gen.PowerLaw(1<<10, (1<<10)*8, 2.0, 109) },
+	},
 }
 
 // dataset looks a registry entry up by key.
@@ -87,13 +96,16 @@ func dataset(key string) (Dataset, error) {
 type Harness struct {
 	cacheDir string
 
-	// Scan and Kernel, when set, override the execution layer for every
-	// experiment run through the harness (CalcLocal and RunCluster) —
-	// the pdtl-bench -scan/-kernel flags land here, so any table or
-	// figure can be regenerated under a different scan source or
-	// intersection kernel. Zero values keep the engine defaults.
+	// Scan, Kernel, Sched, and Chunks, when set, override the execution
+	// layer for every experiment run through the harness (CalcLocal and
+	// RunCluster) — the pdtl-bench -scan/-kernel/-sched/-chunks flags land
+	// here, so any table or figure can be regenerated under a different
+	// scan source, intersection kernel, or chunk scheduler. Zero values
+	// keep the engine defaults.
 	Scan   scan.SourceKind
 	Kernel scan.KernelKind
+	Sched  sched.Mode
+	Chunks int
 	// Ctx, when set, bounds every run the harness performs: cancelling it
 	// aborts the in-flight experiment (pdtl-bench wires SIGINT/SIGTERM
 	// here) and stops between experiments. Nil means context.Background().

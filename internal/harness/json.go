@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"pdtl/internal/balance"
+	"pdtl/internal/core"
+	"pdtl/internal/scan"
+	"pdtl/internal/sched"
+)
+
+// BenchSchema names the JSON layout BenchJSON emits; bump it when a field
+// changes meaning. Consumers (the BENCH_*.json perf trajectory) key on it.
+const BenchSchema = "pdtl-bench/1"
+
+// BenchRun is one (dataset, scheduler) measurement — the machine-readable
+// counterpart of the human tables, with the per-run wall/CPU/IO split and
+// the worker-imbalance straggler factor the load-balance ablation tracks.
+type BenchRun struct {
+	Dataset   string `json:"dataset"`
+	Workers   int    `json:"workers"`
+	MemEdges  int    `json:"mem_edges"`
+	Sched     string `json:"sched"`
+	Chunks    int    `json:"chunks,omitempty"`
+	Scan      string `json:"scan"`
+	Kernel    string `json:"kernel"`
+	Triangles uint64 `json:"triangles"`
+	// WallNS is the calculation phase (load balancing + slowest runner);
+	// OrientNS the one-time preprocessing, reported separately.
+	WallNS   int64 `json:"wall_ns"`
+	OrientNS int64 `json:"orient_ns"`
+	// CPUNS and IONS aggregate the runners; SourceBytes is the scan
+	// source's own I/O (shared broadcasts, mem preload).
+	CPUNS       int64 `json:"cpu_ns"`
+	IONS        int64 `json:"io_ns"`
+	BytesRead   int64 `json:"bytes_read"`
+	SourceBytes int64 `json:"source_bytes_read"`
+	// WorkerImbalance is max/mean per-worker work (intersection steps +
+	// adjacency entries streamed) — 1.0 is a perfectly flat run; the
+	// static-vs-stealing delta on skewed datasets is the point of the
+	// load-balance ablation.
+	WorkerImbalance float64 `json:"worker_imbalance"`
+	// MaxWorkerWall is the straggler runner's wall time.
+	MaxWorkerWallNS int64 `json:"max_worker_wall_ns"`
+}
+
+// BenchReport is the top-level document: one run per (dataset, scheduler).
+type BenchReport struct {
+	Schema    string     `json:"schema"`
+	Generated time.Time  `json:"generated"`
+	GoMaxProc int        `json:"gomaxprocs"`
+	Runs      []BenchRun `json:"runs"`
+}
+
+// workerImbalance is max/mean of the per-worker work proxy.
+func workerImbalance(workers []core.WorkerStat) float64 {
+	if len(workers) == 0 {
+		return 1
+	}
+	total := Work(workers)
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(len(workers))
+	return float64(MaxWorkerWork(workers)) / mean
+}
+
+// BenchJSON runs the local calculation phase for every requested dataset
+// under each scheduler in modes (nil means both — one record per
+// scheduler is what the static-vs-stealing trajectory plots) and writes
+// one BenchReport to w — the machine-readable output behind
+// `pdtl-bench -json`. The caller passes modes explicitly because the
+// Mode zero value is Static: a "-sched static" flag would otherwise be
+// indistinguishable from the flag being absent.
+func (h *Harness) BenchJSON(w io.Writer, keys []string, workers, memEdges int, modes []sched.Mode) error {
+	if workers <= 0 {
+		workers = 4
+	}
+	report := BenchReport{
+		Schema:    BenchSchema,
+		Generated: time.Now().UTC(),
+		GoMaxProc: runtime.GOMAXPROCS(0),
+	}
+	if len(modes) == 0 {
+		modes = []sched.Mode{sched.Static, sched.Stealing}
+	}
+	for _, key := range keys {
+		mem := memEdges
+		if mem <= 0 {
+			var err error
+			if mem, err = h.MemTight(key, workers); err != nil {
+				return err
+			}
+		}
+		orientedBase, ores, err := h.Oriented(key, 2)
+		if err != nil {
+			return err
+		}
+		for _, mode := range modes {
+			res, err := core.Process(h.ctx(), orientedBase, core.Options{
+				Workers:  workers,
+				MemEdges: mem,
+				Strategy: balance.InDegree,
+				Scan:     h.Scan,
+				Kernel:   h.Kernel,
+				Sched:    mode,
+				Chunks:   h.Chunks,
+			})
+			if err != nil {
+				return fmt.Errorf("harness: bench %s/%s: %w", key, mode, err)
+			}
+			cpu, io := AggCPUIO(res.Workers)
+			var bytesRead int64
+			var maxWall time.Duration
+			for _, ws := range res.Workers {
+				bytesRead += ws.Stats.IO.BytesRead
+				if ws.Stats.Wall > maxWall {
+					maxWall = ws.Stats.Wall
+				}
+			}
+			run := BenchRun{
+				Dataset:         key,
+				Workers:         workers,
+				MemEdges:        mem,
+				Sched:           mode.String(),
+				Scan:            string(res.Scan),
+				Kernel:          kernelName(h.Kernel),
+				Triangles:       res.Triangles,
+				WallNS:          int64(res.CalcTime),
+				OrientNS:        int64(ores.Duration),
+				CPUNS:           int64(cpu),
+				IONS:            int64(io),
+				BytesRead:       bytesRead,
+				SourceBytes:     res.SourceIO.BytesRead,
+				WorkerImbalance: workerImbalance(res.Workers),
+				MaxWorkerWallNS: int64(maxWall),
+			}
+			if mode == sched.Stealing {
+				run.Chunks = len(res.ChunkStats)
+			}
+			report.Runs = append(report.Runs, run)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// kernelName resolves the kernel default for reporting ("" runs merge).
+func kernelName(k scan.KernelKind) string {
+	if k == "" {
+		return string(scan.KernelMerge)
+	}
+	return string(k)
+}

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pdtl/internal/sched"
+)
+
+// TestBenchJSONSchema runs the JSON bench on the smoke dataset and decodes
+// the output, pinning the schema fields the perf trajectory consumes: both
+// schedulers present, identical counts, sane imbalance, version tag.
+func TestBenchJSONSchema(t *testing.T) {
+	h, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.BenchJSON(&buf, []string{"tiny"}, 2, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if report.Schema != BenchSchema {
+		t.Errorf("schema = %q, want %q", report.Schema, BenchSchema)
+	}
+	if len(report.Runs) != 2 {
+		t.Fatalf("got %d runs, want one per scheduler", len(report.Runs))
+	}
+	modes := map[string]BenchRun{}
+	for _, r := range report.Runs {
+		modes[r.Sched] = r
+		if r.Dataset != "tiny" || r.Workers != 2 {
+			t.Errorf("run mislabeled: %+v", r)
+		}
+		if r.Triangles == 0 {
+			t.Errorf("%s run found no triangles", r.Sched)
+		}
+		if r.WallNS <= 0 || r.OrientNS <= 0 {
+			t.Errorf("%s run has empty timings: wall=%d orient=%d", r.Sched, r.WallNS, r.OrientNS)
+		}
+		if r.WorkerImbalance < 1 {
+			t.Errorf("%s imbalance %f below 1 (max/mean cannot be)", r.Sched, r.WorkerImbalance)
+		}
+		if r.Scan == "" || r.Kernel == "" {
+			t.Errorf("%s run missing execution-layer labels: %+v", r.Sched, r)
+		}
+	}
+	st, ok1 := modes["static"]
+	sl, ok2 := modes["stealing"]
+	if !ok1 || !ok2 {
+		t.Fatalf("runs missing a scheduler: %v", modes)
+	}
+	if st.Triangles != sl.Triangles {
+		t.Errorf("schedulers disagree: static %d, stealing %d triangles", st.Triangles, sl.Triangles)
+	}
+	if sl.Chunks == 0 {
+		t.Error("stealing run reports no chunk count")
+	}
+	// Decoding through a generic map keeps key names pinned (a renamed
+	// field would silently break downstream BENCH_*.json consumers).
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	runs := raw["runs"].([]any)
+	first := runs[0].(map[string]any)
+	for _, key := range []string{"dataset", "workers", "sched", "scan", "kernel", "triangles",
+		"wall_ns", "cpu_ns", "io_ns", "bytes_read", "worker_imbalance", "max_worker_wall_ns"} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("run object missing key %q", key)
+		}
+	}
+}
+
+// TestBenchJSONSingleMode: an explicit scheduler selection produces
+// exactly one record per dataset.
+func TestBenchJSONSingleMode(t *testing.T) {
+	h, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.BenchJSON(&buf, []string{"tiny"}, 2, 0, []sched.Mode{sched.Static}); err != nil {
+		t.Fatal(err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Runs) != 1 || report.Runs[0].Sched != "static" {
+		t.Fatalf("static-only request produced %+v", report.Runs)
+	}
+}

@@ -62,6 +62,8 @@ func (h *Harness) CalcLocal(key string, workers, memEdges int, strategy balance.
 		Strategy: strategy,
 		Scan:     h.Scan,
 		Kernel:   h.Kernel,
+		Sched:    h.Sched,
+		Chunks:   h.Chunks,
 	})
 }
 
@@ -103,6 +105,8 @@ func (h *Harness) RunCluster(key string, nodes, workersPerNode, memEdges int, up
 		UplinkBytesPerSec: uplink,
 		Scan:              h.Scan,
 		Kernel:            h.Kernel,
+		Sched:             h.Sched,
+		Chunks:            h.Chunks,
 	}, addrs)
 	if err != nil {
 		return nil, err

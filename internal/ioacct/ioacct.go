@@ -140,6 +140,20 @@ func (s Stats) Add(o Stats) Stats {
 	return s
 }
 
+// Sub returns the field-wise difference s − o: the activity between two
+// snapshots of the same counter. A reusable runner takes one snapshot per
+// chunk and reports the delta, so per-chunk statistics stay exact even
+// though the counter accumulates across chunks.
+func (s Stats) Sub(o Stats) Stats {
+	s.BytesRead -= o.BytesRead
+	s.BytesWritten -= o.BytesWritten
+	s.ReadOps -= o.ReadOps
+	s.WriteOps -= o.WriteOps
+	s.ReadTime -= o.ReadTime
+	s.WriteTime -= o.WriteTime
+	return s
+}
+
 func ceilDiv(a, b int64) int64 {
 	if b <= 0 {
 		return 0

@@ -152,96 +152,43 @@ type indEntry struct {
 // source, also unblocks mid-pass ring-buffer waits). A cancelled run returns
 // ctx.Err() with the statistics accumulated so far. A nil ctx means
 // context.Background().
+//
+// Run is the one-shot form: it creates a Runner, executes cfg.Range (zero
+// means the whole file), and tears the Runner down. Callers executing many
+// ranges against the same store — the work-stealing scheduler — should
+// create a Runner once and call RunRange per chunk instead, reusing the
+// window and index buffers across chunks.
 func Run(ctx context.Context, d *graph.Disk, cfg Config) (Stats, error) {
-	start := time.Now()
-	if ctx == nil {
-		ctx = context.Background()
+	r, err := NewRunner(d, cfg)
+	if err != nil {
+		return Stats{}, err
 	}
-	if !d.Meta.Oriented {
-		return Stats{}, fmt.Errorf("mgt: store %q is not oriented", d.Base)
-	}
-	if cfg.MemEdges < 1 {
-		return Stats{}, fmt.Errorf("mgt: memory budget %d edges, need ≥ 1", cfg.MemEdges)
-	}
-	total := d.Meta.AdjEntries
+	defer r.Close()
 	rng := cfg.Range
 	if rng == (balance.Range{}) {
-		rng = balance.Range{Lo: 0, Hi: total}
+		rng = balance.Range{Lo: 0, Hi: d.Meta.AdjEntries}
 	}
-	if rng.Hi > total || rng.Lo > rng.Hi {
-		return Stats{}, fmt.Errorf("mgt: range [%d,%d) out of bounds for %d entries", rng.Lo, rng.Hi, total)
-	}
-	counter := cfg.Counter
-	if counter == nil {
-		counter = ioacct.NewCounter(0)
-	}
-
-	handle := cfg.Source
-	if handle == nil {
-		src, err := scan.New(scan.SourceBuffered, d, scan.Config{BufBytes: cfg.BufBytes, Counter: counter})
-		if err != nil {
-			return Stats{}, err
-		}
-		defer src.Close()
-		if handle, err = src.Handle(counter); err != nil {
-			return Stats{}, err
-		}
-		defer handle.Close()
-	}
-	kernel := cfg.Kernel
-	if kernel == nil {
-		kernel = scan.Merge
-	}
-
-	r := &runner{
-		disk:   d,
-		cfg:    cfg,
-		handle: handle,
-		kernel: kernel,
-		edg:    make([]graph.Vertex, 0, cfg.MemEdges),
-	}
-	r.emitFn = r.emit
-
-	finish := func(err error) (Stats, error) {
-		r.stats.Wall = time.Since(start)
-		r.stats.IO = counter.Snapshot()
-		// A cancelled run reports the bare ctx.Err(), whichever layer the
-		// cancellation surfaced through first (window check here, or a scan
-		// source's wrapped ring-buffer error).
-		if cerr := ctx.Err(); cerr != nil {
-			return r.stats, cerr
-		}
-		return r.stats, err
-	}
-	for pos := rng.Lo; pos < rng.Hi; {
-		// The per-window cancellation point: one check per memory window
-		// bounds abort latency at a single window's load + pass.
-		if err := ctx.Err(); err != nil {
-			return finish(err)
-		}
-		end := pos + uint64(cfg.MemEdges)
-		if end > rng.Hi {
-			end = rng.Hi
-		}
-		if err := r.loadWindow(pos, end); err != nil {
-			return finish(err)
-		}
-		if err := r.scanPass(); err != nil {
-			return finish(err)
-		}
-		r.stats.Passes++
-		pos = end
-	}
-	return finish(nil)
+	return r.RunRange(ctx, rng, cfg.Sink)
 }
 
-// runner holds the per-run and per-window state of modified MGT.
-type runner struct {
-	disk   *graph.Disk
-	cfg    Config
-	handle scan.Handle
-	kernel scan.Kernel
-	stats  Stats
+// Runner is a reusable modified-MGT executor over one oriented store. It
+// owns the window buffer (edg), the window index (ind), and the
+// large-vertex structures (value index, stamp array, chunk buffer), all
+// sized once and reused by every RunRange call — under the work-stealing
+// scheduler a runner executes many chunks back to back, and per-chunk
+// reallocation of these M-sized buffers would dominate small chunks. A
+// Runner is not safe for concurrent use; a pool gives each worker its own.
+type Runner struct {
+	disk    *graph.Disk
+	cfg     Config
+	handle  scan.Handle
+	kernel  scan.Kernel
+	counter *ioacct.Counter
+	// ownedSrc is the private buffered source Run-style callers get when
+	// cfg.Source is nil; Close tears it (and its handle) down.
+	ownedSrc scan.Source
+	stats    Stats
+	sink     Sink
 
 	// Kernel emit plumbing: the pivot pair of the in-flight intersection
 	// and the bound emit method, created once so the hot path does not
@@ -268,18 +215,127 @@ type runner struct {
 	chunkBuf []graph.Vertex
 }
 
+// NewRunner validates cfg and builds a reusable runner. cfg.Range and
+// cfg.Sink are ignored here — each RunRange call names its own range and
+// sink. A nil cfg.Source opens a private buffered source (closed by Close);
+// an engine-supplied handle is used as-is and stays the engine's to close.
+func NewRunner(d *graph.Disk, cfg Config) (*Runner, error) {
+	if !d.Meta.Oriented {
+		return nil, fmt.Errorf("mgt: store %q is not oriented", d.Base)
+	}
+	if cfg.MemEdges < 1 {
+		return nil, fmt.Errorf("mgt: memory budget %d edges, need ≥ 1", cfg.MemEdges)
+	}
+	counter := cfg.Counter
+	if counter == nil {
+		counter = ioacct.NewCounter(0)
+	}
+	r := &Runner{
+		disk:    d,
+		cfg:     cfg,
+		counter: counter,
+		handle:  cfg.Source,
+		kernel:  cfg.Kernel,
+		edg:     make([]graph.Vertex, 0, cfg.MemEdges),
+	}
+	if r.handle == nil {
+		src, err := scan.New(scan.SourceBuffered, d, scan.Config{BufBytes: cfg.BufBytes, Counter: counter})
+		if err != nil {
+			return nil, err
+		}
+		h, err := src.Handle(counter)
+		if err != nil {
+			src.Close()
+			return nil, err
+		}
+		r.ownedSrc = src
+		r.handle = h
+	}
+	if r.kernel == nil {
+		r.kernel = scan.Merge
+	}
+	r.emitFn = r.emit
+	return r, nil
+}
+
+// Close releases the private source a Runner opened for itself; an
+// engine-supplied handle is left open (the engine owns it).
+func (r *Runner) Close() error {
+	if r.ownedSrc == nil {
+		return nil
+	}
+	err := r.handle.Close()
+	if cerr := r.ownedSrc.Close(); err == nil {
+		err = cerr
+	}
+	r.ownedSrc = nil
+	return err
+}
+
+// RunRange executes modified MGT over one pivot range, reporting triangles
+// to sink (nil counts only). The returned Stats cover this call alone —
+// wall time and the I/O delta since the call started — so a scheduler can
+// fold them per chunk. An empty range is a no-op. The context is checked
+// once per memory window, exactly like Run.
+func (r *Runner) RunRange(ctx context.Context, rng balance.Range, sink Sink) (Stats, error) {
+	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	total := r.disk.Meta.AdjEntries
+	if rng.Hi > total || rng.Lo > rng.Hi {
+		return Stats{}, fmt.Errorf("mgt: range [%d,%d) out of bounds for %d entries", rng.Lo, rng.Hi, total)
+	}
+	r.stats = Stats{}
+	r.sink = sink
+	ioStart := r.counter.Snapshot()
+
+	finish := func(err error) (Stats, error) {
+		r.stats.Wall = time.Since(start)
+		r.stats.IO = r.counter.Snapshot().Sub(ioStart)
+		r.sink = nil
+		// A cancelled run reports the bare ctx.Err(), whichever layer the
+		// cancellation surfaced through first (window check here, or a scan
+		// source's wrapped ring-buffer error).
+		if cerr := ctx.Err(); cerr != nil {
+			return r.stats, cerr
+		}
+		return r.stats, err
+	}
+	for pos := rng.Lo; pos < rng.Hi; {
+		// The per-window cancellation point: one check per memory window
+		// bounds abort latency at a single window's load + pass.
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
+		end := pos + uint64(r.cfg.MemEdges)
+		if end > rng.Hi {
+			end = rng.Hi
+		}
+		if err := r.loadWindow(pos, end); err != nil {
+			return finish(err)
+		}
+		if err := r.scanPass(); err != nil {
+			return finish(err)
+		}
+		r.stats.Passes++
+		pos = end
+	}
+	return finish(nil)
+}
+
 // emit consumes one kernel match: common vertex w closes triangle
 // (curU, curV, w).
-func (r *runner) emit(w graph.Vertex) {
+func (r *Runner) emit(w graph.Vertex) {
 	r.stats.Triangles++
-	if r.cfg.Sink != nil {
-		r.cfg.Sink.Triangle(r.curU, r.curV, w)
+	if r.sink != nil {
+		r.sink.Triangle(r.curU, r.curV, w)
 	}
 }
 
 // loadWindow loads the edge window [pos, end) and builds ind over its
 // vertex span.
-func (r *runner) loadWindow(pos, end uint64) error {
+func (r *Runner) loadWindow(pos, end uint64) error {
 	count := int(end - pos)
 	r.edg = r.edg[:count]
 	if err := r.handle.ReadEntries(r.edg, pos); err != nil {
@@ -323,7 +379,7 @@ func (r *runner) loadWindow(pos, end uint64) error {
 // scanPass streams the whole adjacency file once, reporting every triangle
 // whose pivot edge is inside the current window. Cone vertices whose
 // out-list exceeds M take the segmented large-vertex path.
-func (r *runner) scanPass() error {
+func (r *Runner) scanPass() error {
 	d := r.disk
 	sc, err := r.handle.Scan(r.cfg.MemEdges)
 	if err != nil {
@@ -392,7 +448,7 @@ func (r *runner) scanPass() error {
 // window's edges; a match (w, v) with v marked means v, w ∈ N(u) and
 // (v, w) in the window — triangle (u, v, w). The extra I/O is one re-read
 // of u's list per pass, O(scan(d(u))).
-func (r *runner) largeVertex(sc scan.Scan, u graph.Vertex, firstSeg []graph.Vertex) error {
+func (r *Runner) largeVertex(sc scan.Scan, u graph.Vertex, firstSeg []graph.Vertex) error {
 	d := r.disk
 	r.stats.LargeVertices++
 	r.epoch++
@@ -450,8 +506,8 @@ func (r *runner) largeVertex(sc scan.Scan, u graph.Vertex, firstSeg []graph.Vert
 				v := r.idxSrcs[i]
 				if r.stamp[v-r.vlow] == r.epoch {
 					r.stats.Triangles++
-					if r.cfg.Sink != nil {
-						r.cfg.Sink.Triangle(u, v, w)
+					if r.sink != nil {
+						r.sink.Triangle(u, v, w)
 					}
 				}
 				i++
@@ -467,7 +523,7 @@ func (r *runner) largeVertex(sc scan.Scan, u graph.Vertex, firstSeg []graph.Vert
 // buildValueIndex lazily builds the window's (value, source) edge index
 // sorted by value, used by the large-vertex path. Built at most once per
 // window.
-func (r *runner) buildValueIndex() {
+func (r *Runner) buildValueIndex() {
 	if r.idxBuilt {
 		return
 	}

@@ -1,0 +1,224 @@
+// Package sched is the chunk scheduler of the PDTL engine: it decides how
+// the load-balance plan's edge ranges reach the MGT runners.
+//
+// The paper binds every one of the N·P processors to one contiguous edge
+// range up front (Section IV-B) and names "different techniques of load
+// balancing" as future work (Section VI). That static binding makes the
+// slowest runner — the "struggler" — gate the whole calculation whenever
+// the cost model misjudges a range, which it does on skewed degree
+// distributions. This package implements the dynamic alternative: the plan
+// is cut into K·P weighted chunks (reusing the balancer's in-degree/cost
+// weights, so every chunk carries roughly 1/K of a processor's expected
+// work), a concurrent queue hands chunks to a pool of P persistent runners,
+// and whichever runner finishes early simply takes the next chunk — the
+// work-stealing discipline that engineering studies of distributed triangle
+// counting identify as the decisive factor on skewed inputs.
+//
+// The scheduler never changes what is computed: chunks partition the same
+// global edge range a static plan covers, every triangle is still reported
+// exactly once by the chunk holding its pivot edge, and chunk-indexed
+// outputs keep listings deterministic even though the chunk→runner
+// assignment is not.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pdtl/internal/balance"
+	"pdtl/internal/mgt"
+)
+
+// Mode selects the chunk scheduler.
+type Mode int
+
+const (
+	// Static is the paper's one-shot binding: each runner receives exactly
+	// one contiguous range for the whole run (the load-balance ablation
+	// baseline).
+	Static Mode = iota
+	// Stealing cuts the plan into K·P weighted chunks and lets a pool of P
+	// runners draw them dynamically — an early finisher takes the next
+	// chunk instead of idling behind the struggler.
+	Stealing
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Static:
+		return "static"
+	case Stealing:
+		return "stealing"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode validates a scheduler name from a flag or wire message. The
+// empty string means Static — the paper's configuration.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "static":
+		return Static, nil
+	case "stealing":
+		return Stealing, nil
+	}
+	return 0, fmt.Errorf("sched: unknown scheduler %q (want static or stealing)", s)
+}
+
+// DefaultChunksPerWorker is the default K of the stealing scheduler: each
+// runner's expected share is split into K chunks, so the worst-case idle
+// tail (one runner stuck with the final chunk while the rest drain) is
+// bounded by ~1/K of a runner's work. 8 keeps per-chunk overhead (window
+// realignment, one extra partial pass per chunk boundary) negligible while
+// already flattening the 2–3× stragglers the paper's Figure 9 measures.
+const DefaultChunksPerWorker = 8
+
+// ChunksFor returns the chunk count K·P for a pool of `workers` runners and
+// a chunks-per-worker factor (non-positive selects DefaultChunksPerWorker).
+func ChunksFor(workers, perWorker int) int {
+	if perWorker <= 0 {
+		perWorker = DefaultChunksPerWorker
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers * perWorker
+}
+
+// Queue hands chunks to a pool of runners, in plan order, each exactly
+// once. It is a single atomic cursor over the chunk slice: "stealing" here
+// is self-scheduling from a shared queue — there are no per-worker deques
+// to steal from because chunks are pre-weighted and uniform-cost, so a
+// central queue has no contention worth avoiding at P ≤ hundreds.
+type Queue struct {
+	chunks  []balance.Range
+	next    atomic.Int64
+	stopped atomic.Bool
+}
+
+// NewQueue creates a queue over the chunk list. The slice is not copied;
+// callers must not mutate it while the queue is live.
+func NewQueue(chunks []balance.Range) *Queue {
+	return &Queue{chunks: chunks}
+}
+
+// Next pops the next chunk and its index. ok is false when the queue is
+// exhausted or stopped.
+func (q *Queue) Next() (int, balance.Range, bool) {
+	if q.stopped.Load() {
+		return 0, balance.Range{}, false
+	}
+	i := int(q.next.Add(1)) - 1
+	if i >= len(q.chunks) {
+		return 0, balance.Range{}, false
+	}
+	return i, q.chunks[i], true
+}
+
+// Stop makes every later Next return false — the error path: a failed
+// runner stops the drain without yanking work already in flight.
+func (q *Queue) Stop() { q.stopped.Store(true) }
+
+// Len reports the total chunk count.
+func (q *Queue) Len() int { return len(q.chunks) }
+
+// Ledger folds per-chunk outcomes into one runner's accounting, keeping
+// the per-worker statistics of the engine's static mode meaningful under
+// dynamic assignment: counters sum, wall time sums (the chunks ran
+// sequentially on this runner — unlike the cross-runner Stats.Add, whose
+// max-wall is the straggler rule), and the range becomes the convex hull of
+// the ranges processed.
+type Ledger struct {
+	// Worker is the runner index in the pool.
+	Worker int
+	// Chunks is how many chunks this runner executed.
+	Chunks int
+	// Lo and Hi bound the union of the processed ranges (diagnostic; the
+	// chunks need not be contiguous).
+	Lo, Hi uint64
+	// Stats is the folded per-runner total.
+	Stats mgt.Stats
+}
+
+// Fold accumulates one executed chunk.
+func (l *Ledger) Fold(r balance.Range, st mgt.Stats) {
+	l.FoldWorker(r.Lo, r.Hi, 1, st)
+}
+
+// FoldWorker accumulates an already-folded per-worker result (hull
+// [lo, hi), chunks executed, folded stats) — the distributed master's
+// cross-batch accumulation applies the same rule per batch that Fold
+// applies per chunk, so the folding discipline lives here alone. A zero
+// chunk count (a pool runner that drew nothing) folds nothing.
+func (l *Ledger) FoldWorker(lo, hi uint64, chunks int, st mgt.Stats) {
+	if chunks == 0 {
+		return
+	}
+	if l.Chunks == 0 || lo < l.Lo {
+		l.Lo = lo
+	}
+	if l.Chunks == 0 || hi > l.Hi {
+		l.Hi = hi
+	}
+	l.Chunks += chunks
+	wall := l.Stats.Wall + st.Wall
+	l.Stats = l.Stats.Add(st)
+	l.Stats.Wall = wall
+}
+
+// Dispenser hands out batches of consecutive chunks — the distributed
+// master's side of the stealing scheduler. Instead of pre-splitting the
+// global plan across nodes, the master keeps the chunk list and each node's
+// driver goroutine draws the next batch when the node finishes its current
+// one, so a fast node automatically absorbs the work a slow node would have
+// stalled on. Batches are consecutive runs of chunk indices, so the
+// returned start index orders each node's listing output globally.
+type Dispenser struct {
+	mu     sync.Mutex
+	chunks []balance.Range
+	next   int
+}
+
+// NewDispenser creates a dispenser over the chunk list.
+func NewDispenser(chunks []balance.Range) *Dispenser {
+	return &Dispenser{chunks: chunks}
+}
+
+// NextBatch claims up to n chunks. It returns the global index of the first
+// claimed chunk and the batch itself; an empty batch means the work is
+// drained (or the dispenser was stopped).
+func (d *Dispenser) NextBatch(n int) (start int, batch []balance.Range) {
+	if n < 1 {
+		n = 1
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	start = d.next
+	end := start + n
+	if end > len(d.chunks) {
+		end = len(d.chunks)
+	}
+	d.next = end
+	return start, d.chunks[start:end]
+}
+
+// Stop drains the dispenser: every later NextBatch returns an empty batch.
+// The error path — when one node's driver fails, the siblings must not
+// spend hours computing a result the master will discard; they finish
+// their in-flight batch and find the queue empty (the Dispenser analog of
+// Queue.Stop).
+func (d *Dispenser) Stop() {
+	d.mu.Lock()
+	d.next = len(d.chunks)
+	d.mu.Unlock()
+}
+
+// Remaining reports how many chunks have not been claimed yet.
+func (d *Dispenser) Remaining() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.chunks) - d.next
+}

@@ -1,0 +1,206 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pdtl/internal/balance"
+	"pdtl/internal/mgt"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Mode
+		err  bool
+	}{
+		{"", Static, false},
+		{"static", Static, false},
+		{"stealing", Stealing, false},
+		{"dynamic", 0, true},
+		{"Static", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseMode(tc.in)
+		if tc.err != (err != nil) {
+			t.Errorf("ParseMode(%q) error = %v, want error %v", tc.in, err, tc.err)
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseMode(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if Static.String() != "static" || Stealing.String() != "stealing" {
+		t.Errorf("String round-trip broken: %q %q", Static, Stealing)
+	}
+}
+
+func TestChunksFor(t *testing.T) {
+	if got := ChunksFor(4, 0); got != 4*DefaultChunksPerWorker {
+		t.Errorf("ChunksFor(4, 0) = %d, want %d", got, 4*DefaultChunksPerWorker)
+	}
+	if got := ChunksFor(3, 5); got != 15 {
+		t.Errorf("ChunksFor(3, 5) = %d, want 15", got)
+	}
+	if got := ChunksFor(0, 2); got != 2 {
+		t.Errorf("ChunksFor(0, 2) = %d, want 2 (workers clamped to 1)", got)
+	}
+}
+
+// TestQueueDrainsEachChunkOnce hammers the queue from many goroutines and
+// checks every chunk is handed out exactly once.
+func TestQueueDrainsEachChunkOnce(t *testing.T) {
+	const n = 1000
+	chunks := make([]balance.Range, n)
+	for i := range chunks {
+		chunks[i] = balance.Range{Lo: uint64(i), Hi: uint64(i + 1)}
+	}
+	q := NewQueue(chunks)
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, r, ok := q.Next()
+				if !ok {
+					return
+				}
+				if r.Lo != uint64(i) {
+					t.Errorf("chunk %d has range %+v", i, r)
+				}
+				mu.Lock()
+				seen[i]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != n {
+		t.Fatalf("drained %d distinct chunks, want %d", len(seen), n)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("chunk %d handed out %d times", i, c)
+		}
+	}
+	if _, _, ok := q.Next(); ok {
+		t.Error("Next returned a chunk after exhaustion")
+	}
+}
+
+func TestQueueStop(t *testing.T) {
+	q := NewQueue(make([]balance.Range, 10))
+	if _, _, ok := q.Next(); !ok {
+		t.Fatal("fresh queue refused a chunk")
+	}
+	q.Stop()
+	if _, _, ok := q.Next(); ok {
+		t.Error("stopped queue handed out a chunk")
+	}
+}
+
+// TestLedgerFold checks the folding rules: wall sums (sequential chunks),
+// counters sum, range becomes the hull.
+func TestLedgerFold(t *testing.T) {
+	var l Ledger
+	l.Worker = 3
+	l.Fold(balance.Range{Lo: 100, Hi: 200}, mgt.Stats{Triangles: 5, Passes: 2, CmpOps: 10, Wall: 100 * time.Millisecond})
+	l.Fold(balance.Range{Lo: 10, Hi: 40}, mgt.Stats{Triangles: 7, Passes: 1, CmpOps: 30, Wall: 50 * time.Millisecond})
+	if l.Chunks != 2 {
+		t.Errorf("Chunks = %d, want 2", l.Chunks)
+	}
+	if l.Lo != 10 || l.Hi != 200 {
+		t.Errorf("hull = [%d,%d), want [10,200)", l.Lo, l.Hi)
+	}
+	if l.Stats.Triangles != 12 || l.Stats.Passes != 3 || l.Stats.CmpOps != 40 {
+		t.Errorf("folded stats = %+v", l.Stats)
+	}
+	if l.Stats.Wall != 150*time.Millisecond {
+		t.Errorf("wall = %v, want summed 150ms (not the straggler max)", l.Stats.Wall)
+	}
+}
+
+// TestDispenserBatches checks consecutive batch claims and the start index
+// that orders listing segments.
+func TestDispenserBatches(t *testing.T) {
+	chunks := make([]balance.Range, 10)
+	for i := range chunks {
+		chunks[i] = balance.Range{Lo: uint64(i), Hi: uint64(i + 1)}
+	}
+	d := NewDispenser(chunks)
+	start, batch := d.NextBatch(4)
+	if start != 0 || len(batch) != 4 {
+		t.Fatalf("first batch start=%d len=%d", start, len(batch))
+	}
+	start, batch = d.NextBatch(4)
+	if start != 4 || len(batch) != 4 || batch[0].Lo != 4 {
+		t.Fatalf("second batch start=%d len=%d first=%+v", start, len(batch), batch[0])
+	}
+	if d.Remaining() != 2 {
+		t.Fatalf("Remaining = %d, want 2", d.Remaining())
+	}
+	start, batch = d.NextBatch(4)
+	if start != 8 || len(batch) != 2 {
+		t.Fatalf("tail batch start=%d len=%d", start, len(batch))
+	}
+	if _, batch = d.NextBatch(4); len(batch) != 0 {
+		t.Fatalf("drained dispenser returned %d chunks", len(batch))
+	}
+	// n < 1 is clamped to 1, not an infinite loop.
+	d2 := NewDispenser(chunks[:1])
+	if _, b := d2.NextBatch(0); len(b) != 1 {
+		t.Fatalf("NextBatch(0) = %d chunks, want 1", len(b))
+	}
+}
+
+// TestDispenserConcurrent claims batches from many goroutines and checks
+// the claims partition the chunk list.
+func TestDispenserConcurrent(t *testing.T) {
+	const n = 999
+	chunks := make([]balance.Range, n)
+	d := NewDispenser(chunks)
+	var mu sync.Mutex
+	claimed := make(map[int]bool)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start, batch := d.NextBatch(7)
+				if len(batch) == 0 {
+					return
+				}
+				mu.Lock()
+				for i := start; i < start+len(batch); i++ {
+					if claimed[i] {
+						t.Errorf("chunk %d claimed twice", i)
+					}
+					claimed[i] = true
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(claimed) != n {
+		t.Fatalf("claimed %d chunks, want %d", len(claimed), n)
+	}
+}
+
+func TestDispenserStop(t *testing.T) {
+	d := NewDispenser(make([]balance.Range, 10))
+	if _, b := d.NextBatch(2); len(b) != 2 {
+		t.Fatalf("first batch len %d", len(b))
+	}
+	d.Stop()
+	if _, b := d.NextBatch(2); len(b) != 0 {
+		t.Fatalf("stopped dispenser handed out %d chunks", len(b))
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after Stop", d.Remaining())
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"pdtl/internal/graph"
 	"pdtl/internal/mgt"
 	"pdtl/internal/scan"
+	"pdtl/internal/sched"
 )
 
 // Options parameterize a local (single-machine) run.
@@ -74,6 +75,17 @@ type Options struct {
 	// pair by length ratio). The triangle output is identical for every
 	// choice.
 	Kernel string
+	// Sched selects the chunk scheduler: "static" (or empty — the paper's
+	// one-shot binding of one contiguous edge range per worker) or
+	// "stealing" (the load-balance plan is cut into Chunks×Workers
+	// weighted chunks drawn dynamically by the worker pool, so an early
+	// finisher takes the straggler's remaining work instead of idling).
+	// The triangle set is identical for both; "stealing" listings are
+	// deterministic in chunk order rather than the static worker order.
+	Sched string
+	// Chunks is the chunks-per-worker factor K of the stealing scheduler;
+	// non-positive selects the default (8). Ignored under "static".
+	Chunks int
 }
 
 func (o Options) toCore() (core.Options, error) {
@@ -89,6 +101,10 @@ func (o Options) toCore() (core.Options, error) {
 	if err != nil {
 		return core.Options{}, err
 	}
+	schedMode, err := sched.ParseMode(o.Sched)
+	if err != nil {
+		return core.Options{}, err
+	}
 	return core.Options{
 		Workers:  o.Workers,
 		MemEdges: o.MemEdges,
@@ -96,6 +112,8 @@ func (o Options) toCore() (core.Options, error) {
 		BufBytes: o.BufBytes,
 		Scan:     scanKind,
 		Kernel:   kernelKind,
+		Sched:    schedMode,
+		Chunks:   o.Chunks,
 	}, nil
 }
 
@@ -103,8 +121,13 @@ func (o Options) toCore() (core.Options, error) {
 type WorkerStats struct {
 	// Worker is the runner index.
 	Worker int
-	// EdgeLo and EdgeHi delimit the runner's pivot-edge range.
+	// EdgeLo and EdgeHi delimit the runner's pivot-edge range. Under the
+	// stealing scheduler they bound the (possibly non-contiguous) union of
+	// the chunks the runner drew.
 	EdgeLo, EdgeHi uint64
+	// Chunks is how many chunks the runner executed: 1 under the static
+	// scheduler, the dynamic draw count under stealing.
+	Chunks int
 	// Triangles found in the range.
 	Triangles uint64
 	// Passes is the number of memory windows the runner iterated.
@@ -137,6 +160,8 @@ type Result struct {
 	// ScanSource is the concrete scan source the run used ("buffered",
 	// "shared", or "mem" — "auto" resolved).
 	ScanSource string
+	// Sched is the chunk scheduler the run used ("static" or "stealing").
+	Sched string
 	// SourceBytesRead is the disk volume the scan source read on its own
 	// behalf: the shared broadcaster's single scan per round of passes,
 	// or the in-memory preload. Zero for "buffered", whose scans are

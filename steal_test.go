@@ -1,0 +1,147 @@
+package pdtl
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+
+	"pdtl/internal/mgt"
+)
+
+// stealStore writes a skewed test graph store.
+func stealStore(t *testing.T) string {
+	t.Helper()
+	base := filepath.Join(t.TempDir(), "steal")
+	if _, err := GeneratePowerLaw(base, 600, 9000, 2.0, 21); err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+// TestHandleStealingMatchesStatic drives the public knobs end to end: the
+// stealing scheduler must produce the same count and the same normalized
+// listing as the default static run, report its mode and per-worker chunk
+// draws, and a raw stealing listing must be deterministic across runs.
+func TestHandleStealingMatchesStatic(t *testing.T) {
+	base := stealStore(t)
+	g, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	staticRes, err := g.Count(context.Background(), Options{Workers: 3, MemEdges: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staticRes.Sched != "static" {
+		t.Errorf("default Sched = %q, want static", staticRes.Sched)
+	}
+
+	stealOpt := Options{Workers: 3, MemEdges: 512, Sched: "stealing", Chunks: 4}
+	stealRes, err := g.Count(context.Background(), stealOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stealRes.Sched != "stealing" {
+		t.Errorf("Sched = %q, want stealing", stealRes.Sched)
+	}
+	if stealRes.Triangles != staticRes.Triangles {
+		t.Fatalf("stealing counted %d, static %d", stealRes.Triangles, staticRes.Triangles)
+	}
+	totalChunks := 0
+	for _, w := range stealRes.Workers {
+		totalChunks += w.Chunks
+	}
+	if want := 3 * 4; totalChunks != want {
+		t.Errorf("workers drew %d chunks total, want %d", totalChunks, want)
+	}
+
+	// Listings: identical multiset, deterministic raw bytes under stealing.
+	var staticList, steal1, steal2 bytes.Buffer
+	if _, err := g.List(context.Background(), &staticList, Options{Workers: 3, MemEdges: 512}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.List(context.Background(), &steal1, stealOpt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.List(context.Background(), &steal2, stealOpt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(steal1.Bytes(), steal2.Bytes()) {
+		t.Error("stealing listing differs across runs; chunk-order determinism broken")
+	}
+	norm := func(b []byte) map[[3]uint32]bool {
+		tris, err := mgt.ReadTriangles(bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := make(map[[3]uint32]bool, len(tris))
+		for _, tri := range tris {
+			if set[tri] {
+				t.Fatalf("triangle %v listed twice", tri)
+			}
+			set[tri] = true
+		}
+		return set
+	}
+	a, b := norm(staticList.Bytes()), norm(steal1.Bytes())
+	if len(a) != len(b) {
+		t.Fatalf("static listed %d triangles, stealing %d", len(a), len(b))
+	}
+	for tri := range a {
+		if !b[tri] {
+			t.Fatalf("stealing listing is missing %v", tri)
+		}
+	}
+}
+
+// TestHandleStealingBadKnobs: unknown scheduler names fail fast on every
+// entry point rather than being silently treated as static.
+func TestHandleStealingBadKnobs(t *testing.T) {
+	base := stealStore(t)
+	g, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := g.Count(context.Background(), Options{Sched: "dynamic"}); err == nil {
+		t.Error("Count accepted an unknown scheduler name")
+	}
+	if _, err := g.ForEach(context.Background(), Options{Sched: "dynamic"}, func(u, v, w uint32) {}); err == nil {
+		t.Error("ForEach accepted an unknown scheduler name")
+	}
+	var buf bytes.Buffer
+	if _, err := g.List(context.Background(), &buf, Options{Sched: "dynamic"}); err == nil {
+		t.Error("List accepted an unknown scheduler name")
+	}
+}
+
+// TestHandleStealingTriangleDegrees cross-checks the per-vertex counts
+// between the schedulers (the stealing path routes through per-chunk
+// shards or the atomic fallback).
+func TestHandleStealingTriangleDegrees(t *testing.T) {
+	base := stealStore(t)
+	g, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	staticDeg, _, err := g.TriangleDegrees(context.Background(), Options{Workers: 2, MemEdges: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stealDeg, _, err := g.TriangleDegrees(context.Background(), Options{Workers: 2, MemEdges: 512, Sched: "stealing", Chunks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(staticDeg) != len(stealDeg) {
+		t.Fatalf("degree arrays differ in length: %d vs %d", len(staticDeg), len(stealDeg))
+	}
+	for v := range staticDeg {
+		if staticDeg[v] != stealDeg[v] {
+			t.Fatalf("vertex %d: static degree %d, stealing %d", v, staticDeg[v], stealDeg[v])
+		}
+	}
+}
