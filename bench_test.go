@@ -3,7 +3,11 @@
 // against the laptop-scale stand-in datasets (DESIGN.md §3 and §4); run
 // with -benchtime=1x for a single regeneration pass, or use
 // `go run ./cmd/pdtl-bench -all` to see the rendered tables.
-package pdtl
+//
+// External test package: the harness now reaches pdtl through
+// internal/service (the query-service load driver), so an in-package test
+// file importing it would be an import cycle.
+package pdtl_test
 
 import (
 	"io"

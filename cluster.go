@@ -2,12 +2,15 @@ package pdtl
 
 import (
 	"context"
+	"fmt"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
 	"pdtl/internal/balance"
 	"pdtl/internal/cluster"
+	"pdtl/internal/core"
 	"pdtl/internal/scan"
 	"pdtl/internal/sched"
 )
@@ -41,6 +44,50 @@ type ClusterOptions struct {
 	// List requests triangle listing into ListPath (12-byte triples).
 	List     bool
 	ListPath string
+}
+
+// Key returns the canonical identity of a distributed run with these
+// options against the given worker set — the distributed counterpart of
+// Options.Key, and the memoization/single-flight identity the query service
+// uses for cluster-backed counts. Listing runs (List=true) are not
+// memoizable (their product is a file, not a count), so their key embeds
+// the output path to keep them distinct.
+func (o ClusterOptions) Key(workerAddrs []string) (string, error) {
+	scanKind, err := scan.ParseSource(o.ScanSource)
+	if err != nil {
+		return "", err
+	}
+	kernelKind, err := scan.ParseKernel(o.Kernel)
+	if err != nil {
+		return "", err
+	}
+	mode, err := sched.ParseMode(o.Sched)
+	if err != nil {
+		return "", err
+	}
+	strategy := balance.InDegree
+	if o.NaiveBalance {
+		strategy = balance.Naive
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = 1 // the cluster engine's default (Config.withDefaults)
+	}
+	mem := o.MemEdges
+	if mem <= 0 {
+		mem = core.DefaultMemEdges
+	}
+	chunks := 0
+	if mode == sched.Stealing {
+		chunks = sched.ChunksFor(workers, o.Chunks)
+	}
+	key := fmt.Sprintf("nodes=%s w%d m%d %s %s %s %s c%d",
+		strings.Join(workerAddrs, ","), workers, mem, strategy, mode,
+		scanKind.Resolve(workers), kernelKind, chunks)
+	if o.List {
+		key += " list=" + o.ListPath
+	}
+	return key, nil
 }
 
 // NodeStats reports one node's share of a distributed run; node 0 is the
@@ -107,6 +154,7 @@ func (g *Graph) CountDistributed(ctx context.Context, workerAddrs []string, opt 
 	if err != nil {
 		return nil, err
 	}
+	g.runs.Add(1)
 	start := time.Now()
 	orientWorkers := opt.Workers
 	if orientWorkers <= 0 {

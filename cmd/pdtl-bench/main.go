@@ -45,6 +45,9 @@ func main() {
 	chunks := flag.Int("chunks", 0, "chunks per worker for the stealing scheduler (default 8)")
 	jsonOut := flag.Bool("json", false,
 		"emit machine-readable per-run results (JSON) instead of the experiment tables")
+	baselineOut := flag.Bool("baseline", false,
+		"print the exact in-memory baseline triangle count per -datasets dataset "+
+			"(independent ground truth for CI smoke cross-checks)")
 	datasets := flag.String("datasets", "tiny,twitter-sim",
 		"comma-separated dataset keys for -json")
 	workers := flag.Int("workers", 4, "worker count for -json runs")
@@ -57,8 +60,8 @@ func main() {
 		}
 		return
 	}
-	if !*all && *exp == "" && !*jsonOut {
-		fmt.Fprintln(os.Stderr, "pdtl-bench: need -exp ID, -all, -json, or -list")
+	if !*all && *exp == "" && !*jsonOut && !*baselineOut {
+		fmt.Fprintln(os.Stderr, "pdtl-bench: need -exp ID, -all, -json, -baseline, or -list")
 		os.Exit(2)
 	}
 	h, err := harness.New(*cache)
@@ -85,6 +88,14 @@ func main() {
 	defer stop()
 	h.Ctx = ctx
 	switch {
+	case *baselineOut:
+		for _, key := range strings.Split(*datasets, ",") {
+			var n uint64
+			if n, err = h.BaselineCount(key); err != nil {
+				break
+			}
+			fmt.Printf("%s %d\n", key, n)
+		}
 	case *jsonOut:
 		// An explicit -sched narrows the report to that scheduler; the
 		// default is one record per scheduler for the ablation trajectory.

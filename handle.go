@@ -77,7 +77,20 @@ type Graph struct {
 	// load itself (CSR).
 	orienting  chan struct{}
 	csrLoading chan struct{}
+
+	// runs counts the engine calculations started on this handle (local
+	// runs and distributed protocols alike, successful or not). It exists
+	// for callers that memoize or single-flight runs — the query service's
+	// tests assert "two concurrent identical requests cost exactly one
+	// engine run" against this counter.
+	runs atomic.Uint64
 }
+
+// Runs reports how many engine calculations (Count, List, ForEach,
+// TriangleDegrees, CountDistributed, ...) have been started on this handle,
+// including failed and cancelled ones. Cache layers above the handle use it
+// to assert and account for the runs they avoided.
+func (g *Graph) Runs() uint64 { return g.runs.Load() }
 
 // Open opens the graph store at base (see WriteGraph and the
 // Generate/Import helpers for creating stores) and returns a reusable
@@ -275,6 +288,7 @@ func (g *Graph) run(ctx context.Context, opt Options, sinks []mgt.Sink) (*Result
 	}
 	copt.Sinks = sinks
 
+	g.runs.Add(1)
 	start := time.Now()
 	d, orientedBase, ores, err := g.ensureOriented(ctx, workers)
 	if err != nil {

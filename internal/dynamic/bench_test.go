@@ -1,0 +1,66 @@
+package dynamic
+
+import (
+	"testing"
+
+	"pdtl/internal/gen"
+	"pdtl/internal/graph"
+)
+
+// TestUpdateZeroAllocs pins the hot-path contract: once the counter's
+// scratch intersection buffer and adjacency capacities are warm, an update
+// (delete + re-insert of an edge with many common neighbors) allocates
+// nothing.
+func TestUpdateZeroAllocs(t *testing.T) {
+	c := New()
+	const n = 32 // complete graph: every pair has n-2 common neighbors
+	for u := graph.Vertex(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if _, err := c.Insert(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 4; i++ { // warm the scratch buffer
+		c.Delete(0, 1)
+		c.Insert(0, 1)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		c.Delete(0, 1)
+		c.Insert(0, 1)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state update allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// BenchmarkInsert is the steady-state update path a streaming service
+// endpoint would hammer: each iteration deletes and re-inserts one existing
+// edge of a fixed random graph, so adjacency capacities and the scratch
+// buffer are stable and the intersection dominates. Expected: 0 allocs/op.
+func BenchmarkInsert(b *testing.B) {
+	g, err := gen.ErdosRenyi(512, 8192, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := FromCSR(g)
+	var edges [][2]graph.Vertex
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(graph.Vertex(u)) {
+			if graph.Vertex(u) < v {
+				edges = append(edges, [2]graph.Vertex{graph.Vertex(u), v})
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		if _, err := c.Delete(e[0], e[1]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Insert(e[0], e[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -51,6 +51,7 @@ var Experiments = []Experiment{
 	{ID: "smalldeg", Paper: "§IV-A fn.1", Desc: "small-degree assumption removed: exact counts at M far below d*max", Run: expSmallDegree},
 	{ID: "approx", Paper: "§VI ext.", Desc: "approximate counting: Doulion and wedge sampling vs exact", Run: expApprox},
 	{ID: "dynamic", Paper: "§VI ext.", Desc: "dynamic counting: exact under insertions and deletions", Run: expDynamic},
+	{ID: "service", Paper: "§VI ext.", Desc: "resident query service under concurrent mixed load (cache + single-flight absorption)", Run: expService},
 }
 
 // Find returns the experiment with the given id.

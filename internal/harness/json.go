@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
@@ -15,7 +16,10 @@ import (
 
 // BenchSchema names the JSON layout BenchJSON emits; bump it when a field
 // changes meaning. Consumers (the BENCH_*.json perf trajectory) key on it.
-const BenchSchema = "pdtl-bench/1"
+// /2 added environment provenance (go_version, hostname alongside
+// gomaxprocs) so trajectories recorded on different machines are
+// attributable before they are compared.
+const BenchSchema = "pdtl-bench/2"
 
 // BenchRun is one (dataset, scheduler) measurement — the machine-readable
 // counterpart of the human tables, with the per-run wall/CPU/IO split and
@@ -49,10 +53,16 @@ type BenchRun struct {
 }
 
 // BenchReport is the top-level document: one run per (dataset, scheduler).
+// The GoVersion/GoMaxProc/Hostname trio is the environment provenance that
+// makes BENCH_*.json trajectories comparable across machines: a wall-time
+// regression means nothing until the runs are known to come from the same
+// toolchain, parallelism, and host.
 type BenchReport struct {
 	Schema    string     `json:"schema"`
 	Generated time.Time  `json:"generated"`
+	GoVersion string     `json:"go_version"`
 	GoMaxProc int        `json:"gomaxprocs"`
+	Hostname  string     `json:"hostname"`
 	Runs      []BenchRun `json:"runs"`
 }
 
@@ -83,7 +93,9 @@ func (h *Harness) BenchJSON(w io.Writer, keys []string, workers, memEdges int, m
 	report := BenchReport{
 		Schema:    BenchSchema,
 		Generated: time.Now().UTC(),
+		GoVersion: runtime.Version(),
 		GoMaxProc: runtime.GOMAXPROCS(0),
+		Hostname:  hostname(),
 	}
 	if len(modes) == 0 {
 		modes = []sched.Mode{sched.Static, sched.Stealing}
@@ -148,6 +160,16 @@ func (h *Harness) BenchJSON(w io.Writer, keys []string, workers, memEdges int, m
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// hostname is os.Hostname with an explicit marker when the platform
+// refuses to say — an absent field would read as schema breakage.
+func hostname() string {
+	h, err := os.Hostname()
+	if err != nil || h == "" {
+		return "unknown"
+	}
+	return h
 }
 
 // kernelName resolves the kernel default for reporting ("" runs merge).

@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"testing"
 
 	"pdtl/internal/sched"
@@ -26,6 +27,17 @@ func TestBenchJSONSchema(t *testing.T) {
 	}
 	if report.Schema != BenchSchema {
 		t.Errorf("schema = %q, want %q", report.Schema, BenchSchema)
+	}
+	// /2 environment provenance: the trio that makes trajectories from
+	// different machines attributable.
+	if report.GoVersion != runtime.Version() {
+		t.Errorf("go_version = %q, want %q", report.GoVersion, runtime.Version())
+	}
+	if report.GoMaxProc < 1 {
+		t.Errorf("gomaxprocs = %d", report.GoMaxProc)
+	}
+	if report.Hostname == "" {
+		t.Error("hostname is empty (want a name or the explicit \"unknown\")")
 	}
 	if len(report.Runs) != 2 {
 		t.Fatalf("got %d runs, want one per scheduler", len(report.Runs))
@@ -65,6 +77,11 @@ func TestBenchJSONSchema(t *testing.T) {
 	var raw map[string]any
 	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
 		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "generated", "go_version", "gomaxprocs", "hostname", "runs"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("report object missing key %q", key)
+		}
 	}
 	runs := raw["runs"].([]any)
 	first := runs[0].(map[string]any)

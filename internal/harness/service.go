@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pdtl/internal/baseline"
+	"pdtl/internal/service"
+)
+
+// BaselineCount computes a dataset's exact triangle count with the
+// in-memory reference implementation (internal/baseline) — the independent
+// ground truth CI smoke jobs compare engine and service replies against
+// (`pdtl-bench -baseline`).
+func (h *Harness) BaselineCount(key string) (uint64, error) {
+	g, err := h.LoadCSR(key)
+	if err != nil {
+		return 0, err
+	}
+	return baseline.Forward(g), nil
+}
+
+// ServiceLoadResult reports one service load-driver run.
+type ServiceLoadResult struct {
+	Clients  int
+	Requests int // total issued across all clients
+	Errors   int
+	// Triangles is the exact count every count reply agreed on.
+	Triangles uint64
+	// EngineRuns is how many calculations actually executed; CacheHits and
+	// SharedRuns are the requests the memoization and single-flight layers
+	// absorbed.
+	EngineRuns uint64
+	CacheHits  uint64
+	SharedRuns uint64
+	Wall       time.Duration
+	RPS        float64
+}
+
+// ServiceLoad drives an in-process query service (internal/service) with
+// concurrent mixed traffic against one dataset: each of `clients` workers
+// issues `perClient` requests round-robining over an identical exact count
+// (the cache/single-flight path), a second count shape, a limit-bounded
+// NDJSON stream (early disconnect), and a deterministic Doulion estimate.
+// It returns throughput plus how much work the cache layers absorbed, and
+// fails if any count reply disagrees with the dataset's exact count.
+func (h *Harness) ServiceLoad(key string, clients, perClient int) (*ServiceLoadResult, error) {
+	base, err := h.Store(key)
+	if err != nil {
+		return nil, err
+	}
+	want, err := h.BaselineCount(key)
+	if err != nil {
+		return nil, err
+	}
+	svc := service.New(service.Config{
+		RunSlots: 2,
+		// The driver measures cache absorption, not shedding: a queue deep
+		// enough for every client keeps admission from rejecting.
+		QueueDepth: clients * perClient,
+	})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	if err := svc.RegisterGraph("g", base); err != nil {
+		return nil, err
+	}
+	client := ts.Client()
+
+	var errCount, badCount atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				var err error
+				switch i % 4 {
+				case 0, 1:
+					err = loadCount(client, ts.URL+"/v1/graphs/g/count?workers=2", want)
+				case 2:
+					err = loadStream(client, ts.URL+"/v1/graphs/g/triangles?workers=2&limit=64")
+				case 3:
+					err = loadEstimate(client, ts.URL+"/v1/graphs/g/estimate")
+				}
+				if err != nil {
+					if _, bad := err.(*countMismatchError); bad {
+						badCount.Add(1)
+					}
+					errCount.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	if badCount.Load() > 0 {
+		return nil, fmt.Errorf("harness: %d count replies disagreed with the exact count %d", badCount.Load(), want)
+	}
+	met := svc.Metrics()
+	total := clients * perClient
+	res := &ServiceLoadResult{
+		Clients:    clients,
+		Requests:   total,
+		Errors:     int(errCount.Load()),
+		Triangles:  want,
+		EngineRuns: met.RunsStarted.Load(),
+		CacheHits:  met.CacheHits.Load(),
+		SharedRuns: met.RunsShared.Load(),
+		Wall:       wall,
+		RPS:        float64(total) / wall.Seconds(),
+	}
+	return res, nil
+}
+
+type countMismatchError struct{ got, want uint64 }
+
+func (e *countMismatchError) Error() string {
+	return fmt.Sprintf("count %d != exact %d", e.got, e.want)
+}
+
+func loadCount(client *http.Client, url string, want uint64) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("count status %d", resp.StatusCode)
+	}
+	var reply struct {
+		Triangles uint64 `json:"triangles"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return err
+	}
+	if reply.Triangles != want {
+		return &countMismatchError{got: reply.Triangles, want: want}
+	}
+	return nil
+}
+
+func loadStream(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("stream status %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	for {
+		if _, err := br.ReadString('\n'); err != nil {
+			return nil // EOF: limit reached or listing complete
+		}
+	}
+}
+
+func loadEstimate(client *http.Client, url string) error {
+	body := bytes.NewReader([]byte(`{"method":"doulion","p":0.5,"seed":7}`))
+	resp, err := client.Post(url, "application/json", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("estimate status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// expService is the "service" experiment: the load driver on the smoke
+// dataset, reporting how much of the request stream the registry's caches
+// absorbed — the service-shaped counterpart of the paper's batch tables.
+func expService(h *Harness, r *Report) error {
+	rows := make([][]string, 0, 2)
+	for _, load := range []struct{ clients, perClient int }{{4, 8}, {8, 8}} {
+		res, err := h.ServiceLoad("tiny", load.clients, load.perClient)
+		if err != nil {
+			return err
+		}
+		if res.Errors > 0 {
+			return fmt.Errorf("harness: service load had %d request errors", res.Errors)
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(res.Clients),
+			fmt.Sprint(res.Requests),
+			fmt.Sprint(res.Triangles),
+			fmt.Sprint(res.EngineRuns),
+			fmt.Sprint(res.CacheHits),
+			fmt.Sprint(res.SharedRuns),
+			D(res.Wall),
+			fmt.Sprintf("%.0f", res.RPS),
+		})
+	}
+	r.Table(
+		[]string{"clients", "requests", "triangles", "engine runs", "cache hits", "shared", "wall", "req/s"},
+		rows)
+	r.Note("every count reply cross-checked against the in-memory baseline;")
+	r.Note("engine runs << requests is the registry cache + single-flight at work")
+	return nil
+}

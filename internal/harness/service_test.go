@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pdtl/internal/balance"
+)
+
+func TestBaselineCount(t *testing.T) {
+	h := newHarness(t)
+	n, err := h.BaselineCount("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("baseline found no triangles in tiny")
+	}
+	// The baseline must agree with the engine.
+	res, err := h.CalcLocal("tiny", 2, 0, balance.InDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triangles != n {
+		t.Fatalf("engine %d vs baseline %d", res.Triangles, n)
+	}
+}
+
+func TestServiceLoad(t *testing.T) {
+	h := newHarness(t)
+	res, err := h.ServiceLoad("tiny", 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("load had %d errors", res.Errors)
+	}
+	if res.Requests != 12 || res.Triangles == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.EngineRuns == 0 {
+		t.Fatal("no engine runs recorded")
+	}
+	// Six identical counts across the clients: at most one engine run for
+	// them, so the cache/single-flight layers absorbed at least five.
+	if res.CacheHits+res.SharedRuns < 5 {
+		t.Fatalf("cache %d + shared %d absorbed too little", res.CacheHits, res.SharedRuns)
+	}
+}
+
+func TestServiceExperiment(t *testing.T) {
+	h := newHarness(t)
+	var buf bytes.Buffer
+	if err := h.Run("service", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"engine runs", "cache hits", "req/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiment output missing %q:\n%s", want, out)
+		}
+	}
+}

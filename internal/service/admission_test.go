@@ -1,0 +1,105 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionSlotsAndQueue(t *testing.T) {
+	a := NewAdmission(2, 1)
+	ctx := context.Background()
+	rel1, err := a.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := a.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InUse(); got != 2 {
+		t.Fatalf("InUse = %d, want 2", got)
+	}
+
+	// Third acquire queues; fourth is shed immediately.
+	got3 := make(chan error, 1)
+	go func() {
+		rel3, err := a.Acquire(ctx)
+		if err == nil {
+			defer rel3()
+		}
+		got3 <- err
+	}()
+	waitFor(t, func() bool { return a.QueueDepth() == 1 })
+	if _, err := a.Acquire(ctx); !errors.Is(err, ErrBusy) {
+		t.Fatalf("over-queue acquire err = %v, want ErrBusy", err)
+	}
+
+	rel1()
+	if err := <-got3; err != nil {
+		t.Fatalf("queued acquire err = %v", err)
+	}
+	rel2()
+	rel2() // releases are idempotent
+	waitFor(t, func() bool { return a.InUse() == 0 })
+}
+
+func TestAdmissionDeadlineWhileQueued(t *testing.T) {
+	a := NewAdmission(1, 4)
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := a.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire err = %v, want DeadlineExceeded", err)
+	}
+	if got := a.QueueDepth(); got != 0 {
+		t.Fatalf("QueueDepth after deadline = %d, want 0", got)
+	}
+}
+
+func TestAdmissionCloseDrainsQueue(t *testing.T) {
+	a := NewAdmission(1, 8)
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := range errs {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			_, errs[slot] = a.Acquire(context.Background())
+		}(i)
+	}
+	waitFor(t, func() bool { return a.QueueDepth() == 3 })
+	a.Close()
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrDraining) {
+			t.Errorf("queued waiter %d err = %v, want ErrDraining", i, err)
+		}
+	}
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-close acquire err = %v, want ErrDraining", err)
+	}
+}
+
+// waitFor polls cond for up to 5 seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

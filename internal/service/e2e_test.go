@@ -1,0 +1,122 @@
+// End-to-end: the service on the harness smoke dataset, with the exact
+// triangle count cross-checked against the in-memory reference
+// implementation (internal/baseline). CI runs this race-enabled; the
+// shell-level counterpart (built pdtl-serve binary + curl) lives in the
+// workflow's serve-smoke job.
+package service_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pdtl/internal/baseline"
+	"pdtl/internal/harness"
+	"pdtl/internal/service"
+)
+
+func TestE2ETinyMatchesBaseline(t *testing.T) {
+	h, err := harness.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, err := h.LoadCSR("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.Forward(csr)
+	if want == 0 {
+		t.Fatal("baseline found no triangles in the tiny dataset")
+	}
+	base, err := h.Store("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc := service.New(service.Config{RunSlots: 2, QueueDepth: 8})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	client := ts.Client()
+
+	// Register over the API.
+	body, _ := json.Marshal(map[string]string{"name": "tiny", "base": base})
+	resp, err := client.Post(ts.URL+"/v1/graphs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status = %d", resp.StatusCode)
+	}
+
+	// Exact count must match the in-memory reference.
+	resp, err = client.Get(ts.URL + "/v1/graphs/tiny/count?workers=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count struct {
+		Triangles uint64 `json:"triangles"`
+		Origin    string `json:"origin"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&count); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if count.Triangles != want {
+		t.Fatalf("service count = %d, baseline = %d", count.Triangles, want)
+	}
+	if count.Origin != "run" {
+		t.Fatalf("cold count origin = %q", count.Origin)
+	}
+
+	// The full NDJSON stream has exactly one line per triangle.
+	resp, err = client.Get(ts.URL + "/v1/graphs/tiny/triangles?workers=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines uint64
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		var tri struct{ U, V, W uint32 }
+		if err := json.Unmarshal([]byte(line), &tri); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != want {
+		t.Fatalf("streamed %d triangles, baseline = %d", lines, want)
+	}
+
+	// Health and metrics reflect the runs.
+	resp, err = client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	resp, err = client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "pdtl_runs_started 2") {
+		t.Errorf("metrics missing the two runs:\n%s", metrics)
+	}
+}

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// Metrics is the service's cumulative counter set, exposed as plain
+// `name value` lines on GET /metrics (a Prometheus-scrapable subset that
+// stays grep-able from a shell). All fields are monotonically increasing
+// except the gauges the server samples at scrape time (queue depth, slots
+// in use, open graphs).
+type Metrics struct {
+	// Engine runs: started counts actual executions (the run-counter the
+	// single-flight assertions use); shared counts requests that joined an
+	// in-flight identical run instead of starting their own.
+	RunsStarted   atomic.Uint64
+	RunsCompleted atomic.Uint64
+	RunsFailed    atomic.Uint64
+	RunsShared    atomic.Uint64
+
+	// Result cache.
+	CacheHits   atomic.Uint64
+	CacheMisses atomic.Uint64
+
+	// Streaming listings.
+	StreamsStarted atomic.Uint64
+	StreamsBroken  atomic.Uint64 // client gone / limit hit before the run finished
+	TrianglesSent  atomic.Uint64
+
+	// Registry churn.
+	Registered atomic.Uint64
+	Evicted    atomic.Uint64
+
+	// Engine I/O attributed to runs the service executed: the scan
+	// source's own reads (shared broadcasts, mem preloads) and the
+	// per-worker window reads. A cache hit adds exactly zero to both.
+	SourceBytesRead atomic.Int64
+	WorkerBytesRead atomic.Int64
+}
+
+// snapshot renders the counters plus caller-supplied gauges. Lines are
+// sorted so the output is diff-stable.
+func (m *Metrics) snapshot(gauges map[string]int64) []string {
+	vals := map[string]int64{
+		"pdtl_runs_started":      int64(m.RunsStarted.Load()),
+		"pdtl_runs_completed":    int64(m.RunsCompleted.Load()),
+		"pdtl_runs_failed":       int64(m.RunsFailed.Load()),
+		"pdtl_runs_shared":       int64(m.RunsShared.Load()),
+		"pdtl_cache_hits":        int64(m.CacheHits.Load()),
+		"pdtl_cache_misses":      int64(m.CacheMisses.Load()),
+		"pdtl_streams_started":   int64(m.StreamsStarted.Load()),
+		"pdtl_streams_broken":    int64(m.StreamsBroken.Load()),
+		"pdtl_triangles_sent":    int64(m.TrianglesSent.Load()),
+		"pdtl_graphs_registered": int64(m.Registered.Load()),
+		"pdtl_graphs_evicted":    int64(m.Evicted.Load()),
+		"pdtl_source_bytes_read": m.SourceBytesRead.Load(),
+		"pdtl_worker_bytes_read": m.WorkerBytesRead.Load(),
+	}
+	for k, v := range gauges {
+		vals[k] = v
+	}
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := make([]string, len(keys))
+	for i, k := range keys {
+		lines[i] = fmt.Sprintf("%s %d", k, vals[k])
+	}
+	return lines
+}
+
+// WriteTo writes the metric lines (counters plus gauges) to w.
+func (m *Metrics) writeTo(w io.Writer, gauges map[string]int64) error {
+	for _, line := range m.snapshot(gauges) {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

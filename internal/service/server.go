@@ -1,0 +1,859 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"regexp"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"pdtl"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxGraphs is the registry's LRU bound on open graph handles;
+	// non-positive selects 16.
+	MaxGraphs int
+	// RunSlots bounds concurrently executing engine runs; non-positive
+	// selects the CPU count.
+	RunSlots int
+	// QueueDepth bounds the requests allowed to wait for a run slot;
+	// negative means no waiting, zero selects 32.
+	QueueDepth int
+	// Defaults seeds every run's options; individual requests override
+	// knobs per query parameter (workers, mem, sched, scan, kernel, ...).
+	Defaults pdtl.Options
+	// ClusterAddrs, when non-empty, are the PDTL worker nodes
+	// `?distributed=1` counts run against (via Graph.CountDistributed).
+	ClusterAddrs []string
+	// ClusterDefaults seeds distributed runs the same way Defaults seeds
+	// local ones.
+	ClusterDefaults pdtl.ClusterOptions
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxGraphs <= 0 {
+		c.MaxGraphs = 16
+	}
+	if c.RunSlots <= 0 {
+		c.RunSlots = runtime.NumCPU()
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 32
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	return c
+}
+
+// Server is the triangle query service: the registry, admission controller,
+// result cache, and metrics behind one http.Handler. Create it with New,
+// mount it on any net/http server, and stop it with Shutdown (which drains
+// queued requests with 503s, cancels in-flight engine runs, and closes
+// every graph handle).
+type Server struct {
+	cfg Config
+	reg *Registry
+	adm *Admission
+	met *Metrics
+	mux *http.ServeMux
+
+	// baseCtx is every engine run's ancestor context; Shutdown cancels it.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// mu guards draining and orders enter() against Shutdown's wait: a
+	// handler joins wg only while not draining, so the wait can never
+	// race a request that slipped past a lock-free check.
+	mu       sync.Mutex
+	draining bool
+	wg       sync.WaitGroup // in-flight request handlers
+	started  time.Time
+}
+
+// New creates a Server. It is ready to serve immediately; graphs are
+// registered via POST /v1/graphs or pre-loaded with RegisterGraph.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		reg:        NewRegistry(cfg.MaxGraphs),
+		adm:        NewAdmission(cfg.RunSlots, cfg.QueueDepth),
+		met:        &Metrics{},
+		mux:        http.NewServeMux(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		started:    time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/graphs", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleList)
+	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleEvict)
+	s.mux.HandleFunc("GET /v1/graphs/{name}/count", s.handleCount)
+	s.mux.HandleFunc("GET /v1/graphs/{name}/triangles", s.handleTriangles)
+	s.mux.HandleFunc("GET /v1/graphs/{name}/degrees", s.handleDegrees)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/estimate", s.handleEstimate)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Registry exposes the graph registry (for pre-loading and tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics exposes the counter set.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// RegisterGraph opens the store at base and registers it under name —
+// the programmatic form of POST /v1/graphs, used by pdtl-serve's -graph
+// flags.
+func (s *Server) RegisterGraph(name, base string) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
+	_, err := s.reg.Register(name, base)
+	if err == nil {
+		s.met.Registered.Add(1)
+	}
+	return err
+}
+
+// Shutdown drains the service: queued requests fail with 503, in-flight
+// engine runs (including streaming listings) are cancelled through the
+// normal context plumbing, and once every handler has returned the graph
+// handles are closed. ctx bounds the wait. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.adm.Close()
+	s.baseCancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.reg.Close()
+	return err
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"graphs":    s.reg.Len(),
+		"uptime_ns": time.Since(s.started).Nanoseconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	gauges := map[string]int64{
+		"pdtl_run_slots":        int64(s.adm.Slots()),
+		"pdtl_run_slots_in_use": int64(s.adm.InUse()),
+		"pdtl_run_queue_depth":  int64(s.adm.QueueDepth()),
+		"pdtl_graphs_open":      int64(s.reg.Len()),
+		"pdtl_uptime_seconds":   int64(time.Since(s.started).Seconds()),
+		"pdtl_draining":         0,
+		"pdtl_admission_queued": 0,
+		"pdtl_admission_shed":   0,
+		"pdtl_runs_admitted":    0,
+	}
+	if s.isDraining() {
+		gauges["pdtl_draining"] = 1
+	}
+	admitted, rejected, queued := s.adm.Counters()
+	gauges["pdtl_runs_admitted"] = int64(admitted)
+	gauges["pdtl_admission_shed"] = int64(rejected)
+	gauges["pdtl_admission_queued"] = int64(queued)
+	s.met.writeTo(w, gauges)
+}
+
+// registerRequest is the POST /v1/graphs body.
+type registerRequest struct {
+	// Name is the handle clients address the graph by.
+	Name string `json:"name"`
+	// Base is the on-disk store path (as produced by pdtl-gen / WriteGraph).
+	Base string `json:"base"`
+}
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+func validateName(name string) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("service: invalid graph name %q (want [A-Za-z0-9][A-Za-z0-9._-]{0,127})", name)
+	}
+	return nil
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if !s.enter(w) {
+		return
+	}
+	defer s.wg.Done()
+	var req registerRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad register body: %w", err))
+		return
+	}
+	if err := validateName(req.Name); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Base == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("service: register needs a store base path"))
+		return
+	}
+	e, err := s.reg.Register(req.Name, req.Base)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.met.Registered.Add(1)
+	writeJSON(w, http.StatusCreated, graphStatus(e))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if !s.enter(w) {
+		return
+	}
+	defer s.wg.Done()
+	entries := s.reg.Snapshot()
+	list := make([]map[string]any, len(entries))
+	for i, e := range entries {
+		list[i] = graphStatus(e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(list), "graphs": list})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if !s.enter(w) {
+		return
+	}
+	defer s.wg.Done()
+	e, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, graphStatus(e))
+}
+
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	if !s.enter(w) {
+		return
+	}
+	defer s.wg.Done()
+	name := r.PathValue("name")
+	if !s.reg.Evict(name) {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownGraph, name))
+		return
+	}
+	s.met.Evicted.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"evicted": name})
+}
+
+// countResponse is the GET /v1/graphs/{name}/count reply (local and
+// distributed).
+type countResponse struct {
+	Graph     string `json:"graph"`
+	Key       string `json:"key"`
+	Origin    Origin `json:"origin"`
+	Triangles uint64 `json:"triangles"`
+	// EngineRuns is the handle's lifetime engine-run counter — the
+	// single-flight and cache assertions read it straight off the reply.
+	EngineRuns      uint64 `json:"engine_runs"`
+	WallNS          int64  `json:"wall_ns,omitempty"`
+	OrientNS        int64  `json:"orient_ns,omitempty"`
+	SourceBytesRead int64  `json:"source_bytes_read"`
+	Workers         int    `json:"workers,omitempty"`
+	Distributed     bool   `json:"distributed,omitempty"`
+	Nodes           int    `json:"nodes,omitempty"`
+	NetworkBytes    int64  `json:"network_bytes,omitempty"`
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	if !s.enter(w) {
+		return
+	}
+	defer s.wg.Done()
+	e, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	q := r.URL.Query()
+	ctx, cleanup, err := s.requestCtx(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cleanup()
+
+	if boolParam(q, "distributed") {
+		s.countDistributed(ctx, w, e, q)
+		return
+	}
+	opt, err := s.parseOptions(q)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := opt.Key()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	val, origin, err := e.Do(ctx, s.baseCtx, "count|"+key, s.adm, s.met,
+		func(runCtx context.Context) (any, error) {
+			return e.Graph().Count(runCtx, opt)
+		})
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	res := val.(*pdtl.Result)
+	if origin == OriginRun {
+		s.accountRun(res)
+	}
+	writeJSON(w, http.StatusOK, countResponse{
+		Graph:           e.Name(),
+		Key:             key,
+		Origin:          origin,
+		Triangles:       res.Triangles,
+		EngineRuns:      e.Graph().Runs(),
+		WallNS:          res.TotalTime.Nanoseconds(),
+		OrientNS:        res.OrientTime.Nanoseconds(),
+		SourceBytesRead: res.SourceBytesRead,
+		Workers:         len(res.Workers),
+	})
+}
+
+// countDistributed satisfies ?distributed=1 via the cluster protocol
+// against the configured worker nodes, memoized like local counts.
+func (s *Server) countDistributed(ctx context.Context, w http.ResponseWriter, e *Entry, q url.Values) {
+	if len(s.cfg.ClusterAddrs) == 0 {
+		s.writeError(w, http.StatusBadRequest,
+			errors.New("service: no cluster worker nodes configured (pdtl-serve -cluster)"))
+		return
+	}
+	opt, err := s.parseClusterOptions(q)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := opt.Key(s.cfg.ClusterAddrs)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	val, origin, err := e.Do(ctx, s.baseCtx, "cluster|"+key, s.adm, s.met,
+		func(runCtx context.Context) (any, error) {
+			return e.Graph().CountDistributed(runCtx, s.cfg.ClusterAddrs, opt)
+		})
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	res := val.(*pdtl.ClusterResult)
+	if origin == OriginRun {
+		var src int64
+		for _, n := range res.Nodes {
+			src += n.SourceBytesRead
+		}
+		s.met.SourceBytesRead.Add(src)
+	}
+	writeJSON(w, http.StatusOK, countResponse{
+		Graph:        e.Name(),
+		Key:          key,
+		Origin:       origin,
+		Triangles:    res.Triangles,
+		EngineRuns:   e.Graph().Runs(),
+		WallNS:       res.TotalTime.Nanoseconds(),
+		OrientNS:     res.OrientTime.Nanoseconds(),
+		Distributed:  true,
+		Nodes:        len(res.Nodes),
+		NetworkBytes: res.NetworkBytes,
+	})
+}
+
+// streamFlushEvery is how many NDJSON lines are written between explicit
+// flushes — frequent enough that a slow consumer sees steady progress,
+// rare enough that flushing is not the bottleneck.
+const streamFlushEvery = 512
+
+func (s *Server) handleTriangles(w http.ResponseWriter, r *http.Request) {
+	if !s.enter(w) {
+		return
+	}
+	defer s.wg.Done()
+	e, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	q := r.URL.Query()
+	opt, err := s.parseOptions(q)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var limit uint64
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.ParseUint(v, 10, 64); err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad limit: %w", err))
+			return
+		}
+	}
+	ctx, cleanup, err := s.requestCtx(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cleanup()
+
+	// Streams are admission-controlled like any other engine run, but never
+	// memoized: their product is the listing itself.
+	release, err := s.adm.Acquire(ctx)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	defer release()
+	s.met.RunsStarted.Add(1)
+	s.met.StreamsStarted.Add(1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriterSize(w, 64<<10)
+	flusher, _ := w.(http.Flusher)
+
+	// The iterator streams straight off the engine: breaking (limit) or a
+	// dead client (ctx cancelled by net/http) cancels the run, tearing the
+	// runners down within one memory window.
+	seq, errf := e.Graph().Triangles(ctx, opt)
+	var sent uint64
+	stopped := false
+	for t := range seq {
+		fmt.Fprintf(bw, "{\"u\":%d,\"v\":%d,\"w\":%d}\n", t[0], t[1], t[2])
+		sent++
+		if limit > 0 && sent >= limit {
+			stopped = true
+			break
+		}
+		if sent%streamFlushEvery == 0 {
+			bw.Flush()
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	bw.Flush()
+	if flusher != nil {
+		flusher.Flush()
+	}
+	s.met.TrianglesSent.Add(sent)
+	if err := errf(); err != nil {
+		s.met.StreamsBroken.Add(1)
+		s.met.RunsFailed.Add(1)
+		// The 200 header is long gone, so a clean end-of-stream here would
+		// be indistinguishable from a complete listing. Abort the
+		// connection instead: the client sees a truncated chunked body,
+		// not a plausible-but-short triangle set. (On a client disconnect
+		// the connection is already dead and the abort is a no-op.)
+		panic(http.ErrAbortHandler)
+	}
+	if stopped {
+		s.met.StreamsBroken.Add(1)
+		s.met.RunsFailed.Add(1)
+		return
+	}
+	s.met.RunsCompleted.Add(1)
+}
+
+// degreesValue is the memoized product of one TriangleDegrees run.
+type degreesValue struct {
+	counts []uint64
+	res    *pdtl.Result
+}
+
+// vertexDegree is one row of the degrees reply.
+type vertexDegree struct {
+	Vertex    uint32 `json:"vertex"`
+	Triangles uint64 `json:"triangles"`
+}
+
+func (s *Server) handleDegrees(w http.ResponseWriter, r *http.Request) {
+	if !s.enter(w) {
+		return
+	}
+	defer s.wg.Done()
+	e, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	q := r.URL.Query()
+	opt, err := s.parseOptions(q)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	top := 50
+	if v := q.Get("top"); v != "" {
+		if top, err = strconv.Atoi(v); err != nil || top < 1 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad top %q", v))
+			return
+		}
+	}
+	key, err := opt.Key()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cleanup, err := s.requestCtx(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cleanup()
+	val, origin, err := e.Do(ctx, s.baseCtx, "degrees|"+key, s.adm, s.met,
+		func(runCtx context.Context) (any, error) {
+			counts, res, err := e.Graph().TriangleDegrees(runCtx, opt)
+			if err != nil {
+				return nil, err
+			}
+			return degreesValue{counts: counts, res: res}, nil
+		})
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	dv := val.(degreesValue)
+	if origin == OriginRun {
+		s.accountRun(dv.res)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph":     e.Name(),
+		"origin":    origin,
+		"triangles": dv.res.Triangles,
+		"vertices":  len(dv.counts),
+		"top":       topDegrees(dv.counts, top),
+	})
+}
+
+// topDegrees extracts the k vertices with the most incident triangles,
+// descending (ties by vertex id, so the reply is deterministic).
+func topDegrees(counts []uint64, k int) []vertexDegree {
+	if k > len(counts) {
+		k = len(counts)
+	}
+	top := make([]vertexDegree, 0, k)
+	for v, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if len(top) < k {
+			top = append(top, vertexDegree{Vertex: uint32(v), Triangles: c})
+			for i := len(top) - 1; i > 0 && top[i].Triangles > top[i-1].Triangles; i-- {
+				top[i], top[i-1] = top[i-1], top[i]
+			}
+			continue
+		}
+		if c <= top[k-1].Triangles {
+			continue
+		}
+		top[k-1] = vertexDegree{Vertex: uint32(v), Triangles: c}
+		for i := k - 1; i > 0 && top[i].Triangles > top[i-1].Triangles; i-- {
+			top[i], top[i-1] = top[i-1], top[i]
+		}
+	}
+	return top
+}
+
+// estimateRequest is the POST /v1/graphs/{name}/estimate body.
+type estimateRequest struct {
+	// Method is "doulion" (edge sparsification; default) or "wedges"
+	// (uniform wedge sampling).
+	Method string `json:"method"`
+	// P is Doulion's edge survival probability in (0, 1]; default 0.1.
+	P float64 `json:"p"`
+	// Samples is the wedge-sampling budget; default 100000.
+	Samples int `json:"samples"`
+	// Seed makes the estimate reproducible (and memoizable); default 1.
+	Seed int64 `json:"seed"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if !s.enter(w) {
+		return
+	}
+	defer s.wg.Done()
+	e, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	req := estimateRequest{Method: "doulion", P: 0.1, Samples: 100000, Seed: 1}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad estimate body: %w", err))
+			return
+		}
+	}
+	if req.Method == "" {
+		req.Method = "doulion"
+	}
+	if req.Method != "doulion" && req.Method != "wedges" {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: unknown estimate method %q", req.Method))
+		return
+	}
+	if req.Method == "doulion" && (req.P <= 0 || req.P > 1) {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: doulion p %v outside (0, 1]", req.P))
+		return
+	}
+	if req.Method == "wedges" && req.Samples < 1 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: wedge samples %d < 1", req.Samples))
+		return
+	}
+	ctx, cleanup, err := s.requestCtx(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cleanup()
+	// Estimates are deterministic given (method, p, samples, seed), so they
+	// memoize and single-flight exactly like exact counts.
+	key := fmt.Sprintf("estimate|%s p%v n%d s%d", req.Method, req.P, req.Samples, req.Seed)
+	val, origin, err := e.Do(ctx, s.baseCtx, key, s.adm, s.met,
+		func(runCtx context.Context) (any, error) {
+			if err := runCtx.Err(); err != nil {
+				return nil, err
+			}
+			if req.Method == "wedges" {
+				return e.Graph().EstimateWedges(req.Samples, req.Seed)
+			}
+			return e.Graph().EstimateDoulion(req.P, req.Seed)
+		})
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph":    e.Name(),
+		"origin":   origin,
+		"method":   req.Method,
+		"estimate": val.(float64),
+	})
+}
+
+// --- request plumbing ---
+
+// requestCtx derives the run context for one request: the client's own
+// context (cancelled by net/http on disconnect), joined with the server's
+// base context (cancelled by Shutdown), bounded by an optional ?timeout=
+// duration — the per-request deadline mapped straight onto the engine's
+// cancellation plumbing.
+func (s *Server) requestCtx(r *http.Request) (context.Context, func(), error) {
+	var timeout time.Duration
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return nil, nil, fmt.Errorf("service: bad timeout %q (want a positive Go duration)", v)
+		}
+		timeout = d
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	cancelTimeout := func() {}
+	if timeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, timeout)
+	}
+	cleanup := func() {
+		stop()
+		cancelTimeout()
+		cancel()
+	}
+	return ctx, cleanup, nil
+}
+
+// parseOptions builds a run's Options from the server defaults plus the
+// request's query parameters.
+func (s *Server) parseOptions(q url.Values) (pdtl.Options, error) {
+	opt := s.cfg.Defaults
+	err := applyRunParams(q, &opt.Workers, &opt.MemEdges, &opt.Chunks,
+		&opt.Sched, &opt.ScanSource, &opt.Kernel, &opt.NaiveBalance)
+	return opt, err
+}
+
+// parseClusterOptions is parseOptions for distributed runs.
+func (s *Server) parseClusterOptions(q url.Values) (pdtl.ClusterOptions, error) {
+	opt := s.cfg.ClusterDefaults
+	err := applyRunParams(q, &opt.Workers, &opt.MemEdges, &opt.Chunks,
+		&opt.Sched, &opt.ScanSource, &opt.Kernel, &opt.NaiveBalance)
+	// Listing over the wire is a batch concern; the service only counts.
+	opt.List = false
+	opt.ListPath = ""
+	return opt, err
+}
+
+// applyRunParams overlays the query knobs every run shape shares onto an
+// options struct — Options and ClusterOptions spell these fields
+// identically, so both parsers defer here and cannot drift.
+func applyRunParams(q url.Values, workers, mem, chunks *int, sched, scanSource, kernel *string, naive *bool) error {
+	var err error
+	if *workers, err = intParam(q, "workers", *workers, 1024); err != nil {
+		return err
+	}
+	if *mem, err = intParam(q, "mem", *mem, 1<<30); err != nil {
+		return err
+	}
+	if *chunks, err = intParam(q, "chunks", *chunks, 1024); err != nil {
+		return err
+	}
+	if v := q.Get("sched"); v != "" {
+		*sched = v
+	}
+	if v := q.Get("scan"); v != "" {
+		*scanSource = v
+	}
+	if v := q.Get("kernel"); v != "" {
+		*kernel = v
+	}
+	if q.Has("naive") {
+		*naive = boolParam(q, "naive")
+	}
+	return nil
+}
+
+func intParam(q url.Values, name string, def, max int) (int, error) {
+	v := q.Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("service: bad %s %q: %w", name, v, err)
+	}
+	if n < 0 || n > max {
+		return 0, fmt.Errorf("service: %s %d outside [0, %d]", name, n, max)
+	}
+	return n, nil
+}
+
+func boolParam(q url.Values, name string) bool {
+	switch q.Get(name) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}
+
+// accountRun folds one executed run's I/O into the cumulative metrics; a
+// cache hit adds exactly zero here, which is what the "repeat request does
+// no source I/O" assertion measures.
+func (s *Server) accountRun(res *pdtl.Result) {
+	s.met.SourceBytesRead.Add(res.SourceBytesRead)
+	var worker int64
+	for _, ws := range res.Workers {
+		worker += ws.BytesRead
+	}
+	s.met.WorkerBytesRead.Add(worker)
+}
+
+// enter admits one API request into the in-flight group, or writes the
+// drain 503. A handler that entered must `defer s.wg.Done()`. The
+// check-and-Add is one critical section against Shutdown setting draining,
+// so Shutdown's wg.Wait covers every request that got in.
+func (s *Server) enter(w http.ResponseWriter) bool {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		return false
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	return true
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// graphStatus renders one registry entry for the JSON API.
+func graphStatus(e *Entry) map[string]any {
+	g := e.Graph()
+	return map[string]any{
+		"name":           e.Name(),
+		"base":           e.Base(),
+		"gen":            e.Gen(),
+		"engine_runs":    g.Runs(),
+		"cached_results": e.CachedResults(),
+		"oriented_base":  g.OrientedBase(),
+		"info":           g.Info(),
+	}
+}
+
+// statusFor maps service and engine errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownGraph):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrDraining), errors.Is(err, ErrRegistryClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for the log's benefit only.
+		return 499
+	case errors.Is(err, pdtl.ErrClosed):
+		// Evicted or replaced between lookup and run.
+		return http.StatusGone
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

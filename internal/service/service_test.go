@@ -1,0 +1,526 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// checkGoroutines polls until the goroutine count settles back to the
+// baseline — the PR 2 leak-check idiom (handle_test.go), shared by the
+// streaming-teardown and shutdown tests.
+func checkGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d, baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// getJSON decodes one JSON API reply.
+func getJSON(t *testing.T, client *http.Client, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d; body: %s", url, resp.StatusCode, wantStatus, body)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("GET %s: bad JSON %q: %v", url, body, err)
+	}
+	return m
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any, wantStatus int) map[string]any {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	reply, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s = %d, want %d; body: %s", url, resp.StatusCode, wantStatus, reply)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(reply, &m); err != nil {
+		t.Fatalf("POST %s: bad JSON %q: %v", url, reply, err)
+	}
+	return m
+}
+
+func TestServerRegisterCountCache(t *testing.T) {
+	base := genStore(t, 8, 10)
+	svc := New(Config{RunSlots: 2, QueueDepth: 8})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	client := ts.Client()
+
+	// Health before any graph.
+	h := getJSON(t, client, ts.URL+"/healthz", 200)
+	if h["status"] != "ok" {
+		t.Fatalf("healthz = %v", h)
+	}
+
+	// Register.
+	reg := postJSON(t, client, ts.URL+"/v1/graphs", registerRequest{Name: "g", Base: base}, http.StatusCreated)
+	if reg["name"] != "g" {
+		t.Fatalf("register reply = %v", reg)
+	}
+
+	// Cold count: an engine run.
+	c1 := getJSON(t, client, ts.URL+"/v1/graphs/g/count?workers=2&mem=4096", 200)
+	if c1["origin"] != "run" || c1["triangles"].(float64) <= 0 {
+		t.Fatalf("cold count = %v", c1)
+	}
+	if c1["engine_runs"].(float64) != 1 {
+		t.Fatalf("engine_runs after cold count = %v", c1["engine_runs"])
+	}
+
+	srcBefore := svc.Metrics().SourceBytesRead.Load()
+	workerBefore := svc.Metrics().WorkerBytesRead.Load()
+
+	// Identical repeat: cache hit, zero additional engine runs and zero I/O.
+	c2 := getJSON(t, client, ts.URL+"/v1/graphs/g/count?workers=2&mem=4096", 200)
+	if c2["origin"] != "cache" {
+		t.Fatalf("repeat count origin = %v, want cache", c2["origin"])
+	}
+	if c2["triangles"] != c1["triangles"] {
+		t.Fatalf("cache returned %v, want %v", c2["triangles"], c1["triangles"])
+	}
+	if c2["engine_runs"].(float64) != 1 {
+		t.Fatalf("cache hit started an engine run: %v", c2["engine_runs"])
+	}
+	if got := svc.Metrics().SourceBytesRead.Load(); got != srcBefore {
+		t.Fatalf("cache hit did source I/O: %d -> %d bytes", srcBefore, got)
+	}
+	if got := svc.Metrics().WorkerBytesRead.Load(); got != workerBefore {
+		t.Fatalf("cache hit did worker I/O: %d -> %d bytes", workerBefore, got)
+	}
+
+	// A different option spelling of the same canonical run is still the
+	// same cache slot (scan=auto resolves to the same source).
+	c3 := getJSON(t, client, ts.URL+"/v1/graphs/g/count?workers=2&mem=4096&scan=auto&kernel=merge", 200)
+	if c3["origin"] != "cache" {
+		t.Fatalf("normalized-options count origin = %v, want cache", c3["origin"])
+	}
+
+	// Different options: a fresh run.
+	c4 := getJSON(t, client, ts.URL+"/v1/graphs/g/count?workers=1&mem=4096", 200)
+	if c4["origin"] != "run" || c4["triangles"] != c1["triangles"] {
+		t.Fatalf("new-options count = %v", c4)
+	}
+
+	// Re-registration invalidates: the same request runs again.
+	postJSON(t, client, ts.URL+"/v1/graphs", registerRequest{Name: "g", Base: base}, http.StatusCreated)
+	c5 := getJSON(t, client, ts.URL+"/v1/graphs/g/count?workers=2&mem=4096", 200)
+	if c5["origin"] != "run" {
+		t.Fatalf("post-re-register count origin = %v, want run", c5["origin"])
+	}
+	if c5["triangles"] != c1["triangles"] {
+		t.Fatalf("post-re-register count = %v, want %v", c5["triangles"], c1["triangles"])
+	}
+}
+
+// TestServerSingleFlight is the acceptance check: two concurrent identical
+// GET /count requests on a cold graph trigger exactly one engine run. The
+// run slot is deterministically blocked by a paused stream on a second
+// graph, so the leader queues in admission while the joiner arrives.
+func TestServerSingleFlight(t *testing.T) {
+	blockBase := genStoreEF(t, 12, 16, 11)
+	coldBase := genStore(t, 8, 12)
+	svc := New(Config{RunSlots: 1, QueueDepth: 8})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	client := ts.Client()
+
+	postJSON(t, client, ts.URL+"/v1/graphs", registerRequest{Name: "block", Base: blockBase}, http.StatusCreated)
+	postJSON(t, client, ts.URL+"/v1/graphs", registerRequest{Name: "cold", Base: coldBase}, http.StatusCreated)
+
+	// Occupy the only run slot: stream without reading past the first line.
+	streamResp, err := client.Get(ts.URL + "/v1/graphs/block/triangles?workers=1&mem=256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(streamResp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return svc.adm.InUse() == 1 })
+
+	// Two identical cold counts: the leader queues for the slot, the
+	// second joins its flight.
+	type result struct {
+		m   map[string]any
+		err error
+	}
+	results := make(chan result, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Get(ts.URL + "/v1/graphs/cold/count?workers=2&mem=4096")
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != 200 {
+				results <- result{err: fmt.Errorf("status %d: %s", resp.StatusCode, body)}
+				return
+			}
+			var m map[string]any
+			if err := json.Unmarshal(body, &m); err != nil {
+				results <- result{err: err}
+				return
+			}
+			results <- result{m: m}
+		}()
+	}
+	// Exactly one request must reach the admission queue (the flight
+	// leader); the other has joined the flight. Both are in place once the
+	// queue is non-empty and one cache miss is recorded.
+	waitFor(t, func() bool { return svc.adm.QueueDepth() == 1 })
+	waitFor(t, func() bool {
+		e, err := svc.Registry().Get("cold")
+		if err != nil {
+			return false
+		}
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		for _, f := range e.flights {
+			if f.waiters.Load() == 2 {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Release the slot: drop the stream; its run is torn down and the
+	// queued leader proceeds.
+	streamResp.Body.Close()
+	wg.Wait()
+	close(results)
+
+	var origins []string
+	var triangles []float64
+	for r := range results {
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		origins = append(origins, r.m["origin"].(string))
+		triangles = append(triangles, r.m["triangles"].(float64))
+	}
+	if len(triangles) != 2 || triangles[0] != triangles[1] {
+		t.Fatalf("triangle counts disagree: %v", triangles)
+	}
+	// Exactly one engine run on the cold handle — the single-flight
+	// assertion, via the run counter.
+	e, err := svc.Registry().Get("cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := e.Graph().Runs(); runs != 1 {
+		t.Fatalf("engine runs on cold graph = %d, want exactly 1", runs)
+	}
+	var runCount, sharedCount int
+	for _, o := range origins {
+		switch o {
+		case "run":
+			runCount++
+		case "shared":
+			sharedCount++
+		}
+	}
+	if runCount != 1 || sharedCount != 1 {
+		t.Fatalf("origins = %v, want one run and one shared", origins)
+	}
+	if got := svc.Metrics().RunsShared.Load(); got != 1 {
+		t.Fatalf("RunsShared = %d, want 1", got)
+	}
+}
+
+// TestServerStreamDisconnectTeardown is the acceptance check: killing a
+// streaming /triangles client mid-response tears the engine run down with
+// no leaked goroutines and releases the run slot.
+func TestServerStreamDisconnectTeardown(t *testing.T) {
+	base := genStoreEF(t, 12, 16, 13)
+	svc := New(Config{RunSlots: 1, QueueDepth: 4})
+	ts := httptest.NewServer(svc)
+	client := ts.Client()
+	postJSON(t, client, ts.URL+"/v1/graphs", registerRequest{Name: "g", Base: base}, http.StatusCreated)
+
+	// Warm the handle so the loop below measures runs, not orientation.
+	getJSON(t, client, ts.URL+"/v1/graphs/g/count?workers=1&mem=65536", 200)
+
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get(ts.URL + "/v1/graphs/g/triangles?workers=2&mem=256")
+		if err != nil {
+			t.Fatal(err)
+		}
+		br := bufio.NewReader(resp.Body)
+		for j := 0; j < 3; j++ {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				t.Fatalf("stream read %d: %v", j, err)
+			}
+			var tri map[string]uint32
+			if err := json.Unmarshal([]byte(line), &tri); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", line, err)
+			}
+		}
+		// Kill the client mid-stream: the handler's request context is
+		// cancelled, the engine run aborts, the slot frees.
+		resp.Body.Close()
+		waitFor(t, func() bool { return svc.adm.InUse() == 0 })
+	}
+	checkGoroutines(t, baseline)
+	if got := svc.Metrics().StreamsBroken.Load(); got != 3 {
+		t.Errorf("StreamsBroken = %d, want 3", got)
+	}
+
+	// The service still works after the teardowns.
+	c := getJSON(t, client, ts.URL+"/v1/graphs/g/count?workers=1&mem=65536", 200)
+	if c["origin"] != "cache" {
+		t.Errorf("post-teardown count origin = %v, want cache", c["origin"])
+	}
+	ts.Close()
+	svc.Shutdown(context.Background())
+}
+
+func TestServerStreamLimit(t *testing.T) {
+	base := genStore(t, 8, 14)
+	svc := New(Config{})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	client := ts.Client()
+	postJSON(t, client, ts.URL+"/v1/graphs", registerRequest{Name: "g", Base: base}, http.StatusCreated)
+
+	resp, err := client.Get(ts.URL + "/v1/graphs/g/triangles?limit=7&workers=2&mem=4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("limit=7 returned %d lines", len(lines))
+	}
+	for _, line := range lines {
+		var tri struct{ U, V, W uint32 }
+		if err := json.Unmarshal([]byte(line), &tri); err != nil {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+	}
+	waitFor(t, func() bool { return svc.adm.InUse() == 0 })
+}
+
+func TestServerAdmissionShedsWhenFull(t *testing.T) {
+	blockBase := genStoreEF(t, 12, 16, 15)
+	svc := New(Config{RunSlots: 1, QueueDepth: -1}) // no waiting at all
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	client := ts.Client()
+	postJSON(t, client, ts.URL+"/v1/graphs", registerRequest{Name: "g", Base: blockBase}, http.StatusCreated)
+
+	streamResp, err := client.Get(ts.URL + "/v1/graphs/g/triangles?workers=1&mem=256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(streamResp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return svc.adm.InUse() == 1 })
+
+	resp, err := client.Get(ts.URL + "/v1/graphs/g/count?workers=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated count status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 reply missing Retry-After")
+	}
+	streamResp.Body.Close()
+}
+
+func TestServerEvictAndUnknown(t *testing.T) {
+	base := genStore(t, 7, 16)
+	svc := New(Config{})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	client := ts.Client()
+	postJSON(t, client, ts.URL+"/v1/graphs", registerRequest{Name: "g", Base: base}, http.StatusCreated)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/g", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("evict status = %d", resp.StatusCode)
+	}
+	getJSON(t, client, ts.URL+"/v1/graphs/g/count", http.StatusNotFound)
+	getJSON(t, client, ts.URL+"/v1/graphs/never/count", http.StatusNotFound)
+}
+
+func TestServerEstimateAndDegrees(t *testing.T) {
+	base := genStore(t, 9, 17)
+	svc := New(Config{})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	client := ts.Client()
+	postJSON(t, client, ts.URL+"/v1/graphs", registerRequest{Name: "g", Base: base}, http.StatusCreated)
+
+	exact := getJSON(t, client, ts.URL+"/v1/graphs/g/count?workers=2", 200)["triangles"].(float64)
+
+	est := postJSON(t, client, ts.URL+"/v1/graphs/g/estimate",
+		estimateRequest{Method: "doulion", P: 0.5, Seed: 3}, 200)
+	if est["origin"] != "run" {
+		t.Fatalf("estimate origin = %v", est["origin"])
+	}
+	got := est["estimate"].(float64)
+	if got < exact/3 || got > exact*3 {
+		t.Errorf("doulion estimate %.0f far from exact %.0f", got, exact)
+	}
+	// Identical estimate parameters memoize.
+	est2 := postJSON(t, client, ts.URL+"/v1/graphs/g/estimate",
+		estimateRequest{Method: "doulion", P: 0.5, Seed: 3}, 200)
+	if est2["origin"] != "cache" || est2["estimate"] != est["estimate"] {
+		t.Fatalf("repeat estimate = %v", est2)
+	}
+	postJSON(t, client, ts.URL+"/v1/graphs/g/estimate",
+		estimateRequest{Method: "doulion", P: 1.5}, http.StatusBadRequest)
+
+	deg := getJSON(t, client, ts.URL+"/v1/graphs/g/degrees?workers=2&top=5", 200)
+	if deg["triangles"].(float64) != exact {
+		t.Fatalf("degrees triangles = %v, want %v", deg["triangles"], exact)
+	}
+	top := deg["top"].([]any)
+	if len(top) == 0 || len(top) > 5 {
+		t.Fatalf("top list size = %d", len(top))
+	}
+	prev := top[0].(map[string]any)["triangles"].(float64)
+	for _, row := range top[1:] {
+		cur := row.(map[string]any)["triangles"].(float64)
+		if cur > prev {
+			t.Fatalf("top list not descending: %v", top)
+		}
+		prev = cur
+	}
+	// Memoized: same options serve from cache.
+	deg2 := getJSON(t, client, ts.URL+"/v1/graphs/g/degrees?workers=2&top=3", 200)
+	if deg2["origin"] != "cache" {
+		t.Fatalf("repeat degrees origin = %v", deg2["origin"])
+	}
+}
+
+func TestServerRequestTimeout(t *testing.T) {
+	base := genStore(t, 10, 18)
+	svc := New(Config{})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	client := ts.Client()
+	postJSON(t, client, ts.URL+"/v1/graphs", registerRequest{Name: "g", Base: base}, http.StatusCreated)
+
+	// A 1 ns deadline cannot finish a run; the deadline maps onto the
+	// engine's cancellation and surfaces as 504.
+	resp, err := client.Get(ts.URL + "/v1/graphs/g/count?workers=1&mem=256&timeout=1ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("timed-out count status = %d (%s), want 504", resp.StatusCode, body)
+	}
+	getJSON(t, client, ts.URL+"/v1/graphs/g/count?timeout=bogus", http.StatusBadRequest)
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	base := genStore(t, 7, 19)
+	svc := New(Config{})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	client := ts.Client()
+	postJSON(t, client, ts.URL+"/v1/graphs", registerRequest{Name: "g", Base: base}, http.StatusCreated)
+	getJSON(t, client, ts.URL+"/v1/graphs/g/count?workers=1", 200)
+	getJSON(t, client, ts.URL+"/v1/graphs/g/count?workers=1", 200)
+
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"pdtl_runs_started 1",
+		"pdtl_cache_hits 1",
+		"pdtl_graphs_open 1",
+		"pdtl_run_queue_depth 0",
+		"pdtl_source_bytes_read",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -23,6 +23,11 @@
 //   - Generate* / Import* — dataset creation and ingest into the binary
 //     store format (degree file + adjacency file + JSON metadata).
 //
+// For a resident, multi-tenant deployment, internal/service wraps a
+// registry of these handles behind an HTTP/JSON API with admission
+// control, result memoization (keyed by Options.Key), and per-graph
+// single-flight; cmd/pdtl-serve is its daemon (DESIGN.md §8).
+//
 // The free functions (Count, List, ForEachTriangle, TriangleDegrees,
 // CountDistributed) are deprecated one-shot wrappers — each opens a handle,
 // runs once with context.Background(), and closes — kept so existing
@@ -34,6 +39,7 @@ package pdtl
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"runtime"
 	"time"
@@ -86,6 +92,39 @@ type Options struct {
 	// Chunks is the chunks-per-worker factor K of the stealing scheduler;
 	// non-positive selects the default (8). Ignored under "static".
 	Chunks int
+}
+
+// Key returns the canonical identity of a run with these Options: every
+// default is resolved (worker count, memory budget, balance strategy, scan
+// source, kernel, scheduler, chunk count), so two Options values that would
+// execute the same calculation map to the same key even when one spells a
+// default explicitly and the other leaves it zero. Two runs with equal keys
+// on the same store produce the identical triangle set, which makes Key the
+// memoization and single-flight identity of the query service
+// (internal/service); it doubles as a stable human-readable run label.
+func (o Options) Key() (string, error) {
+	copt, err := o.toCore()
+	if err != nil {
+		return "", err
+	}
+	workers := copt.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	mem := copt.MemEdges
+	if mem <= 0 {
+		mem = core.DefaultMemEdges
+	}
+	kernel := copt.Kernel
+	if kernel == "" {
+		kernel = scan.KernelMerge
+	}
+	chunks := 0
+	if copt.Sched == sched.Stealing {
+		chunks = sched.ChunksFor(workers, copt.Chunks)
+	}
+	return fmt.Sprintf("w%d m%d %s %s %s %s c%d",
+		workers, mem, copt.Strategy, copt.Sched, copt.Scan.Resolve(workers), kernel, chunks), nil
 }
 
 func (o Options) toCore() (core.Options, error) {
