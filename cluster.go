@@ -41,6 +41,20 @@ type ClusterOptions struct {
 	// Chunks is the chunks-per-worker factor K of the stealing scheduler;
 	// non-positive selects the default (8). Ignored under "static".
 	Chunks int
+	// MaxRetries bounds how many times one unit of failed work (a static
+	// range group or a stealing chunk batch) may be reassigned to another
+	// node after a worker failure before the run gives up with the joined
+	// node errors. Zero selects the default (2); negative disables
+	// recovery entirely, so the first worker failure aborts the run.
+	// Recovered failures are reported in ClusterResult.Failures either
+	// way — partial degradation is observable, not fatal.
+	MaxRetries int
+	// HeartbeatInterval is how often the master pings each worker to
+	// detect partitioned or wedged nodes (crashes are caught faster, by
+	// the TCP connection dying); after three consecutive missed
+	// heartbeats the worker is declared dead and its work reassigned.
+	// Zero selects the default (2s); negative disables the heartbeat.
+	HeartbeatInterval time.Duration
 	// List requests triangle listing into ListPath (12-byte triples).
 	List     bool
 	ListPath string
@@ -51,7 +65,10 @@ type ClusterOptions struct {
 // Options.Key, and the memoization/single-flight identity the query service
 // uses for cluster-backed counts. Listing runs (List=true) are not
 // memoizable (their product is a file, not a count), so their key embeds
-// the output path to keep them distinct.
+// the output path to keep them distinct. The fault-tolerance knobs
+// (MaxRetries, HeartbeatInterval) are deliberately absent: they change how
+// a run survives failures, never what it computes, so runs differing only
+// in them share a cache entry.
 func (o ClusterOptions) Key(workerAddrs []string) (string, error) {
 	scanKind, err := scan.ParseSource(o.ScanSource)
 	if err != nil {
@@ -108,6 +125,33 @@ type NodeStats struct {
 	Workers []WorkerStats
 }
 
+// NodeFailure reports one detected worker failure during a distributed
+// run — the per-run failure log of the fault-tolerance layer (DESIGN.md
+// §9). A failure on a successful run means the work was recovered: the
+// count and listing are exact regardless.
+type NodeFailure struct {
+	// Node is the worker's self-reported name ("" if it failed before the
+	// handshake).
+	Node string
+	// Addr is the worker's RPC address.
+	Addr string
+	// Slot is the node's index in the run (the master is 0).
+	Slot int
+	// Chunk is the global plan index of the failed work unit's first
+	// range, or -1 when the node failed outside a calculation (dial,
+	// handshake, or replica copy).
+	Chunk int
+	// Ranges is how many plan ranges the failed unit held.
+	Ranges int
+	// Retries is how many times the unit had already been reassigned when
+	// this failure happened.
+	Retries int
+	// Err is the failure's error text.
+	Err string
+	// Time is when the master detected the failure.
+	Time time.Time
+}
+
 // ClusterResult reports a distributed run.
 type ClusterResult struct {
 	Triangles  uint64
@@ -121,6 +165,11 @@ type ClusterResult struct {
 	NetworkBytes int64
 	Nodes        []NodeStats
 	OrientedBase string
+	// Failures lists every worker failure the run detected and recovered
+	// from, in detection order; empty for a fully healthy run. The failed
+	// workers' shares were reassigned to the survivors (or run on the
+	// master), so Triangles and any listing are exact regardless.
+	Failures []NodeFailure
 }
 
 // CountDistributed runs the full PDTL protocol with this handle's graph:
@@ -129,6 +178,14 @@ type ClusterResult struct {
 // results. The orientation is performed at most once per handle — repeated
 // distributed (or mixed local/distributed) runs reuse it. With an empty
 // address list the protocol degrades to a local run through the same path.
+//
+// Worker failure mid-run is survived, not fatal: a crashed, unreachable,
+// or wedged worker is detected (connection errors, plus a heartbeat for
+// silent partitions) and its unfinished share is reassigned to the
+// surviving workers — or run on the master as the last resort — bounded
+// by opt.MaxRetries reassignments per work unit. The count (and listing)
+// stay exact, and the detected failures are reported in
+// ClusterResult.Failures so degraded runs are observable.
 //
 // Cancelling ctx aborts the whole protocol: local runners stop within one
 // memory window, in-flight graph copies stop at the next chunk, and remote
@@ -176,6 +233,8 @@ func (g *Graph) CountDistributed(ctx context.Context, workerAddrs []string, opt 
 		Kernel:            kernelKind,
 		Sched:             schedMode,
 		Chunks:            opt.Chunks,
+		MaxRetries:        opt.MaxRetries,
+		HeartbeatInterval: opt.HeartbeatInterval,
 		List:              opt.List,
 		ListPath:          opt.ListPath,
 	}, workerAddrs)
@@ -200,6 +259,12 @@ func clusterResultFrom(cres *cluster.Result) *ClusterResult {
 	}
 	if cres.Orientation != nil {
 		res.OrientTime = cres.Orientation.Duration
+	}
+	for _, f := range cres.Failures {
+		res.Failures = append(res.Failures, NodeFailure{
+			Node: f.Node, Addr: f.Addr, Slot: f.Slot, Chunk: f.Chunk,
+			Ranges: f.Ranges, Retries: f.Retries, Err: f.Err, Time: f.Time,
+		})
 	}
 	for _, n := range cres.Nodes {
 		ns := NodeStats{

@@ -12,6 +12,11 @@
 // locally. SIGINT/SIGTERM cancel the run cooperatively: local runners stop
 // at their next memory window, in-flight replica copies stop at the next
 // chunk, and remote nodes are told to abandon their calculation.
+//
+// Worker failure mid-run is survived: the dead worker's share is
+// reassigned to the survivors (or the master itself), bounded by
+// -max-retries, and the recovered failures are printed in a "failures:"
+// section — the run's count and listing stay exact.
 package main
 
 import (
@@ -40,6 +45,10 @@ func main() {
 	schedMode := flag.String("sched", "static",
 		"chunk scheduler: static (pre-split plan, the paper's) or stealing (master dispenses chunk batches on demand)")
 	chunks := flag.Int("chunks", 0, "chunks per processor for -sched stealing (default 8)")
+	maxRetries := flag.Int("max-retries", 0,
+		"reassignments allowed per work unit after a worker failure (0 = default 2, negative = fail fast on the first failure)")
+	heartbeat := flag.Duration("heartbeat", 0,
+		"worker liveness ping interval (0 = default 2s, negative = disabled); a worker missing 3 pings is declared dead and its work reassigned")
 	list := flag.String("list", "", "write triangle listing to this file")
 	flag.Parse()
 
@@ -68,6 +77,8 @@ func main() {
 		Kernel:            *kernel,
 		Sched:             *schedMode,
 		Chunks:            *chunks,
+		MaxRetries:        *maxRetries,
+		HeartbeatInterval: *heartbeat,
 		List:              *list != "",
 		ListPath:          *list,
 	})
@@ -85,6 +96,17 @@ func main() {
 	for i, n := range res.Nodes {
 		fmt.Printf("  node %d (%s @ %s): triangles %d calc %v copy %v (%d bytes) cpu %v io %v\n",
 			i, n.Name, n.Addr, n.Triangles, n.CalcTime, n.CopyTime, n.CopyBytes, n.CPUTime, n.IOTime)
+	}
+	if len(res.Failures) > 0 {
+		fmt.Printf("failures: %d (worker failures recovered; results are exact)\n", len(res.Failures))
+		for _, f := range res.Failures {
+			unit := "pre-calculation (dial/handshake/copy)"
+			if f.Chunk >= 0 {
+				unit = fmt.Sprintf("work unit at plan index %d (%d ranges)", f.Chunk, f.Ranges)
+			}
+			fmt.Printf("  node %d (%s @ %s): %s, retries %d: %s\n",
+				f.Slot, f.Node, f.Addr, unit, f.Retries, f.Err)
+		}
 	}
 	if *list != "" {
 		fmt.Printf("listing: %s\n", *list)

@@ -64,6 +64,10 @@ func main() {
 	workers := flag.Int("workers", 0, "default worker count per run (0 = CPU count)")
 	mem := flag.Int("mem", 0, "default per-worker memory budget in adjacency entries (0 = engine default)")
 	cluster := flag.String("cluster", "", "comma-separated PDTL worker node addresses for ?distributed=1 counts")
+	clusterRetries := flag.Int("cluster-retries", 0,
+		"reassignments allowed per work unit after a worker failure in distributed counts (0 = default 2, negative = fail fast)")
+	clusterHeartbeat := flag.Duration("cluster-heartbeat", 0,
+		"worker liveness ping interval for distributed counts (0 = default 2s, negative = disabled)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
 	var graphs graphFlags
 	flag.Var(&graphs, "graph", "pre-register a graph as name=storepath (repeatable)")
@@ -77,7 +81,12 @@ func main() {
 	}
 	if *cluster != "" {
 		cfg.ClusterAddrs = strings.Split(*cluster, ",")
-		cfg.ClusterDefaults = pdtl.ClusterOptions{Workers: *workers, MemEdges: *mem}
+		cfg.ClusterDefaults = pdtl.ClusterOptions{
+			Workers:           *workers,
+			MemEdges:          *mem,
+			MaxRetries:        *clusterRetries,
+			HeartbeatInterval: *clusterHeartbeat,
+		}
 	}
 	svc := service.New(cfg)
 	for _, spec := range graphs {

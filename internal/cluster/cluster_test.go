@@ -2,9 +2,12 @@ package cluster
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -13,6 +16,7 @@ import (
 	"pdtl/internal/gen"
 	"pdtl/internal/graph"
 	"pdtl/internal/mgt"
+	"pdtl/internal/sched"
 )
 
 func writeStore(t testing.TB, g *graph.CSR, name string) string {
@@ -224,19 +228,35 @@ func TestNodeTransferErrors(t *testing.T) {
 	if err := node.EndGraph(&EndGraphArgs{}, &end); err == nil {
 		t.Error("want error for end without begin")
 	}
-	// Begin twice.
-	if err := node.BeginGraph(&BeginGraphArgs{Name: "g"}, &struct{}{}); err != nil {
+	// A second Begin supersedes a stale transfer (its master is presumed
+	// dead): the first transfer's bytes are discarded, its token is
+	// invalidated — a slow-but-alive first master's stale chunks and End
+	// are rejected, never interleaved — and the new transfer starts from
+	// zero.
+	if err := node.BeginGraph(&BeginGraphArgs{Name: "g", Token: "m1"}, &struct{}{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := node.BeginGraph(&BeginGraphArgs{Name: "g"}, &struct{}{}); err == nil {
-		t.Error("want error for concurrent transfer")
+	if err := node.GraphChunk(&ChunkArgs{Token: "m1", Kind: FileAdj, Data: []byte{1, 2, 3}}, &struct{}{}); err != nil {
+		t.Fatal(err)
 	}
-	// Unknown file kind.
-	if err := node.GraphChunk(&ChunkArgs{Kind: "bogus", Data: []byte{1}}, &struct{}{}); err == nil {
+	if err := node.BeginGraph(&BeginGraphArgs{Name: "g", Token: "m2"}, &struct{}{}); err != nil {
+		t.Fatalf("superseding Begin failed: %v", err)
+	}
+	if err := node.GraphChunk(&ChunkArgs{Token: "m1", Kind: FileAdj, Data: []byte{9, 9}}, &struct{}{}); err == nil {
+		t.Error("superseded master's chunk was accepted into the new transfer")
+	}
+	if err := node.EndGraph(&EndGraphArgs{Token: "m1"}, &end); err == nil {
+		t.Error("superseded master's EndGraph finalized the new transfer")
+	}
+	// Unknown file kind (with the live token).
+	if err := node.GraphChunk(&ChunkArgs{Token: "m2", Kind: "bogus", Data: []byte{1}}, &struct{}{}); err == nil {
 		t.Error("want error for unknown kind")
 	}
-	if err := node.EndGraph(&EndGraphArgs{}, &end); err != nil {
+	if err := node.EndGraph(&EndGraphArgs{Token: "m2"}, &end); err != nil {
 		t.Fatal(err)
+	}
+	if end.BytesReceived != 0 {
+		t.Errorf("superseded transfer leaked %d bytes into the new one", end.BytesReceived)
 	}
 	// Count against a missing replica.
 	var reply CountReply
@@ -246,17 +266,181 @@ func TestNodeTransferErrors(t *testing.T) {
 	}
 }
 
-func TestRunFailsOnDeadNode(t *testing.T) {
+// transferStore pushes a store's three files into a node via the transfer
+// RPCs, optionally truncating the copy partway (sendFrac < 1 simulates a
+// master that died mid-copy: no EndGraph is sent).
+func transferStore(t *testing.T, node *Node, name, base string, sendFrac float64) {
+	t.Helper()
+	token := fmt.Sprintf("tok-%d-%f", time.Now().UnixNano(), sendFrac)
+	if err := node.BeginGraph(&BeginGraphArgs{Name: name, Token: token}, &struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	files := []struct {
+		kind FileKind
+		path string
+	}{
+		{FileMeta, graph.MetaPath(base)},
+		{FileDeg, graph.DegPath(base)},
+		{FileAdj, graph.AdjPath(base)},
+	}
+	var total, budget int64
+	for _, f := range files {
+		st, err := os.Stat(f.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Size()
+	}
+	budget = int64(float64(total) * sendFrac)
+	for _, f := range files {
+		data, err := os.ReadFile(f.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sendFrac < 1 {
+			if budget <= 0 {
+				return
+			}
+			if int64(len(data)) > budget {
+				data = data[:budget]
+			}
+			budget -= int64(len(data))
+		}
+		if err := node.GraphChunk(&ChunkArgs{Token: token, Kind: f.kind, Data: data}, &struct{}{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sendFrac < 1 {
+		return
+	}
+	var end EndGraphReply
+	if err := node.EndGraph(&EndGraphArgs{Token: token}, &end); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailedCopyDoesNotPoisonReplicaCache: the regression test around
+// openReplica — a re-replication that starts (truncating the files) must
+// invalidate the cached Disk immediately, so a Count after a failed copy
+// gets an open error instead of silently reading mangled bytes through
+// stale metadata; a completed re-copy then serves a fresh handle.
+func TestFailedCopyDoesNotPoisonReplicaCache(t *testing.T) {
+	g, err := gen.Complete(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseline.Forward(g)
+	base := writeStore(t, g, "k8")
+	// Orient via a local run so the replica is a valid oriented store.
+	res, err := Run(context.Background(), Config{GraphBase: base, Workers: 1, MemEdges: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oriented := res.OrientedBase
+
+	node := NewNode("n", t.TempDir(), 1)
+	transferStore(t, node, "k8", oriented, 1)
+	d1, err := node.openReplica("k8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2, err := node.openReplica("k8"); err != nil || d2 != d1 {
+		t.Fatalf("second open = (%p, %v), want cached %p", d2, err, d1)
+	}
+
+	// A partial re-copy (master died; no EndGraph): the cached handle must
+	// be gone. The files are truncated/partial, so the open must fail —
+	// NOT return d1.
+	transferStore(t, node, "k8", oriented, 0.3)
+	if d, err := node.openReplica("k8"); err == nil {
+		if d == d1 {
+			t.Fatal("openReplica returned the stale cached handle over a partial replica")
+		}
+		t.Fatal("openReplica succeeded over a partial replica")
+	}
+	var reply CountReply
+	if err := node.Count(&CountArgs{GraphName: "k8", Ranges: []balance.Range{{Lo: 0, Hi: 1}}, MemEdges: 16}, &reply); err == nil {
+		t.Fatal("Count over a partial replica succeeded")
+	}
+
+	// A completed retry (superseding the stale transfer) heals the node.
+	transferStore(t, node, "k8", oriented, 1)
+	d3, err := node.openReplica("k8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatal("re-replicated graph served the pre-failure handle")
+	}
+	n := d3.NumVertices()
+	reply = CountReply{}
+	if err := node.Count(&CountArgs{
+		GraphName: "k8",
+		Ranges:    []balance.Range{{Lo: 0, Hi: d3.Offsets[n]}},
+		MemEdges:  64,
+	}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Triangles != want {
+		t.Errorf("post-recovery count = %d, want %d", reply.Triangles, want)
+	}
+}
+
+// TestRunRecoversFromDeadNode: an unreachable node no longer kills the
+// run — its work is reassigned (here master-local, the last resort) and the
+// failure is reported in Result.Failures. With recovery disabled
+// (MaxRetries < 0), the pre-fault-tolerance fail-fast behavior returns,
+// and with several dead nodes the error names all of them (errors.Join),
+// not just the first.
+func TestRunRecoversFromDeadNode(t *testing.T) {
 	g, err := gen.Complete(6)
 	if err != nil {
 		t.Fatal(err)
 	}
 	base := writeStore(t, g, "k6")
 	lc := startCluster(t, 1)
-	addr := lc.Addrs()[0]
+	deadAddr := lc.Addrs()[0]
 	lc.Close()
-	if _, err := Run(context.Background(), Config{GraphBase: base, Workers: 1, MemEdges: 16}, []string{addr}); err == nil {
-		t.Fatal("want error when node is unreachable")
+
+	for _, mode := range []sched.Mode{sched.Static, sched.Stealing} {
+		res, err := Run(context.Background(), Config{
+			GraphBase: base, Workers: 1, MemEdges: 16, Sched: mode,
+		}, []string{deadAddr})
+		if err != nil {
+			t.Fatalf("%v: run with a dead node failed: %v", mode, err)
+		}
+		if want := gen.CompleteTriangles(6); res.Triangles != want {
+			t.Errorf("%v: triangles = %d, want %d", mode, res.Triangles, want)
+		}
+		if len(res.Failures) == 0 {
+			t.Fatalf("%v: dead node left no entry in Result.Failures", mode)
+		}
+		if f := res.Failures[0]; f.Addr != deadAddr || f.Err == "" || f.Time.IsZero() {
+			t.Errorf("%v: failure entry = %+v, want addr %s with error and time", mode, f, deadAddr)
+		}
+	}
+
+	// Fail-fast ablation: recovery disabled.
+	if _, err := Run(context.Background(), Config{
+		GraphBase: base, Workers: 1, MemEdges: 16, MaxRetries: -1,
+	}, []string{deadAddr}); err == nil {
+		t.Fatal("MaxRetries<0: want error when node is unreachable")
+	}
+
+	// Two dead nodes, fail-fast: both must be named in the joined error.
+	lc2 := startCluster(t, 2)
+	addrs := lc2.Addrs()
+	lc2.Close()
+	_, err = Run(context.Background(), Config{
+		GraphBase: base, Workers: 1, MemEdges: 16, MaxRetries: -1,
+	}, addrs)
+	if err == nil {
+		t.Fatal("want error with two dead nodes and recovery disabled")
+	}
+	for _, addr := range addrs {
+		if !strings.Contains(err.Error(), addr) {
+			t.Errorf("joined error %q does not name dead node %s", err, addr)
+		}
 	}
 }
 
@@ -272,11 +456,12 @@ func TestListRequiresPath(t *testing.T) {
 }
 
 func TestLimiter(t *testing.T) {
+	ctx := context.Background()
 	// Unlimited limiter never blocks.
 	l := NewLimiter(0)
 	done := make(chan struct{})
 	go func() {
-		l.Wait(1 << 30)
+		l.Wait(ctx, 1<<30)
 		close(done)
 	}()
 	select {
@@ -286,7 +471,7 @@ func TestLimiter(t *testing.T) {
 	}
 	// A nil limiter is a no-op too.
 	var nilL *Limiter
-	nilL.Wait(100)
+	nilL.Wait(ctx, 100)
 
 	// A limited limiter enforces an approximate rate beyond its 100ms
 	// burst: at 10 MiB/s the burst is 1 MiB, so waiting for 3 MiB must
@@ -294,8 +479,53 @@ func TestLimiter(t *testing.T) {
 	rate := int64(10 << 20)
 	l = NewLimiter(rate)
 	start := time.Now()
-	l.Wait(3 << 20)
+	if err := l.Wait(ctx, 3<<20); err != nil {
+		t.Fatal(err)
+	}
 	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
 		t.Errorf("limited Wait returned too fast: %v", elapsed)
+	}
+}
+
+// TestLimiterWaitCancel: a cancelled context unblocks a Wait that would
+// otherwise sleep off seconds of token debt, refunds the unsent bytes, and
+// leaks no goroutines.
+func TestLimiterWaitCancel(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	// 1 KiB/s with a ~100-byte burst: 1 MiB of debt would sleep ~17 min.
+	l := NewLimiter(1 << 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	start := time.Now()
+	go func() { errCh <- l.Wait(ctx, 1<<20) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != context.Canceled {
+			t.Fatalf("cancelled Wait returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Wait did not return")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancelled Wait took %v, want prompt return", elapsed)
+	}
+	// The refund means a small follow-up Wait is not charged the aborted
+	// megabyte: it must return in well under the ~17 min the debt implied.
+	start = time.Now()
+	if err := l.Wait(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("post-cancel Wait(10) took %v: aborted bytes were not refunded", elapsed)
+	}
+	// No goroutines may outlive Wait (it uses no goroutines at all).
+	deadline := time.Now().Add(time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Errorf("goroutines leaked: %d, baseline %d", n, baseline)
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -41,9 +42,17 @@ func NewLimiter(bytesPerSec int64) *Limiter {
 // Wait charges n bytes against the bucket and sleeps off any deficit
 // (debt-based token bucket, so requests larger than the burst are simply
 // paid for over time). Concurrent senders share the rate.
-func (l *Limiter) Wait(n int) {
+//
+// The sleep honors ctx: a cancelled copy returns ctx.Err() immediately
+// instead of blocking for its whole token debt (seconds, at realistic
+// rates), and the unsent bytes are refunded so an aborted copy does not
+// steal bandwidth from surviving senders. No goroutines are spawned.
+func (l *Limiter) Wait(ctx context.Context, n int) error {
 	if l == nil || l.bytesPerNS == 0 {
-		return
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	l.mu.Lock()
 	now := time.Now()
@@ -58,7 +67,32 @@ func (l *Limiter) Wait(n int) {
 		sleep = time.Duration(-l.avail / l.bytesPerNS)
 	}
 	l.mu.Unlock()
-	if sleep > 0 {
-		time.Sleep(sleep)
+	if sleep <= 0 {
+		if err := ctx.Err(); err != nil {
+			l.refund(n)
+			return err
+		}
+		return nil
 	}
+	t := time.NewTimer(sleep)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		l.refund(n)
+		return ctx.Err()
+	}
+}
+
+// refund returns an aborted send's charge to the bucket: the bytes never
+// crossed the uplink, so surviving senders must not sleep off their debt.
+// Clipped at the burst, like every other credit.
+func (l *Limiter) refund(n int) {
+	l.mu.Lock()
+	l.avail += float64(n)
+	if l.avail > l.burst {
+		l.avail = l.burst
+	}
+	l.mu.Unlock()
 }

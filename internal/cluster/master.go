@@ -3,12 +3,14 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"net/rpc"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +74,20 @@ type Config struct {
 	UplinkBytesPerSec int64
 	// ChunkBytes is the copy chunk size; non-positive selects 256 KiB.
 	ChunkBytes int
+	// MaxRetries bounds how many times one unit of failed work (a static
+	// range group or a stealing chunk batch) may be reassigned to another
+	// node before the run gives up with the joined node errors. Zero
+	// selects DefaultMaxRetries; negative disables recovery entirely —
+	// the first node failure aborts the run (the pre-fault-tolerance
+	// behavior, useful as an ablation and for tests).
+	MaxRetries int
+	// HeartbeatInterval is how often the master pings each connected node
+	// to detect partitioned or wedged workers; a crashed worker is caught
+	// faster, by its TCP connection dying. After heartbeatMissLimit
+	// consecutive missed pings the node's connection is closed, failing
+	// its in-flight RPCs and triggering reassignment. Zero selects
+	// DefaultHeartbeatInterval; negative disables the heartbeat.
+	HeartbeatInterval time.Duration
 	// List requests triangle listing; the master concatenates all nodes'
 	// triples into ListPath sequentially.
 	List bool
@@ -94,6 +110,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ChunkBytes <= 0 {
 		c.ChunkBytes = 256 * 1024
+	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = DefaultMaxRetries
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0 // fail-fast: recovery disabled
+	}
+	switch {
+	case c.HeartbeatInterval == 0:
+		c.HeartbeatInterval = DefaultHeartbeatInterval
+	case c.HeartbeatInterval < 0:
+		c.HeartbeatInterval = 0 // heartbeat disabled
 	}
 	return c
 }
@@ -143,6 +171,12 @@ type Result struct {
 	NetworkBytes int64
 	// OrientedBase is the oriented store the run used.
 	OrientedBase string
+	// Failures lists every node failure the run detected and recovered
+	// from, in detection order. A non-empty list on a successful run means
+	// the run completed degraded: the failed nodes' work was reassigned to
+	// the survivors (or run master-local) and the results are exact
+	// regardless.
+	Failures []Failure
 }
 
 // runSeq plus a per-process random token feed RunIDs for remote
@@ -154,6 +188,41 @@ var (
 	runToken = rand.Uint64()
 )
 
+// newRunID mints the run-level id, one per Run call.
+func newRunID(graphName string) string {
+	return fmt.Sprintf("%s#%x-%d", graphName, runToken, runSeq.Add(1))
+}
+
+// workID derives the per-work-unit RunID from the run id and the unit's
+// global plan index. It is deliberately stable across reassignment: a
+// retried unit carries the same id on its new node, so results are keyed
+// by what is computed, not by which attempt computed it — and a Cancel for
+// the unit reaches whichever node currently holds it. Re-execution is
+// idempotent because Node.Count only reads the replica: a duplicate
+// attempt (a partitioned node still computing a unit the master gave up
+// on) produces identical bytes, and the master takes at most one result
+// per unit — a failed driver contributes nothing, so global assembly by
+// plan index stays exactly-once.
+func workID(runID string, start int) string {
+	return runID + "/" + strconv.Itoa(start)
+}
+
+// foldNode merges a recovery execution's results into the executing node's
+// accounting: counters and I/O sum, per-worker stats fold by index, and
+// CalcTime accumulates the node's additional busy period.
+func foldNode(dst *NodeResult, nr *NodeResult) {
+	if dst.Name == "" {
+		dst.Name = nr.Name
+	}
+	if dst.Addr == "" {
+		dst.Addr = nr.Addr
+	}
+	dst.Triangles += nr.Triangles
+	dst.Workers = foldWorkerStats(dst.Workers, nr.Workers)
+	dst.SourceIO = dst.SourceIO.Add(nr.SourceIO)
+	dst.CalcTime += nr.CalcTime
+}
+
 // cancelDrainTimeout bounds how long a cancelled master waits for a
 // worker's aborted Count RPC to drain; a wedged worker must not keep a
 // cancelled master alive (closing the client kills the pending calls).
@@ -162,6 +231,19 @@ const cancelDrainTimeout = 10 * time.Second
 // Run executes a distributed triangle count/listing with the master as node
 // 0 and one client per address in workerAddrs. With no addresses it
 // degrades to a purely local run through the same code path.
+//
+// Worker failure mid-run is survived, not fatal (DESIGN.md §9): a crashed,
+// partitioned, or wedged node is detected (TCP error, or the heartbeat
+// closing a silent connection) and its unfinished work is reassigned — a
+// stealing batch goes back to the dispenser with the dead node excluded, a
+// static range group is re-split across the surviving replicas, and the
+// master itself is the last resort — bounded by Config.MaxRetries
+// reassignments per work unit. The exact count and the deterministic
+// listing are unaffected, because work is keyed by global plan index and
+// assembled exactly once; the detected failures are reported in
+// Result.Failures. A run only fails when the retry budget is exhausted,
+// the master's own engine errors, or ctx is cancelled — and then the
+// error joins every node's failure rather than reporting just the first.
 //
 // Cancelling ctx aborts the whole protocol: the master's own runners stop
 // within one memory window, in-flight graph copies stop at the next chunk,
@@ -212,8 +294,36 @@ func Run(ctx context.Context, cfg Config, workerAddrs []string) (*Result, error)
 	return res, nil
 }
 
+// workItem is one unit of reassignable static work: a contiguous slice of
+// the global plan, identified by the index of its first range. retries is
+// how many times the unit has been reassigned so far.
+type workItem struct {
+	start   int
+	ranges  []balance.Range
+	retries int
+}
+
+// splitWork cuts a work item's ranges into k contiguous parts (some may be
+// empty), each keeping its global start index — so the parts' listing
+// segments reassemble in exactly the order the original node would have
+// produced.
+func splitWork(start int, ranges []balance.Range, k int) []workItem {
+	parts := make([]workItem, k)
+	n := len(ranges)
+	for i := 0; i < k; i++ {
+		lo, hi := n*i/k, n*(i+1)/k
+		parts[i] = workItem{start: start + lo, ranges: ranges[lo:hi]}
+	}
+	return parts
+}
+
 // runStatic is the paper's protocol: the global N·P-range plan is
-// pre-split across nodes up front, one Count RPC per node.
+// pre-split across nodes up front, one Count RPC per node. A node that
+// fails — dial, copy, or mid-calculation — no longer kills the run: its
+// range group is re-split across the surviving nodes (whose replicas are
+// already in place) plus the master, with master-local execution as the
+// last resort when no remote survives, bounded by cfg.MaxRetries
+// reassignments per work unit.
 func runStatic(ctx context.Context, cfg Config, d *graph.Disk, orientedBase string, workerAddrs []string, res *Result) error {
 	nodes := 1 + len(workerAddrs)
 	plan, err := core.Plan(d, orientedBase, nodes*cfg.Workers, cfg.Strategy)
@@ -222,11 +332,34 @@ func runStatic(ctx context.Context, cfg Config, d *graph.Disk, orientedBase stri
 	}
 	res.Plan = plan
 	groups := plan.Subdivide(nodes)
+	// starts[i] is the global plan index of groups[i][0]: every listing
+	// segment — original or recovered — is tagged with its global start,
+	// so assembly in start order reproduces the static listing bytes no
+	// matter which node executed which piece.
+	starts := make([]int, nodes)
+	for i := 1; i < nodes; i++ {
+		starts[i] = starts[i-1] + len(groups[i-1])
+	}
 
 	limiter := NewLimiter(cfg.UplinkBytesPerSec)
+	runID := newRunID(cfg.GraphName)
+	flog := &failureLog{}
 	res.Nodes = make([]NodeResult, nodes)
-	triples := make([][]byte, nodes)
+	res.Nodes[0] = NodeResult{Name: "master", Addr: "local"}
+	for i, addr := range workerAddrs {
+		res.Nodes[i+1] = NodeResult{Addr: addr}
+	}
 	errs := make([]error, nodes)
+	var segMu sync.Mutex
+	var segs []tripleSeg
+	addSeg := func(start int, data []byte) {
+		if !cfg.List {
+			return
+		}
+		segMu.Lock()
+		segs = append(segs, tripleSeg{start: start, data: data})
+		segMu.Unlock()
+	}
 	var totalTriangles atomic.Uint64
 	var netBytes atomic.Int64
 
@@ -238,13 +371,19 @@ func runStatic(ctx context.Context, cfg Config, d *graph.Disk, orientedBase stri
 		wg.Add(1)
 		go func(slot int, addr string, ranges []balance.Range) {
 			defer wg.Done()
-			nr, tp, err := runRemote(ctx, cfg, orientedBase, addr, ranges, limiter)
+			nr, tp, err := runRemote(ctx, cfg, runID, orientedBase, addr, starts[slot], ranges, limiter)
 			if err != nil {
+				if nr != nil {
+					// Keep the handshake name and partial copy accounting
+					// so the failure log identifies the node and the
+					// degraded run's report stays honest.
+					res.Nodes[slot] = *nr
+				}
 				errs[slot] = err
 				return
 			}
 			res.Nodes[slot] = *nr
-			triples[slot] = tp
+			addSeg(starts[slot], tp)
 			totalTriangles.Add(nr.Triangles)
 			netBytes.Add(nr.CopyBytes + int64(len(tp)))
 		}(i+1, addr, groups[i+1])
@@ -259,7 +398,7 @@ func runStatic(ctx context.Context, cfg Config, d *graph.Disk, orientedBase stri
 			return
 		}
 		res.Nodes[0] = *nr
-		triples[0] = tp
+		addSeg(starts[0], tp)
 		totalTriangles.Add(nr.Triangles)
 	}()
 	wg.Wait()
@@ -268,10 +407,119 @@ func runStatic(ctx context.Context, cfg Config, d *graph.Disk, orientedBase stri
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	for _, err := range errs {
-		if err != nil {
+
+	// Triage: the master's own engine error is fatal (there is no more
+	// reliable executor to fall back to); every remote failure becomes a
+	// reassignable work item — unless recovery is disabled, in which case
+	// all node errors are reported together instead of just the first.
+	var fatal []error
+	if errs[0] != nil {
+		fatal = append(fatal, errs[0])
+	}
+	var queue []workItem
+	var survivors []int
+	for slot := 1; slot < nodes; slot++ {
+		if errs[slot] == nil {
+			survivors = append(survivors, slot)
+			continue
+		}
+		// A calculation-phase failure is attributed to the node's work
+		// unit; a dial/handshake/copy failure happened before the node
+		// held any work (Chunk -1, Ranges 0).
+		chunk, ranges := -1, 0
+		var cf *calcFailure
+		if errors.As(errs[slot], &cf) {
+			chunk, ranges = starts[slot], len(groups[slot])
+		}
+		flog.add(Failure{
+			Node: res.Nodes[slot].Name, Addr: workerAddrs[slot-1], Slot: slot,
+			Chunk: chunk, Ranges: ranges, Err: errs[slot].Error(),
+		})
+		if cfg.MaxRetries <= 0 {
+			fatal = append(fatal, errs[slot])
+			continue
+		}
+		queue = append(queue, workItem{start: starts[slot], ranges: groups[slot], retries: 1})
+	}
+
+	// Recovery rounds: each lost group is re-split across the healthy
+	// executors — every surviving remote (replica already in place, so no
+	// copy is paid again) plus the master itself. With no remote survivor
+	// the whole item runs master-local, the last resort. A survivor that
+	// fails during recovery is retired and its part is requeued with a
+	// bumped retry count, up to cfg.MaxRetries reassignments per unit.
+	for len(queue) > 0 && len(fatal) == 0 {
+		if err := ctx.Err(); err != nil {
 			return err
 		}
+		item := queue[0]
+		queue = queue[1:]
+		execs := append([]int{0}, survivors...)
+		parts := splitWork(item.start, item.ranges, len(execs))
+		pErrs := make([]error, len(parts))
+		var pwg sync.WaitGroup
+		for pi := range parts {
+			if len(parts[pi].ranges) == 0 {
+				continue
+			}
+			pwg.Add(1)
+			go func(pi, slot int, part workItem) {
+				defer pwg.Done()
+				var nr *NodeResult
+				var tp []byte
+				var err error
+				if slot == 0 {
+					nr, tp, err = runLocal(ctx, cfg, d, part.ranges)
+				} else {
+					nr, tp, err = recoverRemote(ctx, cfg, runID, workerAddrs[slot-1], part.start, part.ranges)
+				}
+				if err != nil {
+					pErrs[pi] = err
+					return
+				}
+				foldNode(&res.Nodes[slot], nr)
+				addSeg(part.start, tp)
+				totalTriangles.Add(nr.Triangles)
+				if slot != 0 {
+					netBytes.Add(int64(len(tp)))
+				}
+			}(pi, execs[pi], parts[pi])
+		}
+		pwg.Wait()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for pi, perr := range pErrs {
+			if perr == nil {
+				continue
+			}
+			slot := execs[pi]
+			if slot == 0 {
+				fatal = append(fatal, perr)
+				continue
+			}
+			flog.add(Failure{
+				Node: res.Nodes[slot].Name, Addr: workerAddrs[slot-1], Slot: slot,
+				Chunk: parts[pi].start, Ranges: len(parts[pi].ranges),
+				Retries: item.retries, Err: perr.Error(),
+			})
+			for si, s := range survivors {
+				if s == slot {
+					survivors = append(survivors[:si], survivors[si+1:]...)
+					break
+				}
+			}
+			if item.retries+1 > cfg.MaxRetries {
+				fatal = append(fatal, fmt.Errorf("cluster: ranges at plan index %d abandoned after %d reassignments: %w",
+					parts[pi].start, item.retries, perr))
+				continue
+			}
+			queue = append(queue, workItem{start: parts[pi].start, ranges: parts[pi].ranges, retries: item.retries + 1})
+		}
+	}
+	res.Failures = flog.list()
+	if len(fatal) > 0 {
+		return errors.Join(fatal...)
 	}
 
 	res.Triangles = totalTriangles.Load()
@@ -282,7 +530,12 @@ func runStatic(ctx context.Context, cfg Config, d *graph.Disk, orientedBase stri
 		}
 	}
 	if cfg.List {
-		if err := writeTriples(cfg.ListPath, triples); err != nil {
+		sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+		ordered := make([][]byte, len(segs))
+		for i, s := range segs {
+			ordered[i] = s.data
+		}
+		if err := writeTriples(cfg.ListPath, ordered); err != nil {
 			return err
 		}
 	}
@@ -305,6 +558,15 @@ type tripleSeg struct {
 // node that finishes early pulls more work instead of idling behind the
 // inter-machine struggler. Node 0 (the master itself) participates through
 // the same dispenser, so its relative speed is accounted for automatically.
+//
+// Node failure is absorbed, not fatal: a driver that loses its node
+// requeues the in-flight batch (with the dead node excluded) and exits —
+// the batches it completed before dying stand, because every batch is
+// keyed by its global chunk index and was taken exactly once. Survivors
+// drain the requeued work through the ordinary NextBatch path; work that
+// lands after every driver has exited is swept up master-local. Only
+// exhausting cfg.MaxRetries reassignments on one batch, a master-local
+// engine error, or cancellation abort the run.
 func runStealing(ctx context.Context, cfg Config, d *graph.Disk, orientedBase string, workerAddrs []string, res *Result) error {
 	nodes := 1 + len(workerAddrs)
 	plan, err := core.PlanChunks(d, orientedBase, nodes*cfg.Workers, cfg.Chunks, cfg.Strategy)
@@ -315,7 +577,13 @@ func runStealing(ctx context.Context, cfg Config, d *graph.Disk, orientedBase st
 	disp := sched.NewDispenser(plan.Ranges)
 
 	limiter := NewLimiter(cfg.UplinkBytesPerSec)
+	runID := newRunID(cfg.GraphName)
+	flog := &failureLog{}
 	res.Nodes = make([]NodeResult, nodes)
+	res.Nodes[0] = NodeResult{Name: "master", Addr: "local"}
+	for i, addr := range workerAddrs {
+		res.Nodes[i+1] = NodeResult{Addr: addr}
+	}
 	segs := make([][]tripleSeg, nodes)
 	errs := make([]error, nodes)
 	var totalTriangles atomic.Uint64
@@ -326,14 +594,19 @@ func runStealing(ctx context.Context, cfg Config, d *graph.Disk, orientedBase st
 		wg.Add(1)
 		go func(slot int, addr string) {
 			defer wg.Done()
-			nr, sg, err := driveRemote(ctx, cfg, orientedBase, addr, disp, limiter)
+			nr, sg, err := driveRemote(ctx, cfg, runID, orientedBase, addr, slot, disp, limiter, flog)
 			if err != nil {
 				errs[slot] = err
 				// Stop the drain: the run is lost, so the healthy nodes
 				// must not keep computing the rest of the chunk list.
 				disp.Stop()
+			}
+			if nr == nil {
 				return
 			}
+			// A lost node's completed batches still count (nr is partial
+			// on the failure path) — that is the whole point of chunk-
+			// indexed, exactly-once assembly.
 			res.Nodes[slot] = *nr
 			segs[slot] = sg
 			totalTriangles.Add(nr.Triangles)
@@ -364,8 +637,33 @@ func runStealing(ctx context.Context, cfg Config, d *graph.Disk, orientedBase st
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	res.Failures = flog.list()
+	var fatal []error
 	for _, err := range errs {
 		if err != nil {
+			fatal = append(fatal, err)
+		}
+	}
+	if len(fatal) > 0 {
+		return errors.Join(fatal...)
+	}
+
+	// Final sweep: a batch requeued after the master's own driver had
+	// already drained the fresh list has no driver left to claim it. Run
+	// it here, master-local — the last resort that lets the run finish
+	// even if every remote node died. No driver is live anymore, so the
+	// dispenser's contents are final.
+	if disp.Remaining() > 0 {
+		nr, sg, err := driveLocal(ctx, cfg, d, disp)
+		if nr != nil {
+			foldNode(&res.Nodes[0], nr)
+			segs[0] = append(segs[0], sg...)
+			totalTriangles.Add(nr.Triangles)
+		}
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			return err
 		}
 	}
@@ -420,6 +718,8 @@ func foldWorkerStats(dst []core.WorkerStat, batch []core.WorkerStat) []core.Work
 // driveLocal is the master's node-0 driver: it pulls chunk batches from the
 // dispenser and runs each through the local stealing pool until the work is
 // drained. CalcTime is the driver's wall — the node's whole busy period.
+// An engine error here is fatal to the run: there is no more reliable
+// executor to reassign the master's own work to.
 func driveLocal(ctx context.Context, cfg Config, d *graph.Disk, disp *sched.Dispenser) (*NodeResult, []tripleSeg, error) {
 	calcStart := time.Now()
 	nr := &NodeResult{Name: "master", Addr: "local"}
@@ -428,7 +728,7 @@ func driveLocal(ctx context.Context, cfg Config, d *graph.Disk, disp *sched.Disp
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		start, batch := disp.NextBatch(cfg.Workers)
+		start, batch, _ := disp.NextBatch(cfg.Workers, 0)
 		if len(batch) == 0 {
 			break
 		}
@@ -475,26 +775,47 @@ func driveLocal(ctx context.Context, cfg Config, d *graph.Disk, disp *sched.Disp
 
 // driveRemote copies the graph to one client, then pulls chunk batches from
 // the dispenser and ships each as a Count RPC until the work is drained.
-func driveRemote(ctx context.Context, cfg Config, orientedBase, addr string, disp *sched.Dispenser, limiter *Limiter) (*NodeResult, []tripleSeg, error) {
-	client, err := rpc.Dial("tcp", addr)
+//
+// Failure contract: a nil error with a nil (or partial) NodeResult means
+// the node was lost but the run goes on — the failure is in flog, any
+// in-flight batch is back in the dispenser with this node excluded, and
+// the batches the node completed before dying are returned and stand. A
+// non-nil error is fatal: cancellation, or a batch exhausting its retry
+// budget (with recovery disabled, MaxRetries 0, the first failure is
+// fatal, restoring the fail-fast behavior).
+func driveRemote(ctx context.Context, cfg Config, runID, orientedBase, addr string, slot int, disp *sched.Dispenser, limiter *Limiter, flog *failureLog) (*NodeResult, []tripleSeg, error) {
+	nc, hello, err := dialNode(ctx, cfg, addr)
 	if err != nil {
-		return nil, nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, cerr
+		}
+		flog.add(Failure{Addr: addr, Slot: slot, Chunk: -1, Err: err.Error()})
+		if cfg.MaxRetries <= 0 {
+			return nil, nil, err
+		}
+		return nil, nil, nil // node lost before it claimed any work
 	}
-	defer client.Close()
-
-	var hello HelloReply
-	if err := callCtx(ctx, client, "Node.Hello", &HelloArgs{}, &hello); err != nil {
-		return nil, nil, fmt.Errorf("cluster: hello %s: %w", addr, err)
-	}
+	defer nc.close()
 	nr := &NodeResult{Name: hello.Name, Addr: addr}
 
 	copyStart := time.Now()
-	sent, err := copyGraph(ctx, client, cfg, orientedBase, limiter)
+	sent, err := copyGraph(ctx, nc.client, cfg, orientedBase, limiter)
+	nr.CopyBytes = sent // even a failed copy's bytes crossed the master's uplink
 	if err != nil {
-		return nil, nil, fmt.Errorf("cluster: copy to %s: %w", addr, err)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, cerr
+		}
+		err = fmt.Errorf("cluster: copy to %s: %w", addr, err)
+		flog.add(Failure{Node: hello.Name, Addr: addr, Slot: slot, Chunk: -1, Err: err.Error()})
+		if cfg.MaxRetries <= 0 {
+			return nr, nil, err
+		}
+		return nr, nil, nil // node lost before it claimed any work
 	}
 	nr.CopyTime = time.Since(copyStart)
-	nr.CopyBytes = sent
+	// Calculation phase: long-running Counts with no per-RPC deadline —
+	// the heartbeat is the liveness signal from here on.
+	nc.watch()
 
 	calcStart := time.Now()
 	var segs []tripleSeg
@@ -502,13 +823,13 @@ func driveRemote(ctx context.Context, cfg Config, orientedBase, addr string, dis
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		start, batch := disp.NextBatch(cfg.Workers)
+		start, batch, retries := disp.NextBatch(cfg.Workers, slot)
 		if len(batch) == 0 {
 			break
 		}
 		args := &CountArgs{
 			GraphName: cfg.GraphName,
-			RunID:     fmt.Sprintf("%s#%x-%d", cfg.GraphName, runToken, runSeq.Add(1)),
+			RunID:     workID(runID, start),
 			Ranges:    batch,
 			Sched:     sched.Stealing.String(),
 			Workers:   cfg.Workers,
@@ -518,9 +839,23 @@ func driveRemote(ctx context.Context, cfg Config, orientedBase, addr string, dis
 			Kernel:    string(cfg.Kernel),
 			List:      cfg.List,
 		}
-		reply, err := countWithCancel(ctx, client, addr, args)
+		reply, err := countWithCancel(ctx, nc.client, addr, args)
 		if err != nil {
-			return nil, nil, err
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, nil, cerr
+			}
+			nr.CalcTime = time.Since(calcStart)
+			flog.add(Failure{
+				Node: hello.Name, Addr: addr, Slot: slot,
+				Chunk: start, Ranges: len(batch), Retries: retries, Err: err.Error(),
+			})
+			if retries+1 > cfg.MaxRetries {
+				return nr, segs, fmt.Errorf("cluster: chunk batch %d abandoned after %d reassignments: %w", start, retries, err)
+			}
+			// Put the batch back for the survivors — excluding this node,
+			// whose driver exits right here — and keep what it finished.
+			disp.Requeue(start, batch, retries+1, slot)
+			return nr, segs, nil
 		}
 		nr.Workers = foldWorkerStats(nr.Workers, reply.Workers)
 		nr.SourceIO = nr.SourceIO.Add(reply.SourceIO)
@@ -613,41 +948,33 @@ func callCtx(ctx context.Context, client *rpc.Client, method string, args, reply
 	}
 }
 
-// runRemote copies the graph to one client and runs its calculation phase.
-func runRemote(ctx context.Context, cfg Config, orientedBase, addr string, ranges []balance.Range, limiter *Limiter) (*NodeResult, []byte, error) {
-	client, err := rpc.Dial("tcp", addr)
+// runRemote copies the graph to one client and runs its calculation phase
+// (the static protocol's one Count per node). start is the global plan
+// index of ranges[0]; it keys the work unit's RunID so a reassigned
+// re-execution carries the same id. On a post-handshake failure the
+// returned NodeResult is non-nil alongside the error, carrying the node's
+// self-reported name (and any copy accounting) so the failure log can
+// identify the node by more than its address.
+func runRemote(ctx context.Context, cfg Config, runID, orientedBase, addr string, start int, ranges []balance.Range, limiter *Limiter) (*NodeResult, []byte, error) {
+	nc, hello, err := dialNode(ctx, cfg, addr)
 	if err != nil {
-		return nil, nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		return nil, nil, err
 	}
-	defer client.Close()
-
-	var hello HelloReply
-	if err := callCtx(ctx, client, "Node.Hello", &HelloArgs{}, &hello); err != nil {
-		return nil, nil, fmt.Errorf("cluster: hello %s: %w", addr, err)
-	}
+	defer nc.close()
 	nr := &NodeResult{Name: hello.Name, Addr: addr}
 
 	copyStart := time.Now()
-	sent, err := copyGraph(ctx, client, cfg, orientedBase, limiter)
+	sent, err := copyGraph(ctx, nc.client, cfg, orientedBase, limiter)
+	nr.CopyBytes = sent
 	if err != nil {
-		return nil, nil, fmt.Errorf("cluster: copy to %s: %w", addr, err)
+		return nr, nil, fmt.Errorf("cluster: copy to %s: %w", addr, err)
 	}
 	nr.CopyTime = time.Since(copyStart)
-	nr.CopyBytes = sent
+	nc.watch()
 
-	args := &CountArgs{
-		GraphName: cfg.GraphName,
-		RunID:     fmt.Sprintf("%s#%x-%d", cfg.GraphName, runToken, runSeq.Add(1)),
-		Ranges:    ranges,
-		MemEdges:  cfg.MemEdges,
-		BufBytes:  cfg.BufBytes,
-		Scan:      string(cfg.Scan),
-		Kernel:    string(cfg.Kernel),
-		List:      cfg.List,
-	}
-	reply, err := countWithCancel(ctx, client, addr, args)
+	reply, err := countRanges(ctx, cfg, nc, runID, start, ranges)
 	if err != nil {
-		return nil, nil, err
+		return nr, nil, &calcFailure{err: err}
 	}
 	nr.CalcTime = reply.CalcTime
 	nr.Triangles = reply.Triangles
@@ -656,10 +983,61 @@ func runRemote(ctx context.Context, cfg Config, orientedBase, addr string, range
 	return nr, reply.Triples, nil
 }
 
+// recoverRemote re-executes a lost work unit on a surviving node: the
+// survivor's replica is already in place from its own copy phase, so
+// recovery costs one dial and one Count — no graph bytes are re-sent.
+func recoverRemote(ctx context.Context, cfg Config, runID, addr string, start int, ranges []balance.Range) (*NodeResult, []byte, error) {
+	nc, hello, err := dialNode(ctx, cfg, addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer nc.close()
+	nc.watch() // straight to calculation: the replica is already in place
+	reply, err := countRanges(ctx, cfg, nc, runID, start, ranges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &NodeResult{
+		Name: hello.Name, Addr: addr,
+		CalcTime: reply.CalcTime, Triangles: reply.Triangles,
+		Workers: reply.Workers, SourceIO: reply.SourceIO,
+	}, reply.Triples, nil
+}
+
+// countRanges issues one static-mode Count for a contiguous work unit.
+func countRanges(ctx context.Context, cfg Config, nc *nodeConn, runID string, start int, ranges []balance.Range) (*CountReply, error) {
+	args := &CountArgs{
+		GraphName: cfg.GraphName,
+		RunID:     workID(runID, start),
+		Ranges:    ranges,
+		MemEdges:  cfg.MemEdges,
+		BufBytes:  cfg.BufBytes,
+		Scan:      string(cfg.Scan),
+		Kernel:    string(cfg.Kernel),
+		List:      cfg.List,
+	}
+	return countWithCancel(ctx, nc.client, nc.addr, args)
+}
+
+// callCopy is callCtx under the copy phase's per-RPC deadline: the
+// heartbeat does not run during the copy (pings would queue behind the
+// graph chunks on a slow uplink), so a wedged node mid-copy is caught by
+// its current transfer RPC missing copyTimeout instead.
+func callCopy(ctx context.Context, client *rpc.Client, method string, args, reply any) error {
+	cctx, cancel := context.WithTimeout(ctx, copyTimeout)
+	defer cancel()
+	return callCtx(cctx, client, method, args, reply)
+}
+
 // copyGraph streams the three store files to a client through the limiter,
-// checking ctx between chunks so a cancelled run stops replicating promptly.
+// checking ctx between chunks so a cancelled run stops replicating
+// promptly. Each transfer carries a fresh ownership token: if this master
+// is superseded mid-copy (a retrying master presumed us dead), the node
+// rejects our remaining chunks instead of interleaving them into the new
+// transfer's files.
 func copyGraph(ctx context.Context, client *rpc.Client, cfg Config, orientedBase string, limiter *Limiter) (int64, error) {
-	if err := callCtx(ctx, client, "Node.BeginGraph", &BeginGraphArgs{Name: cfg.GraphName}, &struct{}{}); err != nil {
+	token := fmt.Sprintf("%x-%d", runToken, runSeq.Add(1))
+	if err := callCopy(ctx, client, "Node.BeginGraph", &BeginGraphArgs{Name: cfg.GraphName, Token: token}, &struct{}{}); err != nil {
 		return 0, err
 	}
 	var sent int64
@@ -684,9 +1062,12 @@ func copyGraph(ctx context.Context, client *rpc.Client, cfg Config, orientedBase
 			}
 			k, rerr := f.Read(buf)
 			if k > 0 {
-				limiter.Wait(k)
-				chunk := ChunkArgs{Kind: file.kind, Data: buf[:k]}
-				if err := callCtx(ctx, client, "Node.GraphChunk", &chunk, &struct{}{}); err != nil {
+				if err := limiter.Wait(ctx, k); err != nil {
+					f.Close()
+					return sent, err
+				}
+				chunk := ChunkArgs{Token: token, Kind: file.kind, Data: buf[:k]}
+				if err := callCopy(ctx, client, "Node.GraphChunk", &chunk, &struct{}{}); err != nil {
 					f.Close()
 					return sent, err
 				}
@@ -699,7 +1080,7 @@ func copyGraph(ctx context.Context, client *rpc.Client, cfg Config, orientedBase
 		f.Close()
 	}
 	var end EndGraphReply
-	if err := callCtx(ctx, client, "Node.EndGraph", &EndGraphArgs{}, &end); err != nil {
+	if err := callCopy(ctx, client, "Node.EndGraph", &EndGraphArgs{Token: token}, &end); err != nil {
 		return sent, err
 	}
 	if end.BytesReceived != sent {

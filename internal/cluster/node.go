@@ -31,6 +31,7 @@ type Node struct {
 	mu       sync.Mutex
 	incoming map[FileKind]*os.File
 	curName  string
+	curToken string
 	received int64
 	// disks caches opened replica stores per graph name. The stealing
 	// master sends many small Count batches per run; without the cache
@@ -82,12 +83,18 @@ func (n *Node) Ping(args *PingArgs, reply *PingReply) error {
 	return nil
 }
 
-// BeginGraph opens the three replica files for writing.
+// BeginGraph opens the three replica files for writing. A transfer that is
+// still "in progress" when a new one begins is a transfer whose master died
+// or was partitioned mid-copy: the new transfer supersedes it — the stale
+// files are closed and removed, and the old transfer's token is
+// invalidated, so if its master turns out to be merely slow rather than
+// dead, its stale in-flight chunks are rejected (not interleaved into the
+// new files) and it fails cleanly.
 func (n *Node) BeginGraph(args *BeginGraphArgs, reply *struct{}) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.incoming != nil {
-		return fmt.Errorf("cluster: node %s: transfer already in progress", n.name)
+		n.abortLocked()
 	}
 	base := n.base(args.Name)
 	if err := os.MkdirAll(filepath.Dir(base), 0o755); err != nil {
@@ -107,7 +114,21 @@ func (n *Node) BeginGraph(args *BeginGraphArgs, reply *struct{}) error {
 		}
 		n.incoming[kind] = f
 	}
+	// The os.Create calls above truncated the replica's files, so a Disk
+	// cached against the previous copy is stale NOW — not at EndGraph. A
+	// copy that fails partway must not leave the old handle cached over
+	// the mangled files (a later Count would read new bytes through old
+	// metadata); dropping the entry here means any Count racing or
+	// following a failed transfer gets an honest open error instead, and
+	// the generation bump keeps a graph.Open that started before this
+	// point from re-poisoning the cache with its doomed handle.
+	delete(n.disks, args.Name)
+	if n.diskGen == nil {
+		n.diskGen = make(map[string]int)
+	}
+	n.diskGen[args.Name]++
 	n.curName = args.Name
+	n.curToken = args.Token
 	n.received = 0
 	return nil
 }
@@ -118,6 +139,9 @@ func (n *Node) GraphChunk(args *ChunkArgs, reply *struct{}) error {
 	defer n.mu.Unlock()
 	if n.incoming == nil {
 		return fmt.Errorf("cluster: node %s: no transfer in progress", n.name)
+	}
+	if args.Token != n.curToken {
+		return fmt.Errorf("cluster: node %s: transfer superseded", n.name)
 	}
 	f, ok := n.incoming[args.Kind]
 	if !ok {
@@ -134,6 +158,9 @@ func (n *Node) EndGraph(args *EndGraphArgs, reply *EndGraphReply) error {
 	defer n.mu.Unlock()
 	if n.incoming == nil {
 		return fmt.Errorf("cluster: node %s: no transfer in progress", n.name)
+	}
+	if args.Token != n.curToken {
+		return fmt.Errorf("cluster: node %s: transfer superseded", n.name)
 	}
 	var firstErr error
 	for _, f := range n.incoming {
@@ -196,6 +223,12 @@ func (n *Node) abortLocked() {
 // registered for cancellation: a Cancel RPC with the same id (or a server
 // shutdown) makes every runner abort within one memory window and Count
 // return the cancellation error.
+//
+// Count is idempotent: it only reads the replica, so re-executing the same
+// work unit — on this node or another — after a presumed failure produces
+// byte-identical results. The master's recovery layer leans on this: a
+// reassigned unit keeps its RunID, and at most one result per unit is ever
+// taken (a failed attempt contributes nothing).
 func (n *Node) Count(args *CountArgs, reply *CountReply) error {
 	start := time.Now()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -339,8 +372,16 @@ type Server struct {
 // Serve starts serving the node's RPCs on lis in a background goroutine and
 // returns immediately. Use Close to stop.
 func Serve(node *Node, lis net.Listener) (*Server, error) {
+	return serveRcvr(node, node, lis)
+}
+
+// serveRcvr registers rcvr as the "Node" RPC service while lifecycle
+// operations (cancellation on Close) act on node. Production callers pass
+// the node twice (via Serve); the chaos tests pass a wrapper that embeds
+// *Node and overrides individual RPCs to inject mid-run failures.
+func serveRcvr(rcvr any, node *Node, lis net.Listener) (*Server, error) {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Node", node); err != nil {
+	if err := srv.RegisterName("Node", rcvr); err != nil {
 		return nil, err
 	}
 	s := &Server{Node: node, lis: lis, rpc: srv, conns: make(map[net.Conn]struct{})}

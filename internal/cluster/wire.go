@@ -44,16 +44,27 @@ type HelloReply struct {
 type BeginGraphArgs struct {
 	// Name is the dataset name; the node stores the copy under it.
 	Name string
+	// Token identifies this transfer: the chunks and EndGraph that follow
+	// must carry it. A later BeginGraph supersedes the transfer and
+	// invalidates the token, so a superseded master (presumed dead, but
+	// possibly just slow) has its stale in-flight chunks rejected instead
+	// of interleaved into the new master's files.
+	Token string
 }
 
 // ChunkArgs carries one chunk of one store file.
 type ChunkArgs struct {
-	Kind FileKind
-	Data []byte
+	// Token must match the BeginGraph that opened the transfer.
+	Token string
+	Kind  FileKind
+	Data  []byte
 }
 
 // EndGraphArgs finalizes a transfer.
-type EndGraphArgs struct{}
+type EndGraphArgs struct {
+	// Token must match the BeginGraph that opened the transfer.
+	Token string
+}
 
 // EndGraphReply acknowledges and reports the bytes received.
 type EndGraphReply struct {
@@ -66,7 +77,11 @@ type CountArgs struct {
 	GraphName string
 	// RunID identifies this calculation for cooperative cancellation: the
 	// master may abort it mid-run with a Cancel RPC carrying the same id.
-	// Empty means the run is not cancellable remotely.
+	// Empty means the run is not cancellable remotely. The id is derived
+	// from the run and the work unit's global plan index — NOT from the
+	// attempt — so a unit reassigned after a node failure carries the same
+	// id on its new node; Count is read-only against the replica, which
+	// makes such re-execution idempotent.
 	RunID string
 	// Ranges are the node's processors' pivot responsibilities. Under the
 	// static scheduler one MGT runner is started per range; under stealing

@@ -169,6 +169,23 @@ func (l *Ledger) FoldWorker(lo, hi uint64, chunks int, st mgt.Stats) {
 	l.Stats.Wall = wall
 }
 
+// NoExclude is the exclusion sentinel for Dispenser.Requeue: the requeued
+// batch may be claimed by any node.
+const NoExclude = -1
+
+// redo is one requeued batch: a failed node's in-flight chunks, put back
+// for the surviving nodes to absorb. start preserves the batch's global
+// chunk indices, so the re-executed listing segment lands in exactly the
+// position the dead node's would have — reassignment never perturbs the
+// chunk-ordered output. exclude is the slot of the node that failed the
+// batch; NextBatch never hands the batch back to it.
+type redo struct {
+	start   int
+	chunks  []balance.Range
+	retries int
+	exclude int
+}
+
 // Dispenser hands out batches of consecutive chunks — the distributed
 // master's side of the stealing scheduler. Instead of pre-splitting the
 // global plan across nodes, the master keeps the chunk list and each node's
@@ -176,10 +193,17 @@ func (l *Ledger) FoldWorker(lo, hi uint64, chunks int, st mgt.Stats) {
 // one, so a fast node automatically absorbs the work a slow node would have
 // stalled on. Batches are consecutive runs of chunk indices, so the
 // returned start index orders each node's listing output globally.
+//
+// Requeue is the fault-tolerance half: when a node dies mid-batch its
+// driver puts the batch back (with the dead node excluded and a bumped
+// retry count) and the surviving drivers — or the master's final local
+// sweep — claim it through the same NextBatch path.
 type Dispenser struct {
-	mu     sync.Mutex
-	chunks []balance.Range
-	next   int
+	mu       sync.Mutex
+	chunks   []balance.Range
+	next     int
+	requeued []redo
+	stopped  bool
 }
 
 // NewDispenser creates a dispenser over the chunk list.
@@ -187,38 +211,88 @@ func NewDispenser(chunks []balance.Range) *Dispenser {
 	return &Dispenser{chunks: chunks}
 }
 
-// NextBatch claims up to n chunks. It returns the global index of the first
-// claimed chunk and the batch itself; an empty batch means the work is
-// drained (or the dispenser was stopped).
-func (d *Dispenser) NextBatch(n int) (start int, batch []balance.Range) {
+// NextBatch claims up to n chunks for the given node slot. Requeued batches
+// are served before fresh ones (their chunks are the run's critical path —
+// they have already been paid for once), skipping any batch that excludes
+// this node. It returns the global index of the first claimed chunk, the
+// batch itself, and how many times the batch has been reassigned; an empty
+// batch means no work is available to this node (drained, stopped, or only
+// batches this node is excluded from remain).
+func (d *Dispenser) NextBatch(n, node int) (start int, batch []balance.Range, retries int) {
 	if n < 1 {
 		n = 1
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.stopped {
+		return 0, nil, 0
+	}
+	for i, r := range d.requeued {
+		if r.exclude == node {
+			continue
+		}
+		take := len(r.chunks)
+		if take > n {
+			take = n
+		}
+		start, batch, retries = r.start, r.chunks[:take], r.retries
+		if take == len(r.chunks) {
+			d.requeued = append(d.requeued[:i], d.requeued[i+1:]...)
+		} else {
+			// Splitting a requeued batch keeps both halves contiguous, so
+			// every listing segment still has a well-defined start index.
+			d.requeued[i] = redo{start: r.start + take, chunks: r.chunks[take:], retries: r.retries, exclude: r.exclude}
+		}
+		return start, batch, retries
+	}
 	start = d.next
 	end := start + n
 	if end > len(d.chunks) {
 		end = len(d.chunks)
 	}
 	d.next = end
-	return start, d.chunks[start:end]
+	return start, d.chunks[start:end], 0
 }
 
-// Stop drains the dispenser: every later NextBatch returns an empty batch.
-// The error path — when one node's driver fails, the siblings must not
-// spend hours computing a result the master will discard; they finish
-// their in-flight batch and find the queue empty (the Dispenser analog of
-// Queue.Stop).
+// Requeue puts a failed batch back for reassignment. exclude names the node
+// slot that failed it (NoExclude to allow any node); retries is the batch's
+// new reassignment count, returned verbatim by the NextBatch that re-claims
+// it so the claimer can enforce the retry bound.
+func (d *Dispenser) Requeue(start int, chunks []balance.Range, retries, exclude int) {
+	if len(chunks) == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped {
+		return
+	}
+	d.requeued = append(d.requeued, redo{start: start, chunks: chunks, retries: retries, exclude: exclude})
+}
+
+// Stop drains the dispenser: every later NextBatch returns an empty batch
+// and pending requeued work is dropped. The fatal-error path — when a run
+// is lost, the healthy nodes must not spend hours computing a result the
+// master will discard; they finish their in-flight batch and find the
+// queue empty (the Dispenser analog of Queue.Stop).
 func (d *Dispenser) Stop() {
 	d.mu.Lock()
 	d.next = len(d.chunks)
+	d.requeued = nil
+	d.stopped = true
 	d.mu.Unlock()
 }
 
-// Remaining reports how many chunks have not been claimed yet.
+// Remaining reports how many chunks are still claimable: never-claimed
+// chunks plus requeued ones. The master checks it after every driver has
+// exited — a non-zero value means a failure requeued work after the local
+// driver drained the fresh list, and a final master-local sweep must run.
 func (d *Dispenser) Remaining() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return len(d.chunks) - d.next
+	n := len(d.chunks) - d.next
+	for _, r := range d.requeued {
+		n += len(r.chunks)
+	}
+	return n
 }

@@ -131,28 +131,89 @@ func TestDispenserBatches(t *testing.T) {
 		chunks[i] = balance.Range{Lo: uint64(i), Hi: uint64(i + 1)}
 	}
 	d := NewDispenser(chunks)
-	start, batch := d.NextBatch(4)
+	start, batch, _ := d.NextBatch(4, 0)
 	if start != 0 || len(batch) != 4 {
 		t.Fatalf("first batch start=%d len=%d", start, len(batch))
 	}
-	start, batch = d.NextBatch(4)
+	start, batch, _ = d.NextBatch(4, 1)
 	if start != 4 || len(batch) != 4 || batch[0].Lo != 4 {
 		t.Fatalf("second batch start=%d len=%d first=%+v", start, len(batch), batch[0])
 	}
 	if d.Remaining() != 2 {
 		t.Fatalf("Remaining = %d, want 2", d.Remaining())
 	}
-	start, batch = d.NextBatch(4)
+	start, batch, _ = d.NextBatch(4, 0)
 	if start != 8 || len(batch) != 2 {
 		t.Fatalf("tail batch start=%d len=%d", start, len(batch))
 	}
-	if _, batch = d.NextBatch(4); len(batch) != 0 {
+	if _, batch, _ = d.NextBatch(4, 0); len(batch) != 0 {
 		t.Fatalf("drained dispenser returned %d chunks", len(batch))
 	}
 	// n < 1 is clamped to 1, not an infinite loop.
 	d2 := NewDispenser(chunks[:1])
-	if _, b := d2.NextBatch(0); len(b) != 1 {
+	if _, b, _ := d2.NextBatch(0, 0); len(b) != 1 {
 		t.Fatalf("NextBatch(0) = %d chunks, want 1", len(b))
+	}
+}
+
+// TestDispenserRequeue covers the fault-tolerance path: a requeued batch is
+// served before fresh chunks, carries its retry count, keeps its global
+// start index, never returns to the node that failed it, and splits
+// contiguously when the claimer asks for fewer chunks.
+func TestDispenserRequeue(t *testing.T) {
+	chunks := make([]balance.Range, 12)
+	for i := range chunks {
+		chunks[i] = balance.Range{Lo: uint64(i), Hi: uint64(i + 1)}
+	}
+	d := NewDispenser(chunks)
+	start, batch, _ := d.NextBatch(4, 2)
+	if start != 0 || len(batch) != 4 {
+		t.Fatalf("first batch start=%d len=%d", start, len(batch))
+	}
+	// Node 2 dies holding [0,4); its driver puts the batch back.
+	d.Requeue(start, batch, 1, 2)
+	if d.Remaining() != 12 {
+		t.Fatalf("Remaining = %d after requeue, want 12", d.Remaining())
+	}
+	// The failed node itself is excluded: it gets fresh chunks instead.
+	if s, b, r := d.NextBatch(4, 2); s != 4 || len(b) != 4 || r != 0 {
+		t.Fatalf("excluded node got start=%d len=%d retries=%d, want fresh 4..8", s, len(b), r)
+	}
+	// Another node claims the requeued batch first (split: only 3 wanted).
+	s, b, r := d.NextBatch(3, 0)
+	if s != 0 || len(b) != 3 || r != 1 || b[0].Lo != 0 {
+		t.Fatalf("requeued claim start=%d len=%d retries=%d first=%+v", s, len(b), r, b[0])
+	}
+	// The remainder of the split keeps its global index and retry count.
+	s, b, r = d.NextBatch(3, 1)
+	if s != 3 || len(b) != 1 || r != 1 || b[0].Lo != 3 {
+		t.Fatalf("split remainder start=%d len=%d retries=%d", s, len(b), r)
+	}
+	// Back to fresh chunks.
+	if s, b, r := d.NextBatch(4, 0); s != 8 || len(b) != 4 || r != 0 {
+		t.Fatalf("fresh after requeue drained: start=%d len=%d retries=%d", s, len(b), r)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d at end, want 0", d.Remaining())
+	}
+	// Requeue after everything else drained: Remaining reflects it and the
+	// master's NoExclude sweep can claim it.
+	d.Requeue(8, chunks[8:12], 2, 3)
+	if d.Remaining() != 4 {
+		t.Fatalf("Remaining = %d, want 4", d.Remaining())
+	}
+	if s, b, r := d.NextBatch(8, NoExclude); s != 8 || len(b) != 4 || r != 2 {
+		t.Fatalf("sweep claim start=%d len=%d retries=%d", s, len(b), r)
+	}
+	// Stop drops requeued work too.
+	d.Requeue(0, chunks[:2], 1, NoExclude)
+	d.Stop()
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after Stop", d.Remaining())
+	}
+	d.Requeue(0, chunks[:2], 1, NoExclude)
+	if _, b, _ := d.NextBatch(2, 0); len(b) != 0 {
+		t.Fatalf("stopped dispenser accepted a requeue and served %d chunks", len(b))
 	}
 }
 
@@ -167,10 +228,10 @@ func TestDispenserConcurrent(t *testing.T) {
 	var wg sync.WaitGroup
 	for w := 0; w < 6; w++ {
 		wg.Add(1)
-		go func() {
+		go func(node int) {
 			defer wg.Done()
 			for {
-				start, batch := d.NextBatch(7)
+				start, batch, _ := d.NextBatch(7, node)
 				if len(batch) == 0 {
 					return
 				}
@@ -183,7 +244,7 @@ func TestDispenserConcurrent(t *testing.T) {
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if len(claimed) != n {
@@ -193,11 +254,11 @@ func TestDispenserConcurrent(t *testing.T) {
 
 func TestDispenserStop(t *testing.T) {
 	d := NewDispenser(make([]balance.Range, 10))
-	if _, b := d.NextBatch(2); len(b) != 2 {
+	if _, b, _ := d.NextBatch(2, 0); len(b) != 2 {
 		t.Fatalf("first batch len %d", len(b))
 	}
 	d.Stop()
-	if _, b := d.NextBatch(2); len(b) != 0 {
+	if _, b, _ := d.NextBatch(2, 0); len(b) != 0 {
 		t.Fatalf("stopped dispenser handed out %d chunks", len(b))
 	}
 	if d.Remaining() != 0 {

@@ -34,6 +34,11 @@ type Metrics struct {
 	Registered atomic.Uint64
 	Evicted    atomic.Uint64
 
+	// Distributed runs: worker failures the cluster layer detected and
+	// recovered from (the run still produced an exact result). A steadily
+	// climbing value means a flaky worker is being carried by its peers.
+	ClusterNodeFailures atomic.Uint64
+
 	// Engine I/O attributed to runs the service executed: the scan
 	// source's own reads (shared broadcasts, mem preloads) and the
 	// per-worker window reads. A cache hit adds exactly zero to both.
@@ -45,19 +50,20 @@ type Metrics struct {
 // sorted so the output is diff-stable.
 func (m *Metrics) snapshot(gauges map[string]int64) []string {
 	vals := map[string]int64{
-		"pdtl_runs_started":      int64(m.RunsStarted.Load()),
-		"pdtl_runs_completed":    int64(m.RunsCompleted.Load()),
-		"pdtl_runs_failed":       int64(m.RunsFailed.Load()),
-		"pdtl_runs_shared":       int64(m.RunsShared.Load()),
-		"pdtl_cache_hits":        int64(m.CacheHits.Load()),
-		"pdtl_cache_misses":      int64(m.CacheMisses.Load()),
-		"pdtl_streams_started":   int64(m.StreamsStarted.Load()),
-		"pdtl_streams_broken":    int64(m.StreamsBroken.Load()),
-		"pdtl_triangles_sent":    int64(m.TrianglesSent.Load()),
-		"pdtl_graphs_registered": int64(m.Registered.Load()),
-		"pdtl_graphs_evicted":    int64(m.Evicted.Load()),
-		"pdtl_source_bytes_read": m.SourceBytesRead.Load(),
-		"pdtl_worker_bytes_read": m.WorkerBytesRead.Load(),
+		"pdtl_runs_started":          int64(m.RunsStarted.Load()),
+		"pdtl_runs_completed":        int64(m.RunsCompleted.Load()),
+		"pdtl_runs_failed":           int64(m.RunsFailed.Load()),
+		"pdtl_runs_shared":           int64(m.RunsShared.Load()),
+		"pdtl_cache_hits":            int64(m.CacheHits.Load()),
+		"pdtl_cache_misses":          int64(m.CacheMisses.Load()),
+		"pdtl_streams_started":       int64(m.StreamsStarted.Load()),
+		"pdtl_streams_broken":        int64(m.StreamsBroken.Load()),
+		"pdtl_triangles_sent":        int64(m.TrianglesSent.Load()),
+		"pdtl_graphs_registered":     int64(m.Registered.Load()),
+		"pdtl_graphs_evicted":        int64(m.Evicted.Load()),
+		"pdtl_cluster_node_failures": int64(m.ClusterNodeFailures.Load()),
+		"pdtl_source_bytes_read":     m.SourceBytesRead.Load(),
+		"pdtl_worker_bytes_read":     m.WorkerBytesRead.Load(),
 	}
 	for k, v := range gauges {
 		vals[k] = v

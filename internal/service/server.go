@@ -296,6 +296,20 @@ type countResponse struct {
 	Distributed     bool   `json:"distributed,omitempty"`
 	Nodes           int    `json:"nodes,omitempty"`
 	NetworkBytes    int64  `json:"network_bytes,omitempty"`
+	// Failures surfaces the cluster fault-tolerance layer's per-run
+	// failure log: worker failures the run detected and recovered from.
+	// The count is exact regardless — a non-empty list only means the run
+	// completed degraded (DESIGN.md §9).
+	Failures []nodeFailureJSON `json:"failures,omitempty"`
+}
+
+// nodeFailureJSON is pdtl.NodeFailure shaped for the HTTP API.
+type nodeFailureJSON struct {
+	Node    string `json:"node,omitempty"`
+	Addr    string `json:"addr"`
+	Chunk   int    `json:"chunk"`
+	Retries int    `json:"retries"`
+	Error   string `json:"error"`
 }
 
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
@@ -388,6 +402,13 @@ func (s *Server) countDistributed(ctx context.Context, w http.ResponseWriter, e 
 			src += n.SourceBytesRead
 		}
 		s.met.SourceBytesRead.Add(src)
+		s.met.ClusterNodeFailures.Add(uint64(len(res.Failures)))
+	}
+	var failures []nodeFailureJSON
+	for _, f := range res.Failures {
+		failures = append(failures, nodeFailureJSON{
+			Node: f.Node, Addr: f.Addr, Chunk: f.Chunk, Retries: f.Retries, Error: f.Err,
+		})
 	}
 	writeJSON(w, http.StatusOK, countResponse{
 		Graph:        e.Name(),
@@ -400,6 +421,7 @@ func (s *Server) countDistributed(ctx context.Context, w http.ResponseWriter, e 
 		Distributed:  true,
 		Nodes:        len(res.Nodes),
 		NetworkBytes: res.NetworkBytes,
+		Failures:     failures,
 	})
 }
 
