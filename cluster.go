@@ -11,6 +11,7 @@ import (
 	"pdtl/internal/balance"
 	"pdtl/internal/cluster"
 	"pdtl/internal/core"
+	"pdtl/internal/graph"
 	"pdtl/internal/scan"
 	"pdtl/internal/sched"
 )
@@ -55,6 +56,11 @@ type ClusterOptions struct {
 	// heartbeats the worker is declared dead and its work reassigned.
 	// Zero selects the default (2s); negative disables the heartbeat.
 	HeartbeatInterval time.Duration
+	// StoreFormat selects the on-disk encoding of the oriented store the
+	// master builds and replicates when the input is unoriented: "plain" (or
+	// empty) or "compressed" (see Options.StoreFormat). An already-oriented
+	// input is replicated in the format it is in.
+	StoreFormat string
 	// List requests triangle listing into ListPath (12-byte triples).
 	List     bool
 	ListPath string
@@ -98,9 +104,16 @@ func (o ClusterOptions) Key(workerAddrs []string) (string, error) {
 	if mode == sched.Stealing {
 		chunks = sched.ChunksFor(workers, o.Chunks)
 	}
-	key := fmt.Sprintf("nodes=%s w%d m%d %s %s %s %s c%d",
+	format, err := graph.ParseFormat(o.StoreFormat)
+	if err != nil {
+		return "", err
+	}
+	if format == "" {
+		format = graph.FormatPlain
+	}
+	key := fmt.Sprintf("nodes=%s w%d m%d %s %s %s %s c%d %s",
 		strings.Join(workerAddrs, ","), workers, mem, strategy, mode,
-		scanKind.Resolve(workers), kernelKind, chunks)
+		scanKind.Resolve(workers), kernelKind, chunks, format)
 	if o.List {
 		key += " list=" + o.ListPath
 	}
@@ -211,13 +224,17 @@ func (g *Graph) CountDistributed(ctx context.Context, workerAddrs []string, opt 
 	if err != nil {
 		return nil, err
 	}
+	format, err := graph.ParseFormat(opt.StoreFormat)
+	if err != nil {
+		return nil, err
+	}
 	g.runs.Add(1)
 	start := time.Now()
 	orientWorkers := opt.Workers
 	if orientWorkers <= 0 {
 		orientWorkers = 1
 	}
-	d, orientedBase, ores, err := g.ensureOriented(ctx, orientWorkers)
+	d, orientedBase, ores, err := g.ensureOriented(ctx, orientWorkers, format)
 	if err != nil {
 		return nil, err
 	}

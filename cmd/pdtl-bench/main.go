@@ -26,6 +26,7 @@ import (
 	"strings"
 	"syscall"
 
+	"pdtl/internal/graph"
 	"pdtl/internal/harness"
 	"pdtl/internal/scan"
 	"pdtl/internal/sched"
@@ -39,10 +40,12 @@ func main() {
 	scanSource := flag.String("scan", "",
 		"override the scan source for every experiment: auto, buffered, shared, or mem")
 	kernel := flag.String("kernel", "",
-		"override the intersection kernel for every experiment: merge, gallop, or adaptive")
+		"override the intersection kernel for every experiment: merge, gallop, adaptive, compressed, or cover")
 	schedMode := flag.String("sched", "",
 		"override the chunk scheduler for every experiment: static or stealing")
 	chunks := flag.Int("chunks", 0, "chunks per worker for the stealing scheduler (default 8)")
+	store := flag.String("store", "",
+		"override the oriented-store encoding for every experiment: plain or compressed")
 	jsonOut := flag.Bool("json", false,
 		"emit machine-readable per-run results (JSON) instead of the experiment tables")
 	baselineOut := flag.Bool("baseline", false,
@@ -78,6 +81,10 @@ func main() {
 		os.Exit(2)
 	}
 	if h.Sched, err = sched.ParseMode(*schedMode); err != nil {
+		fmt.Fprintln(os.Stderr, "pdtl-bench:", err)
+		os.Exit(2)
+	}
+	if h.StoreFormat, err = graph.ParseFormat(*store); err != nil {
 		fmt.Fprintln(os.Stderr, "pdtl-bench:", err)
 		os.Exit(2)
 	}

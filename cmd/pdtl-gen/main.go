@@ -3,11 +3,17 @@
 //
 // Usage:
 //
-//	pdtl-gen rmat      -out BASE -scale 16 -edgefactor 16 [-seed S]
-//	pdtl-gen er        -out BASE -n 100000 -m 1000000 [-seed S]
-//	pdtl-gen complete  -out BASE -n 1000
-//	pdtl-gen from-text -out BASE -in edges.txt [-name NAME]
-//	pdtl-gen from-bin  -out BASE -in edges.bin [-name NAME] [-mem EDGES]
+//	pdtl-gen rmat      -out BASE -scale 16 -edgefactor 16 [-seed S] [-format F]
+//	pdtl-gen er        -out BASE -n 100000 -m 1000000 [-seed S] [-format F]
+//	pdtl-gen complete  -out BASE -n 1000 [-format F]
+//	pdtl-gen from-text -out BASE -in edges.txt [-name NAME] [-format F]
+//	pdtl-gen from-bin  -out BASE -in edges.bin [-name NAME] [-mem EDGES] [-format F]
+//	pdtl-gen convert   -in BASE -out BASE2 -format plain|compressed
+//
+// Every subcommand takes -format plain|compressed to pick the store's
+// adjacency encoding (default plain; compressed is the delta-varint/bitmap
+// segment layout). convert re-encodes an existing store — in place when
+// -out is omitted or equals -in.
 //
 // from-bin ingests binary uint32-pair edge files through the
 // external-memory pipeline (mirror, external sort, dedup scan), so inputs
@@ -43,8 +49,9 @@ func main() {
 		scale := fs.Uint("scale", 16, "log2 of the vertex count")
 		ef := fs.Int("edgefactor", 16, "edge samples per vertex")
 		seed := fs.Int64("seed", 1, "random seed")
+		format := formatFlag(fs)
 		fs.Parse(os.Args[2:])
-		info, err = generate(*out, func() (pdtl.GraphInfo, error) {
+		info, err = generate(*out, *format, func() (pdtl.GraphInfo, error) {
 			return pdtl.GenerateRMAT(*out, *scale, *ef, *seed)
 		})
 	case "er":
@@ -53,16 +60,18 @@ func main() {
 		n := fs.Int("n", 1000, "vertex count")
 		m := fs.Int("m", 10000, "edge samples")
 		seed := fs.Int64("seed", 1, "random seed")
+		format := formatFlag(fs)
 		fs.Parse(os.Args[2:])
-		info, err = generate(*out, func() (pdtl.GraphInfo, error) {
+		info, err = generate(*out, *format, func() (pdtl.GraphInfo, error) {
 			return pdtl.GenerateErdosRenyi(*out, *n, *m, *seed)
 		})
 	case "complete":
 		fs := flag.NewFlagSet("complete", flag.ExitOnError)
 		out := fs.String("out", "", "output store base path")
 		n := fs.Int("n", 100, "vertex count")
+		format := formatFlag(fs)
 		fs.Parse(os.Args[2:])
-		info, err = generate(*out, func() (pdtl.GraphInfo, error) {
+		info, err = generate(*out, *format, func() (pdtl.GraphInfo, error) {
 			return pdtl.GenerateComplete(*out, *n)
 		})
 	case "from-text":
@@ -70,14 +79,19 @@ func main() {
 		out := fs.String("out", "", "output store base path")
 		in := fs.String("in", "", "input text edge list")
 		name := fs.String("name", "imported", "dataset name")
+		format := formatFlag(fs)
 		fs.Parse(os.Args[2:])
 		info, err = importText(*out, *in, *name)
+		if err == nil {
+			info, err = reencode(*out, *format)
+		}
 	case "from-bin":
 		fs := flag.NewFlagSet("from-bin", flag.ExitOnError)
 		out := fs.String("out", "", "output store base path")
 		in := fs.String("in", "", "input binary edge file (uint32 pairs)")
 		name := fs.String("name", "imported", "dataset name")
 		mem := fs.Int("mem", 1<<22, "in-memory edges for external sorting")
+		format := formatFlag(fs)
 		fs.Parse(os.Args[2:])
 		if *out == "" || *in == "" {
 			err = fmt.Errorf("-out and -in are required")
@@ -88,8 +102,26 @@ func main() {
 			// uninterruptible (the default signal behavior — immediate
 			// exit — is right for them).
 			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-			info, err = pdtl.ImportEdgeFileBinaryContext(ctx, *in, *out, *name, *mem)
+			info, err = pdtl.ImportEdgeFileBinaryFormat(ctx, *in, *out, *name, *mem, *format)
 			stop()
+		}
+	case "convert":
+		fs := flag.NewFlagSet("convert", flag.ExitOnError)
+		in := fs.String("in", "", "input store base path")
+		out := fs.String("out", "", "output store base path (default: convert in place)")
+		format := fs.String("format", "", "target store format: plain or compressed (required)")
+		fs.Parse(os.Args[2:])
+		switch {
+		case *in == "":
+			err = fmt.Errorf("-in is required")
+		case *format == "":
+			err = fmt.Errorf("-format is required")
+		default:
+			dst := *out
+			if dst == "" {
+				dst = *in
+			}
+			info, err = pdtl.ConvertStoreFormat(*in, dst, *format)
 		}
 	default:
 		usage()
@@ -109,18 +141,37 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  pdtl-gen rmat      -out BASE -scale S -edgefactor F [-seed SEED]
-  pdtl-gen er        -out BASE -n N -m M [-seed SEED]
-  pdtl-gen complete  -out BASE -n N
-  pdtl-gen from-text -out BASE -in edges.txt [-name NAME]
-  pdtl-gen from-bin  -out BASE -in edges.bin [-name NAME] [-mem EDGES]`)
+  pdtl-gen rmat      -out BASE -scale S -edgefactor F [-seed SEED] [-format F]
+  pdtl-gen er        -out BASE -n N -m M [-seed SEED] [-format F]
+  pdtl-gen complete  -out BASE -n N [-format F]
+  pdtl-gen from-text -out BASE -in edges.txt [-name NAME] [-format F]
+  pdtl-gen from-bin  -out BASE -in edges.bin [-name NAME] [-mem EDGES] [-format F]
+  pdtl-gen convert   -in BASE [-out BASE2] -format plain|compressed
+-format F is plain (default) or compressed (delta-varint/bitmap segments)`)
 }
 
-func generate(out string, fn func() (pdtl.GraphInfo, error)) (pdtl.GraphInfo, error) {
+func formatFlag(fs *flag.FlagSet) *string {
+	return fs.String("format", "plain", "store format: plain or compressed")
+}
+
+func generate(out, format string, fn func() (pdtl.GraphInfo, error)) (pdtl.GraphInfo, error) {
 	if out == "" {
 		return pdtl.GraphInfo{}, fmt.Errorf("-out is required")
 	}
-	return fn()
+	info, err := fn()
+	if err != nil {
+		return info, err
+	}
+	return reencode(out, format)
+}
+
+// reencode converts a freshly written plain store in place when a
+// non-plain format was requested.
+func reencode(base, format string) (pdtl.GraphInfo, error) {
+	if format == "" || format == "plain" {
+		return pdtl.Info(base)
+	}
+	return pdtl.ConvertStoreFormat(base, base, format)
 }
 
 func importText(out, in, name string) (pdtl.GraphInfo, error) {

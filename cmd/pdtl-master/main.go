@@ -41,7 +41,10 @@ func main() {
 	naive := flag.Bool("naive-balance", false, "disable in-degree load balancing")
 	scanSource := flag.String("scan", "auto",
 		"per-node scan source: auto (shared when workers > 1), buffered, shared, or mem")
-	kernel := flag.String("kernel", "merge", "intersection kernel: merge, gallop, or adaptive")
+	kernel := flag.String("kernel", "merge",
+		"intersection kernel: merge, gallop, adaptive, compressed, or cover")
+	store := flag.String("store", "",
+		"oriented-store encoding built and replicated to workers: plain or compressed (default plain; already-oriented input is replicated as-is)")
 	schedMode := flag.String("sched", "static",
 		"chunk scheduler: static (pre-split plan, the paper's) or stealing (master dispenses chunk batches on demand)")
 	chunks := flag.Int("chunks", 0, "chunks per processor for -sched stealing (default 8)")
@@ -75,6 +78,7 @@ func main() {
 		UplinkBytesPerSec: *uplink,
 		ScanSource:        *scanSource,
 		Kernel:            *kernel,
+		StoreFormat:       *store,
 		Sched:             *schedMode,
 		Chunks:            *chunks,
 		MaxRetries:        *maxRetries,

@@ -18,7 +18,7 @@
 //	GET    /v1/graphs/{name}               one graph's status
 //	DELETE /v1/graphs/{name}               evict (close) a graph
 //	GET    /v1/graphs/{name}/count        exact count (?workers= &mem=
-//	                                       &sched= &scan= &kernel= &naive=
+//	                                       &sched= &scan= &kernel= &store= &naive=
 //	                                       &timeout= &distributed=)
 //	GET    /v1/graphs/{name}/triangles    NDJSON stream (?limit=)
 //	GET    /v1/graphs/{name}/degrees      per-vertex triangle counts (?top=)

@@ -59,11 +59,13 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pdtl count -graph BASE [-workers P] [-mem ENTRIES] [-naive-balance]
-             [-scan auto|buffered|shared|mem] [-kernel merge|gallop|adaptive]
-             [-sched static|stealing] [-chunks K]
+             [-scan auto|buffered|shared|mem]
+             [-kernel merge|gallop|adaptive|compressed|cover]
+             [-sched static|stealing] [-chunks K] [-store plain|compressed]
   pdtl list  -graph BASE -out FILE [-workers P] [-mem ENTRIES]
-             [-scan auto|buffered|shared|mem] [-kernel merge|gallop|adaptive]
-             [-sched static|stealing] [-chunks K]
+             [-scan auto|buffered|shared|mem]
+             [-kernel merge|gallop|adaptive|compressed|cover]
+             [-sched static|stealing] [-chunks K] [-store plain|compressed]
   pdtl info  -graph BASE`)
 }
 
@@ -76,11 +78,13 @@ func commonFlags(fs *flag.FlagSet) (graphBase *string, opt *pdtl.Options) {
 	fs.StringVar(&opt.ScanSource, "scan", "auto",
 		"scan source: auto (shared when workers > 1), buffered, shared, or mem")
 	fs.StringVar(&opt.Kernel, "kernel", "merge",
-		"intersection kernel: merge, gallop, or adaptive")
+		"intersection kernel: merge, gallop, adaptive, compressed (block-skipping), or cover")
 	fs.StringVar(&opt.Sched, "sched", "static",
 		"chunk scheduler: static (one range per worker, the paper's) or stealing (dynamic chunk queue)")
 	fs.IntVar(&opt.Chunks, "chunks", 0,
 		"chunks per worker for -sched stealing (default 8)")
+	fs.StringVar(&opt.StoreFormat, "store", "plain",
+		"oriented-store format when orienting: plain or compressed")
 	return graphBase, opt
 }
 

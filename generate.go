@@ -3,6 +3,7 @@ package pdtl
 import (
 	"context"
 	"io"
+	"os"
 
 	"pdtl/internal/extsort"
 	"pdtl/internal/gen"
@@ -144,6 +145,34 @@ func GenerateTriGrid(base string, w, h int) (GraphInfo, error) {
 	return writeStore(base, "trigrid", g)
 }
 
+// ConvertStoreFormat re-encodes the store at src into dst with the named
+// adjacency format ("plain" or "compressed"); the logical graph — and
+// therefore every triangle listing over it — is unchanged. src and dst may
+// be equal: the two encodings live in different files (.adj vs
+// .cadj/.cidx), so an in-place conversion writes the new encoding next to
+// the old one and then removes the stale files.
+func ConvertStoreFormat(src, dst, format string) (GraphInfo, error) {
+	f, err := graph.ParseFormat(format)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	if err := graph.ConvertStore(src, dst, f); err != nil {
+		return GraphInfo{}, err
+	}
+	if src == dst {
+		stale := []string{graph.CAdjPath(src), graph.CIdxPath(src)}
+		if f == graph.FormatCompressed {
+			stale = []string{graph.AdjPath(src)}
+		}
+		for _, p := range stale {
+			if err := os.Remove(p); err != nil {
+				return GraphInfo{}, err
+			}
+		}
+	}
+	return Info(dst)
+}
+
 // Degrees reads the per-vertex degree array of the store at base (degrees
 // of G for undirected stores, out-degrees of G* for oriented ones).
 func Degrees(base string) ([]uint32, error) {
@@ -184,7 +213,19 @@ func ImportEdgeFileBinary(edgeFile, base, name string, memEdges int) (GraphInfo,
 // pdtl-gen can wire SIGINT/SIGTERM to it. Intermediate files are cleaned
 // up; a partially written store at base may remain.
 func ImportEdgeFileBinaryContext(ctx context.Context, edgeFile, base, name string, memEdges int) (GraphInfo, error) {
-	if err := extsort.BuildStore(ctx, edgeFile, base, name, memEdges, nil); err != nil {
+	return ImportEdgeFileBinaryFormat(ctx, edgeFile, base, name, memEdges, "")
+}
+
+// ImportEdgeFileBinaryFormat is ImportEdgeFileBinaryContext with a chosen
+// store format ("plain", "compressed", or "" for plain): a compressed
+// ingest segment-encodes each adjacency list as it streams off the final
+// sorted run, so the pipeline's memory bound is unchanged.
+func ImportEdgeFileBinaryFormat(ctx context.Context, edgeFile, base, name string, memEdges int, format string) (GraphInfo, error) {
+	f, err := graph.ParseFormat(format)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	if err := extsort.BuildStoreFormat(ctx, edgeFile, base, name, memEdges, f, nil); err != nil {
 		return GraphInfo{}, err
 	}
 	return Info(base)

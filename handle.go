@@ -49,6 +49,13 @@ type planKey struct {
 	strategy balance.Strategy
 }
 
+// ordEntry is one cached orientation: the opened oriented store and its base
+// path.
+type ordEntry struct {
+	d    *graph.Disk
+	base string
+}
+
 // Graph is an open handle on a graph store. It is safe for concurrent use;
 // runs on the same handle share the cached orientation, degree index, and
 // load-balance plans. A handle holds no open file descriptors between runs
@@ -60,22 +67,25 @@ type Graph struct {
 
 	mu     sync.Mutex
 	closed bool
-	// src is the store as opened; ord is its orientation (the same *Disk
-	// when the store was already oriented). ord is nil until the first run
-	// orients — the one-time preprocessing every later run reuses.
+	// src is the store as opened; ords caches one orientation per requested
+	// store format (empty until the first run orients — the one-time
+	// preprocessing every later run reuses). An already-oriented input
+	// short-circuits every format to src: the calculation phase is
+	// format-agnostic, so the store is used in whatever encoding it is in.
 	src          *graph.Disk
-	ord          *graph.Disk
-	orientedBase string
+	preOriented  bool
+	ords         map[graph.Format]ordEntry
+	orientedBase string // first orientation's base, for OrientedBase()
 	inDeg        []uint32
 	plans        map[planKey]balance.Plan
 	csr          *graph.CSR
-	// orienting / csrLoading are non-nil (and closed on completion) while
-	// one caller performs the orientation or the whole-graph CSR load. The
-	// work happens outside mu, so Close, Info accessors, and concurrent
-	// runs stay responsive during the potentially long reads, and waiters
-	// can still honor their contexts (orientation) or block only on the
-	// load itself (CSR).
-	orienting  chan struct{}
+	// orienting / csrLoading entries are non-nil (and closed on completion)
+	// while one caller performs the orientation for that format or the
+	// whole-graph CSR load. The work happens outside mu, so Close, Info
+	// accessors, and concurrent runs stay responsive during the potentially
+	// long reads, and waiters can still honor their contexts (orientation)
+	// or block only on the load itself (CSR).
+	orienting  map[graph.Format]chan struct{}
 	csrLoading chan struct{}
 
 	// runs counts the engine calculations started on this handle (local
@@ -103,13 +113,15 @@ func Open(base string) (*Graph, error) {
 		return nil, err
 	}
 	g := &Graph{
-		base:  base,
-		info:  infoFrom(d),
-		src:   d,
-		plans: make(map[planKey]balance.Plan),
+		base:      base,
+		info:      infoFrom(d),
+		src:       d,
+		ords:      make(map[graph.Format]ordEntry),
+		orienting: make(map[graph.Format]chan struct{}),
+		plans:     make(map[planKey]balance.Plan),
 	}
 	if d.Meta.Oriented {
-		g.ord = d
+		g.preOriented = true
 		g.orientedBase = base
 	}
 	return g, nil
@@ -139,33 +151,41 @@ func (g *Graph) OrientedBase() string {
 	return g.orientedBase
 }
 
-// ensureOriented returns the oriented store, orienting the graph on first
-// use. The returned *orient.Result is non-nil exactly when this call
-// performed the orientation — the run that triggered preprocessing is the
-// one that reports its cost. Only one orientation runs at a time; it runs
-// outside the handle mutex, and a concurrent run waiting for it returns
-// ctx.Err() if its context fires first (the orientation itself is not
-// interrupted — it completes and is cached for the next caller).
-func (g *Graph) ensureOriented(ctx context.Context, workers int) (*graph.Disk, string, *orient.Result, error) {
+// ensureOriented returns the oriented store in the requested format,
+// orienting the graph on first use of that format. An input that was already
+// oriented satisfies every requested format as-is (the calculation phase is
+// format-agnostic). The returned *orient.Result is non-nil exactly when this
+// call performed the orientation — the run that triggered preprocessing is
+// the one that reports its cost. Only one orientation per format runs at a
+// time; it runs outside the handle mutex, and a concurrent run waiting for
+// it returns ctx.Err() if its context fires first (the orientation itself is
+// not interrupted — it completes and is cached for the next caller).
+func (g *Graph) ensureOriented(ctx context.Context, workers int, format graph.Format) (*graph.Disk, string, *orient.Result, error) {
+	if format == "" {
+		format = graph.FormatPlain
+	}
 	for {
 		g.mu.Lock()
 		if g.closed {
 			g.mu.Unlock()
 			return nil, "", nil, ErrClosed
 		}
-		if g.ord != nil {
-			d, base := g.ord, g.orientedBase
+		if g.preOriented {
+			d := g.src
 			g.mu.Unlock()
-			return d, base, nil, nil
+			return d, g.base, nil, nil
+		}
+		if e, ok := g.ords[format]; ok {
+			g.mu.Unlock()
+			return e.d, e.base, nil, nil
 		}
 		if err := ctx.Err(); err != nil {
 			g.mu.Unlock()
 			return nil, "", nil, err
 		}
-		if g.orienting != nil {
-			// Another run is orienting; wait for it (or our context) and
-			// re-check.
-			wait := g.orienting
+		if wait := g.orienting[format]; wait != nil {
+			// Another run is orienting this format; wait for it (or our
+			// context) and re-check.
 			g.mu.Unlock()
 			select {
 			case <-wait:
@@ -175,24 +195,32 @@ func (g *Graph) ensureOriented(ctx context.Context, workers int) (*graph.Disk, s
 			continue
 		}
 		done := make(chan struct{})
-		g.orienting = done
+		g.orienting[format] = done
 		g.mu.Unlock()
 
 		orientedBase := g.base + ".oriented"
-		ores, err := orient.Orient(g.base, orientedBase, workers)
+		if format != graph.FormatPlain {
+			orientedBase = g.base + ".oriented-" + string(format)
+		}
+		ores, err := orient.OrientFormat(g.base, orientedBase, workers, format)
 		var d *graph.Disk
 		if err == nil {
 			d, err = graph.Open(orientedBase)
 		}
 		g.mu.Lock()
-		g.orienting = nil
+		delete(g.orienting, format)
 		if err == nil {
-			g.ord = d
-			g.orientedBase = orientedBase
+			g.ords[format] = ordEntry{d: d, base: orientedBase}
+			if g.orientedBase == "" {
+				g.orientedBase = orientedBase
+			}
 			// The orientation already produced the in-degree array the
 			// load balancer needs; caching it here means no later run
-			// touches the in-degree file at all.
-			g.inDeg = ores.InDegrees
+			// touches the in-degree file at all. (Both formats orient to
+			// the identical logical graph, so the array is shared.)
+			if g.inDeg == nil {
+				g.inDeg = ores.InDegrees
+			}
 		}
 		g.mu.Unlock()
 		close(done)
@@ -204,22 +232,25 @@ func (g *Graph) ensureOriented(ctx context.Context, workers int) (*graph.Disk, s
 }
 
 // planCached returns the load-balance plan for (workers, strategy),
-// computing it at most once per handle. The in-degree array is read from
-// the store only if orientation did not happen on this handle (an
-// already-oriented store), and then only once. No closed check here: a run
-// checks the handle once, at ensureOriented — Close only gates runs that
-// have not started, never one already in flight.
-func (g *Graph) planCached(workers int, strategy balance.Strategy) (balance.Plan, error) {
+// computing it at most once per handle. d/orientedBase are the oriented
+// store the caller got from ensureOriented: the plan depends only on the
+// logical oriented graph — identical across store formats — so one cache
+// entry serves every format. The in-degree array is read from the store only
+// if orientation did not happen on this handle (an already-oriented store),
+// and then only once. No closed check here: a run checks the handle once, at
+// ensureOriented — Close only gates runs that have not started, never one
+// already in flight.
+func (g *Graph) planCached(d *graph.Disk, orientedBase string, workers int, strategy balance.Strategy) (balance.Plan, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	key := planKey{workers: workers, strategy: strategy}
 	if p, ok := g.plans[key]; ok {
 		return p, nil
 	}
-	in := balance.Inputs{Offsets: g.ord.Offsets, OutDeg: g.ord.Degrees}
+	in := balance.Inputs{Offsets: d.Offsets, OutDeg: d.Degrees}
 	if strategy == balance.InDegree || strategy == balance.Cost {
 		if g.inDeg == nil {
-			inDeg, err := orient.LoadInDegrees(g.orientedBase, g.ord.NumVertices())
+			inDeg, err := orient.LoadInDegrees(orientedBase, d.NumVertices())
 			if err != nil {
 				return balance.Plan{}, fmt.Errorf("pdtl: load balancing needs the in-degree file: %w", err)
 			}
@@ -228,7 +259,7 @@ func (g *Graph) planCached(workers int, strategy balance.Strategy) (balance.Plan
 		in.InDeg = g.inDeg
 	}
 	if strategy == balance.Cost {
-		costs, err := balance.ConeCosts(g.ord)
+		costs, err := balance.ConeCosts(d)
 		if err != nil {
 			return balance.Plan{}, fmt.Errorf("pdtl: cost balancing scan: %w", err)
 		}
@@ -290,7 +321,7 @@ func (g *Graph) run(ctx context.Context, opt Options, sinks []mgt.Sink) (*Result
 
 	g.runs.Add(1)
 	start := time.Now()
-	d, orientedBase, ores, err := g.ensureOriented(ctx, workers)
+	d, orientedBase, ores, err := g.ensureOriented(ctx, workers, copt.Store)
 	if err != nil {
 		return nil, err
 	}
@@ -300,7 +331,7 @@ func (g *Graph) run(ctx context.Context, opt Options, sinks []mgt.Sink) (*Result
 	if copt.Sched == sched.Stealing {
 		// The chunked plan is a plain k-way split with k = K·P, so the
 		// per-(workers,strategy) plan cache applies unchanged.
-		plan, err := g.planCached(sched.ChunksFor(workers, copt.Chunks), copt.Strategy)
+		plan, err := g.planCached(d, orientedBase, sched.ChunksFor(workers, copt.Chunks), copt.Strategy)
 		if err != nil {
 			return nil, err
 		}
@@ -309,7 +340,7 @@ func (g *Graph) run(ctx context.Context, opt Options, sinks []mgt.Sink) (*Result
 			return nil, err
 		}
 	} else {
-		plan, err := g.planCached(workers, copt.Strategy)
+		plan, err := g.planCached(d, orientedBase, workers, copt.Strategy)
 		if err != nil {
 			return nil, err
 		}
@@ -600,7 +631,7 @@ func (g *Graph) TriangleDegrees(ctx context.Context, opt Options) ([]uint64, *Re
 // run has yet. The returned error is advisory — counting stays exact
 // without the assumption, only the CPU bound of Theorem IV.2 weakens.
 func (g *Graph) VerifySmallDegree(memEdges int) error {
-	d, _, _, err := g.ensureOriented(context.Background(), defaultWorkers())
+	d, _, _, err := g.ensureOriented(context.Background(), defaultWorkers(), graph.FormatPlain)
 	if err != nil {
 		return err
 	}

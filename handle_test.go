@@ -274,6 +274,63 @@ func TestListConcurrentSamePath(t *testing.T) {
 	}
 }
 
+// TestHandleCompressedStoreRuns: one handle serves both store formats —
+// local runs on each produce the same count, the compressed orientation is
+// actually compressed on disk, and a distributed run replicates the
+// compressed store (.cadj/.cidx travel the wire) and agrees.
+func TestHandleCompressedStoreRuns(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "pl")
+	if _, err := GeneratePowerLaw(base, 800, 8000, 1.9, 7); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx := context.Background()
+
+	plain, err := g.Count(ctx, Options{Workers: 2, MemEdges: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := g.Count(ctx, Options{Workers: 2, MemEdges: 512, StoreFormat: "compressed", Kernel: "compressed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Triangles != comp.Triangles {
+		t.Fatalf("plain store counted %d, compressed %d", plain.Triangles, comp.Triangles)
+	}
+	if plain.OrientedBase == comp.OrientedBase {
+		t.Fatalf("both formats oriented to %q", plain.OrientedBase)
+	}
+	meta, err := graph.ReadMeta(comp.OrientedBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Format != graph.FormatCompressed {
+		t.Fatalf("compressed run oriented to format %q", meta.Format)
+	}
+
+	pool, err := StartLocalWorkers(2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	dres, err := g.CountDistributed(ctx, pool.Addrs(), ClusterOptions{
+		Workers: 2, MemEdges: 512, StoreFormat: "compressed", Kernel: "compressed",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Triangles != plain.Triangles {
+		t.Fatalf("distributed compressed run counted %d, want %d", dres.Triangles, plain.Triangles)
+	}
+	if dres.OrientedBase != comp.OrientedBase {
+		t.Fatalf("distributed run oriented to %q, want the cached %q", dres.OrientedBase, comp.OrientedBase)
+	}
+}
+
 func TestHandleDistributedCancel(t *testing.T) {
 	base := filepath.Join(t.TempDir(), "rmat")
 	if _, err := GenerateRMAT(base, 13, 16, 9); err != nil {

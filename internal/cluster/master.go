@@ -1029,25 +1029,40 @@ func callCopy(ctx context.Context, client *rpc.Client, method string, args, repl
 	return callCtx(cctx, client, method, args, reply)
 }
 
-// copyGraph streams the three store files to a client through the limiter,
-// checking ctx between chunks so a cancelled run stops replicating
-// promptly. Each transfer carries a fresh ownership token: if this master
-// is superseded mid-copy (a retrying master presumed us dead), the node
-// rejects our remaining chunks instead of interleaving them into the new
-// transfer's files.
+// copyGraph streams the store files to a client through the limiter —
+// {meta, deg, adj} for a plain store, {meta, deg, cadj, cidx} for a
+// compressed one — checking ctx between chunks so a cancelled run stops
+// replicating promptly. Each transfer carries a fresh ownership token: if
+// this master is superseded mid-copy (a retrying master presumed us dead),
+// the node rejects our remaining chunks instead of interleaving them into
+// the new transfer's files.
 func copyGraph(ctx context.Context, client *rpc.Client, cfg Config, orientedBase string, limiter *Limiter) (int64, error) {
+	meta, err := graph.ReadMeta(orientedBase)
+	if err != nil {
+		return 0, err
+	}
+	kinds := []FileKind{FileMeta, FileDeg, FileAdj}
+	if meta.Format == graph.FormatCompressed {
+		kinds = []FileKind{FileMeta, FileDeg, FileCAdj, FileCIdx}
+	}
 	token := fmt.Sprintf("%x-%d", runToken, runSeq.Add(1))
-	if err := callCopy(ctx, client, "Node.BeginGraph", &BeginGraphArgs{Name: cfg.GraphName, Token: token}, &struct{}{}); err != nil {
+	if err := callCopy(ctx, client, "Node.BeginGraph", &BeginGraphArgs{Name: cfg.GraphName, Token: token, Kinds: kinds}, &struct{}{}); err != nil {
 		return 0, err
 	}
 	var sent int64
-	files := []struct {
+	files := make([]struct {
 		kind FileKind
 		path string
-	}{
-		{FileMeta, graph.MetaPath(orientedBase)},
-		{FileDeg, graph.DegPath(orientedBase)},
-		{FileAdj, graph.AdjPath(orientedBase)},
+	}, 0, len(kinds))
+	for _, kind := range kinds {
+		path, err := replicaPath(orientedBase, kind)
+		if err != nil {
+			return 0, err
+		}
+		files = append(files, struct {
+			kind FileKind
+			path string
+		}{kind, path})
 	}
 	buf := make([]byte, cfg.ChunkBytes)
 	for _, file := range files {

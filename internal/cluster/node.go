@@ -100,19 +100,33 @@ func (n *Node) BeginGraph(args *BeginGraphArgs, reply *struct{}) error {
 	if err := os.MkdirAll(filepath.Dir(base), 0o755); err != nil {
 		return err
 	}
-	files := map[FileKind]string{
-		FileMeta: graph.MetaPath(base),
-		FileDeg:  graph.DegPath(base),
-		FileAdj:  graph.AdjPath(base),
+	kinds := args.Kinds
+	if len(kinds) == 0 {
+		kinds = []FileKind{FileMeta, FileDeg, FileAdj}
 	}
-	n.incoming = make(map[FileKind]*os.File, len(files))
-	for kind, path := range files {
+	n.incoming = make(map[FileKind]*os.File, len(kinds))
+	for _, kind := range kinds {
+		path, err := replicaPath(base, kind)
+		if err != nil {
+			n.abortLocked()
+			return err
+		}
 		f, err := os.Create(path)
 		if err != nil {
 			n.abortLocked()
 			return err
 		}
 		n.incoming[kind] = f
+	}
+	// Drop the other encoding's files from a previous replica of this
+	// name: the metadata decides which encoding is read, but a store
+	// switching formats must not leave the stale encoding behind.
+	for _, kind := range []FileKind{FileAdj, FileCAdj, FileCIdx} {
+		if _, ok := n.incoming[kind]; !ok {
+			if path, err := replicaPath(base, kind); err == nil {
+				os.Remove(path)
+			}
+		}
 	}
 	// The os.Create calls above truncated the replica's files, so a Disk
 	// cached against the previous copy is stale NOW — not at EndGraph. A
@@ -131,6 +145,23 @@ func (n *Node) BeginGraph(args *BeginGraphArgs, reply *struct{}) error {
 	n.curToken = args.Token
 	n.received = 0
 	return nil
+}
+
+// replicaPath maps a transfer file kind to its path under a replica base.
+func replicaPath(base string, kind FileKind) (string, error) {
+	switch kind {
+	case FileMeta:
+		return graph.MetaPath(base), nil
+	case FileDeg:
+		return graph.DegPath(base), nil
+	case FileAdj:
+		return graph.AdjPath(base), nil
+	case FileCAdj:
+		return graph.CAdjPath(base), nil
+	case FileCIdx:
+		return graph.CIdxPath(base), nil
+	}
+	return "", fmt.Errorf("cluster: unknown file kind %q", kind)
 }
 
 // GraphChunk appends one chunk to a replica file.

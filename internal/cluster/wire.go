@@ -18,15 +18,19 @@ import (
 	"pdtl/internal/ioacct"
 )
 
-// FileKind identifies which of the three store files a chunk belongs to.
+// FileKind identifies which store file a chunk belongs to.
 type FileKind string
 
-// The store files replicated to every node. The in-degree file is not
-// copied: load balancing is the master's job (Section IV-B1).
+// The store files replicated to every node. Which set travels depends on
+// the oriented store's encoding: plain stores ship {meta, deg, adj},
+// compressed stores ship {meta, deg, cadj, cidx}. The in-degree file is
+// never copied: load balancing is the master's job (Section IV-B1).
 const (
 	FileMeta FileKind = "meta"
 	FileDeg  FileKind = "deg"
 	FileAdj  FileKind = "adj"
+	FileCAdj FileKind = "cadj"
+	FileCIdx FileKind = "cidx"
 )
 
 // HelloArgs requests a handshake.
@@ -50,6 +54,10 @@ type BeginGraphArgs struct {
 	// possibly just slow) has its stale in-flight chunks rejected instead
 	// of interleaved into the new master's files.
 	Token string
+	// Kinds lists the file kinds this transfer will stream; empty means the
+	// plain-store triple {meta, deg, adj} (masters predating the compressed
+	// format).
+	Kinds []FileKind
 }
 
 // ChunkArgs carries one chunk of one store file.

@@ -288,6 +288,144 @@ func TestSchedSourceKernelCombosIdentical(t *testing.T) {
 	}
 }
 
+// bitmapBoundaryGraph builds an ultra-high-degree graph whose compressed
+// oriented store crosses the segment and bitmap boundaries: every vertex of
+// A = {0..119} is adjacent to all of B = {120..420}, so each a's oriented
+// out-list is the dense consecutive run B (301 entries — a full 256-entry
+// bitmap segment plus a partial tail segment), longer than the small
+// memEdges below, which forces the large-vertex path over bitmap blocks
+// too. Three intra-B edges plant the triangles (120 per edge).
+func bitmapBoundaryGraph() (*graph.CSR, error) {
+	var edges []graph.Edge
+	for a := uint32(0); a < 120; a++ {
+		for b := uint32(120); b <= 420; b++ {
+			edges = append(edges, graph.Edge{U: a, V: b})
+		}
+	}
+	for _, e := range [][2]uint32{{120, 121}, {270, 271}, {419, 420}} {
+		edges = append(edges, graph.Edge{U: e[0], V: e[1]})
+	}
+	return graph.FromEdges(421, edges)
+}
+
+// TestSchedSourceKernelStoreCombosIdentical is the full execution-layer
+// cross-check with the store axis added: sched(static, stealing) ×
+// scan(buffered, shared, mem) × kernel(all five) × store(plain, compressed)
+// must produce the identical triangle listing — the same sequence per sink,
+// not just the same set — and match the in-memory baseline count. The
+// graphs pin the regimes that matter: Complete(40) at memEdges 16 (every
+// vertex takes the large-vertex path), a skewed power law, and the
+// bitmap-boundary graph above (dense 301-entry lists spanning a full
+// bitmap segment plus a tail, exercising bitmap probe paths and
+// header-driven block skipping).
+func TestSchedSourceKernelStoreCombosIdentical(t *testing.T) {
+	graphs := []struct {
+		name     string
+		g        func() (*graph.CSR, error)
+		memEdges int
+	}{
+		{"powerlaw", func() (*graph.CSR, error) { return gen.PowerLaw(400, 6000, 2.2, 11) }, 96},
+		{"k40", func() (*graph.CSR, error) { return gen.Complete(40) }, 16},
+		{"bitmap", bitmapBoundaryGraph, 256},
+	}
+	sources := []scan.SourceKind{scan.SourceBuffered, scan.SourceShared, scan.SourceMem}
+	kernels := scan.KernelKinds()
+	const workers = 3
+	const perWorker = 2
+
+	for _, tc := range graphs {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.g()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := baseline.Forward(g)
+			d := orientedDisk(t, g)
+			cbase := d.Base + ".compressed"
+			if err := graph.ConvertStore(d.Base, cbase, graph.FormatCompressed); err != nil {
+				t.Fatal(err)
+			}
+			cd, err := graph.Open(cbase)
+			if err != nil {
+				t.Fatal(err)
+			}
+			disks := map[graph.Format]*graph.Disk{
+				graph.FormatPlain:      d,
+				graph.FormatCompressed: cd,
+			}
+			staticRanges := equalSplit(d, workers)
+			chunks := equalSplit(d, workers*perWorker)
+
+			// ref[mode][i] is sink i's exact listing under the first combo
+			// of that scheduler; every other combo — including every
+			// compressed-store one — must reproduce it byte for byte.
+			ref := map[sched.Mode][][][3]graph.Vertex{}
+			for _, format := range []graph.Format{graph.FormatPlain, graph.FormatCompressed} {
+				for _, mode := range []sched.Mode{sched.Static, sched.Stealing} {
+					for _, src := range sources {
+						for _, kern := range kernels {
+							label := fmt.Sprintf("%s/%s/%s/%s", format, mode, src, kern)
+							ranges := staticRanges
+							if mode == sched.Stealing {
+								ranges = chunks
+							}
+							sinks := make([]mgt.Sink, len(ranges))
+							recs := make([]*recordingSink, len(ranges))
+							for i := range sinks {
+								recs[i] = &recordingSink{}
+								sinks[i] = recs[i]
+							}
+							opt := Options{
+								Workers:  workers,
+								MemEdges: tc.memEdges,
+								Scan:     src,
+								Kernel:   kern,
+								Sinks:    sinks,
+							}
+							var stats []WorkerStat
+							var err error
+							if mode == sched.Stealing {
+								stats, _, _, err = RunChunks(context.Background(), disks[format], ranges, opt)
+							} else {
+								stats, _, err = RunRanges(context.Background(), disks[format], ranges, opt)
+							}
+							if err != nil {
+								t.Fatalf("%s: %v", label, err)
+							}
+							var total uint64
+							for _, w := range stats {
+								total += w.Stats.Triangles
+							}
+							if total != want {
+								t.Fatalf("%s: %d triangles, want %d", label, total, want)
+							}
+							if ref[mode] == nil {
+								ref[mode] = make([][][3]graph.Vertex, len(recs))
+								for i, rec := range recs {
+									ref[mode][i] = rec.tris
+								}
+								continue
+							}
+							for i, rec := range recs {
+								if len(rec.tris) != len(ref[mode][i]) {
+									t.Fatalf("%s: sink %d listed %d triangles, reference combo listed %d",
+										label, i, len(rec.tris), len(ref[mode][i]))
+								}
+								for k := range rec.tris {
+									if rec.tris[k] != ref[mode][i][k] {
+										t.Fatalf("%s: sink %d triangle %d = %v, reference %v",
+											label, i, k, rec.tris[k], ref[mode][i][k])
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestSharedScanReadsFileOncePerRound is the I/O claim of the shared
 // source, asserted exactly: with P runners doing one pass each, the
 // buffered configuration scans the file P times while the shared

@@ -66,6 +66,11 @@ type Options struct {
 	// Workers runners, so an early finisher takes the struggler's remaining
 	// work instead of idling).
 	Sched sched.Mode
+	// Store selects the on-disk format of the oriented store the engine
+	// builds when its input is unoriented (empty means graph.FormatPlain).
+	// An already-oriented input is used in whatever format it is in — the
+	// calculation phase is format-agnostic.
+	Store graph.Format
 	// Chunks is K, the chunks-per-worker factor of the stealing scheduler;
 	// non-positive selects sched.DefaultChunksPerWorker. Ignored under
 	// Static.
@@ -183,7 +188,11 @@ func Process(ctx context.Context, base string, opt Options) (*Result, error) {
 			return nil, err
 		}
 		orientedBase = base + ".oriented"
-		ores, err := orient.Orient(base, orientedBase, opt.OrientWorkers)
+		format, err := graph.ParseFormat(string(opt.Store))
+		if err != nil {
+			return nil, err
+		}
+		ores, err := orient.OrientFormat(base, orientedBase, opt.OrientWorkers, format)
 		if err != nil {
 			return nil, err
 		}

@@ -225,3 +225,59 @@ func TestBuildStoreThenCount(t *testing.T) {
 		t.Errorf("count after ingest = %d, want %d", got, want)
 	}
 }
+
+// TestBuildStoreFormatCompressed ingests the same messy edge file into both
+// store formats and requires logically identical stores: same metadata,
+// same degree array, same decoded adjacency.
+func TestBuildStoreFormatCompressed(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	edges := make([]graph.Edge, 4000)
+	for i := range edges {
+		// Leave some vertices untouched so the compressed emit's empty-list
+		// gap handling is exercised.
+		edges[i] = graph.Edge{U: uint32(rng.Intn(200) * 2), V: uint32(rng.Intn(200) * 2)}
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "raw.bin")
+	if err := WriteEdgeFile(src, edges); err != nil {
+		t.Fatal(err)
+	}
+	plain := filepath.Join(dir, "plain")
+	if err := BuildStore(nil, src, plain, "ingest", 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	comp := filepath.Join(dir, "comp")
+	if err := BuildStoreFormat(nil, src, comp, "ingest", 100, graph.FormatCompressed, nil); err != nil {
+		t.Fatal(err)
+	}
+	pd, err := graph.Open(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := graph.Open(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.Format() != graph.FormatCompressed {
+		t.Fatalf("compressed build opened as %q", cd.Format())
+	}
+	pm, cm := pd.Meta, cd.Meta
+	cm.Format = ""
+	if !reflect.DeepEqual(pm, cm) {
+		t.Errorf("meta differs: plain %+v, compressed %+v", pm, cm)
+	}
+	if !reflect.DeepEqual(pd.Degrees, cd.Degrees) {
+		t.Error("degree arrays differ between formats")
+	}
+	want, err := pd.LoadCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cd.LoadCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Offsets, want.Offsets) || !reflect.DeepEqual(got.Adj, want.Adj) {
+		t.Error("adjacency content differs between formats")
+	}
+}

@@ -33,6 +33,15 @@ const ctxCheckEvery = 1 << 16
 // store at base is left behind (the caller owns base's lifecycle). A nil
 // ctx means context.Background().
 func BuildStore(ctx context.Context, edgeFile, base, name string, memEdges int, c *ioacct.Counter) error {
+	return BuildStoreFormat(ctx, edgeFile, base, name, memEdges, graph.FormatPlain, c)
+}
+
+// BuildStoreFormat is BuildStore with a chosen output store format. The
+// mirror and sort passes are format-independent; only the final emit
+// differs — a compressed build segment-encodes each deduplicated adjacency
+// list as it streams off the sorted run, so the pipeline's memory bound is
+// unchanged (one list at a time on top of the sort's memEdges).
+func BuildStoreFormat(ctx context.Context, edgeFile, base, name string, memEdges int, format graph.Format, c *ioacct.Counter) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -52,6 +61,9 @@ func BuildStore(ctx context.Context, edgeFile, base, name string, memEdges int, 
 		return err
 	}
 
+	if format == graph.FormatCompressed {
+		return emitCompressedStore(ctx, sorted, base, name, n, c)
+	}
 	return emitStore(ctx, sorted, base, name, n, c)
 }
 
@@ -126,6 +138,128 @@ func mirrorEdges(ctx context.Context, src, dst string, c *ioacct.Counter) (int, 
 	return n, out.Close()
 }
 
+// emitCompressedStore is emitStore's compressed twin: it scans the sorted
+// bidirectional edge file once, deduplicating, collects each vertex's
+// adjacency list (one list in memory at a time — the sort guarantees
+// grouped, ascending destinations) and emits it through CompressedWriter,
+// with empty lists for vertices that have no edges.
+func emitCompressedStore(ctx context.Context, sorted, base, name string, n int, c *ioacct.Counter) error {
+	in, err := os.Open(sorted)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	br := bufio.NewReaderSize(ioacct.NewReader(in, c), 1<<20)
+
+	w, err := graph.NewCompressedWriter(base, n, c)
+	if err != nil {
+		return err
+	}
+
+	degrees := make([]uint32, n)
+	var entries uint64
+	var maxDeg uint32
+	var prevU, prevV uint32
+	first := true
+	var next uint32 // next vertex id to emit
+	var cur []graph.Vertex
+	// flushTo emits the pending list of prevU, then empty lists up to (but
+	// not including) vertex u.
+	flushTo := func(u uint32) error {
+		if !first {
+			if err := w.Add(cur); err != nil {
+				return err
+			}
+			cur = cur[:0]
+			next = prevU + 1
+		}
+		for ; next < u; next++ {
+			if err := w.Add(nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var rec [EdgeBytes]byte
+	for count := 0; ; count++ {
+		if count%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				w.Finish()
+				return err
+			}
+		}
+		_, rerr := io.ReadFull(br, rec[:])
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			w.Finish()
+			return rerr
+		}
+		u := binary.LittleEndian.Uint32(rec[0:])
+		v := binary.LittleEndian.Uint32(rec[4:])
+		if !first && u == prevU && v == prevV {
+			continue // duplicate
+		}
+		if first || u != prevU {
+			if err := flushTo(u); err != nil {
+				w.Finish()
+				return err
+			}
+		}
+		first = false
+		prevU, prevV = u, v
+		degrees[u]++
+		if degrees[u] > maxDeg {
+			maxDeg = degrees[u]
+		}
+		entries++
+		cur = append(cur, graph.Vertex(v))
+	}
+	if err := flushTo(uint32(n)); err != nil {
+		w.Finish()
+		return err
+	}
+	if err := w.Finish(); err != nil {
+		return err
+	}
+
+	if err := writeDegreeFile(base, degrees, c); err != nil {
+		return err
+	}
+	return graph.WriteMeta(base, graph.Meta{
+		Name:        name,
+		NumVertices: int64(n),
+		NumEdges:    entries / 2,
+		AdjEntries:  entries,
+		Oriented:    false,
+		MaxDegree:   maxDeg,
+		Format:      graph.FormatCompressed,
+	})
+}
+
+// writeDegreeFile writes the little-endian degree array file.
+func writeDegreeFile(base string, degrees []uint32, c *ioacct.Counter) error {
+	degOut, err := os.Create(graph.DegPath(base))
+	if err != nil {
+		return err
+	}
+	dw := bufio.NewWriterSize(ioacct.NewWriter(degOut, c), 1<<20)
+	var scratch [graph.EntrySize]byte
+	for _, d := range degrees {
+		binary.LittleEndian.PutUint32(scratch[:], d)
+		if _, err := dw.Write(scratch[:]); err != nil {
+			degOut.Close()
+			return err
+		}
+	}
+	if err := dw.Flush(); err != nil {
+		degOut.Close()
+		return err
+	}
+	return degOut.Close()
+}
+
 // emitStore scans a sorted bidirectional edge file once, deduplicating, and
 // writes the degree/adjacency/meta files.
 func emitStore(ctx context.Context, sorted, base, name string, n int, c *ioacct.Counter) error {
@@ -188,24 +322,7 @@ func emitStore(ctx context.Context, sorted, base, name string, n int, c *ioacct.
 		return err
 	}
 
-	degOut, err := os.Create(graph.DegPath(base))
-	if err != nil {
-		return err
-	}
-	dw := bufio.NewWriterSize(ioacct.NewWriter(degOut, c), 1<<20)
-	var scratch [graph.EntrySize]byte
-	for _, d := range degrees {
-		binary.LittleEndian.PutUint32(scratch[:], d)
-		if _, err := dw.Write(scratch[:]); err != nil {
-			degOut.Close()
-			return err
-		}
-	}
-	if err := dw.Flush(); err != nil {
-		degOut.Close()
-		return err
-	}
-	if err := degOut.Close(); err != nil {
+	if err := writeDegreeFile(base, degrees, c); err != nil {
 		return err
 	}
 

@@ -1,0 +1,748 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"pdtl/internal/ioacct"
+)
+
+// CompressedWriter streams a compressed store out vertex by vertex: Add is
+// called exactly once per vertex in id order (with an empty list for
+// zero-degree vertices), then Finish writes the .cidx index. This is the
+// build-path primitive — extsort's final merge and the orientation spill
+// concatenation both emit through it without ever holding the store in
+// memory.
+type CompressedWriter struct {
+	base string
+	f    *os.File
+	bw   *bufio.Writer
+	enc  ListEncoder
+	buf  []byte
+	lens []uint32
+	err  error
+}
+
+// NewCompressedWriter creates <base>.cadj (with its magic) for a store of n
+// vertices; writes are charged to c (nil skips accounting).
+func NewCompressedWriter(base string, n int, c *ioacct.Counter) (*CompressedWriter, error) {
+	f, err := os.Create(CAdjPath(base))
+	if err != nil {
+		return nil, err
+	}
+	var w io.Writer = f
+	if c != nil {
+		w = ioacct.NewWriter(f, c)
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(cadjMagic[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &CompressedWriter{base: base, f: f, bw: bw, lens: make([]uint32, 0, n)}, nil
+}
+
+// Add appends the next vertex's sorted adjacency list.
+func (w *CompressedWriter) Add(list []Vertex) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.buf = w.enc.Append(w.buf[:0], list)
+	if len(w.buf) > math.MaxUint32 {
+		w.err = fmt.Errorf("graph: compressed list of %d entries encodes to %d bytes", len(list), len(w.buf))
+		return w.err
+	}
+	w.lens = append(w.lens, uint32(len(w.buf)))
+	if _, err := w.bw.Write(w.buf); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// AddEncoded appends the next vertex's already-encoded list bytes verbatim —
+// the concatenation path of parallel builds that encode spans independently.
+func (w *CompressedWriter) AddEncoded(data []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.lens = append(w.lens, uint32(len(data)))
+	if _, err := w.bw.Write(data); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Finish flushes the .cadj file and writes the .cidx index.
+func (w *CompressedWriter) Finish() error {
+	if w.err != nil {
+		w.f.Close()
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	return writeCIdx(w.base, w.lens)
+}
+
+// ConcatCompressed concatenates already-encoded span files (each holding the
+// per-vertex encodings of a contiguous vertex range, in order) into
+// <base>.cadj — prefixed with the format magic — and writes the .cidx index
+// from lens, the per-vertex encoded byte lengths. This is the parallel-build
+// path: workers encode disjoint vertex spans independently, then the spans
+// are stitched here. The concatenated size is checked against lens.
+func ConcatCompressed(base string, parts []string, lens []uint32, c *ioacct.Counter) error {
+	f, err := os.Create(CAdjPath(base))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var w io.Writer = f
+	if c != nil {
+		w = ioacct.NewWriter(f, c)
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(cadjMagic[:]); err != nil {
+		return err
+	}
+	var copied int64
+	for _, p := range parts {
+		in, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		var r io.Reader = in
+		if c != nil {
+			r = ioacct.NewReader(in, c)
+		}
+		n, err := io.Copy(bw, r)
+		in.Close()
+		if err != nil {
+			return err
+		}
+		copied += n
+	}
+	var want int64
+	for _, l := range lens {
+		want += int64(l)
+	}
+	if copied != want {
+		return fmt.Errorf("graph: concatenated %d encoded bytes, index says %d", copied, want)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return writeCIdx(base, lens)
+}
+
+// writeCIdx writes the per-vertex byte-length index file.
+func writeCIdx(base string, lens []uint32) error {
+	f, err := os.Create(CIdxPath(base))
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	bw.Write(cidxMagic[:])
+	var scratch [binary.MaxVarintLen64]byte
+	bw.Write(scratch[:binary.PutUvarint(scratch[:], uint64(len(lens)))])
+	for _, l := range lens {
+		if _, err := bw.Write(scratch[:binary.PutUvarint(scratch[:], uint64(l))]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readCIdx loads <base>.cidx and returns the per-vertex byte offsets into
+// the .cadj data area: ByteOffs[v] is where v's encoding starts, and
+// ByteOffs[n] is the data area's total size.
+func readCIdx(base string, n int) ([]uint64, error) {
+	blob, err := os.ReadFile(CIdxPath(base))
+	if err != nil {
+		return nil, err
+	}
+	path := CIdxPath(base)
+	if len(blob) < len(cidxMagic) || [4]byte(blob[:4]) != cidxMagic {
+		return nil, fmt.Errorf("graph: %s: bad magic (not a compressed index)", path)
+	}
+	blob = blob[len(cidxMagic):]
+	count, sz := binary.Uvarint(blob)
+	if sz <= 0 {
+		return nil, fmt.Errorf("graph: %s: truncated vertex count", path)
+	}
+	if count != uint64(n) {
+		return nil, fmt.Errorf("graph: %s: index covers %d vertices, store has %d", path, count, n)
+	}
+	blob = blob[sz:]
+	offs := make([]uint64, n+1)
+	var run uint64
+	for v := 0; v < n; v++ {
+		offs[v] = run
+		l, sz := binary.Uvarint(blob)
+		if sz <= 0 {
+			return nil, fmt.Errorf("graph: %s: truncated length for vertex %d", path, v)
+		}
+		if l > math.MaxUint32 {
+			return nil, fmt.Errorf("graph: %s: vertex %d list length %d exceeds 32 bits", path, v, l)
+		}
+		blob = blob[sz:]
+		run += l
+	}
+	offs[n] = run
+	if len(blob) != 0 {
+		return nil, fmt.Errorf("graph: %s: %d trailing bytes", path, len(blob))
+	}
+	return offs, nil
+}
+
+// WriteCSRFormat writes g to a store rooted at base in the given format;
+// WriteCSR is the FormatPlain special case.
+func WriteCSRFormat(base, name string, g *CSR, format Format) error {
+	if format != FormatCompressed {
+		return WriteCSR(base, name, g)
+	}
+	n := g.NumVertices()
+	meta := Meta{
+		Name:        name,
+		NumVertices: int64(n),
+		NumEdges:    g.NumEdges(),
+		AdjEntries:  g.AdjEntries(),
+		Oriented:    g.Oriented,
+		MaxDegree:   g.MaxDegree(),
+		Format:      FormatCompressed,
+	}
+	if g.Oriented {
+		meta.MaxOutDegree = g.MaxDegree()
+	}
+	if err := WriteMeta(base, meta); err != nil {
+		return err
+	}
+	if err := writeUint32File(DegPath(base), func(emit func(uint32)) {
+		for v := 0; v < n; v++ {
+			emit(uint32(g.Offsets[v+1] - g.Offsets[v]))
+		}
+	}); err != nil {
+		return err
+	}
+	w, err := NewCompressedWriter(base, n, nil)
+	if err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		if err := w.Add(g.Adj[g.Offsets[v]:g.Offsets[v+1]]); err != nil {
+			w.Finish()
+			return err
+		}
+	}
+	return w.Finish()
+}
+
+// ConvertStore re-encodes the store rooted at src into format at dst. The
+// adjacency content is preserved exactly (the stores are logically
+// identical, so triangle listings over them are byte-identical); only the
+// physical encoding changes. The degree file, metadata, and — when present —
+// the persisted in-degree file of oriented stores are carried over.
+func ConvertStore(src, dst string, format Format) error {
+	d, err := Open(src)
+	if err != nil {
+		return err
+	}
+	if d.Format() == format {
+		return fmt.Errorf("graph: %s is already a %s store", src, format)
+	}
+	n := d.NumVertices()
+	meta := d.Meta
+	meta.Format = ""
+	if format == FormatCompressed {
+		meta.Format = FormatCompressed
+	}
+	if err := WriteMeta(dst, meta); err != nil {
+		return err
+	}
+	if err := writeUint32File(DegPath(dst), func(emit func(uint32)) {
+		for _, dg := range d.Degrees {
+			emit(dg)
+		}
+	}); err != nil {
+		return err
+	}
+	// The .indeg sidecar (load-balancer weights of oriented stores) is
+	// format-independent; carry it along when the source has one.
+	if in, err := os.ReadFile(src + ".indeg"); err == nil {
+		if err := os.WriteFile(dst+".indeg", in, 0o644); err != nil {
+			return err
+		}
+	}
+	sc, err := d.NewScanner(nil, 1<<20)
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	if format == FormatCompressed {
+		w, err := NewCompressedWriter(dst, n, nil)
+		if err != nil {
+			return err
+		}
+		for {
+			_, list, ok := sc.Next()
+			if !ok {
+				break
+			}
+			if err := w.Add(list); err != nil {
+				w.Finish()
+				return err
+			}
+		}
+		if err := sc.Err(); err != nil {
+			w.Finish()
+			return err
+		}
+		return w.Finish()
+	}
+	return writeUint32File(AdjPath(dst), func(emit func(uint32)) {
+		for {
+			_, list, ok := sc.Next()
+			if !ok {
+				return
+			}
+			for _, v := range list {
+				emit(uint32(v))
+			}
+		}
+	})
+}
+
+// DecodeEntryRange appends entries [lo, hi) of cl to dst. Segments entirely
+// outside the range are skipped on their headers alone; surviving segments
+// decode into scratch (capacity ≥ SegmentEntries). This is the compressed
+// random-access primitive behind window loads and large-vertex re-reads.
+func DecodeEntryRange(cl CompressedList, lo, hi int, scratch, dst []Vertex) ([]Vertex, error) {
+	if lo >= hi {
+		return dst, nil
+	}
+	if hi > cl.Degree {
+		return dst, fmt.Errorf("graph: entry range [%d,%d) beyond degree %d", lo, hi, cl.Degree)
+	}
+	it := cl.Segments()
+	segStart := 0
+	for segStart < hi {
+		seg, ok := it.Next()
+		if !ok {
+			if err := it.Err(); err != nil {
+				return dst, err
+			}
+			return dst, fmt.Errorf("graph: compressed list ended at entry %d, want %d", segStart, hi)
+		}
+		segEnd := segStart + seg.Count
+		if segEnd <= lo {
+			segStart = segEnd
+			continue
+		}
+		var err error
+		scratch = scratch[:0]
+		if scratch, err = DecodeSegment(seg, scratch); err != nil {
+			return dst, err
+		}
+		a, b := 0, seg.Count
+		if lo > segStart {
+			a = lo - segStart
+		}
+		if hi < segEnd {
+			b = hi - segStart
+		}
+		dst = append(dst, scratch[a:b]...)
+		segStart = segEnd
+	}
+	return dst, nil
+}
+
+// SeqScanner is one sequential adjacency pass with graph.Scanner's
+// segmentation semantics; both store formats produce the identical
+// per-vertex segment stream through it.
+type SeqScanner interface {
+	// SetMaxList caps the slice length Next returns; must be called before
+	// the first Next.
+	SetMaxList(maxList int)
+	// Next returns the next vertex and its list (or list segment).
+	Next() (u Vertex, list []Vertex, ok bool)
+	// Err reports the first error encountered by Next.
+	Err() error
+	// Close releases the scan.
+	Close() error
+}
+
+// CompressedSeqScan decodes the .cadj byte stream of a compressed store into
+// the per-vertex segment stream of SeqScanner, and additionally exposes the
+// undecoded per-vertex lists through NextCompressed — the delivery path of
+// the block-skipping kernels.
+//
+// The byte stream arrives through exactly one of two channels: a fill
+// callback (reads the next len(p) stream bytes — a buffered file read, or a
+// shared-broadcast ring consumer), or a mem slice holding the whole data
+// area (zero-copy). Having one decoder behind every scan source is what
+// keeps the segment streams bitwise identical across sources.
+//
+// Next and NextCompressed are mutually exclusive on one scan: each consumes
+// the stream per vertex, but they keep separate vertex cursors.
+type CompressedSeqScan struct {
+	disk   *Disk
+	fill   func([]byte) error
+	mem    []byte // whole data area; nil in fill mode
+	closer func() error
+
+	cur SegCursor
+	// Decoded-entry queue for Next: listBuf[qlo:qhi) holds decoded,
+	// not-yet-served entries of the current vertex; vit iterates its
+	// remaining segments on demand, so at most maxList+SegmentEntries
+	// entries are ever decoded at once.
+	listBuf  []Vertex
+	qlo, qhi int
+	vit      SegIter
+	rawBuf   []byte
+	scratch  []Vertex
+
+	loadedU Vertex // vertex whose raw bytes are in rawBuf/vit
+	loaded  bool
+
+	cv  Vertex // NextCompressed's vertex cursor
+	err error
+}
+
+// maxEncodedList returns the largest per-vertex encoding in the store.
+func (d *Disk) maxEncodedList() int {
+	var m uint64
+	for v := 0; v < len(d.Degrees); v++ {
+		if l := d.ByteOffs[v+1] - d.ByteOffs[v]; l > m {
+			m = l
+		}
+	}
+	return int(m)
+}
+
+// newCompressedSeqScan builds a scan in fill mode (mem == nil) or mem mode.
+// start is the first vertex of the pass; the stream must be positioned at
+// its encoding.
+func newCompressedSeqScan(d *Disk, start Vertex, fill func([]byte) error, mem []byte, closer func() error) *CompressedSeqScan {
+	sc := &CompressedSeqScan{
+		disk:    d,
+		fill:    fill,
+		mem:     mem,
+		closer:  closer,
+		cur:     NewSegCursor(d, start, 0),
+		cv:      start,
+		scratch: make([]Vertex, 0, SegmentEntries),
+	}
+	if mem == nil {
+		sc.rawBuf = make([]byte, d.maxEncodedList())
+	}
+	sc.listBuf = make([]Vertex, int(maxU32(d.Degrees))+SegmentEntries)
+	return sc
+}
+
+// SetMaxList caps the slice length Next returns. Must be called before the
+// first Next.
+func (sc *CompressedSeqScan) SetMaxList(maxList int) {
+	if maxList > 0 {
+		sc.cur.maxList = maxList
+		if need := maxList + SegmentEntries; need < len(sc.listBuf) {
+			sc.listBuf = sc.listBuf[:need]
+		}
+	}
+}
+
+// listBytes reads vertex u's raw encoding from the stream (fill mode copies
+// into rawBuf; mem mode slices in place).
+func (sc *CompressedSeqScan) listBytes(u Vertex) ([]byte, error) {
+	lo, hi := sc.disk.ByteOffs[u], sc.disk.ByteOffs[u+1]
+	if sc.mem != nil {
+		if hi > uint64(len(sc.mem)) {
+			return nil, fmt.Errorf("graph: vertex %d encoding [%d,%d) beyond %d in-memory bytes", u, lo, hi, len(sc.mem))
+		}
+		return sc.mem[lo:hi], nil
+	}
+	raw := sc.rawBuf[:hi-lo]
+	if err := sc.fill(raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Next implements SeqScanner.
+func (sc *CompressedSeqScan) Next() (Vertex, []Vertex, bool) {
+	if sc.err != nil {
+		return 0, nil, false
+	}
+	u, n, ok := sc.cur.Step()
+	if !ok {
+		return 0, nil, false
+	}
+	if n == 0 {
+		return u, sc.listBuf[:0], true
+	}
+	if !sc.loaded || sc.loadedU != u { // first segment of a new vertex
+		raw, err := sc.listBytes(u)
+		if err != nil {
+			sc.err = fmt.Errorf("graph: compressed scan vertex %d: %w", u, err)
+			return 0, nil, false
+		}
+		sc.vit = CompressedList{Degree: int(sc.disk.Degrees[u]), Data: raw}.Segments()
+		sc.qlo, sc.qhi = 0, 0
+		sc.loadedU, sc.loaded = u, true
+	}
+	// Decode segments until the queue can serve n entries, compacting the
+	// queue to the buffer's front first so the append cannot overflow.
+	for sc.qhi-sc.qlo < n {
+		if sc.qlo > 0 {
+			copy(sc.listBuf, sc.listBuf[sc.qlo:sc.qhi])
+			sc.qhi -= sc.qlo
+			sc.qlo = 0
+		}
+		seg, ok := sc.vit.Next()
+		if !ok {
+			err := sc.vit.Err()
+			if err == nil {
+				err = fmt.Errorf("short list: %d of %d entries", sc.qhi-sc.qlo, n)
+			}
+			sc.err = fmt.Errorf("graph: compressed scan vertex %d: %w", u, err)
+			return 0, nil, false
+		}
+		out, err := DecodeSegment(seg, sc.listBuf[:sc.qhi])
+		if err != nil {
+			sc.err = fmt.Errorf("graph: compressed scan vertex %d: %w", u, err)
+			return 0, nil, false
+		}
+		sc.qhi = len(out)
+	}
+	list := sc.listBuf[sc.qlo : sc.qlo+n]
+	sc.qlo += n
+	return u, list, true
+}
+
+// NextCompressed returns the next vertex's whole list in encoded form. The
+// returned CompressedList's Data is valid until the following call (mem mode
+// aliases the preloaded array and stays valid). Zero-degree vertices yield a
+// zero-Degree list. ok is false at the end of the pass or on error — check
+// Err.
+func (sc *CompressedSeqScan) NextCompressed() (Vertex, CompressedList, bool) {
+	if sc.err != nil {
+		return 0, CompressedList{}, false
+	}
+	if int(sc.cv) >= sc.disk.NumVertices() {
+		return 0, CompressedList{}, false
+	}
+	u := sc.cv
+	sc.cv++
+	deg := int(sc.disk.Degrees[u])
+	if deg == 0 {
+		return u, CompressedList{}, true
+	}
+	raw, err := sc.listBytes(u)
+	if err != nil {
+		sc.err = fmt.Errorf("graph: compressed scan vertex %d: %w", u, err)
+		return 0, CompressedList{}, false
+	}
+	return u, CompressedList{Degree: deg, Data: raw}, true
+}
+
+// Err implements SeqScanner.
+func (sc *CompressedSeqScan) Err() error { return sc.err }
+
+// Close implements SeqScanner.
+func (sc *CompressedSeqScan) Close() error {
+	if sc.closer != nil {
+		return sc.closer()
+	}
+	return nil
+}
+
+// NewCompressedScan adapts an externally supplied byte stream (fill reads
+// the next len(p) data-area bytes, positioned at vertex 0) into a
+// CompressedSeqScan — the shared broadcaster's ring consumer plugs in here.
+// closer runs on Close (nil for none). d must be a compressed store.
+func (d *Disk) NewCompressedScan(fill func([]byte) error, closer func() error) (*CompressedSeqScan, error) {
+	if d.Format() != FormatCompressed {
+		return nil, fmt.Errorf("graph: %s is not a compressed store", d.Base)
+	}
+	return newCompressedSeqScan(d, 0, fill, nil, closer), nil
+}
+
+// NewCompressedMemScan adapts the preloaded data area (exactly the .cadj
+// bytes after the magic) into a CompressedSeqScan with zero-copy
+// NextCompressed views. d must be a compressed store.
+func (d *Disk) NewCompressedMemScan(data []byte) (*CompressedSeqScan, error) {
+	if d.Format() != FormatCompressed {
+		return nil, fmt.Errorf("graph: %s is not a compressed store", d.Base)
+	}
+	if uint64(len(data)) != d.ByteOffs[d.NumVertices()] {
+		return nil, fmt.Errorf("graph: preloaded data area is %d bytes, index says %d", len(data), d.ByteOffs[d.NumVertices()])
+	}
+	return newCompressedSeqScan(d, 0, nil, data, nil), nil
+}
+
+// RandomReader reads arbitrary adjacency-entry ranges — the window loads and
+// large-vertex re-reads. Both store formats provide one; entries arrive
+// decoded, so callers are format-agnostic.
+type RandomReader interface {
+	// ReadEntries fills dst with entries [pos, pos+len(dst)).
+	ReadEntries(dst []Vertex, pos uint64) error
+	Close() error
+}
+
+// OpenRandom opens a RandomReader over the store, charging I/O to c (nil
+// allocates a private counter).
+func (d *Disk) OpenRandom(c *ioacct.Counter) (RandomReader, error) {
+	if c == nil {
+		c = ioacct.NewCounter(0)
+	}
+	if d.Format() == FormatCompressed {
+		f, err := os.Open(CAdjPath(d.Base))
+		if err != nil {
+			return nil, err
+		}
+		return &compressedRandom{d: d, f: f, r: ioacct.NewReaderAt(f, c), scratch: make([]Vertex, 0, SegmentEntries)}, nil
+	}
+	f, err := d.OpenAdj()
+	if err != nil {
+		return nil, err
+	}
+	return &plainRandom{f: f, r: ioacct.NewReaderAt(f, c)}, nil
+}
+
+// plainRandom reads entry ranges from the .adj file through an accounting
+// ReaderAt.
+type plainRandom struct {
+	f       *os.File
+	r       *ioacct.ReaderAt
+	byteBuf []byte
+}
+
+func (ra *plainRandom) ReadEntries(dst []Vertex, pos uint64) error {
+	need := len(dst) * EntrySize
+	if cap(ra.byteBuf) < need {
+		ra.byteBuf = make([]byte, need)
+	}
+	raw := ra.byteBuf[:need]
+	if _, err := ra.r.ReadAt(raw, int64(pos)*EntrySize); err != nil {
+		return fmt.Errorf("graph: read entries [%d,%d): %w", pos, pos+uint64(len(dst)), err)
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(raw[i*EntrySize:])
+	}
+	return nil
+}
+
+func (ra *plainRandom) Close() error { return ra.f.Close() }
+
+// compressedRandom reads entry ranges from a compressed store: one
+// contiguous byte read covering the vertices that overlap the range, then a
+// per-vertex decode that skips non-overlapping segments on their headers.
+type compressedRandom struct {
+	d       *Disk
+	f       *os.File
+	r       *ioacct.ReaderAt
+	byteBuf []byte
+	scratch []Vertex
+}
+
+func (ra *compressedRandom) ReadEntries(dst []Vertex, pos uint64) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	d := ra.d
+	end := pos + uint64(len(dst))
+	if end > d.Meta.AdjEntries {
+		return fmt.Errorf("graph: read entries [%d,%d) beyond %d entries", pos, end, d.Meta.AdjEntries)
+	}
+	v0 := d.VertexAt(pos)
+	v1 := d.VertexAt(end - 1)
+	bLo, bHi := d.ByteOffs[v0], d.ByteOffs[v1+1]
+	need := int(bHi - bLo)
+	if cap(ra.byteBuf) < need {
+		ra.byteBuf = make([]byte, need)
+	}
+	raw := ra.byteBuf[:need]
+	if _, err := ra.r.ReadAt(raw, int64(cadjHeaderLen)+int64(bLo)); err != nil {
+		return fmt.Errorf("graph: read compressed entries [%d,%d): %w", pos, end, err)
+	}
+	return decodeEntryWindow(d, raw, bLo, v0, v1, pos, end, ra.scratch, dst)
+}
+
+// decodeEntryWindow decodes entries [pos, end) into dst from raw, the
+// .cadj data-area bytes [rawStart, rawStart+len(raw)) covering vertices
+// [v0, v1].
+func decodeEntryWindow(d *Disk, raw []byte, rawStart uint64, v0, v1 Vertex, pos, end uint64, scratch, dst []Vertex) error {
+	out := dst[:0]
+	for v := v0; v <= v1; v++ {
+		cl := CompressedList{
+			Degree: int(d.Degrees[v]),
+			Data:   raw[d.ByteOffs[v]-rawStart : d.ByteOffs[v+1]-rawStart],
+		}
+		lo, hi := d.Offsets[v], d.Offsets[v+1]
+		if lo < pos {
+			lo = pos
+		}
+		if hi > end {
+			hi = end
+		}
+		var err error
+		out, err = DecodeEntryRange(cl, int(lo-d.Offsets[v]), int(hi-d.Offsets[v]), scratch[:0:SegmentEntries], out)
+		if err != nil {
+			return fmt.Errorf("graph: decode entries of vertex %d: %w", v, err)
+		}
+	}
+	if len(out) != len(dst) {
+		return fmt.Errorf("graph: decoded %d entries for range [%d,%d), want %d", len(out), pos, end, len(dst))
+	}
+	return nil
+}
+
+// DecodeEntries decodes entries [pos, pos+len(dst)) of a compressed store
+// out of data, the whole preloaded .cadj data area — the in-memory
+// random-access path. scratch needs capacity ≥ SegmentEntries.
+func (d *Disk) DecodeEntries(data []byte, dst []Vertex, pos uint64, scratch []Vertex) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	end := pos + uint64(len(dst))
+	if end > d.Meta.AdjEntries {
+		return fmt.Errorf("graph: read entries [%d,%d) beyond %d entries", pos, end, d.Meta.AdjEntries)
+	}
+	return decodeEntryWindow(d, data, 0, d.VertexAt(pos), d.VertexAt(end-1), pos, end, scratch, dst)
+}
+
+func (ra *compressedRandom) Close() error { return ra.f.Close() }
+
+// StoreAdjBytes reports the physical size of the store's adjacency files —
+// .adj, or .cadj + .cidx — the numerator of the bytes-per-edge compression
+// metric.
+func StoreAdjBytes(base string) (int64, error) {
+	meta, err := ReadMeta(base)
+	if err != nil {
+		return 0, err
+	}
+	paths := []string{AdjPath(base)}
+	if meta.Format == FormatCompressed {
+		paths = []string{CAdjPath(base), CIdxPath(base)}
+	}
+	var total int64
+	for _, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			return 0, err
+		}
+		total += fi.Size()
+	}
+	return total, nil
+}

@@ -34,6 +34,11 @@ type Meta struct {
 	// MaxOutDegree is d*max, the maximum out-degree after orientation; it
 	// bounds MGT's nm/nmp scratch arrays. Zero for unoriented stores.
 	MaxOutDegree uint32 `json:"max_out_degree,omitempty"`
+	// Format is the adjacency encoding: empty or "plain" for the uint32
+	// .adj layout, "compressed" for the delta-varint/bitmap segment layout
+	// in .cadj/.cidx (see compressed.go). Open auto-detects from this
+	// field.
+	Format Format `json:"format,omitempty"`
 }
 
 // Paths for the three files of the store.
@@ -142,6 +147,19 @@ type Disk struct {
 	// Offsets[v] is the entry index of v's list in the .adj file;
 	// Offsets[NumVertices] == AdjEntries.
 	Offsets []uint64
+	// ByteOffs[v] is the byte offset of v's encoding in the .cadj data
+	// area, with ByteOffs[NumVertices] the data area's size; nil for plain
+	// stores.
+	ByteOffs []uint64
+}
+
+// Format reports the store's adjacency encoding (empty metadata means
+// plain).
+func (d *Disk) Format() Format {
+	if d.Meta.Format == FormatCompressed {
+		return FormatCompressed
+	}
+	return FormatPlain
 }
 
 // Open loads the metadata and degree file of the store rooted at base.
@@ -166,7 +184,37 @@ func Open(base string) (*Disk, error) {
 	if run != meta.AdjEntries {
 		return nil, fmt.Errorf("graph: %s: degree sum %d != meta adj_entries %d", base, run, meta.AdjEntries)
 	}
-	return &Disk{Meta: meta, Base: base, Degrees: degrees, Offsets: offsets}, nil
+	d := &Disk{Meta: meta, Base: base, Degrees: degrees, Offsets: offsets}
+	switch meta.Format {
+	case "", FormatPlain:
+	case FormatCompressed:
+		byteOffs, err := readCIdx(base, n)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(CAdjPath(base))
+		if err != nil {
+			return nil, err
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		var magic [4]byte
+		_, err = io.ReadFull(f, magic[:])
+		f.Close()
+		if err != nil || magic != cadjMagic {
+			return nil, fmt.Errorf("graph: %s: bad magic (not a compressed adjacency file)", CAdjPath(base))
+		}
+		if want := int64(cadjHeaderLen) + int64(byteOffs[n]); fi.Size() != want {
+			return nil, fmt.Errorf("graph: %s: compressed adjacency file is %d bytes, index says %d", base, fi.Size(), want)
+		}
+		d.ByteOffs = byteOffs
+	default:
+		return nil, fmt.Errorf("graph: %s: unknown store format %q", base, meta.Format)
+	}
+	return d, nil
 }
 
 func readUint32File(path string, count int) ([]uint32, error) {
@@ -191,11 +239,37 @@ func (d *Disk) OpenAdj() (*os.File, error) {
 	return os.Open(AdjPath(d.Base))
 }
 
+// OpenAdjData opens the adjacency data for sequential reading, positioned
+// at the first vertex's data regardless of format: the .adj file, or the
+// .cadj file seeked past its magic. The following AdjBytes bytes are the
+// whole data area — the unit the shared broadcaster streams.
+func (d *Disk) OpenAdjData() (*os.File, error) {
+	if d.Format() != FormatCompressed {
+		return d.OpenAdj()
+	}
+	f, err := os.Open(CAdjPath(d.Base))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(int64(cadjHeaderLen), io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
 // NumVertices reports |V|.
 func (d *Disk) NumVertices() int { return len(d.Degrees) }
 
-// AdjBytes reports the size of the adjacency file in bytes.
-func (d *Disk) AdjBytes() int64 { return int64(d.Meta.AdjEntries) * EntrySize }
+// AdjBytes reports the physical size of the adjacency data area in bytes:
+// AdjEntries·4 for plain stores, the total encoded size for compressed
+// ones. It is the per-pass sequential read volume of a scan.
+func (d *Disk) AdjBytes() int64 {
+	if d.Format() == FormatCompressed {
+		return int64(d.ByteOffs[d.NumVertices()])
+	}
+	return int64(d.Meta.AdjEntries) * EntrySize
+}
 
 // VertexAt returns the vertex whose adjacency list contains global entry
 // index pos, by binary search over the offsets.
@@ -212,9 +286,31 @@ func (d *Disk) VertexAt(pos uint64) Vertex {
 	return Vertex(lo)
 }
 
-// LoadCSR reads the whole graph into memory. Intended for small graphs,
-// tests, and the in-memory baselines.
+// LoadCSR reads the whole graph into memory, decoding compressed stores.
+// Intended for small graphs, tests, and the in-memory baselines.
 func (d *Disk) LoadCSR() (*CSR, error) {
+	if d.Format() == FormatCompressed {
+		sc, err := d.NewScanner(nil, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		defer sc.Close()
+		adj := make([]Vertex, 0, d.Meta.AdjEntries)
+		for {
+			_, list, ok := sc.Next()
+			if !ok {
+				break
+			}
+			adj = append(adj, list...)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		if uint64(len(adj)) != d.Meta.AdjEntries {
+			return nil, fmt.Errorf("graph: decoded %d entries, meta says %d", len(adj), d.Meta.AdjEntries)
+		}
+		return &CSR{Offsets: d.Offsets, Adj: adj, Oriented: d.Meta.Oriented}, nil
+	}
 	adjFile, err := d.OpenAdj()
 	if err != nil {
 		return nil, err
@@ -306,30 +402,50 @@ func (s *Scanner) SetMaxList(maxList int) {
 
 // NewScanner opens an adjacency scan charged to counter c (which may be
 // shared with other files of the same worker). bufSize is the read buffer in
-// bytes; non-positive selects 1 MiB.
-func (d *Disk) NewScanner(c *ioacct.Counter, bufSize int) (*Scanner, error) {
+// bytes; non-positive selects 1 MiB. The concrete scanner matches the store
+// format; both yield the identical per-vertex segment stream.
+func (d *Disk) NewScanner(c *ioacct.Counter, bufSize int) (SeqScanner, error) {
 	return d.NewScannerAt(0, c, bufSize)
 }
 
 // NewScannerAt opens an adjacency scan positioned at the start of vertex
 // start's list; Next will yield vertices start, start+1, ... in order.
-func (d *Disk) NewScannerAt(start Vertex, c *ioacct.Counter, bufSize int) (*Scanner, error) {
+func (d *Disk) NewScannerAt(start Vertex, c *ioacct.Counter, bufSize int) (SeqScanner, error) {
+	if int(start) > d.NumVertices() {
+		return nil, fmt.Errorf("graph: scanner start vertex %d out of range", start)
+	}
+	if bufSize <= 0 {
+		bufSize = 1 << 20
+	}
+	if d.Format() == FormatCompressed {
+		f, err := os.Open(CAdjPath(d.Base))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := f.Seek(int64(cadjHeaderLen)+int64(d.ByteOffs[start]), io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		var r io.Reader = f
+		if c != nil {
+			r = ioacct.NewReader(f, c)
+		}
+		br := bufio.NewReaderSize(r, bufSize)
+		fill := func(p []byte) error {
+			_, err := io.ReadFull(br, p)
+			return err
+		}
+		return newCompressedSeqScan(d, start, fill, nil, f.Close), nil
+	}
 	f, err := d.OpenAdj()
 	if err != nil {
 		return nil, err
-	}
-	if int(start) > d.NumVertices() {
-		f.Close()
-		return nil, fmt.Errorf("graph: scanner start vertex %d out of range", start)
 	}
 	if start > 0 {
 		if _, err := f.Seek(int64(d.Offsets[start])*EntrySize, io.SeekStart); err != nil {
 			f.Close()
 			return nil, err
 		}
-	}
-	if bufSize <= 0 {
-		bufSize = 1 << 20
 	}
 	var r io.Reader = f
 	if c != nil {

@@ -106,6 +106,11 @@ type Harness struct {
 	Kernel scan.KernelKind
 	Sched  sched.Mode
 	Chunks int
+	// StoreFormat selects the oriented-store encoding every experiment
+	// runs against (the pdtl-bench -store flag); empty means
+	// graph.FormatPlain. The orientation cache is keyed by format, so one
+	// harness can compare both encodings of the same dataset.
+	StoreFormat graph.Format
 	// Ctx, when set, bounds every run the harness performs: cancelling it
 	// aborts the in-flight experiment (pdtl-bench wires SIGINT/SIGTERM
 	// here) and stops between experiments. Nil means context.Background().
@@ -170,15 +175,21 @@ func (h *Harness) Store(key string) (string, error) {
 	return base, nil
 }
 
-// Oriented returns the oriented store for a dataset key, orienting once
-// per process with the given parallelism and caching the result.
+// Oriented returns the oriented store for a dataset key in the harness's
+// configured StoreFormat, orienting once per (dataset, format) with the
+// given parallelism and caching the result.
 func (h *Harness) Oriented(key string, workers int) (string, *orient.Result, error) {
 	base, err := h.Store(key)
 	if err != nil {
 		return "", nil, err
 	}
+	format, err := graph.ParseFormat(string(h.StoreFormat))
+	if err != nil {
+		return "", nil, err
+	}
+	cacheKey := key + "|" + string(format)
 	h.mu.Lock()
-	if e, ok := h.oriented[key]; ok {
+	if e, ok := h.oriented[cacheKey]; ok {
 		h.mu.Unlock()
 		return e.base, e.res, nil
 	}
@@ -187,14 +198,15 @@ func (h *Harness) Oriented(key string, workers int) (string, *orient.Result, err
 	// Process-unique name: a persistent cache dir may be shared by
 	// concurrent harness processes, and orientation rewrites its output
 	// files — a shared name would let one process truncate a store
-	// another is reading.
-	dst := fmt.Sprintf("%s.oriented.%d", base, os.Getpid())
-	res, err := orient.Orient(base, dst, workers)
+	// another is reading. The format lands in the name too, so both
+	// encodings of a dataset can coexist in one cache directory.
+	dst := fmt.Sprintf("%s.oriented.%s.%d", base, format, os.Getpid())
+	res, err := orient.OrientFormat(base, dst, workers, format)
 	if err != nil {
 		return "", nil, err
 	}
 	h.mu.Lock()
-	h.oriented[key] = orientEntry{base: dst, res: res}
+	h.oriented[cacheKey] = orientEntry{base: dst, res: res}
 	h.mu.Unlock()
 	return dst, res, nil
 }

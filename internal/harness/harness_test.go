@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pdtl/internal/balance"
+	"pdtl/internal/graph"
 )
 
 func newHarness(t *testing.T) *Harness {
@@ -116,6 +117,48 @@ func TestStoreCachingAndOrientation(t *testing.T) {
 	}
 	if res1.MaxOutDegree == 0 {
 		t.Error("orientation result empty")
+	}
+}
+
+// TestCompressedStoreRatioTwitterSim pins the tentpole's compression
+// acceptance: on the skewed social benchmark graph the compressed oriented
+// store is at least 2× smaller per edge than the plain 4 bytes/entry.
+func TestCompressedStoreRatioTwitterSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("orients the twitter-sim benchmark graph twice")
+	}
+	h := newHarness(t)
+	plainBase, _, err := h.Oriented("twitter-sim", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainBytes, err := graph.StoreAdjBytes(plainBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.StoreFormat = graph.FormatCompressed
+	compBase, _, err := h.Oriented("twitter-sim", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compBytes, err := graph.StoreAdjBytes(compBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := graph.ReadMeta(compBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Format != graph.FormatCompressed {
+		t.Fatalf("oriented store format = %q, want compressed", meta.Format)
+	}
+	plainBPE := float64(plainBytes) / float64(meta.NumEdges)
+	compBPE := float64(compBytes) / float64(meta.NumEdges)
+	t.Logf("twitter-sim oriented: plain %.3f B/edge, compressed %.3f B/edge (%.2fx)",
+		plainBPE, compBPE, plainBPE/compBPE)
+	if compBytes*2 > plainBytes {
+		t.Errorf("compressed store is only %.2fx smaller (%d vs %d bytes), want >= 2x",
+			float64(plainBytes)/float64(compBytes), compBytes, plainBytes)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"pdtl/internal/balance"
 	"pdtl/internal/core"
+	"pdtl/internal/graph"
 	"pdtl/internal/scan"
 	"pdtl/internal/sched"
 )
@@ -19,7 +20,11 @@ import (
 // /2 added environment provenance (go_version, hostname alongside
 // gomaxprocs) so trajectories recorded on different machines are
 // attributable before they are compared.
-const BenchSchema = "pdtl-bench/2"
+// /3 added the compressed-store ablation fields: store_format,
+// bytes_per_edge (oriented adjacency bytes per directed edge — the
+// compression ratio axis), and segments_skipped (header-only segment
+// rejections by the block-skipping kernel; 0 under every other kernel).
+const BenchSchema = "pdtl-bench/3"
 
 // BenchRun is one (dataset, scheduler) measurement — the machine-readable
 // counterpart of the human tables, with the per-run wall/CPU/IO split and
@@ -32,7 +37,13 @@ type BenchRun struct {
 	Chunks    int    `json:"chunks,omitempty"`
 	Scan      string `json:"scan"`
 	Kernel    string `json:"kernel"`
-	Triangles uint64 `json:"triangles"`
+	// StoreFormat is the oriented store's adjacency encoding ("plain" or
+	// "compressed"); BytesPerEdge is its adjacency bytes (including the
+	// compressed index) per directed edge — 4.0 for plain by construction,
+	// the compression ratio axis for compressed.
+	StoreFormat  string  `json:"store_format"`
+	BytesPerEdge float64 `json:"bytes_per_edge"`
+	Triangles    uint64  `json:"triangles"`
 	// WallNS is the calculation phase (load balancing + slowest runner);
 	// OrientNS the one-time preprocessing, reported separately.
 	WallNS   int64 `json:"wall_ns"`
@@ -50,6 +61,10 @@ type BenchRun struct {
 	WorkerImbalance float64 `json:"worker_imbalance"`
 	// MaxWorkerWall is the straggler runner's wall time.
 	MaxWorkerWallNS int64 `json:"max_worker_wall_ns"`
+	// SegmentsSkipped counts compressed segments the block-skipping kernel
+	// rejected on their headers alone (summed over runners); zero for plain
+	// stores and for every other kernel.
+	SegmentsSkipped uint64 `json:"segments_skipped"`
 }
 
 // BenchReport is the top-level document: one run per (dataset, scheduler).
@@ -112,6 +127,18 @@ func (h *Harness) BenchJSON(w io.Writer, keys []string, workers, memEdges int, m
 		if err != nil {
 			return err
 		}
+		ometa, err := graph.ReadMeta(orientedBase)
+		if err != nil {
+			return err
+		}
+		adjBytes, err := graph.StoreAdjBytes(orientedBase)
+		if err != nil {
+			return err
+		}
+		bytesPerEdge := 0.0
+		if ometa.NumEdges > 0 {
+			bytesPerEdge = float64(adjBytes) / float64(ometa.NumEdges)
+		}
 		for _, mode := range modes {
 			res, err := core.Process(h.ctx(), orientedBase, core.Options{
 				Workers:  workers,
@@ -128,8 +155,10 @@ func (h *Harness) BenchJSON(w io.Writer, keys []string, workers, memEdges int, m
 			cpu, io := AggCPUIO(res.Workers)
 			var bytesRead int64
 			var maxWall time.Duration
+			var segSkipped uint64
 			for _, ws := range res.Workers {
 				bytesRead += ws.Stats.IO.BytesRead
+				segSkipped += ws.Stats.SegmentsSkipped
 				if ws.Stats.Wall > maxWall {
 					maxWall = ws.Stats.Wall
 				}
@@ -141,6 +170,9 @@ func (h *Harness) BenchJSON(w io.Writer, keys []string, workers, memEdges int, m
 				Sched:           mode.String(),
 				Scan:            string(res.Scan),
 				Kernel:          kernelName(h.Kernel),
+				StoreFormat:     string(ometa.Format.OrPlain()),
+				BytesPerEdge:    bytesPerEdge,
+				SegmentsSkipped: segSkipped,
 				Triangles:       res.Triangles,
 				WallNS:          int64(res.CalcTime),
 				OrientNS:        int64(ores.Duration),

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"testing"
 
+	"pdtl/internal/graph"
+	"pdtl/internal/scan"
 	"pdtl/internal/sched"
 )
 
@@ -60,6 +62,18 @@ func TestBenchJSONSchema(t *testing.T) {
 		if r.Scan == "" || r.Kernel == "" {
 			t.Errorf("%s run missing execution-layer labels: %+v", r.Sched, r)
 		}
+		// /3 compressed-store ablation fields: a default harness runs the
+		// plain store at exactly 4 adjacency bytes per directed edge with
+		// no block-skipping in play.
+		if r.StoreFormat != "plain" {
+			t.Errorf("%s run store_format = %q, want plain", r.Sched, r.StoreFormat)
+		}
+		if r.BytesPerEdge != 4 {
+			t.Errorf("%s run bytes_per_edge = %f, want 4 for a plain store", r.Sched, r.BytesPerEdge)
+		}
+		if r.SegmentsSkipped != 0 {
+			t.Errorf("%s run segments_skipped = %d on a plain store", r.Sched, r.SegmentsSkipped)
+		}
 	}
 	st, ok1 := modes["static"]
 	sl, ok2 := modes["stealing"]
@@ -85,11 +99,61 @@ func TestBenchJSONSchema(t *testing.T) {
 	}
 	runs := raw["runs"].([]any)
 	first := runs[0].(map[string]any)
-	for _, key := range []string{"dataset", "workers", "sched", "scan", "kernel", "triangles",
+	for _, key := range []string{"dataset", "workers", "sched", "scan", "kernel",
+		"store_format", "bytes_per_edge", "segments_skipped", "triangles",
 		"wall_ns", "cpu_ns", "io_ns", "bytes_read", "worker_imbalance", "max_worker_wall_ns"} {
 		if _, ok := first[key]; !ok {
 			t.Errorf("run object missing key %q", key)
 		}
+	}
+}
+
+// TestBenchJSONCompressedStore: a compressed-store harness reports the
+// format, a sub-4 bytes/edge ratio, active block skipping under the
+// compressed kernel, and the same triangle count as the plain default.
+func TestBenchJSONCompressedStore(t *testing.T) {
+	plain, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := plain.BenchJSON(&buf, []string{"tiny"}, 2, 0, []sched.Mode{sched.Static}); err != nil {
+		t.Fatal(err)
+	}
+	var ref BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &ref); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.StoreFormat = graph.FormatCompressed
+	h.Kernel = scan.KernelCompressed
+	buf.Reset()
+	if err := h.BenchJSON(&buf, []string{"tiny"}, 2, 0, []sched.Mode{sched.Static}); err != nil {
+		t.Fatal(err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(report.Runs))
+	}
+	r := report.Runs[0]
+	if r.StoreFormat != "compressed" {
+		t.Errorf("store_format = %q, want compressed", r.StoreFormat)
+	}
+	if r.BytesPerEdge <= 0 || r.BytesPerEdge >= 4 {
+		t.Errorf("bytes_per_edge = %f, want in (0, 4) for a compressed store", r.BytesPerEdge)
+	}
+	if r.SegmentsSkipped == 0 {
+		t.Error("segments_skipped = 0 under the compressed kernel on a compressed store")
+	}
+	if r.Triangles != ref.Runs[0].Triangles {
+		t.Errorf("compressed store counted %d triangles, plain %d", r.Triangles, ref.Runs[0].Triangles)
 	}
 }
 

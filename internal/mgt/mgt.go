@@ -108,6 +108,12 @@ type Stats struct {
 	// small-degree assumption, footnote 1 of the paper). Each such vertex
 	// incurs one extra sequential read of its own list per pass.
 	LargeVertices uint64
+	// SegmentsSkipped counts compressed segments rejected on their
+	// (first, last) headers alone — never decoded — by the block-skipping
+	// path (compressed kernel on a compressed store). Zero for every other
+	// kernel/store combination; the skip-effectiveness metric of the bench
+	// schema.
+	SegmentsSkipped uint64
 	// Wall is the runner's wall-clock time.
 	Wall time.Duration
 	// IO is the runner's I/O activity; Wall − IO.IOTime() is the "CPU
@@ -133,6 +139,7 @@ func (s Stats) Add(o Stats) Stats {
 	s.Intersections += o.Intersections
 	s.CmpOps += o.CmpOps
 	s.LargeVertices += o.LargeVertices
+	s.SegmentsSkipped += o.SegmentsSkipped
 	if o.Wall > s.Wall {
 		s.Wall = o.Wall
 	}
@@ -183,7 +190,12 @@ type Runner struct {
 	cfg     Config
 	handle  scan.Handle
 	kernel  scan.Kernel
-	counter *ioacct.Counter
+	// bkernel is kernel's BlockKernel view when it has one and the store
+	// is compressed — the precondition of the direct-on-compressed pass,
+	// checked once here instead of per intersection.
+	bkernel    scan.BlockKernel
+	segScratch []graph.Vertex // segment decode scratch of the compressed pass
+	counter    *ioacct.Counter
 	// ownedSrc is the private buffered source Run-style callers get when
 	// cfg.Source is nil; Close tears it (and its handle) down.
 	ownedSrc scan.Source
@@ -253,6 +265,10 @@ func NewRunner(d *graph.Disk, cfg Config) (*Runner, error) {
 	}
 	if r.kernel == nil {
 		r.kernel = scan.Merge
+	}
+	if bk, ok := r.kernel.(scan.BlockKernel); ok && d.Format() == graph.FormatCompressed {
+		r.bkernel = bk
+		r.segScratch = make([]graph.Vertex, 0, graph.SegmentEntries)
 	}
 	r.emitFn = r.emit
 	return r, nil
@@ -378,7 +394,9 @@ func (r *Runner) loadWindow(pos, end uint64) error {
 
 // scanPass streams the whole adjacency file once, reporting every triangle
 // whose pivot edge is inside the current window. Cone vertices whose
-// out-list exceeds M take the segmented large-vertex path.
+// out-list exceeds M take the segmented large-vertex path. When the kernel
+// can intersect compressed lists and the scan can deliver them, the pass
+// runs directly on the compressed form instead.
 func (r *Runner) scanPass() error {
 	d := r.disk
 	sc, err := r.handle.Scan(r.cfg.MemEdges)
@@ -386,6 +404,11 @@ func (r *Runner) scanPass() error {
 		return err
 	}
 	defer sc.Close()
+	if r.bkernel != nil {
+		if csc, ok := sc.(scan.CompressedScan); ok {
+			return r.scanPassCompressed(sc, csc)
+		}
+	}
 
 	maxNmp := int(d.Meta.MaxOutDegree)
 	if maxNmp > r.cfg.MemEdges {
@@ -438,6 +461,117 @@ func (r *Runner) scanPass() error {
 	return sc.Err()
 }
 
+// scanPassCompressed is scanPass running directly on the encoded adjacency
+// stream: each cone list arrives as a graph.CompressedList and both the
+// N+(u) filter and the intersections work segment-by-segment, decoding a
+// segment only when its (first, last) header overlaps the relevant range.
+// Segments rejected on the header alone are counted in SegmentsSkipped.
+// The triangle stream is identical to the decoded pass — same (u, v) order,
+// same ascending w per pivot — which the cross-check tests pin down.
+func (r *Runner) scanPassCompressed(sc scan.Scan, csc scan.CompressedScan) error {
+	d := r.disk
+	maxNmp := int(d.Meta.MaxOutDegree)
+	if maxNmp > r.cfg.MemEdges {
+		maxNmp = r.cfg.MemEdges
+	}
+	nmp := make([]graph.Vertex, 0, maxNmp)
+	for {
+		u, cl, ok := csc.NextCompressed()
+		if !ok {
+			break
+		}
+		if int(d.Degrees[u]) > r.cfg.MemEdges {
+			if err := r.largeVertexCompressed(u, cl); err != nil {
+				return err
+			}
+			continue
+		}
+		if cl.Degree < 2 {
+			continue // need at least a pivot source and a closing vertex
+		}
+		// nmp := N+(u) — out-neighbors of u with out-edges in memory.
+		// Collected segment-wise: a segment whose span misses the window's
+		// vertex range [vlow, vhigh] is skipped on its header alone.
+		nmp = nmp[:0]
+		it := cl.Segments()
+		for {
+			seg, ok := it.Next()
+			if !ok {
+				break
+			}
+			if seg.Last < r.vlow || seg.First > r.vhigh {
+				r.stats.SegmentsSkipped++
+				continue
+			}
+			vals, err := graph.DecodeSegment(seg, r.segScratch)
+			if err != nil {
+				return fmt.Errorf("mgt: decode list of vertex %d: %w", u, err)
+			}
+			for _, v := range vals {
+				if v < r.vlow {
+					continue
+				}
+				if v > r.vhigh {
+					break
+				}
+				if r.ind[v-r.vlow].len > 0 {
+					nmp = append(nmp, v)
+				}
+			}
+		}
+		if err := it.Err(); err != nil {
+			return fmt.Errorf("mgt: list of vertex %d: %w", u, err)
+		}
+		for _, v := range nmp {
+			e := r.ind[v-r.vlow]
+			ev := r.edg[e.off : e.off+e.len]
+			r.stats.Intersections++
+			r.curU, r.curV = u, v
+			steps, skipped, err := r.bkernel.IntersectCompressed(cl, ev, r.segScratch, r.emitFn)
+			if err != nil {
+				return fmt.Errorf("mgt: intersect list of vertex %d: %w", u, err)
+			}
+			r.stats.CmpOps += steps
+			r.stats.SegmentsSkipped += skipped
+		}
+	}
+	return sc.Err()
+}
+
+// largeVertexCompressed is the large-vertex path of the compressed pass.
+// The whole encoded list is in hand (compressed lists are not segmented by
+// maxList), so pass 1 marks window vertices directly from it — decoding
+// only the segments whose header span overlaps [vlow, vhigh] — and pass 2
+// is the shared chunked re-read.
+func (r *Runner) largeVertexCompressed(u graph.Vertex, cl graph.CompressedList) error {
+	r.stats.LargeVertices++
+	r.bumpEpoch()
+	it := cl.Segments()
+	for {
+		seg, ok := it.Next()
+		if !ok {
+			break
+		}
+		if seg.Last < r.vlow || seg.First > r.vhigh {
+			r.stats.SegmentsSkipped++
+			continue
+		}
+		vals, err := graph.DecodeSegment(seg, r.segScratch)
+		if err != nil {
+			return fmt.Errorf("mgt: decode list of large vertex %d: %w", u, err)
+		}
+		for _, a := range vals {
+			if a >= r.vlow && a <= r.vhigh {
+				r.stamp[a-r.vlow] = r.epoch
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		return fmt.Errorf("mgt: list of large vertex %d: %w", u, err)
+	}
+	return r.largeVertexPass2(u)
+}
+
 // largeVertex handles a cone vertex u with d*(u) > M without ever holding
 // N(u) in memory — the paper's footnote-1 removal of the small-degree
 // assumption. firstSeg is the first segment the scanner already yielded.
@@ -451,13 +585,7 @@ func (r *Runner) scanPass() error {
 func (r *Runner) largeVertex(sc scan.Scan, u graph.Vertex, firstSeg []graph.Vertex) error {
 	d := r.disk
 	r.stats.LargeVertices++
-	r.epoch++
-	if r.epoch == 0 { // stamp wrap-around: reset marks
-		for i := range r.stamp {
-			r.stamp[i] = 0
-		}
-		r.epoch = 1
-	}
+	r.bumpEpoch()
 	mark := func(seg []graph.Vertex) {
 		for _, a := range seg {
 			if a >= r.vlow && a <= r.vhigh {
@@ -478,9 +606,28 @@ func (r *Runner) largeVertex(sc scan.Scan, u graph.Vertex, firstSeg []graph.Vert
 		mark(seg)
 		remaining -= len(seg)
 	}
-	r.buildValueIndex()
+	return r.largeVertexPass2(u)
+}
 
-	// Pass 2: re-read N(u) in chunks, merging with the value index.
+// bumpEpoch advances the mark-array epoch, resetting the stamps on
+// wrap-around so a stale epoch value can never alias a fresh one.
+func (r *Runner) bumpEpoch() {
+	r.epoch++
+	if r.epoch == 0 {
+		for i := range r.stamp {
+			r.stamp[i] = 0
+		}
+		r.epoch = 1
+	}
+}
+
+// largeVertexPass2 is the second pass shared by both large-vertex paths:
+// re-read N(u) sequentially in M-sized chunks and merge it against the
+// value-sorted index of the window's edges; a match (w, v) with v marked
+// in the current epoch closes triangle (u, v, w).
+func (r *Runner) largeVertexPass2(u graph.Vertex) error {
+	r.buildValueIndex()
+	d := r.disk
 	if r.chunkBuf == nil {
 		r.chunkBuf = make([]graph.Vertex, r.cfg.MemEdges)
 	}

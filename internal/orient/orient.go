@@ -61,9 +61,20 @@ type Result struct {
 }
 
 // Orient reads the undirected store rooted at src and writes its orientation
-// to a new store rooted at dst, using the given number of parallel workers
-// (minimum 1). The input must be an unoriented store.
+// to a new plain-format store rooted at dst, using the given number of
+// parallel workers (minimum 1). The input must be an unoriented store.
 func Orient(src, dst string, workers int) (*Result, error) {
+	return OrientFormat(src, dst, workers, graph.FormatPlain)
+}
+
+// OrientFormat is Orient with a chosen output store format. The parallel
+// span structure is identical either way; a compressed output encodes each
+// span's filtered lists into delta-varint/bitmap segments in the spill
+// files (recording per-vertex encoded lengths), so the concatenation step
+// needs only a magic prefix and the .cidx index — the full oriented store
+// is never held in memory in either format. The input store may itself be
+// in either format: spans read it through the format-agnostic scanner.
+func OrientFormat(src, dst string, workers int, format graph.Format) (*Result, error) {
 	start := time.Now()
 	if workers < 1 {
 		workers = 1
@@ -78,6 +89,10 @@ func Orient(src, dst string, workers int) (*Result, error) {
 	n := d.NumVertices()
 	counter := ioacct.NewCounter(0)
 	outDeg := make([]uint32, n)
+	var outBytes []uint32 // per-vertex encoded lengths (compressed output)
+	if format == graph.FormatCompressed {
+		outBytes = make([]uint32, n)
+	}
 
 	spans := vertexSpans(d, workers)
 	spills := make([]string, len(spans))
@@ -88,7 +103,7 @@ func Orient(src, dst string, workers int) (*Result, error) {
 		wg.Add(1)
 		go func(i int, span [2]graph.Vertex) {
 			defer wg.Done()
-			errs[i] = orientSpan(d, span[0], span[1], spills[i], outDeg, counter)
+			errs[i] = orientSpan(d, span[0], span[1], spills[i], outDeg, outBytes, counter)
 		}(i, span)
 	}
 	wg.Wait()
@@ -98,7 +113,12 @@ func Orient(src, dst string, workers int) (*Result, error) {
 			return nil, err
 		}
 	}
-	if err := concatFiles(graph.AdjPath(dst), spills, counter); err != nil {
+	if format == graph.FormatCompressed {
+		err = graph.ConcatCompressed(dst, spills, outBytes, counter)
+	} else {
+		err = concatFiles(graph.AdjPath(dst), spills, counter)
+	}
+	if err != nil {
 		cleanup(spills)
 		return nil, err
 	}
@@ -129,6 +149,10 @@ func Orient(src, dst string, workers int) (*Result, error) {
 	meta.Oriented = true
 	meta.AdjEntries = outEntries
 	meta.MaxOutDegree = dstMax
+	meta.Format = ""
+	if format == graph.FormatCompressed {
+		meta.Format = graph.FormatCompressed
+	}
 	if err := graph.WriteMeta(dst, meta); err != nil {
 		return nil, err
 	}
@@ -181,8 +205,11 @@ func vertexSpans(d *graph.Disk, workers int) [][2]graph.Vertex {
 }
 
 // orientSpan filters the adjacency lists of vertices [lo, hi) through the
-// degree-based order into a spill file, and records out-degrees.
-func orientSpan(d *graph.Disk, lo, hi graph.Vertex, spill string, outDeg []uint32, c *ioacct.Counter) error {
+// degree-based order into a spill file, and records out-degrees. A nil
+// outBytes writes raw little-endian entries (plain output); otherwise each
+// vertex's kept list is segment-encoded in place and its encoded byte
+// length recorded in outBytes (compressed output).
+func orientSpan(d *graph.Disk, lo, hi graph.Vertex, spill string, outDeg, outBytes []uint32, c *ioacct.Counter) error {
 	out, err := os.Create(spill)
 	if err != nil {
 		return err
@@ -198,22 +225,40 @@ func orientSpan(d *graph.Disk, lo, hi graph.Vertex, spill string, outDeg []uint3
 
 	deg := d.Degrees
 	var scratch [graph.EntrySize]byte
+	var enc graph.ListEncoder
+	var kept []graph.Vertex
+	var encBuf []byte
 	for {
 		u, list, ok := sc.Next()
 		if !ok || u >= hi {
 			break
 		}
-		var kept uint32
+		if outBytes != nil {
+			kept = kept[:0]
+			for _, v := range list {
+				if Less(deg, u, v) {
+					kept = append(kept, v)
+				}
+			}
+			encBuf = enc.Append(encBuf[:0], kept)
+			if _, err := bw.Write(encBuf); err != nil {
+				return err
+			}
+			outDeg[u] = uint32(len(kept))
+			outBytes[u] = uint32(len(encBuf))
+			continue
+		}
+		var n uint32
 		for _, v := range list {
 			if Less(deg, u, v) {
 				binary.LittleEndian.PutUint32(scratch[:], v)
 				if _, err := bw.Write(scratch[:]); err != nil {
 					return err
 				}
-				kept++
+				n++
 			}
 		}
-		outDeg[u] = kept
+		outDeg[u] = n
 	}
 	if err := sc.Err(); err != nil {
 		return err

@@ -1,7 +1,10 @@
 package orient
 
 import (
+	"bytes"
+	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -207,5 +210,77 @@ func TestOrientRecordsIO(t *testing.T) {
 	}
 	if res.Duration <= 0 {
 		t.Error("duration not recorded")
+	}
+}
+
+// TestOrientFormatCompressed checks that a compressed-format orientation is
+// logically identical to the plain one — same metadata, same out-degrees,
+// same adjacency content — and physically byte-identical to converting the
+// plain output (the segment encoder is deterministic). Multiple worker
+// counts exercise the parallel span encoding.
+func TestOrientFormatCompressed(t *testing.T) {
+	g, err := gen.PowerLaw(500, 7000, 1.9, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := writeStore(t, g, "src")
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain")
+	pres, err := Orient(src, plain, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := filepath.Join(dir, "ref")
+	if err := graph.ConvertStore(plain, ref, graph.FormatCompressed); err != nil {
+		t.Fatal(err)
+	}
+	refCadj, err := os.ReadFile(graph.CAdjPath(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := graph.Open(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pd.LoadCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		comp := filepath.Join(dir, fmt.Sprintf("comp%d", workers))
+		cres, err := OrientFormat(src, comp, workers, graph.FormatCompressed)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if cres.MaxOutDegree != pres.MaxOutDegree {
+			t.Errorf("workers=%d: max out-degree %d, plain %d", workers, cres.MaxOutDegree, pres.MaxOutDegree)
+		}
+		if !reflect.DeepEqual(cres.OutDegrees, pres.OutDegrees) {
+			t.Errorf("workers=%d: out-degrees differ from plain orientation", workers)
+		}
+		if !reflect.DeepEqual(cres.InDegrees, pres.InDegrees) {
+			t.Errorf("workers=%d: in-degrees differ from plain orientation", workers)
+		}
+		cd, err := graph.Open(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cd.Format() != graph.FormatCompressed {
+			t.Fatalf("workers=%d: opened format %q", workers, cd.Format())
+		}
+		got, err := cd.LoadCSR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Offsets, want.Offsets) || !reflect.DeepEqual(got.Adj, want.Adj) {
+			t.Errorf("workers=%d: compressed orientation decodes differently from plain", workers)
+		}
+		cadj, err := os.ReadFile(graph.CAdjPath(comp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cadj, refCadj) {
+			t.Errorf("workers=%d: .cadj bytes differ from converted plain orientation", workers)
+		}
 	}
 }

@@ -129,7 +129,8 @@ func BenchmarkSourceScanVolume(b *testing.B) {
 // intersecting N+(u) with N+(v) — exactly MGT's hot loop when the window
 // holds the whole file. cmp/op reports the comparison-step count: the
 // skew makes many pairs badly unbalanced, which is where gallop and
-// adaptive pull ahead of the merge.
+// adaptive pull ahead of the merge, and where the compressed kernel's
+// block skipping must hold its step count at or below adaptive's.
 func BenchmarkKernel(b *testing.B) {
 	d := benchDisk(b)
 	csr, err := d.LoadCSR()
@@ -140,8 +141,12 @@ func BenchmarkKernel(b *testing.B) {
 		return csr.Adj[csr.Offsets[v]:csr.Offsets[v+1]]
 	}
 	n := d.NumVertices()
-	for _, k := range []Kernel{Merge, Gallop, Adaptive} {
-		b.Run(string(k.Kind()), func(b *testing.B) {
+	for _, kind := range KernelKinds() {
+		k, err := NewKernel(kind)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(string(kind), func(b *testing.B) {
 			var tris, steps uint64
 			emit := func(graph.Vertex) { tris++ }
 			for n0 := 0; n0 < b.N; n0++ {
@@ -157,4 +162,46 @@ func BenchmarkKernel(b *testing.B) {
 			b.ReportMetric(float64(tris), "triangles")
 		})
 	}
+	// compressed-direct runs the same sweep with every cone operand held in
+	// its encoded form: IntersectCompressed skips segments on their headers
+	// alone and probes bitmap segments without expanding them. seg-skip/op
+	// counts the header-rejected segments whose payloads were never decoded.
+	b.Run("compressed-direct", func(b *testing.B) {
+		var enc graph.ListEncoder
+		lists := make([]graph.CompressedList, n)
+		var store []byte
+		offs := make([]int, n+1)
+		for u := 0; u < n; u++ {
+			store = enc.Append(store, out(graph.Vertex(u)))
+			offs[u+1] = len(store)
+		}
+		for u := 0; u < n; u++ {
+			lists[u] = graph.CompressedList{
+				Degree: len(out(graph.Vertex(u))),
+				Data:   store[offs[u]:offs[u+1]],
+			}
+		}
+		bk := Compressed.(BlockKernel)
+		scratch := make([]graph.Vertex, 0, graph.SegmentEntries)
+		var tris, steps, skipped uint64
+		emit := func(graph.Vertex) { tris++ }
+		b.ResetTimer()
+		for n0 := 0; n0 < b.N; n0++ {
+			tris, steps, skipped = 0, 0, 0
+			for u := 0; u < n; u++ {
+				nu := out(graph.Vertex(u))
+				for _, v := range nu {
+					s, sk, err := bk.IntersectCompressed(lists[u], out(v), scratch, emit)
+					if err != nil {
+						b.Fatal(err)
+					}
+					steps += s
+					skipped += sk
+				}
+			}
+		}
+		b.ReportMetric(float64(steps), "cmp/op")
+		b.ReportMetric(float64(tris), "triangles")
+		b.ReportMetric(float64(skipped), "seg-skip/op")
+	})
 }

@@ -2,17 +2,17 @@ package scan
 
 import (
 	"encoding/binary"
-	"fmt"
-	"os"
 
 	"pdtl/internal/graph"
 	"pdtl/internal/ioacct"
 )
 
-// bufferedSource is the paper's configuration: each handle owns a file
-// descriptor for random access, and every Scan opens a private buffered
-// sequential read of the whole adjacency file. With P runners doing R
-// passes each, the file is read P·R times (modulo the OS page cache).
+// bufferedSource is the paper's configuration: each handle owns a
+// random-access reader, and every Scan opens a private buffered sequential
+// read of the whole adjacency data. With P runners doing R passes each, the
+// data is read P·R times (modulo the OS page cache). Both store formats are
+// served — graph.NewScanner and graph.OpenRandom pick the decoder matching
+// the store, so compressed stores stream compressed blocks here too.
 type bufferedSource struct {
 	d   *graph.Disk
 	cfg Config
@@ -32,7 +32,7 @@ func (s *bufferedSource) Handle(c *ioacct.Counter) (Handle, error) {
 	if c == nil {
 		c = ioacct.NewCounter(0)
 	}
-	ra, err := openRandomAccess(s.d, c)
+	ra, err := s.d.OpenRandom(c)
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +42,7 @@ func (s *bufferedSource) Handle(c *ioacct.Counter) (Handle, error) {
 type bufferedHandle struct {
 	src *bufferedSource
 	c   *ioacct.Counter
-	ra  *randomAccess
+	ra  graph.RandomReader
 }
 
 func (h *bufferedHandle) Scan(maxList int) (Scan, error) {
@@ -55,46 +55,13 @@ func (h *bufferedHandle) Scan(maxList int) (Scan, error) {
 }
 
 func (h *bufferedHandle) ReadEntries(dst []graph.Vertex, pos uint64) error {
-	return h.ra.readEntries(dst, pos)
+	return h.ra.ReadEntries(dst, pos)
 }
 
-func (h *bufferedHandle) Close() error { return h.ra.close() }
-
-// randomAccess reads entry ranges from the adjacency file through an
-// accounting ReaderAt; it is the shared random-access half of the Buffered
-// and Shared handles.
-type randomAccess struct {
-	f       *os.File
-	r       *ioacct.ReaderAt
-	byteBuf []byte
-}
-
-func openRandomAccess(d *graph.Disk, c *ioacct.Counter) (*randomAccess, error) {
-	f, err := d.OpenAdj()
-	if err != nil {
-		return nil, err
-	}
-	return &randomAccess{f: f, r: ioacct.NewReaderAt(f, c)}, nil
-}
-
-func (ra *randomAccess) readEntries(dst []graph.Vertex, pos uint64) error {
-	need := len(dst) * graph.EntrySize
-	if cap(ra.byteBuf) < need {
-		ra.byteBuf = make([]byte, need)
-	}
-	raw := ra.byteBuf[:need]
-	if _, err := ra.r.ReadAt(raw, int64(pos)*graph.EntrySize); err != nil {
-		return fmt.Errorf("scan: read entries [%d,%d): %w", pos, pos+uint64(len(dst)), err)
-	}
-	decodeEntries(dst, raw)
-	return nil
-}
-
-func (ra *randomAccess) close() error { return ra.f.Close() }
+func (h *bufferedHandle) Close() error { return h.ra.Close() }
 
 // decodeEntries decodes len(dst) little-endian adjacency entries from raw
-// — the one place the on-disk entry encoding is interpreted by the scan
-// sources.
+// — the plain-format entry decoding used by the mem preload.
 func decodeEntries(dst []graph.Vertex, raw []byte) {
 	for i := range dst {
 		dst[i] = binary.LittleEndian.Uint32(raw[i*graph.EntrySize:])

@@ -21,6 +21,22 @@ const (
 	KernelGallop KernelKind = "gallop"
 	// KernelAdaptive picks merge or gallop per pair by length ratio.
 	KernelAdaptive KernelKind = "adaptive"
+	// KernelCompressed is the block-skipping kernel: the cone list is
+	// processed in 256-entry blocks (the compressed store's segment
+	// granularity) whose value ranges are tested against the other operand
+	// before any per-element work — and, on a compressed store, directly
+	// against the segment headers, decoding only surviving segments.
+	KernelCompressed KernelKind = "compressed"
+	// KernelCover is the range-cover pre-filter (after the cover-edge idea
+	// of Bader et al., arXiv:2403.02997, that many intersections are
+	// provably empty and can be skipped outright): operands whose value
+	// ranges do not overlap are rejected in O(1), and surviving pairs are
+	// first narrowed to the covered range by galloping, then intersected
+	// adaptively. The full BFS cover-edge labeling of that paper prunes
+	// more but changes which (u, v) pairs are attempted — incompatible
+	// with PDTL's pivot-edge windows and byte-deterministic listings — so
+	// only its range-cover filter is adopted.
+	KernelCover KernelKind = "cover"
 )
 
 // ParseKernel validates a kernel name from a flag or wire message. The
@@ -29,10 +45,16 @@ func ParseKernel(s string) (KernelKind, error) {
 	switch KernelKind(s) {
 	case "":
 		return KernelMerge, nil
-	case KernelMerge, KernelGallop, KernelAdaptive:
+	case KernelMerge, KernelGallop, KernelAdaptive, KernelCompressed, KernelCover:
 		return KernelKind(s), nil
 	}
-	return "", fmt.Errorf("scan: unknown intersect kernel %q (want merge, gallop, or adaptive)", s)
+	return "", fmt.Errorf("scan: unknown intersect kernel %q (want merge, gallop, adaptive, compressed, or cover)", s)
+}
+
+// KernelKinds lists every kernel, in the order tests and benchmarks sweep
+// them.
+func KernelKinds() []KernelKind {
+	return []KernelKind{KernelMerge, KernelGallop, KernelAdaptive, KernelCompressed, KernelCover}
 }
 
 // Kernel intersects two sorted duplicate-free vertex lists. Every kernel
@@ -44,6 +66,18 @@ type Kernel interface {
 	Intersect(a, b []graph.Vertex, emit func(w graph.Vertex)) (steps uint64)
 }
 
+// BlockKernel is the optional kernel extension that intersects a compressed
+// list with a plain sorted list without decompressing it first: segments are
+// rejected on their (first, last) headers alone, surviving varint segments
+// decode into scratch (capacity ≥ graph.SegmentEntries, supplied by the
+// caller so the kernel stays stateless), and bitmap segments are probed per
+// b element in O(1). skipped counts header-rejected segments. Matches are
+// emitted in ascending order, identical to every other kernel.
+type BlockKernel interface {
+	Kernel
+	IntersectCompressed(a graph.CompressedList, b []graph.Vertex, scratch []graph.Vertex, emit func(w graph.Vertex)) (steps, skipped uint64, err error)
+}
+
 // The kernel implementations are stateless; these singletons are the only
 // instances anyone needs.
 var (
@@ -53,6 +87,11 @@ var (
 	Gallop Kernel = gallopKernel{}
 	// Adaptive picks Merge or Gallop per pair by length ratio.
 	Adaptive Kernel = adaptiveKernel{}
+	// Compressed is the block-skipping kernel; it also implements
+	// BlockKernel for the direct-on-compressed path.
+	Compressed Kernel = compressedKernel{}
+	// Cover is the range-cover pre-filter kernel.
+	Cover Kernel = coverKernel{}
 )
 
 // NewKernel returns the kernel implementation for kind.
@@ -64,6 +103,10 @@ func NewKernel(kind KernelKind) (Kernel, error) {
 		return Gallop, nil
 	case KernelAdaptive:
 		return Adaptive, nil
+	case KernelCompressed:
+		return Compressed, nil
+	case KernelCover:
+		return Cover, nil
 	}
 	return nil, fmt.Errorf("scan: unknown kernel kind %q", kind)
 }
@@ -168,4 +211,229 @@ func (adaptiveKernel) Intersect(a, b []graph.Vertex, emit func(graph.Vertex)) ui
 		return gallopKernel{}.Intersect(a, b, emit)
 	}
 	return mergeKernel{}.Intersect(a, b, emit)
+}
+
+// boolStep charges one comparison step when cond holds.
+func boolStep(cond bool) uint64 {
+	if cond {
+		return 1
+	}
+	return 0
+}
+
+// gallopGE returns the first index ≥ from with b[idx] ≥ x, by exponential
+// probe + binary search, and the comparison steps spent.
+func gallopGE(b []graph.Vertex, from int, x graph.Vertex) (int, uint64) {
+	var steps uint64
+	lo := from
+	bound := 1
+	for lo+bound < len(b) && b[lo+bound] < x {
+		bound <<= 1
+		steps++
+	}
+	hi := lo + bound + 1
+	if hi > len(b) {
+		hi = len(b)
+	}
+	for lo < hi {
+		steps++
+		mid := int(uint(lo+hi) >> 1)
+		if b[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, steps
+}
+
+// gallopGT returns the first index ≥ from with b[idx] > x.
+func gallopGT(b []graph.Vertex, from int, x graph.Vertex) (int, uint64) {
+	var steps uint64
+	lo := from
+	bound := 1
+	for lo+bound < len(b) && b[lo+bound] <= x {
+		bound <<= 1
+		steps++
+	}
+	hi := lo + bound + 1
+	if hi > len(b) {
+		hi = len(b)
+	}
+	for lo < hi {
+		steps++
+		mid := int(uint(lo+hi) >> 1)
+		if b[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, steps
+}
+
+// compressedKernel processes operand a in graph.SegmentEntries-sized blocks,
+// testing each block's value range against the remaining portion of b
+// before doing any per-element work — the plain-list analogue of the
+// header-driven segment skipping it performs on a compressed store (see
+// IntersectCompressed). Blocks that survive intersect adaptively against
+// the gallop-narrowed covering slice of b.
+type compressedKernel struct{}
+
+func (compressedKernel) Kind() KernelKind { return KernelCompressed }
+
+func (compressedKernel) Intersect(a, b []graph.Vertex, emit func(graph.Vertex)) uint64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(a) <= graph.SegmentEntries {
+		// Single block: the range test is the whole filter — no cursor to
+		// advance, no narrowing gallops to pay for. A rejection costs one
+		// step; on survival the test is not charged separately, since the
+		// intersection's first comparison inspects the same operand
+		// boundaries — surviving pairs cost exactly what adaptive costs.
+		if a[len(a)-1] < b[0] || a[0] > b[len(b)-1] {
+			return 1
+		}
+		return adaptiveKernel{}.Intersect(a, b, emit)
+	}
+	var steps uint64
+	j := 0
+	for off := 0; off < len(a) && j < len(b); off += graph.SegmentEntries {
+		end := off + graph.SegmentEntries
+		if end > len(a) {
+			end = len(a)
+		}
+		blk := a[off:end]
+		steps++ // block range test
+		if blk[len(blk)-1] < b[j] {
+			continue
+		}
+		if blk[0] > b[len(b)-1] {
+			break
+		}
+		// b values ≤ blk's last cannot match any later block (a is sorted
+		// strictly increasing across blocks), so the cursor advances past
+		// the covered slice for good. The upper gallop resumes from lo, so
+		// the two together cost one walk of the covered distance.
+		lo, s := gallopGE(b, j, blk[0])
+		steps += s
+		hi, s := gallopGT(b, lo, blk[len(blk)-1])
+		steps += s
+		if lo < hi {
+			steps += adaptiveKernel{}.Intersect(blk, b[lo:hi], emit)
+		}
+		j = hi
+	}
+	return steps
+}
+
+// IntersectCompressed implements BlockKernel: the same block skipping
+// driven by the compressed store's segment headers, so rejected segments
+// never have their payloads decoded, and dense bitmap segments are probed
+// per b element instead of being expanded.
+func (compressedKernel) IntersectCompressed(a graph.CompressedList, b []graph.Vertex, scratch []graph.Vertex, emit func(graph.Vertex)) (steps, skipped uint64, err error) {
+	if a.Degree == 0 || len(b) == 0 {
+		return 0, 0, nil
+	}
+	it := a.Segments()
+	single := a.Degree <= graph.SegmentEntries
+	j := 0
+	for j < len(b) {
+		seg, ok := it.Next()
+		if !ok {
+			return steps, skipped, it.Err()
+		}
+		if !single {
+			steps++ // header range test, one per walked segment
+		}
+		if seg.Last < b[j] {
+			steps += boolStep(single) // single: charge the rejecting test
+			skipped++
+			continue
+		}
+		if seg.First > b[len(b)-1] {
+			steps += boolStep(single)
+			skipped++
+			break
+		}
+		var lo, hi int
+		if single {
+			// One segment: the header test above is the whole filter —
+			// skip the narrowing gallops and intersect against all of b.
+			// Like the plain fast path, a surviving test is not charged
+			// (the intersection's first comparison inspects the same
+			// boundaries), so tiny lists cost exactly what adaptive costs
+			// and every skip is a strict step saving.
+			lo, hi = j, len(b)
+		} else {
+			var s uint64
+			lo, s = gallopGE(b, j, seg.First)
+			steps += s
+			hi, s = gallopGT(b, lo, seg.Last)
+			steps += s
+			if lo == hi {
+				// The segment's range straddles b values without covering
+				// any: payload stays undecoded.
+				skipped++
+				j = hi
+				continue
+			}
+		}
+		if seg.Kind == graph.SegBitmap { // O(1) probe per b element in range
+			for _, y := range b[lo:hi] {
+				if y > seg.Last {
+					break
+				}
+				steps++
+				if y < seg.First {
+					continue
+				}
+				if seg.Contains(y) {
+					emit(y)
+				}
+			}
+		} else {
+			scratch = scratch[:0]
+			scratch, err = graph.DecodeSegment(seg, scratch)
+			if err != nil {
+				return steps, skipped, err
+			}
+			steps += adaptiveKernel{}.Intersect(scratch, b[lo:hi], emit)
+		}
+		j = hi
+	}
+	return steps, skipped, nil
+}
+
+// coverKernel rejects operand pairs whose value ranges do not overlap in
+// O(1) — the range-cover pre-filter — and narrows surviving pairs to the
+// covered range by galloping before intersecting adaptively. On oriented
+// stores many (nm, Ev) pairs are disjoint (Ev spans one window vertex's
+// edges; nm is a cone list that often lies entirely elsewhere), which is
+// where the filter pays.
+type coverKernel struct{}
+
+func (coverKernel) Kind() KernelKind { return KernelCover }
+
+func (coverKernel) Intersect(a, b []graph.Vertex, emit func(graph.Vertex)) uint64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	steps := uint64(1) // cover test
+	if a[len(a)-1] < b[0] || b[len(b)-1] < a[0] {
+		return steps
+	}
+	aLo, s := gallopGE(a, 0, b[0])
+	steps += s
+	aHi, s := gallopGT(a, aLo, b[len(b)-1])
+	steps += s
+	bLo, s := gallopGE(b, 0, a[0])
+	steps += s
+	bHi, s := gallopGT(b, bLo, a[len(a)-1])
+	steps += s
+	if aLo < aHi && bLo < bHi {
+		steps += adaptiveKernel{}.Intersect(a[aLo:aHi], b[bLo:bHi], emit)
+	}
+	return steps
 }

@@ -55,7 +55,7 @@ func TestKernelsAgreeWithMerge(t *testing.T) {
 		a := sortedSet(rng, la, universe)
 		b := sortedSet(rng, lb, universe)
 		want := collect(Merge, a, b)
-		for _, k := range []Kernel{Gallop, Adaptive} {
+		for _, k := range []Kernel{Gallop, Adaptive, Compressed, Cover} {
 			got := collect(k, a, b)
 			if len(got) != len(want) {
 				t.Fatalf("trial %d: %s found %d common, merge found %d (a=%v b=%v)",
@@ -68,6 +68,56 @@ func TestKernelsAgreeWithMerge(t *testing.T) {
 				}
 			}
 		}
+		// The direct-on-compressed path must emit the same intersection.
+		var enc graph.ListEncoder
+		cl := graph.CompressedList{Degree: len(a), Data: enc.Append(nil, a)}
+		scratch := make([]graph.Vertex, 0, graph.SegmentEntries)
+		var got []graph.Vertex
+		_, _, err := Compressed.(BlockKernel).IntersectCompressed(cl, b, scratch, func(w graph.Vertex) {
+			got = append(got, w)
+		})
+		if err != nil {
+			t.Fatalf("trial %d: IntersectCompressed: %v", trial, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: IntersectCompressed found %d common, merge found %d (a=%v b=%v)",
+				trial, len(got), len(want), a, b)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: IntersectCompressed element %d = %d, merge = %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCompressedSkipsDisjointSegments pins the point of the header test: a
+// compressed list whose segments all lie outside b's range is rejected
+// without decoding a single payload.
+func TestCompressedSkipsDisjointSegments(t *testing.T) {
+	a := make([]graph.Vertex, 1000) // four segments, values 0..999
+	for i := range a {
+		a[i] = graph.Vertex(i)
+	}
+	var enc graph.ListEncoder
+	cl := graph.CompressedList{Degree: len(a), Data: enc.Append(nil, a)}
+	b := []graph.Vertex{5000, 6000}
+	scratch := make([]graph.Vertex, 0, graph.SegmentEntries)
+	steps, skipped, err := Compressed.(BlockKernel).IntersectCompressed(cl, b, scratch, func(graph.Vertex) {
+		t.Fatal("emitted a match from disjoint operands")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 4 {
+		t.Errorf("skipped %d segments, want all 4", skipped)
+	}
+	if steps > 8 {
+		t.Errorf("spent %d steps on fully disjoint operands, want ≤ 8 header tests", steps)
+	}
+	// Cover rejects the same pair in one step.
+	if s := Cover.Intersect(a, b, func(graph.Vertex) { t.Fatal("cover emitted") }); s != 1 {
+		t.Errorf("cover spent %d steps on disjoint operands, want 1", s)
 	}
 }
 
@@ -99,7 +149,7 @@ func TestGallopCheaperOnSkew(t *testing.T) {
 
 func TestKernelEmptyOperands(t *testing.T) {
 	a := []graph.Vertex{1, 2, 3}
-	for _, k := range []Kernel{Merge, Gallop, Adaptive} {
+	for _, k := range []Kernel{Merge, Gallop, Adaptive, Compressed, Cover} {
 		if got := collect(k, nil, a); got != nil {
 			t.Errorf("%s on empty a emitted %v", k.Kind(), got)
 		}

@@ -148,7 +148,17 @@ type Handle interface {
 	Close() error
 }
 
-// Scan is one sequential pass in progress. *graph.Scanner satisfies it.
+// CompressedScan is the optional Scan extension of compressed stores: the
+// pass can deliver each vertex's list in its encoded form, which the
+// block-skipping BlockKernel intersects without full decompression. Every
+// source's compressed scan implements it (the concrete type is
+// *graph.CompressedSeqScan in all three cases); plain-store scans do not.
+// NextCompressed and Next consume the same pass and must not be mixed.
+type CompressedScan interface {
+	NextCompressed() (u graph.Vertex, list graph.CompressedList, ok bool)
+}
+
+// Scan is one sequential pass in progress. graph.SeqScanner satisfies it.
 type Scan interface {
 	// Next returns the next vertex and its list (or list segment); the
 	// returned slice is only valid until the following call. ok is false

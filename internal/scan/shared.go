@@ -120,14 +120,14 @@ func (s *sharedSource) Handle(c *ioacct.Counter) (Handle, error) {
 	if c == nil {
 		c = ioacct.NewCounter(0)
 	}
-	ra, err := openRandomAccess(s.d, c)
+	ra, err := s.d.OpenRandom(c)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		ra.close()
+		ra.Close()
 		return nil, errSourceClosed
 	}
 	s.open++
@@ -237,7 +237,10 @@ func (s *sharedSource) broadcast(subs []*subscription) {
 		deliver(block{err: err})
 	}
 
-	f, err := s.d.OpenAdj()
+	// OpenAdjData positions at the first vertex's data for either store
+	// format; AdjBytes is the matching physical data-area size, so a
+	// compressed store broadcasts its (smaller) compressed byte stream.
+	f, err := s.d.OpenAdjData()
 	if err != nil {
 		fail(err)
 		return
@@ -285,7 +288,7 @@ func (s *sharedSource) broadcast(subs []*subscription) {
 type sharedHandle struct {
 	src    *sharedSource
 	c      *ioacct.Counter
-	ra     *randomAccess
+	ra     graph.RandomReader
 	closed bool
 }
 
@@ -295,6 +298,20 @@ func (h *sharedHandle) Scan(maxList int) (Scan, error) {
 		return nil, err
 	}
 	d := h.src.d
+	if d.Format() == graph.FormatCompressed {
+		// The broadcast stream carries the compressed data area; the ring
+		// consumer below is the byte source, and the one graph-level decoder
+		// turns it into the standard segment stream (plus NextCompressed for
+		// the block-skipping kernels).
+		rf := &sharedScan{sub: sub, ctx: h.src.cfg.Ctx, c: h.c}
+		gsc, err := d.NewCompressedScan(rf.fill, rf.Close)
+		if err != nil {
+			rf.Close()
+			return nil, err
+		}
+		gsc.SetMaxList(maxList)
+		return gsc, nil
+	}
 	bufEntries := int(d.Meta.MaxOutDegree)
 	if !d.Meta.Oriented {
 		bufEntries = int(d.Meta.MaxDegree)
@@ -313,7 +330,7 @@ func (h *sharedHandle) Scan(maxList int) (Scan, error) {
 }
 
 func (h *sharedHandle) ReadEntries(dst []graph.Vertex, pos uint64) error {
-	return h.ra.readEntries(dst, pos)
+	return h.ra.ReadEntries(dst, pos)
 }
 
 func (h *sharedHandle) Close() error {
@@ -322,7 +339,7 @@ func (h *sharedHandle) Close() error {
 	}
 	h.closed = true
 	h.src.handleClosed()
-	return h.ra.close()
+	return h.ra.Close()
 }
 
 // sharedScan decodes one subscriber's view of a broadcast round into the

@@ -730,7 +730,7 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, func(), error) {
 func (s *Server) parseOptions(q url.Values) (pdtl.Options, error) {
 	opt := s.cfg.Defaults
 	err := applyRunParams(q, &opt.Workers, &opt.MemEdges, &opt.Chunks,
-		&opt.Sched, &opt.ScanSource, &opt.Kernel, &opt.NaiveBalance)
+		&opt.Sched, &opt.ScanSource, &opt.Kernel, &opt.StoreFormat, &opt.NaiveBalance)
 	return opt, err
 }
 
@@ -738,7 +738,7 @@ func (s *Server) parseOptions(q url.Values) (pdtl.Options, error) {
 func (s *Server) parseClusterOptions(q url.Values) (pdtl.ClusterOptions, error) {
 	opt := s.cfg.ClusterDefaults
 	err := applyRunParams(q, &opt.Workers, &opt.MemEdges, &opt.Chunks,
-		&opt.Sched, &opt.ScanSource, &opt.Kernel, &opt.NaiveBalance)
+		&opt.Sched, &opt.ScanSource, &opt.Kernel, &opt.StoreFormat, &opt.NaiveBalance)
 	// Listing over the wire is a batch concern; the service only counts.
 	opt.List = false
 	opt.ListPath = ""
@@ -748,7 +748,7 @@ func (s *Server) parseClusterOptions(q url.Values) (pdtl.ClusterOptions, error) 
 // applyRunParams overlays the query knobs every run shape shares onto an
 // options struct — Options and ClusterOptions spell these fields
 // identically, so both parsers defer here and cannot drift.
-func applyRunParams(q url.Values, workers, mem, chunks *int, sched, scanSource, kernel *string, naive *bool) error {
+func applyRunParams(q url.Values, workers, mem, chunks *int, sched, scanSource, kernel, store *string, naive *bool) error {
 	var err error
 	if *workers, err = intParam(q, "workers", *workers, 1024); err != nil {
 		return err
@@ -767,6 +767,9 @@ func applyRunParams(q url.Values, workers, mem, chunks *int, sched, scanSource, 
 	}
 	if v := q.Get("kernel"); v != "" {
 		*kernel = v
+	}
+	if v := q.Get("store"); v != "" {
+		*store = v
 	}
 	if q.Has("naive") {
 		*naive = boolParam(q, "naive")

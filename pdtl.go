@@ -92,6 +92,12 @@ type Options struct {
 	// Chunks is the chunks-per-worker factor K of the stealing scheduler;
 	// non-positive selects the default (8). Ignored under "static".
 	Chunks int
+	// StoreFormat selects the on-disk encoding of the oriented store built
+	// when the input is unoriented: "plain" (or empty — 4 bytes per
+	// adjacency entry) or "compressed" (delta-varint/bitmap segments; see
+	// DESIGN.md §10). An already-oriented input is used in the format it is
+	// in. The triangle output is identical for either format.
+	StoreFormat string
 }
 
 // Key returns the canonical identity of a run with these Options: every
@@ -123,8 +129,12 @@ func (o Options) Key() (string, error) {
 	if copt.Sched == sched.Stealing {
 		chunks = sched.ChunksFor(workers, copt.Chunks)
 	}
-	return fmt.Sprintf("w%d m%d %s %s %s %s c%d",
-		workers, mem, copt.Strategy, copt.Sched, copt.Scan.Resolve(workers), kernel, chunks), nil
+	store := copt.Store
+	if store == "" {
+		store = graph.FormatPlain
+	}
+	return fmt.Sprintf("w%d m%d %s %s %s %s c%d %s",
+		workers, mem, copt.Strategy, copt.Sched, copt.Scan.Resolve(workers), kernel, chunks, store), nil
 }
 
 func (o Options) toCore() (core.Options, error) {
@@ -144,6 +154,10 @@ func (o Options) toCore() (core.Options, error) {
 	if err != nil {
 		return core.Options{}, err
 	}
+	format, err := graph.ParseFormat(o.StoreFormat)
+	if err != nil {
+		return core.Options{}, err
+	}
 	return core.Options{
 		Workers:  o.Workers,
 		MemEdges: o.MemEdges,
@@ -153,6 +167,7 @@ func (o Options) toCore() (core.Options, error) {
 		Kernel:   kernelKind,
 		Sched:    schedMode,
 		Chunks:   o.Chunks,
+		Store:    format,
 	}, nil
 }
 
