@@ -14,6 +14,13 @@
 //	pdtl-bench -json -datasets tiny  # machine-readable per-run results
 //	                                 # (wall/CPU/IO/worker-imbalance) for
 //	                                 # the BENCH_*.json perf trajectory
+//	pdtl-bench -json -churn 1000     # live-graph rows instead: count over a
+//	                                 # populated delta overlay, then again
+//	                                 # after a forced compaction
+//	                                 # (delta_edges / compactions fields)
+//
+// -baseline accepts dataset keys or store base paths, so a smoke job can
+// ground-truth a store pdtl-gen just wrote (e.g. `pdtl-gen stream -final`).
 package main
 
 import (
@@ -55,6 +62,9 @@ func main() {
 		"comma-separated dataset keys for -json")
 	workers := flag.Int("workers", 4, "worker count for -json runs")
 	mem := flag.Int("mem", 0, "memory budget per worker for -json runs (0 = tight default)")
+	churn := flag.Int("churn", 0,
+		"with -json: apply this many live edge mutations per dataset and report "+
+			"delta-overlay and post-compaction rows instead of the static schedulers")
 	flag.Parse()
 
 	if *list {
@@ -103,6 +113,8 @@ func main() {
 			}
 			fmt.Printf("%s %d\n", key, n)
 		}
+	case *jsonOut && *churn > 0:
+		err = h.BenchChurnJSON(os.Stdout, strings.Split(*datasets, ","), *workers, *mem, *churn)
 	case *jsonOut:
 		// An explicit -sched narrows the report to that scheduler; the
 		// default is one record per scheduler for the ablation trajectory.

@@ -10,10 +10,13 @@
 //	pdtl-serve -addr :7200 -slots 4 -queue 64 -max-graphs 8
 //	pdtl-serve -addr :7200 -cluster node1:7100,node2:7100
 //	                                # enables ?distributed=1 counts
+//	pdtl-serve -addr :7200 -live -compact-edges 100000 -graph lj=/data/lj
+//	                                # mutable graphs: POST …/edges applies
+//	                                # batched inserts/deletes (DESIGN.md §11)
 //
 // Endpoints:
 //
-//	POST   /v1/graphs                      register {"name":..., "base":...}
+//	POST   /v1/graphs                      register {"name":..., "base":..., "live":...}
 //	GET    /v1/graphs                      list registered graphs
 //	GET    /v1/graphs/{name}               one graph's status
 //	DELETE /v1/graphs/{name}               evict (close) a graph
@@ -22,7 +25,11 @@
 //	                                       &timeout= &distributed=)
 //	GET    /v1/graphs/{name}/triangles    NDJSON stream (?limit=)
 //	GET    /v1/graphs/{name}/degrees      per-vertex triangle counts (?top=)
-//	POST   /v1/graphs/{name}/estimate     approximate count (Doulion/wedges)
+//	POST   /v1/graphs/{name}/estimate     approximate count (Doulion/wedges;
+//	                                       streaming TRIÈST-FD on live graphs)
+//	POST   /v1/graphs/{name}/edges        apply a mutation batch to a live
+//	                                       graph {"insert":[[u,v],...],"delete":[...]}
+//	POST   /v1/graphs/{name}/compact      fold the delta into a fresh snapshot
 //	GET    /healthz                        liveness (503 while draining)
 //	GET    /metrics                        plain-text counters and gauges
 //
@@ -69,6 +76,11 @@ func main() {
 	clusterHeartbeat := flag.Duration("cluster-heartbeat", 0,
 		"worker liveness ping interval for distributed counts (0 = default 2s, negative = disabled)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+	live := flag.Bool("live", false, "register graphs as mutable delta overlays (enables POST …/edges and …/compact)")
+	compactEdges := flag.Int("compact-edges", 0,
+		"auto-compact a live graph once its delta holds this many edge mutations (0 = manual compaction only)")
+	liveDir := flag.String("live-dir", "", "directory for compacted live snapshots (default: next to each store)")
+	liveFormat := flag.String("live-format", "", "on-disk format for compacted snapshots: plain or compressed (default plain)")
 	var graphs graphFlags
 	flag.Var(&graphs, "graph", "pre-register a graph as name=storepath (repeatable)")
 	flag.Parse()
@@ -78,6 +90,14 @@ func main() {
 		RunSlots:   *slots,
 		QueueDepth: *queue,
 		Defaults:   pdtl.Options{Workers: *workers, MemEdges: *mem},
+		Live:       *live,
+		LiveDefaults: pdtl.LiveOptions{
+			Dir:          *liveDir,
+			CompactEdges: *compactEdges,
+			StoreFormat:  *liveFormat,
+			MemEdges:     *mem,
+			Workers:      *workers,
+		},
 	}
 	if *cluster != "" {
 		cfg.ClusterAddrs = strings.Split(*cluster, ",")
@@ -99,7 +119,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pdtl-serve: register %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("pdtl-serve: registered %q from %s\n", name, base)
+		mode := ""
+		if *live {
+			mode = " (live)"
+		}
+		fmt.Printf("pdtl-serve: registered %q from %s%s\n", name, base, mode)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}

@@ -75,6 +75,13 @@ type Options struct {
 	// non-positive selects sched.DefaultChunksPerWorker. Ignored under
 	// Static.
 	Chunks int
+	// NewSource, when non-nil, replaces scan.New as the constructor of the
+	// run's scan source. This is how an overlay view (internal/live) puts a
+	// synthetic store in front of the runners: d is then an in-memory
+	// merged Disk, and the factory returns a source that resolves reads
+	// against base+delta while the engine, runners, and kernels stay
+	// unchanged. kind arrives already Resolved.
+	NewSource func(kind scan.SourceKind, d *graph.Disk, cfg scan.Config) (scan.Source, error)
 }
 
 // DefaultMemEdges is 1<<22 entries = 16 MiB per worker, the same order as
@@ -90,6 +97,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.OrientWorkers <= 0 {
 		o.OrientWorkers = o.Workers
+	}
+	if o.NewSource == nil {
+		o.NewSource = scan.New
 	}
 	return o
 }
@@ -312,7 +322,7 @@ func RunRanges(ctx context.Context, d *graph.Disk, ranges []balance.Range, opt O
 	if err := ctx.Err(); err != nil {
 		return nil, ioacct.Stats{}, err
 	}
-	src, err := scan.New(opt.Scan.Resolve(len(ranges)), d, scan.Config{
+	src, err := opt.NewSource(opt.Scan.Resolve(len(ranges)), d, scan.Config{
 		BufBytes: opt.BufBytes,
 		Counter:  ioacct.NewCounter(0),
 		Ctx:      ctx,
@@ -430,7 +440,7 @@ func RunChunks(ctx context.Context, d *graph.Disk, chunks []balance.Range, opt O
 	if err := ctx.Err(); err != nil {
 		return nil, nil, ioacct.Stats{}, err
 	}
-	src, err := scan.New(opt.Scan.Resolve(workers), d, scan.Config{
+	src, err := opt.NewSource(opt.Scan.Resolve(workers), d, scan.Config{
 		BufBytes: opt.BufBytes,
 		Counter:  ioacct.NewCounter(0),
 		Ctx:      ctx,

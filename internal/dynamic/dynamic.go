@@ -2,18 +2,20 @@
 // edge insertions and deletions — the "altering it for dynamic ... triangle
 // counting" extension of the paper's conclusion (Section VI).
 //
-// The counter maintains sorted adjacency sets; an update (u, v) changes the
-// global count by exactly |N(u) ∩ N(v)| (computed before insertion / after
-// deletion), so each update costs O(d(u) + d(v)) — the same degree-ordered
-// intersection primitive the static algorithms use. It also maintains
-// per-vertex triangle counts so downstream metrics (local clustering) stay
-// current.
+// The counter maintains sorted adjacency sets (the shared internal/vset
+// primitives — the same ones the live delta layer is built on); an update
+// (u, v) changes the global count by exactly |N(u) ∩ N(v)| (computed before
+// insertion / after deletion), so each update costs O(d(u) + d(v)) — the
+// same degree-ordered intersection primitive the static algorithms use. It
+// also maintains per-vertex triangle counts so downstream metrics (local
+// clustering) stay current.
 package dynamic
 
 import (
 	"fmt"
 
 	"pdtl/internal/graph"
+	"pdtl/internal/vset"
 )
 
 // Counter is an exact dynamic triangle counter over a mutable simple
@@ -29,6 +31,13 @@ type Counter struct {
 	// to the largest intersection seen and is reused from then on, so
 	// steady-state updates allocate nothing (BenchmarkInsert pins this).
 	common []graph.Vertex
+}
+
+// Update is one edge mutation for ApplyBatch: insert (u, v), or delete it
+// when Del is set.
+type Update struct {
+	U, V graph.Vertex
+	Del  bool
 }
 
 // New creates an empty counter.
@@ -66,8 +75,7 @@ func (c *Counter) Degree(v graph.Vertex) int { return len(c.adj[v]) }
 
 // HasEdge reports whether the edge (u, v) is present.
 func (c *Counter) HasEdge(u, v graph.Vertex) bool {
-	_, ok := search(c.adj[u], v)
-	return ok
+	return vset.Contains(c.adj[u], v)
 }
 
 // Insert adds the undirected edge (u, v). It reports the number of new
@@ -76,9 +84,17 @@ func (c *Counter) Insert(u, v graph.Vertex) (closed uint64, err error) {
 	if u == v {
 		return 0, fmt.Errorf("dynamic: self-loop (%d,%d)", u, v)
 	}
-	if c.HasEdge(u, v) {
+	posU, present := vset.Search(c.adj[u], v)
+	if present {
 		return 0, fmt.Errorf("dynamic: duplicate edge (%d,%d)", u, v)
 	}
+	return c.insertAt(u, v, posU), nil
+}
+
+// insertAt applies a validated insertion, with u's insertion position
+// already located — the one binary search Insert and ApplyBatch share, so
+// the batch path never searches a list twice.
+func (c *Counter) insertAt(u, v graph.Vertex, posU int) (closed uint64) {
 	for _, w := range c.intersect(u, v) {
 		c.perVertex[w]++
 	}
@@ -86,20 +102,28 @@ func (c *Counter) Insert(u, v graph.Vertex) (closed uint64, err error) {
 	c.triangles += closed
 	c.perVertex[u] += closed
 	c.perVertex[v] += closed
-	c.adj[u] = insertSorted(c.adj[u], v)
-	c.adj[v] = insertSorted(c.adj[v], u)
+	c.adj[u] = vset.InsertAt(c.adj[u], posU, v)
+	posV, _ := vset.Search(c.adj[v], u)
+	c.adj[v] = vset.InsertAt(c.adj[v], posV, u)
 	c.edges++
-	return closed, nil
+	return closed
 }
 
 // Delete removes the undirected edge (u, v). It reports the number of
 // triangles destroyed, or an error if the edge does not exist.
 func (c *Counter) Delete(u, v graph.Vertex) (opened uint64, err error) {
-	if !c.HasEdge(u, v) {
+	posU, present := vset.Search(c.adj[u], v)
+	if !present {
 		return 0, fmt.Errorf("dynamic: missing edge (%d,%d)", u, v)
 	}
-	c.adj[u] = removeSorted(c.adj[u], v)
-	c.adj[v] = removeSorted(c.adj[v], u)
+	return c.deleteAt(u, v, posU), nil
+}
+
+// deleteAt applies a validated deletion (u's position of v already found).
+func (c *Counter) deleteAt(u, v graph.Vertex, posU int) (opened uint64) {
+	c.adj[u] = vset.RemoveAt(c.adj[u], posU)
+	posV, _ := vset.Search(c.adj[v], u)
+	c.adj[v] = vset.RemoveAt(c.adj[v], posV)
 	for _, w := range c.intersect(u, v) {
 		c.perVertex[w]--
 	}
@@ -108,57 +132,42 @@ func (c *Counter) Delete(u, v graph.Vertex) (opened uint64, err error) {
 	c.perVertex[u] -= opened
 	c.perVertex[v] -= opened
 	c.edges--
-	return opened, nil
+	return opened
+}
+
+// ApplyBatch applies a sequence of updates, amortizing the per-edge
+// overhead: each update does one binary search per endpoint (validation
+// position doubles as insertion point) instead of Insert/Delete's two.
+// Updates apply in order, so a batch may delete an edge an earlier entry
+// of the same batch inserted. The first invalid update (self-loop,
+// duplicate insert, missing delete) aborts the batch with everything
+// before it applied and its index in the error; closed and opened report
+// the triangles the applied prefix created and destroyed.
+func (c *Counter) ApplyBatch(updates []Update) (closed, opened uint64, err error) {
+	for i, up := range updates {
+		if up.U == up.V {
+			return closed, opened, fmt.Errorf("dynamic: batch[%d]: self-loop (%d,%d)", i, up.U, up.V)
+		}
+		pos, present := vset.Search(c.adj[up.U], up.V)
+		if up.Del {
+			if !present {
+				return closed, opened, fmt.Errorf("dynamic: batch[%d]: missing edge (%d,%d)", i, up.U, up.V)
+			}
+			opened += c.deleteAt(up.U, up.V, pos)
+		} else {
+			if present {
+				return closed, opened, fmt.Errorf("dynamic: batch[%d]: duplicate edge (%d,%d)", i, up.U, up.V)
+			}
+			closed += c.insertAt(up.U, up.V, pos)
+		}
+	}
+	return closed, opened, nil
 }
 
 // intersect merges the sorted neighbor lists of u and v into the counter's
 // scratch buffer and returns it. The result is valid until the next update;
 // callers that need it afterwards must copy.
 func (c *Counter) intersect(u, v graph.Vertex) []graph.Vertex {
-	a, b := c.adj[u], c.adj[v]
-	out := c.common[:0]
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	c.common = out
-	return out
-}
-
-func search(list []graph.Vertex, v graph.Vertex) (int, bool) {
-	lo, hi := 0, len(list)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if list[mid] < v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo, lo < len(list) && list[lo] == v
-}
-
-func insertSorted(list []graph.Vertex, v graph.Vertex) []graph.Vertex {
-	pos, _ := search(list, v)
-	list = append(list, 0)
-	copy(list[pos+1:], list[pos:])
-	list[pos] = v
-	return list
-}
-
-func removeSorted(list []graph.Vertex, v graph.Vertex) []graph.Vertex {
-	pos, ok := search(list, v)
-	if !ok {
-		return list
-	}
-	return append(list[:pos], list[pos+1:]...)
+	c.common = vset.Intersect(c.common[:0], c.adj[u], c.adj[v])
+	return c.common
 }

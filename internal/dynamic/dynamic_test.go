@@ -141,3 +141,81 @@ func TestDegreeAndHasEdge(t *testing.T) {
 		t.Error("HasEdge wrong")
 	}
 }
+
+func TestApplyBatchMatchesSingleUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 40
+	single := New()
+	batched := New()
+	var batch []Update
+	live := map[graph.Edge]bool{}
+	for step := 0; step < 600; step++ {
+		u := graph.Vertex(rng.Intn(n))
+		v := graph.Vertex(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		e := graph.Edge{U: u, V: v}.Canon()
+		up := Update{U: e.U, V: e.V, Del: live[e]}
+		if up.Del {
+			delete(live, e)
+		} else {
+			live[e] = true
+		}
+		batch = append(batch, up)
+		if up.Del {
+			if _, err := single.Delete(e.U, e.V); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := single.Insert(e.U, e.V); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(batch) == 50 {
+			if _, _, err := batched.ApplyBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if _, _, err := batched.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if batched.Triangles() != single.Triangles() || batched.Edges() != single.Edges() {
+		t.Fatalf("batched (t=%d e=%d) != single (t=%d e=%d)",
+			batched.Triangles(), batched.Edges(), single.Triangles(), single.Edges())
+	}
+	for v := graph.Vertex(0); v < graph.Vertex(n); v++ {
+		if batched.VertexTriangles(v) != single.VertexTriangles(v) {
+			t.Fatalf("vertex %d: %d != %d", v, batched.VertexTriangles(v), single.VertexTriangles(v))
+		}
+	}
+}
+
+func TestApplyBatchAbortsOnInvalid(t *testing.T) {
+	c := New()
+	closed, _, err := c.ApplyBatch([]Update{
+		{U: 0, V: 1},
+		{U: 1, V: 2},
+		{U: 0, V: 2},
+		{U: 0, V: 1}, // duplicate: aborts here
+		{U: 3, V: 4}, // never applied
+	})
+	if err == nil {
+		t.Fatal("want error on duplicate insert")
+	}
+	if closed != 1 || c.Triangles() != 1 || c.Edges() != 3 {
+		t.Fatalf("prefix not applied: closed=%d t=%d e=%d", closed, c.Triangles(), c.Edges())
+	}
+	if c.HasEdge(3, 4) {
+		t.Fatal("suffix applied past the error")
+	}
+	// A batch may delete what it inserted.
+	if _, _, err := c.ApplyBatch([]Update{{U: 3, V: 4}, {U: 3, V: 4, Del: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.HasEdge(3, 4) {
+		t.Fatal("insert+delete should cancel")
+	}
+}

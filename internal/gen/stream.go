@@ -1,0 +1,200 @@
+package gen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"pdtl/internal/graph"
+)
+
+// StreamParams parameterize a synthetic churn trace: an initial power-law
+// graph plus a sequence of mutation batches over it. Everything is driven
+// by one seed, so a trace is reproducible bit for bit — the live-graph
+// experiments replay the same churn against the overlay and against
+// from-scratch rebuilds and compare exact counts.
+type StreamParams struct {
+	// N and M size the initial Chung–Lu power-law graph (M edge samples
+	// before simplification); Exponent is its degree-tail exponent
+	// (non-positive selects 2.5, the PowerLaw default regime).
+	N        int
+	M        int
+	Exponent float64
+	// Batches and BatchSize shape the churn: Batches batches of BatchSize
+	// edge mutations each.
+	Batches   int
+	BatchSize int
+	// DeleteFrac is the fraction of each batch that deletes live edges
+	// (the rest inserts absent ones); clamped to [0, 1].
+	DeleteFrac float64
+	// Seed drives the generator and the churn.
+	Seed int64
+}
+
+func (p StreamParams) withDefaults() (StreamParams, error) {
+	if p.N < 2 || p.M < 1 {
+		return p, fmt.Errorf("gen: stream needs n ≥ 2 and m ≥ 1 (got n=%d m=%d)", p.N, p.M)
+	}
+	if p.Batches < 1 || p.BatchSize < 1 {
+		return p, fmt.Errorf("gen: stream needs batches ≥ 1 and batch-size ≥ 1 (got %d, %d)", p.Batches, p.BatchSize)
+	}
+	if p.Exponent <= 0 {
+		p.Exponent = 2.5
+	}
+	if p.DeleteFrac < 0 {
+		p.DeleteFrac = 0
+	}
+	if p.DeleteFrac > 1 {
+		p.DeleteFrac = 1
+	}
+	return p, nil
+}
+
+// Batch is one churn batch, JSON-shaped exactly like the service's
+// POST /v1/graphs/{name}/edges body, so a trace line can be replayed with
+// curl verbatim. Inserts and deletes within one batch never overlap, so
+// apply order does not matter.
+type Batch struct {
+	Insert [][2]uint32 `json:"insert,omitempty"`
+	Delete [][2]uint32 `json:"delete,omitempty"`
+}
+
+// Stream generates a deterministic churn trace: the initial graph, the
+// mutation batches, and the edge set left after every batch has been
+// applied. Every batch is valid against the state the previous batches
+// built (inserts are absent, deletes are present, no self-loops), and
+// later batches may insert edges on vertices beyond the initial graph —
+// one new vertex becomes eligible per batch, exercising the overlay's
+// growth path.
+func Stream(p StreamParams) (*graph.CSR, []Batch, []graph.Edge, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	base, err := PowerLaw(p.N, p.M, p.Exponent, p.Seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	type key struct{ u, v uint32 }
+	canon := func(u, v uint32) key {
+		if u > v {
+			u, v = v, u
+		}
+		return key{u, v}
+	}
+	// The live edge set, as a map for membership and a slice for uniform
+	// deletion sampling.
+	live := make(map[key]int)
+	var edges []key
+	add := func(k key) {
+		live[k] = len(edges)
+		edges = append(edges, k)
+	}
+	del := func(k key) {
+		i := live[k]
+		last := len(edges) - 1
+		edges[i] = edges[last]
+		live[edges[i]] = i
+		edges = edges[:last]
+		delete(live, k)
+	}
+	for u := 0; u < base.NumVertices(); u++ {
+		for _, v := range base.Neighbors(graph.Vertex(u)) {
+			if uint32(u) < uint32(v) {
+				add(key{uint32(u), uint32(v)})
+			}
+		}
+	}
+
+	// Churn randomness is a separate stream from the generator's, but
+	// derived from the same seed.
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x5eed5eed))
+	batches := make([]Batch, p.Batches)
+	for i := range batches {
+		nDel := int(float64(p.BatchSize)*p.DeleteFrac + 0.5)
+		if nDel > len(edges) {
+			nDel = len(edges)
+		}
+		nIns := p.BatchSize - nDel
+		b := &batches[i]
+
+		// Deletes first, so the batch's inserts can re-create a just-deleted
+		// edge in a later batch but never collide within this one.
+		for j := 0; j < nDel; j++ {
+			k := edges[rng.Intn(len(edges))]
+			del(k)
+			b.Delete = append(b.Delete, [2]uint32{k.u, k.v})
+		}
+		deleted := make(map[key]bool, nDel)
+		for _, d := range b.Delete {
+			deleted[canon(d[0], d[1])] = true
+		}
+		// One fresh vertex becomes eligible per batch.
+		maxV := uint32(p.N + i + 1)
+		for j := 0; j < nIns; j++ {
+			placed := false
+			for attempt := 0; attempt < 100000; attempt++ {
+				u, v := rng.Uint32()%maxV, rng.Uint32()%maxV
+				k := canon(u, v)
+				if u == v || deleted[k] {
+					continue
+				}
+				if _, ok := live[k]; ok {
+					continue
+				}
+				add(k)
+				b.Insert = append(b.Insert, [2]uint32{k.u, k.v})
+				placed = true
+				break
+			}
+			if !placed {
+				return nil, nil, nil, fmt.Errorf(
+					"gen: stream batch %d: graph on %d vertices too dense to place insert %d", i, maxV, j)
+			}
+		}
+	}
+
+	final := make([]graph.Edge, len(edges))
+	for i, k := range edges {
+		final[i] = graph.Edge{U: k.u, V: k.v}
+	}
+	sort.Slice(final, func(i, j int) bool {
+		if final[i].U != final[j].U {
+			return final[i].U < final[j].U
+		}
+		return final[i].V < final[j].V
+	})
+	return base, batches, final, nil
+}
+
+// WriteTrace writes batches to w as NDJSON, one batch per line — the
+// replayable trace format (each line is a POST …/edges body).
+func WriteTrace(w io.Writer, batches []Batch) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	enc := json.NewEncoder(bw)
+	for _, b := range batches {
+		if err := enc.Encode(b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses an NDJSON trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]Batch, error) {
+	dec := json.NewDecoder(r)
+	var batches []Batch
+	for {
+		var b Batch
+		if err := dec.Decode(&b); err == io.EOF {
+			return batches, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("gen: bad trace line %d: %w", len(batches)+1, err)
+		}
+		batches = append(batches, b)
+	}
+}

@@ -1,0 +1,141 @@
+package gen
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"pdtl/internal/graph"
+)
+
+// TestStreamTraceValidAndDeterministic replays a generated trace against
+// the initial graph and checks every batch is valid (inserts absent,
+// deletes present, no self-loops, no within-batch overlap), that the
+// replayed end state matches the returned final edge set, and that the
+// same seed reproduces the identical trace.
+func TestStreamTraceValidAndDeterministic(t *testing.T) {
+	p := StreamParams{N: 200, M: 1500, Batches: 12, BatchSize: 50, DeleteFrac: 0.4, Seed: 7}
+	base, batches, final, err := Stream(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != p.Batches {
+		t.Fatalf("got %d batches, want %d", len(batches), p.Batches)
+	}
+
+	type key struct{ u, v uint32 }
+	canon := func(u, v uint32) key {
+		if u > v {
+			u, v = v, u
+		}
+		return key{u, v}
+	}
+	live := make(map[key]bool)
+	for u := 0; u < base.NumVertices(); u++ {
+		for _, v := range base.Neighbors(graph.Vertex(u)) {
+			if uint32(u) < uint32(v) {
+				live[key{uint32(u), uint32(v)}] = true
+			}
+		}
+	}
+	for i, b := range batches {
+		if len(b.Insert)+len(b.Delete) != p.BatchSize {
+			t.Fatalf("batch %d has %d+%d updates, want %d", i, len(b.Insert), len(b.Delete), p.BatchSize)
+		}
+		inBatch := make(map[key]bool)
+		for _, d := range b.Delete {
+			k := canon(d[0], d[1])
+			if !live[k] {
+				t.Fatalf("batch %d deletes absent edge %v", i, d)
+			}
+			if inBatch[k] {
+				t.Fatalf("batch %d touches edge %v twice", i, d)
+			}
+			inBatch[k] = true
+			delete(live, k)
+		}
+		for _, ins := range b.Insert {
+			if ins[0] == ins[1] {
+				t.Fatalf("batch %d inserts self-loop %v", i, ins)
+			}
+			k := canon(ins[0], ins[1])
+			if live[k] {
+				t.Fatalf("batch %d inserts present edge %v", i, ins)
+			}
+			if inBatch[k] {
+				t.Fatalf("batch %d touches edge %v twice", i, ins)
+			}
+			inBatch[k] = true
+			live[k] = true
+		}
+	}
+	if len(live) != len(final) {
+		t.Fatalf("replayed %d live edges, final snapshot has %d", len(live), len(final))
+	}
+	for _, e := range final {
+		if !live[key{e.U, e.V}] {
+			t.Fatalf("final edge %v not in replayed set", e)
+		}
+	}
+
+	// New vertices actually appear: some insert goes beyond the base graph.
+	grew := false
+	for _, b := range batches {
+		for _, ins := range b.Insert {
+			if int(ins[0]) >= p.N || int(ins[1]) >= p.N {
+				grew = true
+			}
+		}
+	}
+	if !grew {
+		t.Fatal("no insert used a vertex beyond the initial graph")
+	}
+
+	// Same seed, same trace.
+	_, batches2, final2, err := Stream(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batches, batches2) || !reflect.DeepEqual(final, final2) {
+		t.Fatal("same params produced a different trace")
+	}
+	// A different seed diverges.
+	p.Seed = 8
+	_, batches3, _, err := Stream(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(batches, batches3) {
+		t.Fatal("different seeds produced the same trace")
+	}
+}
+
+func TestStreamTraceRoundTrip(t *testing.T) {
+	_, batches, _, err := Stream(StreamParams{N: 50, M: 200, Batches: 4, BatchSize: 20, DeleteFrac: 0.25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, batches); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batches, got) {
+		t.Fatalf("round-trip mismatch:\nwrote %v\nread  %v", batches, got)
+	}
+	if _, err := ReadTrace(bytes.NewReader([]byte("{bad json\n"))); err == nil {
+		t.Fatal("want error for malformed trace")
+	}
+}
+
+func TestStreamParamValidation(t *testing.T) {
+	if _, _, _, err := Stream(StreamParams{N: 1, M: 10, Batches: 1, BatchSize: 1}); err == nil {
+		t.Fatal("want error for n < 2")
+	}
+	if _, _, _, err := Stream(StreamParams{N: 10, M: 10, Batches: 0, BatchSize: 1}); err == nil {
+		t.Fatal("want error for zero batches")
+	}
+}

@@ -52,6 +52,7 @@ var Experiments = []Experiment{
 	{ID: "approx", Paper: "§VI ext.", Desc: "approximate counting: Doulion and wedge sampling vs exact", Run: expApprox},
 	{ID: "dynamic", Paper: "§VI ext.", Desc: "dynamic counting: exact under insertions and deletions", Run: expDynamic},
 	{ID: "service", Paper: "§VI ext.", Desc: "resident query service under concurrent mixed load (cache + single-flight absorption)", Run: expService},
+	{ID: "churn", Paper: "§VI ext.", Desc: "live graphs: exact counts and streaming estimate under churn, with compaction", Run: expChurn},
 }
 
 // Find returns the experiment with the given id.

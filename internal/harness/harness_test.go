@@ -262,6 +262,23 @@ func TestWorkHelpers(t *testing.T) {
 	}
 }
 
+func TestRunChurnExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	h := newHarness(t)
+	var buf bytes.Buffer
+	if err := h.Run("churn", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"round 5", "after compaction", "exact match, gen 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("churn output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunExperimentEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

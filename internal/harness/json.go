@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"pdtl/internal/balance"
 	"pdtl/internal/core"
 	"pdtl/internal/graph"
+	"pdtl/internal/live"
 	"pdtl/internal/scan"
 	"pdtl/internal/sched"
 )
@@ -24,7 +26,11 @@ import (
 // bytes_per_edge (oriented adjacency bytes per directed edge — the
 // compression ratio axis), and segments_skipped (header-only segment
 // rejections by the block-skipping kernel; 0 under every other kernel).
-const BenchSchema = "pdtl-bench/3"
+// /4 added the live-graph churn fields: delta_edges (undirected delta-layer
+// edges overlaid on the base snapshot at count time) and compactions
+// (completed delta-into-snapshot rewrites). Both are zero for static-store
+// runs; `pdtl-bench -json -churn N` emits the live rows that populate them.
+const BenchSchema = "pdtl-bench/4"
 
 // BenchRun is one (dataset, scheduler) measurement — the machine-readable
 // counterpart of the human tables, with the per-run wall/CPU/IO split and
@@ -65,6 +71,11 @@ type BenchRun struct {
 	// rejected on their headers alone (summed over runners); zero for plain
 	// stores and for every other kernel.
 	SegmentsSkipped uint64 `json:"segments_skipped"`
+	// DeltaEdges is the live overlay's undirected delta size at count time
+	// and Compactions its completed compaction count; both zero outside the
+	// -churn live rows.
+	DeltaEdges  uint64 `json:"delta_edges"`
+	Compactions uint64 `json:"compactions"`
 }
 
 // BenchReport is the top-level document: one run per (dataset, scheduler).
@@ -152,41 +163,166 @@ func (h *Harness) BenchJSON(w io.Writer, keys []string, workers, memEdges int, m
 			if err != nil {
 				return fmt.Errorf("harness: bench %s/%s: %w", key, mode, err)
 			}
-			cpu, io := AggCPUIO(res.Workers)
-			var bytesRead int64
-			var maxWall time.Duration
-			var segSkipped uint64
-			for _, ws := range res.Workers {
-				bytesRead += ws.Stats.IO.BytesRead
-				segSkipped += ws.Stats.SegmentsSkipped
-				if ws.Stats.Wall > maxWall {
-					maxWall = ws.Stats.Wall
-				}
-			}
-			run := BenchRun{
-				Dataset:         key,
-				Workers:         workers,
-				MemEdges:        mem,
-				Sched:           mode.String(),
-				Scan:            string(res.Scan),
-				Kernel:          kernelName(h.Kernel),
-				StoreFormat:     string(ometa.Format.OrPlain()),
-				BytesPerEdge:    bytesPerEdge,
-				SegmentsSkipped: segSkipped,
-				Triangles:       res.Triangles,
-				WallNS:          int64(res.CalcTime),
-				OrientNS:        int64(ores.Duration),
-				CPUNS:           int64(cpu),
-				IONS:            int64(io),
-				BytesRead:       bytesRead,
-				SourceBytes:     res.SourceIO.BytesRead,
-				WorkerImbalance: workerImbalance(res.Workers),
-				MaxWorkerWallNS: int64(maxWall),
-			}
+			run := h.benchRun(res, key, workers, mem)
+			run.Sched = mode.String()
+			run.StoreFormat = string(ometa.Format.OrPlain())
+			run.BytesPerEdge = bytesPerEdge
+			run.OrientNS = int64(ores.Duration)
 			if mode == sched.Stealing {
 				run.Chunks = len(res.ChunkStats)
 			}
 			report.Runs = append(report.Runs, run)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// benchRun aggregates one calculation's worker stats into the common
+// BenchRun core; callers fill in the run-type fields (sched, store format,
+// orientation time, live delta gauges).
+func (h *Harness) benchRun(res *core.Result, dataset string, workers, mem int) BenchRun {
+	cpu, io := AggCPUIO(res.Workers)
+	var bytesRead int64
+	var maxWall time.Duration
+	var segSkipped uint64
+	for _, ws := range res.Workers {
+		bytesRead += ws.Stats.IO.BytesRead
+		segSkipped += ws.Stats.SegmentsSkipped
+		if ws.Stats.Wall > maxWall {
+			maxWall = ws.Stats.Wall
+		}
+	}
+	return BenchRun{
+		Dataset:         dataset,
+		Workers:         workers,
+		MemEdges:        mem,
+		Scan:            string(res.Scan),
+		Kernel:          kernelName(h.Kernel),
+		SegmentsSkipped: segSkipped,
+		Triangles:       res.Triangles,
+		WallNS:          int64(res.CalcTime),
+		CPUNS:           int64(cpu),
+		IONS:            int64(io),
+		BytesRead:       bytesRead,
+		SourceBytes:     res.SourceIO.BytesRead,
+		WorkerImbalance: workerImbalance(res.Workers),
+		MaxWorkerWallNS: int64(maxWall),
+	}
+}
+
+// BenchChurnJSON measures the live-graph churn path for the perf
+// trajectory (`pdtl-bench -json -churn N`): each dataset's oriented store
+// is wrapped in a live overlay, a seeded burst of N edge mutations is
+// applied, and the merged view is counted twice — once against the
+// populated delta ("<key>+live" rows, delta_edges > 0) and once after a
+// forced compaction folded it into a fresh snapshot ("<key>+compacted"
+// rows, compactions = 1, delta_edges = 0). The two rows bracket the read
+// overhead the delta overlay adds and the wall cost compaction pays to
+// remove it.
+func (h *Harness) BenchChurnJSON(w io.Writer, keys []string, workers, memEdges, churnEdges int) error {
+	if workers <= 0 {
+		workers = 4
+	}
+	if churnEdges <= 0 {
+		churnEdges = 1000
+	}
+	report := BenchReport{
+		Schema:    BenchSchema,
+		Generated: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		GoMaxProc: runtime.GOMAXPROCS(0),
+		Hostname:  hostname(),
+	}
+	for _, key := range keys {
+		mem := memEdges
+		if mem <= 0 {
+			var err error
+			if mem, err = h.MemTight(key, workers); err != nil {
+				return err
+			}
+		}
+		orientedBase, ores, err := h.Oriented(key, 2)
+		if err != nil {
+			return err
+		}
+		ometa, err := graph.ReadMeta(orientedBase)
+		if err != nil {
+			return err
+		}
+		adjBytes, err := graph.StoreAdjBytes(orientedBase)
+		if err != nil {
+			return err
+		}
+		bytesPerEdge := 0.0
+		if ometa.NumEdges > 0 {
+			bytesPerEdge = float64(adjBytes) / float64(ometa.NumEdges)
+		}
+		lg, err := live.Open(orientedBase, live.Config{
+			Dir:         h.cacheDir,
+			Name:        fmt.Sprintf("%s.bench%d", key, scratchSeq.Add(1)),
+			Workers:     2,
+			MemEdges:    mem,
+			StoreFormat: h.StoreFormat,
+		})
+		if err != nil {
+			return err
+		}
+		err = func() error {
+			defer lg.Close()
+			// A seeded burst: deletes where the merged view has the edge,
+			// inserts elsewhere, never touching an edge twice in the batch.
+			rng := rand.New(rand.NewSource(99))
+			maxV := uint32(lg.Stats().NumVertices + 64)
+			updates := make([]live.Update, 0, churnEdges)
+			touched := make(map[[2]uint32]bool, churnEdges)
+			for len(updates) < churnEdges {
+				u, v := rng.Uint32()%maxV, rng.Uint32()%maxV
+				if u == v {
+					continue
+				}
+				if u > v {
+					u, v = v, u
+				}
+				k := [2]uint32{u, v}
+				if touched[k] {
+					continue
+				}
+				touched[k] = true
+				updates = append(updates, live.Update{
+					U: graph.Vertex(u), V: graph.Vertex(v),
+					Del: lg.HasEdge(graph.Vertex(u), graph.Vertex(v)),
+				})
+			}
+			if err := lg.ApplyBatch(updates); err != nil {
+				return fmt.Errorf("harness: churn bench %s: %w", key, err)
+			}
+			opt := core.Options{Workers: workers, MemEdges: mem, Strategy: balance.InDegree}
+			for _, stage := range []string{"live", "compacted"} {
+				if stage == "compacted" {
+					if err := lg.CompactNow(h.ctx()); err != nil {
+						return fmt.Errorf("harness: churn bench %s compaction: %w", key, err)
+					}
+				}
+				res, err := lg.Count(h.ctx(), opt)
+				if err != nil {
+					return fmt.Errorf("harness: churn bench %s/%s: %w", key, stage, err)
+				}
+				st := lg.Stats()
+				run := h.benchRun(res, key+"+"+stage, workers, mem)
+				run.Sched = sched.Static.String()
+				run.StoreFormat = string(ometa.Format.OrPlain())
+				run.BytesPerEdge = bytesPerEdge
+				run.OrientNS = int64(ores.Duration)
+				run.DeltaEdges = uint64(st.DeltaEdges)
+				run.Compactions = st.Compactions
+				report.Runs = append(report.Runs, run)
+			}
+			return nil
+		}()
+		if err != nil {
+			return err
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -74,6 +74,11 @@ func TestBenchJSONSchema(t *testing.T) {
 		if r.SegmentsSkipped != 0 {
 			t.Errorf("%s run segments_skipped = %d on a plain store", r.Sched, r.SegmentsSkipped)
 		}
+		// /4 live-graph churn fields are zero for static-store runs.
+		if r.DeltaEdges != 0 || r.Compactions != 0 {
+			t.Errorf("%s static run has live gauges: delta=%d compactions=%d",
+				r.Sched, r.DeltaEdges, r.Compactions)
+		}
 	}
 	st, ok1 := modes["static"]
 	sl, ok2 := modes["stealing"]
@@ -101,10 +106,57 @@ func TestBenchJSONSchema(t *testing.T) {
 	first := runs[0].(map[string]any)
 	for _, key := range []string{"dataset", "workers", "sched", "scan", "kernel",
 		"store_format", "bytes_per_edge", "segments_skipped", "triangles",
-		"wall_ns", "cpu_ns", "io_ns", "bytes_read", "worker_imbalance", "max_worker_wall_ns"} {
+		"wall_ns", "cpu_ns", "io_ns", "bytes_read", "worker_imbalance", "max_worker_wall_ns",
+		"delta_edges", "compactions"} {
 		if _, ok := first[key]; !ok {
 			t.Errorf("run object missing key %q", key)
 		}
+	}
+}
+
+// TestBenchChurnJSON pins the /4 live rows: the delta-overlay count carries
+// delta_edges > 0 and no compactions, the post-compaction count the
+// reverse, and both agree on the triangle count (compaction folds the delta
+// without changing the graph).
+func TestBenchChurnJSON(t *testing.T) {
+	h, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.BenchChurnJSON(&buf, []string{"tiny"}, 2, 0, 500); err != nil {
+		t.Fatal(err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if report.Schema != BenchSchema {
+		t.Errorf("schema = %q, want %q", report.Schema, BenchSchema)
+	}
+	if len(report.Runs) != 2 {
+		t.Fatalf("got %d runs, want delta + compacted", len(report.Runs))
+	}
+	liveRun, compacted := report.Runs[0], report.Runs[1]
+	if liveRun.Dataset != "tiny+live" || compacted.Dataset != "tiny+compacted" {
+		t.Fatalf("run labels: %q, %q", liveRun.Dataset, compacted.Dataset)
+	}
+	if liveRun.DeltaEdges == 0 || liveRun.Compactions != 0 {
+		t.Errorf("live row: delta=%d compactions=%d, want >0 / 0",
+			liveRun.DeltaEdges, liveRun.Compactions)
+	}
+	if compacted.DeltaEdges != 0 || compacted.Compactions != 1 {
+		t.Errorf("compacted row: delta=%d compactions=%d, want 0 / 1",
+			compacted.DeltaEdges, compacted.Compactions)
+	}
+	if liveRun.Triangles != compacted.Triangles {
+		t.Errorf("compaction changed the count: %d vs %d", liveRun.Triangles, compacted.Triangles)
+	}
+	if liveRun.Triangles == 0 {
+		t.Error("churn rows found no triangles")
+	}
+	if liveRun.WallNS <= 0 || compacted.WallNS <= 0 {
+		t.Error("churn rows missing wall timings")
 	}
 }
 

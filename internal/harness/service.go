@@ -9,24 +9,44 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pdtl/internal/baseline"
+	"pdtl/internal/graph"
 	"pdtl/internal/service"
 )
 
 // BaselineCount computes a dataset's exact triangle count with the
 // in-memory reference implementation (internal/baseline) — the independent
 // ground truth CI smoke jobs compare engine and service replies against
-// (`pdtl-bench -baseline`).
+// (`pdtl-bench -baseline`). key is a dataset key, or — when an undirected
+// store exists at that path — a store base, so smoke jobs can ground-truth
+// stores written by pdtl-gen (e.g. the -final snapshot of a churn trace).
 func (h *Harness) BaselineCount(key string) (uint64, error) {
-	g, err := h.LoadCSR(key)
+	g, err := h.loadKeyOrStore(key)
 	if err != nil {
 		return 0, err
 	}
 	return baseline.Forward(g), nil
+}
+
+func (h *Harness) loadKeyOrStore(key string) (*graph.CSR, error) {
+	if _, err := os.Stat(graph.MetaPath(key)); err == nil {
+		d, err := graph.Open(key)
+		if err != nil {
+			return nil, err
+		}
+		if d.Meta.Oriented {
+			// The baseline counts over the undirected graph; an oriented
+			// store would silently halve every adjacency.
+			return nil, fmt.Errorf("harness: store %s is oriented, baseline needs the undirected graph", key)
+		}
+		return d.LoadCSR()
+	}
+	return h.LoadCSR(key)
 }
 
 // ServiceLoadResult reports one service load-driver run.

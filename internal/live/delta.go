@@ -1,0 +1,240 @@
+package live
+
+import (
+	"fmt"
+
+	"pdtl/internal/graph"
+	"pdtl/internal/vset"
+)
+
+// deltaList is one vertex's pending mutations: the neighbors inserted and
+// the neighbors deleted relative to the layers below. Both sets are sorted
+// and disjoint.
+type deltaList struct {
+	ins []graph.Vertex
+	del []graph.Vertex
+}
+
+// delta is one immutable LSM layer: per-vertex sorted insert/delete sets,
+// stored undirected (each edge appears under both endpoints, so a future
+// base swap can re-orient them under the new snapshot's degree order).
+//
+// Layer invariants, maintained by the builder against the layers below it
+// (base ⊕ lower deltas):
+//
+//	ins ∩ below = ∅   (an inserted edge is absent below)
+//	del ⊆ below       (a deleted edge is present below)
+//
+// A delta is never mutated after build; ApplyBatch builds a fresh one by
+// copy-on-write, so readers holding an old view never see a torn list.
+type delta struct {
+	lists map[graph.Vertex]*deltaList
+	// insEdges and delEdges count undirected edges (each stored twice).
+	insEdges int
+	delEdges int
+	// maxVertex is the largest vertex id any list touches; only meaningful
+	// when len(lists) > 0.
+	maxVertex graph.Vertex
+}
+
+// emptyDelta is the shared zero layer.
+var emptyDelta = &delta{lists: map[graph.Vertex]*deltaList{}}
+
+// edges reports the layer's size in undirected edges (inserts + deletes) —
+// the compaction-threshold measure.
+func (d *delta) edges() int { return d.insEdges + d.delEdges }
+
+func (d *delta) insHas(u, v graph.Vertex) bool {
+	l := d.lists[u]
+	return l != nil && vset.Contains(l.ins, v)
+}
+
+func (d *delta) delHas(u, v graph.Vertex) bool {
+	l := d.lists[u]
+	return l != nil && vset.Contains(l.del, v)
+}
+
+// presentAfter composes the layer on top of the presence below it.
+func (d *delta) presentAfter(below bool, u, v graph.Vertex) bool {
+	if below {
+		return !d.delHas(u, v)
+	}
+	return d.insHas(u, v)
+}
+
+// compose flattens upper on top of lower into one layer with the same
+// semantics against lower's base: applying the result is applying lower
+// then upper. Used to make one effective delta for the read path and to
+// fold a frozen layer back into the active one when a compaction fails.
+func compose(lower, upper *delta) *delta {
+	if upper == nil || len(upper.lists) == 0 {
+		if lower == nil {
+			return emptyDelta
+		}
+		return lower
+	}
+	if lower == nil || len(lower.lists) == 0 {
+		return upper
+	}
+	b := newBuilder(lower)
+	for u, l := range upper.lists {
+		for _, v := range l.ins {
+			if u > v {
+				continue // undirected edge visited once
+			}
+			// An upper insert of an edge lower deleted cancels the delete;
+			// otherwise it is a fresh insert against lower's base.
+			if lower.delHas(u, v) {
+				b.removeDel(u, v)
+			} else {
+				b.addIns(u, v)
+			}
+		}
+		for _, v := range l.del {
+			if u > v {
+				continue
+			}
+			if lower.insHas(u, v) {
+				b.removeIns(u, v)
+			} else {
+				b.addDel(u, v)
+			}
+		}
+	}
+	return b.build()
+}
+
+// deltaBuilder accumulates mutations into a copy-on-write clone of a
+// delta: the map header is copied up front (O(touched vertices of the
+// source)), each vertex's slices only when first touched, so the source
+// layer stays immutable for concurrent readers.
+type deltaBuilder struct {
+	d       delta
+	touched map[graph.Vertex]bool
+}
+
+func newBuilder(from *delta) *deltaBuilder {
+	if from == nil {
+		from = emptyDelta
+	}
+	lists := make(map[graph.Vertex]*deltaList, len(from.lists)+8)
+	for v, l := range from.lists {
+		lists[v] = l
+	}
+	return &deltaBuilder{
+		d: delta{
+			lists:     lists,
+			insEdges:  from.insEdges,
+			delEdges:  from.delEdges,
+			maxVertex: from.maxVertex,
+		},
+		touched: make(map[graph.Vertex]bool),
+	}
+}
+
+// listFor returns a privately owned deltaList for v, cloning on first
+// touch.
+func (b *deltaBuilder) listFor(v graph.Vertex) *deltaList {
+	l := b.d.lists[v]
+	if l == nil {
+		l = &deltaList{}
+		b.d.lists[v] = l
+		b.touched[v] = true
+	} else if !b.touched[v] {
+		cp := &deltaList{
+			ins: append([]graph.Vertex(nil), l.ins...),
+			del: append([]graph.Vertex(nil), l.del...),
+		}
+		b.d.lists[v] = cp
+		b.touched[v] = true
+		l = cp
+	}
+	if v > b.d.maxVertex {
+		b.d.maxVertex = v
+	}
+	return l
+}
+
+func (b *deltaBuilder) addIns(u, v graph.Vertex) {
+	lu, lv := b.listFor(u), b.listFor(v)
+	lu.ins = vset.Insert(lu.ins, v)
+	lv.ins = vset.Insert(lv.ins, u)
+	b.d.insEdges++
+}
+
+func (b *deltaBuilder) removeIns(u, v graph.Vertex) {
+	lu, lv := b.listFor(u), b.listFor(v)
+	lu.ins = vset.Remove(lu.ins, v)
+	lv.ins = vset.Remove(lv.ins, u)
+	b.d.insEdges--
+}
+
+func (b *deltaBuilder) addDel(u, v graph.Vertex) {
+	lu, lv := b.listFor(u), b.listFor(v)
+	lu.del = vset.Insert(lu.del, v)
+	lv.del = vset.Insert(lv.del, u)
+	b.d.delEdges++
+}
+
+func (b *deltaBuilder) removeDel(u, v graph.Vertex) {
+	lu, lv := b.listFor(u), b.listFor(v)
+	lu.del = vset.Remove(lu.del, v)
+	lv.del = vset.Remove(lv.del, u)
+	b.d.delEdges--
+}
+
+func (b *deltaBuilder) insHas(u, v graph.Vertex) bool { return b.d.insHas(u, v) }
+func (b *deltaBuilder) delHas(u, v graph.Vertex) bool { return b.d.delHas(u, v) }
+
+// insert records the insertion of (u, v) into this layer, given that the
+// edge is absent in the composite up to and including this layer.
+func (b *deltaBuilder) insert(u, v graph.Vertex) {
+	if b.delHas(u, v) {
+		// Present below, deleted in this layer: re-inserting just cancels
+		// the pending delete.
+		b.removeDel(u, v)
+		return
+	}
+	b.addIns(u, v)
+}
+
+// remove records the deletion of (u, v), given that the edge is present in
+// the composite up to and including this layer.
+func (b *deltaBuilder) remove(u, v graph.Vertex) {
+	if b.insHas(u, v) {
+		// Inserted in this layer, never compacted: deletion cancels it.
+		b.removeIns(u, v)
+		return
+	}
+	b.addDel(u, v)
+}
+
+// build freezes the builder into an immutable delta. The builder must not
+// be used afterwards.
+func (b *deltaBuilder) build() *delta {
+	d := b.d
+	b.d.lists = nil
+	// Drop vertices whose mutations fully cancelled so the merged-view
+	// build does not iterate dead entries.
+	for v, l := range d.lists {
+		if len(l.ins) == 0 && len(l.del) == 0 {
+			delete(d.lists, v)
+		}
+	}
+	return &d
+}
+
+// Update is one edge mutation in an ApplyBatch call.
+type Update struct {
+	U, V graph.Vertex
+	// Del deletes the edge instead of inserting it.
+	Del bool
+}
+
+func (u Update) String() string {
+	op := "+"
+	if u.Del {
+		op = "-"
+	}
+	return fmt.Sprintf("%s(%d,%d)", op, u.U, u.V)
+}

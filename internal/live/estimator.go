@@ -1,0 +1,195 @@
+package live
+
+import (
+	"math/rand"
+
+	"pdtl/internal/graph"
+	"pdtl/internal/vset"
+)
+
+// Estimator maintains a bounded-memory streaming estimate of the triangle
+// count under fully-dynamic edge updates — the TRIÈST-FD algorithm of
+// De Stefani, Epasto, Riondato & Upfal (arXiv:1602.07424), built on
+// random-pairing reservoir sampling (Gemulla et al.) so deletions are
+// handled by pairing them with future insertions instead of resampling.
+//
+// The estimator holds at most Capacity edges. While the stream (plus its
+// deletion debt) fits in the reservoir the estimate is exact; beyond that
+// it is an unbiased estimate whose variance shrinks with Capacity²/t².
+// All randomness comes from a caller-seeded generator, so a replayed churn
+// trace reproduces the same estimate bit for bit.
+//
+// Not safe for concurrent use; the owning Graph serializes access under
+// its mutation lock.
+type Estimator struct {
+	cap int
+	rng *rand.Rand
+
+	// edges is the reservoir: sample[i] is the i-th held edge, pos maps an
+	// edge to its slot for O(1) removal, adj mirrors the sample as sorted
+	// adjacency so the counting step is an O(d) intersection.
+	sample []edgeKey
+	pos    map[edgeKey]int
+	adj    map[graph.Vertex][]graph.Vertex
+
+	// tau counts triangles whose three edges are all in the sample.
+	tau float64
+	// t is the current number of live edges in the stream.
+	t uint64
+	// di and do_ are the random-pairing debts: uncompensated deletions of
+	// sampled (di) and unsampled (do_) edges, each cancelling one future
+	// insertion instead of drawing a fresh sample.
+	di, do_ uint64
+	scratch []graph.Vertex
+}
+
+type edgeKey struct{ u, v graph.Vertex }
+
+func canonEdge(u, v graph.Vertex) edgeKey {
+	if u > v {
+		u, v = v, u
+	}
+	return edgeKey{u, v}
+}
+
+// NewEstimator creates an estimator holding at most capacity edges (a
+// non-positive capacity selects 1 << 17 ≈ 131k edges ≈ 3 MiB) with a
+// deterministic seed.
+func NewEstimator(capacity int, seed int64) *Estimator {
+	if capacity <= 0 {
+		capacity = 1 << 17
+	}
+	return &Estimator{
+		cap: capacity,
+		rng: rand.New(rand.NewSource(seed)),
+		pos: make(map[edgeKey]int),
+		adj: make(map[graph.Vertex][]graph.Vertex),
+	}
+}
+
+// Seed feeds the base graph's edges through the estimator as an insertion
+// stream. Called once at open, before any updates. An oriented CSR holds
+// each edge once; an undirected one holds both directions, of which only
+// the canonical one is streamed.
+func (e *Estimator) Seed(csr *graph.CSR) {
+	for u := 0; u < csr.NumVertices(); u++ {
+		for _, v := range csr.Neighbors(graph.Vertex(u)) {
+			if !csr.Oriented && graph.Vertex(u) > v {
+				continue
+			}
+			e.Insert(graph.Vertex(u), v)
+		}
+	}
+}
+
+// Insert processes the insertion of edge (u, v).
+func (e *Estimator) Insert(u, v graph.Vertex) {
+	e.t++
+	if e.di+e.do_ > 0 {
+		// Random pairing: this insertion compensates an earlier deletion.
+		// With probability di/(di+do) the deleted edge was sampled, so the
+		// new edge takes the vacated slot.
+		if e.rng.Int63n(int64(e.di+e.do_)) < int64(e.di) {
+			e.di--
+			e.add(u, v)
+		} else {
+			e.do_--
+		}
+		return
+	}
+	if len(e.sample) < e.cap {
+		e.add(u, v)
+		return
+	}
+	// Standard reservoir: keep with probability cap/t, evicting a uniform
+	// victim.
+	if e.rng.Int63n(int64(e.t)) < int64(e.cap) {
+		victim := e.sample[e.rng.Intn(len(e.sample))]
+		e.remove(victim.u, victim.v)
+		e.add(u, v)
+	}
+}
+
+// Delete processes the deletion of edge (u, v).
+func (e *Estimator) Delete(u, v graph.Vertex) {
+	e.t--
+	if _, ok := e.pos[canonEdge(u, v)]; ok {
+		e.remove(u, v)
+		e.di++
+	} else {
+		e.do_++
+	}
+}
+
+// add puts (u, v) into the reservoir, counting the sample triangles it
+// closes.
+func (e *Estimator) add(u, v graph.Vertex) {
+	e.scratch = vset.Intersect(e.scratch[:0], e.adj[u], e.adj[v])
+	e.tau += float64(len(e.scratch))
+	k := canonEdge(u, v)
+	e.pos[k] = len(e.sample)
+	e.sample = append(e.sample, k)
+	e.adj[u] = vset.Insert(e.adj[u], v)
+	e.adj[v] = vset.Insert(e.adj[v], u)
+}
+
+// remove takes (u, v) out of the reservoir, uncounting its sample
+// triangles.
+func (e *Estimator) remove(u, v graph.Vertex) {
+	k := canonEdge(u, v)
+	i, ok := e.pos[k]
+	if !ok {
+		return
+	}
+	last := len(e.sample) - 1
+	e.sample[i] = e.sample[last]
+	e.pos[e.sample[i]] = i
+	e.sample = e.sample[:last]
+	delete(e.pos, k)
+	e.adj[u] = vset.Remove(e.adj[u], v)
+	e.adj[v] = vset.Remove(e.adj[v], u)
+	if len(e.adj[u]) == 0 {
+		delete(e.adj, u)
+	}
+	if len(e.adj[v]) == 0 {
+		delete(e.adj, v)
+	}
+	e.scratch = vset.Intersect(e.scratch[:0], e.adj[u], e.adj[v])
+	e.tau -= float64(len(e.scratch))
+}
+
+// Estimate returns the current triangle estimate. While the reservoir has
+// never dropped an edge (t + deletion debt ≤ capacity) the sample is the
+// whole graph and the estimate is exact; otherwise each sampled triangle
+// is reweighted by the inverse probability that all three of its edges are
+// simultaneously sampled.
+func (e *Estimator) Estimate() float64 {
+	if e.tau <= 0 {
+		return 0
+	}
+	denomT := float64(e.t + e.di + e.do_)
+	s := float64(e.cap)
+	if s >= denomT {
+		return e.tau // exact regime
+	}
+	p := 1.0
+	for i := 0.0; i < 3; i++ {
+		p *= (s - i) / (denomT - i)
+	}
+	if p <= 0 {
+		return e.tau
+	}
+	return e.tau / p
+}
+
+// Exact reports whether the estimate is currently exact (the reservoir
+// holds the entire live edge set and no deletion debt is outstanding).
+func (e *Estimator) Exact() bool {
+	return uint64(e.cap) >= e.t+e.di+e.do_
+}
+
+// SampledEdges reports the current reservoir occupancy.
+func (e *Estimator) SampledEdges() int { return len(e.sample) }
+
+// LiveEdges reports t, the number of edges currently live in the stream.
+func (e *Estimator) LiveEdges() uint64 { return e.t }

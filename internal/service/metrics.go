@@ -34,6 +34,11 @@ type Metrics struct {
 	Registered atomic.Uint64
 	Evicted    atomic.Uint64
 
+	// Live-graph mutations: accepted batches and the edge updates they
+	// carried (rejected batches count in neither).
+	MutationBatches atomic.Uint64
+	EdgesApplied    atomic.Uint64
+
 	// Distributed runs: worker failures the cluster layer detected and
 	// recovered from (the run still produced an exact result). A steadily
 	// climbing value means a flaky worker is being carried by its peers.
@@ -61,6 +66,8 @@ func (m *Metrics) snapshot(gauges map[string]int64) []string {
 		"pdtl_triangles_sent":        int64(m.TrianglesSent.Load()),
 		"pdtl_graphs_registered":     int64(m.Registered.Load()),
 		"pdtl_graphs_evicted":        int64(m.Evicted.Load()),
+		"pdtl_mutation_batches":      int64(m.MutationBatches.Load()),
+		"pdtl_edges_applied":         int64(m.EdgesApplied.Load()),
 		"pdtl_cluster_node_failures": int64(m.ClusterNodeFailures.Load()),
 		"pdtl_source_bytes_read":     m.SourceBytesRead.Load(),
 		"pdtl_worker_bytes_read":     m.WorkerBytesRead.Load(),

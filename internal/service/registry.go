@@ -63,12 +63,15 @@ func NewRegistry(maxOpen int) *Registry {
 }
 
 // Entry is one registered graph: the long-lived handle plus the caches the
-// service layers on top of it.
+// service layers on top of it. A live entry additionally carries the
+// mutable overlay; its memoized results are invalidated wholesale on every
+// mutation batch (see Invalidate).
 type Entry struct {
 	name string
 	base string
 	gen  uint64
 	g    *pdtl.Graph
+	live *pdtl.LiveGraph // nil for immutable entries
 
 	// lastUse is the registry clock at the entry's last lookup; guarded by
 	// the Registry mutex.
@@ -78,6 +81,10 @@ type Entry struct {
 	cache   map[string]any
 	order   []string // cache keys in insertion order, for bounded eviction
 	flights map[string]*flight
+	// mutGen counts mutation batches applied to a live entry. A run that
+	// started under an older generation is never memoized: its result was
+	// computed against a view that no longer answers for the graph.
+	mutGen uint64
 }
 
 // Name reports the entry's registered name.
@@ -92,6 +99,36 @@ func (e *Entry) Gen() uint64 { return e.gen }
 
 // Graph returns the entry's handle.
 func (e *Entry) Graph() *pdtl.Graph { return e.g }
+
+// Live returns the entry's mutable overlay, or nil for immutable entries.
+func (e *Entry) Live() *pdtl.LiveGraph { return e.live }
+
+// MutGen reports how many mutation batches have been applied to the entry.
+func (e *Entry) MutGen() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mutGen
+}
+
+// Invalidate drops every memoized result and bumps the mutation generation,
+// so runs already in flight (computed against the pre-mutation view) finish
+// for their waiters but are not cached. Called after each applied batch.
+func (e *Entry) Invalidate() {
+	e.mu.Lock()
+	e.mutGen++
+	e.cache = make(map[string]any)
+	e.order = nil
+	e.mu.Unlock()
+}
+
+// close releases the entry's handle (and overlay, for live entries).
+func (e *Entry) close() {
+	if e.live != nil {
+		e.live.Close() // closes the underlying handle too
+		return
+	}
+	e.g.Close()
+}
 
 // CachedResults reports how many memoized results the entry holds.
 func (e *Entry) CachedResults() int {
@@ -109,9 +146,25 @@ func (r *Registry) Register(name, base string) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := r.attach(name, base, g)
+	e, err := r.attach(name, base, g, nil)
 	if err != nil {
 		g.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// RegisterLive opens the store at base wrapped in a mutable delta overlay
+// (pdtl.OpenLive) and binds it to name. The entry then accepts edge
+// mutations; each applied batch invalidates its memoized results.
+func (r *Registry) RegisterLive(ctx context.Context, name, base string, opt pdtl.LiveOptions) (*Entry, error) {
+	lg, err := pdtl.OpenLive(ctx, base, opt)
+	if err != nil {
+		return nil, err
+	}
+	e, err := r.attach(name, base, lg.Handle(), lg)
+	if err != nil {
+		lg.Close()
 		return nil, err
 	}
 	return e, nil
@@ -121,10 +174,16 @@ func (r *Registry) Register(name, base string) (*Entry, error) {
 // of the handle (it is closed on eviction, replacement, and registry
 // close).
 func (r *Registry) Attach(name string, g *pdtl.Graph) (*Entry, error) {
-	return r.attach(name, g.Base(), g)
+	return r.attach(name, g.Base(), g, nil)
 }
 
-func (r *Registry) attach(name, base string, g *pdtl.Graph) (*Entry, error) {
+// AttachLive binds an already-open live graph to name; the registry takes
+// ownership of the overlay and its handle.
+func (r *Registry) AttachLive(name string, lg *pdtl.LiveGraph) (*Entry, error) {
+	return r.attach(name, lg.Handle().Base(), lg.Handle(), lg)
+}
+
+func (r *Registry) attach(name, base string, g *pdtl.Graph, lg *pdtl.LiveGraph) (*Entry, error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -137,6 +196,7 @@ func (r *Registry) attach(name, base string, g *pdtl.Graph) (*Entry, error) {
 		base:    base,
 		gen:     r.gen,
 		g:       g,
+		live:    lg,
 		lastUse: r.clock,
 		cache:   make(map[string]any),
 		flights: make(map[string]*flight),
@@ -166,7 +226,7 @@ func (r *Registry) attach(name, base string, g *pdtl.Graph) (*Entry, error) {
 	// Closing outside the lock: handle Close never blocks on in-flight
 	// runs, but there is no reason to hold the registry over it either.
 	for _, old := range closing {
-		old.g.Close()
+		old.close()
 	}
 	return e, nil
 }
@@ -197,7 +257,7 @@ func (r *Registry) Evict(name string) bool {
 	}
 	r.mu.Unlock()
 	if ok {
-		e.g.Close()
+		e.close()
 	}
 	return ok
 }
@@ -237,7 +297,7 @@ func (r *Registry) Close() {
 	r.entries = make(map[string]*Entry)
 	r.mu.Unlock()
 	for _, e := range entries {
-		e.g.Close()
+		e.close()
 	}
 }
 
@@ -266,7 +326,8 @@ func (f *flight) leave() {
 // leader's run context descends from baseCtx (the server's lifetime, so
 // shutdown cancels it) and is abandoned-waiter-cancelled; each waiter's own
 // ctx bounds only its wait. Successful results are memoized under key until
-// the entry is replaced or evicted.
+// the entry is replaced, evicted, or (live entries) invalidated by a
+// mutation batch.
 func (e *Entry) Do(ctx, baseCtx context.Context, key string, adm *Admission, met *Metrics,
 	run func(context.Context) (any, error)) (any, Origin, error) {
 	for {
@@ -304,6 +365,10 @@ func (e *Entry) Do(ctx, baseCtx context.Context, key string, adm *Admission, met
 			}
 		}
 		met.CacheMisses.Add(1)
+		// The flight remembers the mutation generation it started under; a
+		// mutation landing mid-run bumps it, and the stale result is then
+		// handed to this flight's waiters but never memoized.
+		gen := e.mutGen
 		runCtx, cancel := context.WithCancel(baseCtx)
 		f := &flight{done: make(chan struct{}), cancel: cancel}
 		f.waiters.Store(1)
@@ -316,6 +381,15 @@ func (e *Entry) Do(ctx, baseCtx context.Context, key string, adm *Admission, met
 		stopWatch := context.AfterFunc(ctx, f.leave)
 
 		release, err := adm.Acquire(runCtx)
+		if cerr := ctx.Err(); cerr != nil && err == nil {
+			// The leader's own context is already dead (an expired
+			// ?timeout=, or a client that disconnected while queued). The
+			// AfterFunc above cancels the run too, but on a saturated
+			// single-P runtime that goroutine may not be scheduled before a
+			// short run finishes — don't start work nobody is waiting for.
+			release()
+			release, err = nil, cerr
+		}
 		if err == nil {
 			met.RunsStarted.Add(1)
 			f.val, f.err = run(runCtx)
@@ -331,7 +405,7 @@ func (e *Entry) Do(ctx, baseCtx context.Context, key string, adm *Admission, met
 
 		e.mu.Lock()
 		delete(e.flights, key)
-		if f.err == nil {
+		if f.err == nil && e.mutGen == gen {
 			if len(e.cache) >= maxCachedResults {
 				oldest := e.order[0]
 				e.order = e.order[1:]

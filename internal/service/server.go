@@ -37,6 +37,13 @@ type Config struct {
 	// ClusterDefaults seeds distributed runs the same way Defaults seeds
 	// local ones.
 	ClusterDefaults pdtl.ClusterOptions
+	// Live registers every graph as a mutable delta overlay (pdtl.OpenLive),
+	// enabling POST …/edges and …/compact. Individual registrations can
+	// also opt in with {"live": true}.
+	Live bool
+	// LiveDefaults parameterizes live registrations (compaction triggers,
+	// snapshot format, estimator reservoir).
+	LiveDefaults pdtl.LiveOptions
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +112,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/graphs/{name}/triangles", s.handleTriangles)
 	s.mux.HandleFunc("GET /v1/graphs/{name}/degrees", s.handleDegrees)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleMutate)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/compact", s.handleCompact)
 	return s
 }
 
@@ -121,16 +130,30 @@ func (s *Server) Metrics() *Metrics { return s.met }
 
 // RegisterGraph opens the store at base and registers it under name —
 // the programmatic form of POST /v1/graphs, used by pdtl-serve's -graph
-// flags.
+// flags. With Config.Live set the graph is registered as a mutable
+// overlay.
 func (s *Server) RegisterGraph(name, base string) error {
+	_, err := s.registerEntry(name, base, s.cfg.Live)
+	return err
+}
+
+func (s *Server) registerEntry(name, base string, live bool) (*Entry, error) {
 	if err := validateName(name); err != nil {
-		return err
+		return nil, err
 	}
-	_, err := s.reg.Register(name, base)
+	var (
+		e   *Entry
+		err error
+	)
+	if live {
+		e, err = s.reg.RegisterLive(s.baseCtx, name, base, s.cfg.LiveDefaults)
+	} else {
+		e, err = s.reg.Register(name, base)
+	}
 	if err == nil {
 		s.met.Registered.Add(1)
 	}
-	return err
+	return e, err
 }
 
 // Shutdown drains the service: queued requests fail with 503, in-flight
@@ -188,6 +211,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
 		gauges["pdtl_draining"] = 1
 	}
+	// Live-overlay gauges, sampled across the registry at scrape time: how
+	// many graphs are mutable, how much uncompacted delta they carry, and
+	// how many compactions have folded delta back into snapshots.
+	var liveGraphs, deltaEdges, compactions int64
+	for _, e := range s.reg.Snapshot() {
+		lg := e.Live()
+		if lg == nil {
+			continue
+		}
+		st := lg.Stats()
+		liveGraphs++
+		deltaEdges += int64(st.DeltaEdges)
+		compactions += int64(st.Compactions)
+	}
+	gauges["pdtl_live_graphs"] = liveGraphs
+	gauges["pdtl_live_delta_edges"] = deltaEdges
+	gauges["pdtl_live_compactions"] = compactions
 	admitted, rejected, queued := s.adm.Counters()
 	gauges["pdtl_runs_admitted"] = int64(admitted)
 	gauges["pdtl_admission_shed"] = int64(rejected)
@@ -201,6 +241,9 @@ type registerRequest struct {
 	Name string `json:"name"`
 	// Base is the on-disk store path (as produced by pdtl-gen / WriteGraph).
 	Base string `json:"base"`
+	// Live registers the graph as a mutable delta overlay (implied when the
+	// server itself runs with -live).
+	Live bool `json:"live"`
 }
 
 var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
@@ -222,20 +265,15 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad register body: %w", err))
 		return
 	}
-	if err := validateName(req.Name); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
-	}
 	if req.Base == "" {
 		s.writeError(w, http.StatusBadRequest, errors.New("service: register needs a store base path"))
 		return
 	}
-	e, err := s.reg.Register(req.Name, req.Base)
+	e, err := s.registerEntry(req.Name, req.Base, req.Live || s.cfg.Live)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.met.Registered.Add(1)
 	writeJSON(w, http.StatusCreated, graphStatus(e))
 }
 
@@ -301,6 +339,11 @@ type countResponse struct {
 	// The count is exact regardless — a non-empty list only means the run
 	// completed degraded (DESIGN.md §9).
 	Failures []nodeFailureJSON `json:"failures,omitempty"`
+	// Live marks counts served off a mutable overlay; MutGen is the
+	// mutation generation the reply reflects (callers can correlate it with
+	// their own POST …/edges responses).
+	Live   bool   `json:"live,omitempty"`
+	MutGen uint64 `json:"mut_gen,omitempty"`
 }
 
 // nodeFailureJSON is pdtl.NodeFailure shaped for the HTTP API.
@@ -331,6 +374,11 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	defer cleanup()
 
 	if boolParam(q, "distributed") {
+		if e.Live() != nil {
+			s.writeError(w, http.StatusBadRequest,
+				errors.New("service: distributed counts are not supported on live graphs (compact first)"))
+			return
+		}
 		s.countDistributed(ctx, w, e, q)
 		return
 	}
@@ -346,6 +394,12 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	}
 	val, origin, err := e.Do(ctx, s.baseCtx, "count|"+key, s.adm, s.met,
 		func(runCtx context.Context) (any, error) {
+			if lg := e.Live(); lg != nil {
+				// Exact count over the current merged view; the memoized
+				// result stays valid until the next mutation batch
+				// invalidates the entry.
+				return lg.Count(runCtx, opt)
+			}
 			return e.Graph().Count(runCtx, opt)
 		})
 	if err != nil {
@@ -356,7 +410,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	if origin == OriginRun {
 		s.accountRun(res)
 	}
-	writeJSON(w, http.StatusOK, countResponse{
+	resp := countResponse{
 		Graph:           e.Name(),
 		Key:             key,
 		Origin:          origin,
@@ -366,7 +420,12 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		OrientNS:        res.OrientTime.Nanoseconds(),
 		SourceBytesRead: res.SourceBytesRead,
 		Workers:         len(res.Workers),
-	})
+	}
+	if e.Live() != nil {
+		resp.Live = true
+		resp.MutGen = e.MutGen()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // countDistributed satisfies ?distributed=1 via the cluster protocol
@@ -438,6 +497,11 @@ func (s *Server) handleTriangles(w http.ResponseWriter, r *http.Request) {
 	e, err := s.reg.Get(r.PathValue("name"))
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
+		return
+	}
+	if e.Live() != nil {
+		s.writeError(w, http.StatusBadRequest,
+			errors.New("service: triangle listing is not supported on live graphs (compact first)"))
 		return
 	}
 	q := r.URL.Query()
@@ -541,6 +605,11 @@ func (s *Server) handleDegrees(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, statusFor(err), err)
 		return
 	}
+	if e.Live() != nil {
+		s.writeError(w, http.StatusBadRequest,
+			errors.New("service: triangle degrees are not supported on live graphs (compact first)"))
+		return
+	}
 	q := r.URL.Query()
 	opt, err := s.parseOptions(q)
 	if err != nil {
@@ -642,6 +711,36 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, statusFor(err), err)
 		return
 	}
+	if lg := e.Live(); lg != nil {
+		// Live graphs maintain a streaming estimate (TRIÈST-FD) updated on
+		// every mutation batch — it is already current, costs nothing to
+		// read, and the batch estimators below would read the stale base
+		// store instead of the merged view.
+		var req estimateRequest
+		if r.ContentLength != 0 {
+			if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+				s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad estimate body: %w", err))
+				return
+			}
+		}
+		if req.Method != "" && req.Method != "streaming" {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Errorf("service: live graphs only support the streaming estimate (got method %q)", req.Method))
+			return
+		}
+		est, exact := lg.Estimate()
+		st := lg.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"graph":         e.Name(),
+			"origin":        "live",
+			"method":        "streaming",
+			"estimate":      est,
+			"exact":         exact,
+			"sampled_edges": st.SampledEdges,
+			"mut_gen":       e.MutGen(),
+		})
+		return
+	}
 	req := estimateRequest{Method: "doulion", P: 0.1, Samples: 100000, Seed: 1}
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
@@ -693,6 +792,146 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		"method":   req.Method,
 		"estimate": val.(float64),
 	})
+}
+
+// mutateRequest is the POST /v1/graphs/{name}/edges body — the same shape
+// pdtl-gen stream emits, one batch per trace line. Inserts are applied
+// before deletes within a batch.
+type mutateRequest struct {
+	Insert [][2]uint32 `json:"insert"`
+	Delete [][2]uint32 `json:"delete"`
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if !s.enter(w) {
+		return
+	}
+	defer s.wg.Done()
+	e, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	lg := e.Live()
+	if lg == nil {
+		s.writeError(w, http.StatusBadRequest, errNotLive(e))
+		return
+	}
+	var req mutateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad edges body: %w", err))
+		return
+	}
+	if len(req.Insert)+len(req.Delete) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("service: empty mutation batch"))
+		return
+	}
+	ctx, cleanup, err := s.requestCtx(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cleanup()
+	// Mutations are admission-controlled like engine runs: a batch rebuilds
+	// delta layers, feeds the estimator, and may kick off a compaction —
+	// enough work that unbounded concurrent batches could starve queries.
+	release, err := s.adm.Acquire(ctx)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	updates := make([]pdtl.LiveUpdate, 0, len(req.Insert)+len(req.Delete))
+	for _, p := range req.Insert {
+		updates = append(updates, pdtl.LiveUpdate{U: p[0], V: p[1]})
+	}
+	for _, p := range req.Delete {
+		updates = append(updates, pdtl.LiveUpdate{U: p[0], V: p[1], Del: true})
+	}
+	err = lg.Apply(updates)
+	release()
+	if err != nil {
+		// ApplyBatch only fails on invalid updates (self-loop, duplicate
+		// insert, absent delete), and rejects the batch atomically.
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The applied batch changed the answer to every memoized query; drop
+	// them all and bump the generation so in-flight runs do not re-cache
+	// stale results.
+	e.Invalidate()
+	s.met.MutationBatches.Add(1)
+	s.met.EdgesApplied.Add(uint64(len(updates)))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph":    e.Name(),
+		"inserted": len(req.Insert),
+		"deleted":  len(req.Delete),
+		"mut_gen":  e.MutGen(),
+		"stats":    liveStatsJSON(lg.Stats()),
+	})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if !s.enter(w) {
+		return
+	}
+	defer s.wg.Done()
+	e, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	lg := e.Live()
+	if lg == nil {
+		s.writeError(w, http.StatusBadRequest, errNotLive(e))
+		return
+	}
+	ctx, cleanup, err := s.requestCtx(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cleanup()
+	// Compaction rebuilds the store through the external-sort pipeline — a
+	// full engine-run's worth of work, so it takes an admission slot.
+	release, err := s.adm.Acquire(ctx)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	err = lg.Compact(ctx)
+	release()
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	// Compaction preserves the graph, so memoized results stay valid.
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph": e.Name(),
+		"stats": liveStatsJSON(lg.Stats()),
+	})
+}
+
+func errNotLive(e *Entry) error {
+	return fmt.Errorf("service: graph %q is not live (register it with \"live\": true or run the server with -live)", e.Name())
+}
+
+// liveStatsJSON shapes pdtl.LiveStats for the JSON API.
+func liveStatsJSON(st pdtl.LiveStats) map[string]any {
+	return map[string]any{
+		"gen":            st.Gen,
+		"num_vertices":   st.NumVertices,
+		"num_edges":      st.NumEdges,
+		"active_edges":   st.ActiveEdges,
+		"frozen_edges":   st.FrozenEdges,
+		"delta_edges":    st.DeltaEdges,
+		"batches":        st.Batches,
+		"edges_applied":  st.EdgesApplied,
+		"compactions":    st.Compactions,
+		"compacting":     st.Compacting,
+		"estimate":       st.Estimate,
+		"estimate_exact": st.EstimateExact,
+		"sampled_edges":  st.SampledEdges,
+	}
 }
 
 // --- request plumbing ---
@@ -837,7 +1076,7 @@ func (s *Server) isDraining() bool {
 // graphStatus renders one registry entry for the JSON API.
 func graphStatus(e *Entry) map[string]any {
 	g := e.Graph()
-	return map[string]any{
+	st := map[string]any{
 		"name":           e.Name(),
 		"base":           e.Base(),
 		"gen":            e.Gen(),
@@ -846,6 +1085,12 @@ func graphStatus(e *Entry) map[string]any {
 		"oriented_base":  g.OrientedBase(),
 		"info":           g.Info(),
 	}
+	if lg := e.Live(); lg != nil {
+		st["live"] = true
+		st["mut_gen"] = e.MutGen()
+		st["live_stats"] = liveStatsJSON(lg.Stats())
+	}
+	return st
 }
 
 // statusFor maps service and engine errors onto HTTP statuses.
