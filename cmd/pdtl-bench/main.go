@@ -13,7 +13,11 @@
 //	                                 # scan source / intersection kernel
 //	pdtl-bench -json -datasets tiny  # machine-readable per-run results
 //	                                 # (wall/CPU/IO/worker-imbalance) for
-//	                                 # the BENCH_*.json perf trajectory
+//	                                 # the BENCH_*.json perf trajectory;
+//	                                 # schema pdtl-bench/5 emits a count-only
+//	                                 # row and a listing row per config, with
+//	                                 # word_ops / fast_decodes vectorization
+//	                                 # gauges
 //	pdtl-bench -json -churn 1000     # live-graph rows instead: count over a
 //	                                 # populated delta overlay, then again
 //	                                 # after a forced compaction

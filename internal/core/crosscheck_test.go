@@ -312,7 +312,10 @@ func bitmapBoundaryGraph() (*graph.CSR, error) {
 // cross-check with the store axis added: sched(static, stealing) ×
 // scan(buffered, shared, mem) × kernel(all five) × store(plain, compressed)
 // must produce the identical triangle listing — the same sequence per sink,
-// not just the same set — and match the in-memory baseline count. The
+// not just the same set — and match the in-memory baseline count. Every
+// combo then reruns with nil sinks, which selects the closure-free
+// count-only kernel path; its total must equal both the listing total and
+// the baseline (60 count-only combos per graph). The
 // graphs pin the regimes that matter: Complete(40) at memEdges 16 (every
 // vertex takes the large-vertex path), a skewed power law, and the
 // bitmap-boundary graph above (dense 301-entry lists spanning a full
@@ -398,6 +401,28 @@ func TestSchedSourceKernelStoreCombosIdentical(t *testing.T) {
 							}
 							if total != want {
 								t.Fatalf("%s: %d triangles, want %d", label, total, want)
+							}
+							// Count-only rerun of the identical combo: nil
+							// sinks auto-select the count kernels, whose
+							// total must agree with the listing path and
+							// the baseline.
+							copt := opt
+							copt.Sinks = nil
+							var cstats []WorkerStat
+							if mode == sched.Stealing {
+								cstats, _, _, err = RunChunks(context.Background(), disks[format], ranges, copt)
+							} else {
+								cstats, _, err = RunRanges(context.Background(), disks[format], ranges, copt)
+							}
+							if err != nil {
+								t.Fatalf("%s count-only: %v", label, err)
+							}
+							var ctotal uint64
+							for _, w := range cstats {
+								ctotal += w.Stats.Triangles
+							}
+							if ctotal != want {
+								t.Fatalf("%s count-only: %d triangles, want %d", label, ctotal, want)
 							}
 							if ref[mode] == nil {
 								ref[mode] = make([][][3]graph.Vertex, len(recs))

@@ -45,7 +45,10 @@ type Options struct {
 	// BufBytes is each runner's sequential-scan buffer size.
 	BufBytes int
 	// Sinks, when non-nil, must have one entry per worker; worker i streams
-	// its triangles to Sinks[i]. Nil means counting only.
+	// its triangles to Sinks[i]. Nil means counting only — runners then
+	// take the closure-free count-only kernel path (scan.CountKernel, and
+	// scan.CountBlockKernel with word-parallel bitmap counting on
+	// compressed stores), which produces the identical triangle count.
 	Sinks []mgt.Sink
 	// KeepOriented leaves the oriented store on disk after the run (the
 	// cluster layer relies on this to copy it to clients).

@@ -348,7 +348,10 @@ func DecodeSegment(s Segment, dst []Vertex) ([]Vertex, error) {
 				found++
 			}
 		}
-		if found != s.Count {
+		if found != s.Count || found == 0 {
+			// found == 0 (only possible on a corrupt hand-built segment —
+			// the iterator never yields Count < 1) must error here: the
+			// bounds check below would index dst[-1].
 			return dst, fmt.Errorf("graph: bitmap segment holds %d entries, want %d", found, s.Count)
 		}
 		if dst[len(dst)-1] != s.Last || dst[len(dst)-found] != s.First {

@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomList builds a strictly-increasing list with mixed gap sizes: mostly
+// single-byte gaps (the common case the wide decoder targets) with
+// occasional multi-byte jumps that force its scalar fallback mid-run.
+func randomList(rng *rand.Rand, n int) []Vertex {
+	out := make([]Vertex, 0, n)
+	v := uint64(rng.Intn(1000))
+	for len(out) < n {
+		out = append(out, Vertex(v))
+		switch rng.Intn(10) {
+		case 0: // multi-byte gap (varint ≥ 2 bytes)
+			v += 128 + uint64(rng.Intn(100000))
+		default: // single-byte gap
+			v += 1 + uint64(rng.Intn(120))
+		}
+		if v > 0xFFFFFFF0 {
+			break
+		}
+	}
+	return out
+}
+
+// TestDecodeSegmentFastMatchesScalar holds the unrolled decoder to the
+// scalar one on real encoder output: same values per segment, and wide
+// blocks actually taken on single-byte-gap runs.
+func TestDecodeSegmentFastMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var enc ListEncoder
+	var totalBlocks int
+	for trial := 0; trial < 200; trial++ {
+		list := randomList(rng, 1+rng.Intn(700))
+		cl := CompressedList{Degree: len(list), Data: enc.Append(nil, list)}
+		it := cl.Segments()
+		for {
+			seg, ok := it.Next()
+			if !ok {
+				break
+			}
+			want, werr := DecodeSegment(seg, nil)
+			got, blocks, gerr := DecodeSegmentFast(seg, nil)
+			if werr != nil || gerr != nil {
+				t.Fatalf("trial %d: decode errors on valid input: scalar=%v fast=%v", trial, werr, gerr)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("trial %d: fast decode differs:\nscalar %v\nfast   %v", trial, want, got)
+			}
+			if blocks*wideWidth > len(got) {
+				t.Fatalf("trial %d: %d wide blocks for %d values", trial, blocks, len(got))
+			}
+			totalBlocks += blocks
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if totalBlocks == 0 {
+		t.Fatal("no trial ever took the wide path; the test lists are too sparse")
+	}
+}
+
+// TestSegmentWords checks the word view of bitmap segments bit-for-bit
+// against Contains, including the zero-padded partial tail word.
+func TestSegmentWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var enc ListEncoder
+	for trial := 0; trial < 100; trial++ {
+		// Dense values in a narrow range force bitmap segments.
+		base := Vertex(rng.Intn(10000))
+		span := 30 + rng.Intn(500)
+		var list []Vertex
+		for o := 0; o < span; o++ {
+			if rng.Intn(3) > 0 {
+				list = append(list, base+Vertex(o))
+			}
+		}
+		if len(list) < 2 {
+			continue
+		}
+		cl := CompressedList{Degree: len(list), Data: enc.Append(nil, list)}
+		it := cl.Segments()
+		for {
+			seg, ok := it.Next()
+			if !ok {
+				break
+			}
+			if seg.Kind != SegBitmap {
+				continue
+			}
+			words := SegmentWords(seg, nil)
+			if want := (len(seg.Payload) + 7) / 8; len(words) != want {
+				t.Fatalf("trial %d: %d words for %d payload bytes", trial, len(words), want)
+			}
+			for v := seg.First; ; v++ {
+				bit := uint(v - seg.First)
+				got := words[bit>>6]>>(bit&63)&1 != 0
+				if got != seg.Contains(v) {
+					t.Fatalf("trial %d: word bit for %d = %v, Contains = %v", trial, v, got, seg.Contains(v))
+				}
+				if v == seg.Last {
+					break
+				}
+			}
+			// Padding bits beyond the payload must be zero.
+			for bit := uint(len(seg.Payload) * 8); bit < uint(len(words)*64); bit++ {
+				if words[bit>>6]>>(bit&63)&1 != 0 {
+					t.Fatalf("trial %d: padding bit %d set", trial, bit)
+				}
+			}
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzDecodeSegmentFast holds DecodeSegmentFast byte-equivalent to
+// DecodeSegment on arbitrary segments — valid or corrupt. Equivalence is
+// total: same appended values, same error presence, same error message;
+// corrupt input must error, never panic.
+func FuzzDecodeSegmentFast(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, uint16(11), uint32(10), uint32(64), byte(0))
+	f.Add([]byte{0x80, 0x01, 0, 0, 0, 0, 0, 0, 0}, uint16(10), uint32(0), uint32(200), byte(0))
+	f.Add([]byte{0xFF, 0xFF, 0xFF}, uint16(4), uint32(7), uint32(3), byte(1))
+	f.Add([]byte{}, uint16(1), uint32(0), uint32(0), byte(0))
+	f.Fuzz(func(t *testing.T, payload []byte, count uint16, first uint32, span uint32, kind byte) {
+		seg := Segment{
+			Kind:    kind % 3, // varint, bitmap, and one invalid kind
+			Count:   int(count),
+			First:   Vertex(first),
+			Last:    Vertex(uint64(first) + uint64(span)), // may wrap: corrupt headers are fair game
+			Payload: payload,
+		}
+		want, werr := DecodeSegment(seg, nil)
+		got, blocks, gerr := DecodeSegmentFast(seg, nil)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("error divergence: scalar=%v fast=%v (seg %+v)", werr, gerr, seg)
+		}
+		if werr != nil && werr.Error() != gerr.Error() {
+			t.Fatalf("error message divergence:\nscalar %q\nfast   %q", werr, gerr)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("value divergence:\nscalar %v\nfast   %v (seg %+v)", want, got, seg)
+		}
+		if blocks < 0 || blocks*wideWidth > len(got) {
+			t.Fatalf("%d wide blocks for %d values", blocks, len(got))
+		}
+	})
+}
+
+// BenchmarkDecodeSegment is the scalar-vs-unrolled pair of the decode
+// ablation: one full varint segment of small gaps (the dominant shape on
+// real adjacency lists), decoded into a reused buffer so allocs/op pins at
+// zero for both.
+func BenchmarkDecodeSegment(b *testing.B) {
+	list := make([]Vertex, SegmentEntries)
+	rng := rand.New(rand.NewSource(3))
+	v := Vertex(100)
+	for i := range list {
+		v += 1 + Vertex(rng.Intn(100))
+		list[i] = v
+	}
+	var enc ListEncoder
+	cl := CompressedList{Degree: len(list), Data: enc.Append(nil, list)}
+	it := cl.Segments()
+	seg, ok := it.Next()
+	if !ok {
+		b.Fatal(it.Err())
+	}
+	if seg.Kind != SegVarint {
+		b.Fatalf("segment kind %d, want varint", seg.Kind)
+	}
+	dst := make([]Vertex, 0, SegmentEntries)
+
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(seg.Payload)))
+		for i := 0; i < b.N; i++ {
+			out, err := DecodeSegment(seg, dst[:0])
+			if err != nil || len(out) != seg.Count {
+				b.Fatalf("decode: %v (%d values)", err, len(out))
+			}
+		}
+	})
+	b.Run("unrolled", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(seg.Payload)))
+		for i := 0; i < b.N; i++ {
+			out, blocks, err := DecodeSegmentFast(seg, dst[:0])
+			if err != nil || len(out) != seg.Count || blocks == 0 {
+				b.Fatalf("decode: %v (%d values, %d blocks)", err, len(out), blocks)
+			}
+		}
+	})
+}

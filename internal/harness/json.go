@@ -13,6 +13,7 @@ import (
 	"pdtl/internal/core"
 	"pdtl/internal/graph"
 	"pdtl/internal/live"
+	"pdtl/internal/mgt"
 	"pdtl/internal/scan"
 	"pdtl/internal/sched"
 )
@@ -30,7 +31,13 @@ import (
 // edges overlaid on the base snapshot at count time) and compactions
 // (completed delta-into-snapshot rewrites). Both are zero for static-store
 // runs; `pdtl-bench -json -churn N` emits the live rows that populate them.
-const BenchSchema = "pdtl-bench/4"
+// /5 added the vectorized-kernel ablation: every (dataset, scheduler) now
+// emits a count-only row (mode "count" — the closure-free CountKernel hot
+// path) and a listing row (mode "listing" — sinks attached), plus word_ops
+// (64-bit word operations by the word-parallel bitmap kernels and the
+// 8-wide varint decoder) and fast_decodes (segments decoded by
+// graph.DecodeSegmentFast). Both counters are zero on plain stores.
+const BenchSchema = "pdtl-bench/5"
 
 // BenchRun is one (dataset, scheduler) measurement — the machine-readable
 // counterpart of the human tables, with the per-run wall/CPU/IO split and
@@ -43,6 +50,11 @@ type BenchRun struct {
 	Chunks    int    `json:"chunks,omitempty"`
 	Scan      string `json:"scan"`
 	Kernel    string `json:"kernel"`
+	// Mode is "count" (no sinks attached — the closure-free count-only
+	// kernel path) or "listing" (per-slot sinks attached); the /5 row pair
+	// isolates the cost of triangle materialization. Counts are identical
+	// by construction.
+	Mode string `json:"mode"`
 	// StoreFormat is the oriented store's adjacency encoding ("plain" or
 	// "compressed"); BytesPerEdge is its adjacency bytes (including the
 	// compressed index) per directed edge — 4.0 for plain by construction,
@@ -76,6 +88,12 @@ type BenchRun struct {
 	// -churn live rows.
 	DeltaEdges  uint64 `json:"delta_edges"`
 	Compactions uint64 `json:"compactions"`
+	// WordOps counts 64-bit word operations by the vectorized paths
+	// (word-parallel bitmap counting, 8-wide varint decode blocks) and
+	// FastDecodes the segments decoded through graph.DecodeSegmentFast;
+	// both are zero on plain stores, where no compressed payloads exist.
+	WordOps     uint64 `json:"word_ops"`
+	FastDecodes uint64 `json:"fast_decodes"`
 }
 
 // BenchReport is the top-level document: one run per (dataset, scheduler).
@@ -106,12 +124,15 @@ func workerImbalance(workers []core.WorkerStat) float64 {
 }
 
 // BenchJSON runs the local calculation phase for every requested dataset
-// under each scheduler in modes (nil means both — one record per
-// scheduler is what the static-vs-stealing trajectory plots) and writes
-// one BenchReport to w — the machine-readable output behind
-// `pdtl-bench -json`. The caller passes modes explicitly because the
-// Mode zero value is Static: a "-sched static" flag would otherwise be
-// indistinguishable from the flag being absent.
+// under each scheduler in modes (nil means both) and writes one
+// BenchReport to w — the machine-readable output behind
+// `pdtl-bench -json`. Since /5 every (dataset, scheduler) measures twice:
+// a count-only run (no sinks — the CountKernel hot path) immediately
+// followed by a listing run (discard sinks attached), in that row order,
+// so the trajectory tracks both the production counting speed and the
+// materialization overhead. The caller passes modes explicitly because
+// the Mode zero value is Static: a "-sched static" flag would otherwise
+// be indistinguishable from the flag being absent.
 func (h *Harness) BenchJSON(w io.Writer, keys []string, workers, memEdges int, modes []sched.Mode) error {
 	if workers <= 0 {
 		workers = 4
@@ -151,27 +172,45 @@ func (h *Harness) BenchJSON(w io.Writer, keys []string, workers, memEdges int, m
 			bytesPerEdge = float64(adjBytes) / float64(ometa.NumEdges)
 		}
 		for _, mode := range modes {
-			res, err := core.Process(h.ctx(), orientedBase, core.Options{
-				Workers:  workers,
-				MemEdges: mem,
-				Strategy: balance.InDegree,
-				Scan:     h.Scan,
-				Kernel:   h.Kernel,
-				Sched:    mode,
-				Chunks:   h.Chunks,
-			})
-			if err != nil {
-				return fmt.Errorf("harness: bench %s/%s: %w", key, mode, err)
+			for _, benchMode := range []string{"count", "listing"} {
+				opt := core.Options{
+					Workers:  workers,
+					MemEdges: mem,
+					Strategy: balance.InDegree,
+					Scan:     h.Scan,
+					Kernel:   h.Kernel,
+					Sched:    mode,
+					Chunks:   h.Chunks,
+				}
+				if benchMode == "listing" {
+					// Discard sinks force the listing path: one per worker
+					// under static, one per chunk under stealing (the same
+					// slot rule the public handle uses).
+					n := workers
+					if mode == sched.Stealing {
+						n = sched.ChunksFor(workers, h.Chunks)
+					}
+					sinks := make([]mgt.Sink, n)
+					for i := range sinks {
+						sinks[i] = &mgt.CountSink{}
+					}
+					opt.Sinks = sinks
+				}
+				res, err := core.Process(h.ctx(), orientedBase, opt)
+				if err != nil {
+					return fmt.Errorf("harness: bench %s/%s/%s: %w", key, mode, benchMode, err)
+				}
+				run := h.benchRun(res, key, workers, mem)
+				run.Sched = mode.String()
+				run.Mode = benchMode
+				run.StoreFormat = string(ometa.Format.OrPlain())
+				run.BytesPerEdge = bytesPerEdge
+				run.OrientNS = int64(ores.Duration)
+				if mode == sched.Stealing {
+					run.Chunks = len(res.ChunkStats)
+				}
+				report.Runs = append(report.Runs, run)
 			}
-			run := h.benchRun(res, key, workers, mem)
-			run.Sched = mode.String()
-			run.StoreFormat = string(ometa.Format.OrPlain())
-			run.BytesPerEdge = bytesPerEdge
-			run.OrientNS = int64(ores.Duration)
-			if mode == sched.Stealing {
-				run.Chunks = len(res.ChunkStats)
-			}
-			report.Runs = append(report.Runs, run)
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -186,10 +225,12 @@ func (h *Harness) benchRun(res *core.Result, dataset string, workers, mem int) B
 	cpu, io := AggCPUIO(res.Workers)
 	var bytesRead int64
 	var maxWall time.Duration
-	var segSkipped uint64
+	var segSkipped, wordOps, fastDecodes uint64
 	for _, ws := range res.Workers {
 		bytesRead += ws.Stats.IO.BytesRead
 		segSkipped += ws.Stats.SegmentsSkipped
+		wordOps += ws.Stats.WordOps
+		fastDecodes += ws.Stats.FastDecodes
 		if ws.Stats.Wall > maxWall {
 			maxWall = ws.Stats.Wall
 		}
@@ -201,6 +242,8 @@ func (h *Harness) benchRun(res *core.Result, dataset string, workers, mem int) B
 		Scan:            string(res.Scan),
 		Kernel:          kernelName(h.Kernel),
 		SegmentsSkipped: segSkipped,
+		WordOps:         wordOps,
+		FastDecodes:     fastDecodes,
 		Triangles:       res.Triangles,
 		WallNS:          int64(res.CalcTime),
 		CPUNS:           int64(cpu),
@@ -312,6 +355,7 @@ func (h *Harness) BenchChurnJSON(w io.Writer, keys []string, workers, memEdges, 
 				st := lg.Stats()
 				run := h.benchRun(res, key+"+"+stage, workers, mem)
 				run.Sched = sched.Static.String()
+				run.Mode = "count" // live counts never attach sinks
 				run.StoreFormat = string(ometa.Format.OrPlain())
 				run.BytesPerEdge = bytesPerEdge
 				run.OrientNS = int64(ores.Duration)

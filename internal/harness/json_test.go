@@ -41,12 +41,14 @@ func TestBenchJSONSchema(t *testing.T) {
 	if report.Hostname == "" {
 		t.Error("hostname is empty (want a name or the explicit \"unknown\")")
 	}
-	if len(report.Runs) != 2 {
-		t.Fatalf("got %d runs, want one per scheduler", len(report.Runs))
+	if len(report.Runs) != 4 {
+		t.Fatalf("got %d runs, want count+listing per scheduler", len(report.Runs))
 	}
 	modes := map[string]BenchRun{}
+	byMode := map[string][]BenchRun{}
 	for _, r := range report.Runs {
 		modes[r.Sched] = r
+		byMode[r.Mode] = append(byMode[r.Mode], r)
 		if r.Dataset != "tiny" || r.Workers != 2 {
 			t.Errorf("run mislabeled: %+v", r)
 		}
@@ -79,6 +81,23 @@ func TestBenchJSONSchema(t *testing.T) {
 			t.Errorf("%s static run has live gauges: delta=%d compactions=%d",
 				r.Sched, r.DeltaEdges, r.Compactions)
 		}
+		// /5 vectorization counters are zero on a plain store (no
+		// compressed payloads to decode or popcount).
+		if r.WordOps != 0 || r.FastDecodes != 0 {
+			t.Errorf("%s plain-store run has word_ops=%d fast_decodes=%d",
+				r.Sched, r.WordOps, r.FastDecodes)
+		}
+	}
+	// /5 row pairing: a count and a listing row per scheduler, identical
+	// triangle counts across the pair.
+	if len(byMode["count"]) != 2 || len(byMode["listing"]) != 2 {
+		t.Fatalf("mode split: %d count, %d listing", len(byMode["count"]), len(byMode["listing"]))
+	}
+	for i := range byMode["count"] {
+		c, l := byMode["count"][i], byMode["listing"][i]
+		if c.Triangles != l.Triangles {
+			t.Errorf("%s count run found %d triangles, listing %d", c.Sched, c.Triangles, l.Triangles)
+		}
 	}
 	st, ok1 := modes["static"]
 	sl, ok2 := modes["stealing"]
@@ -104,10 +123,10 @@ func TestBenchJSONSchema(t *testing.T) {
 	}
 	runs := raw["runs"].([]any)
 	first := runs[0].(map[string]any)
-	for _, key := range []string{"dataset", "workers", "sched", "scan", "kernel",
+	for _, key := range []string{"dataset", "workers", "sched", "mode", "scan", "kernel",
 		"store_format", "bytes_per_edge", "segments_skipped", "triangles",
 		"wall_ns", "cpu_ns", "io_ns", "bytes_read", "worker_imbalance", "max_worker_wall_ns",
-		"delta_edges", "compactions"} {
+		"delta_edges", "compactions", "word_ops", "fast_decodes"} {
 		if _, ok := first[key]; !ok {
 			t.Errorf("run object missing key %q", key)
 		}
@@ -191,26 +210,38 @@ func TestBenchJSONCompressedStore(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
 		t.Fatal(err)
 	}
-	if len(report.Runs) != 1 {
-		t.Fatalf("got %d runs, want 1", len(report.Runs))
+	if len(report.Runs) != 2 {
+		t.Fatalf("got %d runs, want count + listing", len(report.Runs))
 	}
-	r := report.Runs[0]
-	if r.StoreFormat != "compressed" {
-		t.Errorf("store_format = %q, want compressed", r.StoreFormat)
+	for _, r := range report.Runs {
+		if r.StoreFormat != "compressed" {
+			t.Errorf("%s store_format = %q, want compressed", r.Mode, r.StoreFormat)
+		}
+		if r.BytesPerEdge <= 0 || r.BytesPerEdge >= 4 {
+			t.Errorf("%s bytes_per_edge = %f, want in (0, 4) for a compressed store", r.Mode, r.BytesPerEdge)
+		}
+		if r.SegmentsSkipped == 0 {
+			t.Errorf("%s segments_skipped = 0 under the compressed kernel on a compressed store", r.Mode)
+		}
+		if r.Triangles != ref.Runs[0].Triangles {
+			t.Errorf("compressed store %s run counted %d triangles, plain %d", r.Mode, r.Triangles, ref.Runs[0].Triangles)
+		}
+		// /5: the compressed pass decodes every surviving varint segment
+		// through the unrolled decoder, in both modes.
+		if r.FastDecodes == 0 {
+			t.Errorf("%s run fast_decodes = 0 on a compressed store", r.Mode)
+		}
+		if r.WordOps == 0 {
+			t.Errorf("%s run word_ops = 0 on a compressed store", r.Mode)
+		}
 	}
-	if r.BytesPerEdge <= 0 || r.BytesPerEdge >= 4 {
-		t.Errorf("bytes_per_edge = %f, want in (0, 4) for a compressed store", r.BytesPerEdge)
-	}
-	if r.SegmentsSkipped == 0 {
-		t.Error("segments_skipped = 0 under the compressed kernel on a compressed store")
-	}
-	if r.Triangles != ref.Runs[0].Triangles {
-		t.Errorf("compressed store counted %d triangles, plain %d", r.Triangles, ref.Runs[0].Triangles)
+	if report.Runs[0].Mode != "count" || report.Runs[1].Mode != "listing" {
+		t.Fatalf("row order: %q, %q, want count then listing", report.Runs[0].Mode, report.Runs[1].Mode)
 	}
 }
 
 // TestBenchJSONSingleMode: an explicit scheduler selection produces
-// exactly one record per dataset.
+// exactly one count/listing row pair per dataset.
 func TestBenchJSONSingleMode(t *testing.T) {
 	h, err := New(t.TempDir())
 	if err != nil {
@@ -224,7 +255,12 @@ func TestBenchJSONSingleMode(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
 		t.Fatal(err)
 	}
-	if len(report.Runs) != 1 || report.Runs[0].Sched != "static" {
-		t.Fatalf("static-only request produced %+v", report.Runs)
+	if len(report.Runs) != 2 {
+		t.Fatalf("static-only request produced %d runs, want count + listing", len(report.Runs))
+	}
+	for _, r := range report.Runs {
+		if r.Sched != "static" {
+			t.Fatalf("static-only request produced %+v", report.Runs)
+		}
 	}
 }

@@ -16,7 +16,9 @@ import (
 	"pdtl/internal/extsort"
 	"pdtl/internal/gen"
 	"pdtl/internal/graph"
+	"pdtl/internal/mgt"
 	"pdtl/internal/orient"
+	"pdtl/internal/scan"
 	"pdtl/internal/sched"
 )
 
@@ -159,6 +161,43 @@ func TestLiveChurnCrosscheck(t *testing.T) {
 			}
 			if st := lg.Stats(); st.Batches != 12 {
 				t.Fatalf("batches = %d", st.Batches)
+			}
+			// Count-only kernel sweep over the final live view (the delta
+			// overlay is non-empty again after the post-compaction rounds):
+			// every kernel's closure-free count path must agree with the
+			// baseline and with a listing run of the same kernel.
+			want := baseline.Forward(ref.csr(t))
+			for _, kern := range scan.KernelKinds() {
+				got := countLive(t, lg, core.Options{Workers: 2, Kernel: kern})
+				if got != want {
+					t.Fatalf("count-only kernel %s on live view = %d, want %d", kern, got, want)
+				}
+				sinks := make([]mgt.Sink, 2)
+				for i := range sinks {
+					sinks[i] = &mgt.CountSink{}
+				}
+				listed := countLive(t, lg, core.Options{Workers: 2, Kernel: kern, Sinks: sinks})
+				if listed != want {
+					t.Fatalf("listing kernel %s on live view = %d, want %d", kern, listed, want)
+				}
+			}
+			// The overlay serves decoded merged lists (it is not a
+			// CompressedScan), so even over a compressed base store the
+			// count-only run takes the plain pass and its vectorization
+			// gauges stay zero — pin that so a future overlay that starts
+			// serving encoded payloads shows up here.
+			if format == graph.FormatCompressed {
+				res, err := lg.Count(context.Background(), core.Options{Workers: 2, Kernel: scan.KernelCompressed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var wordOps uint64
+				for _, w := range res.Workers {
+					wordOps += w.Stats.WordOps
+				}
+				if wordOps != 0 {
+					t.Errorf("live overlay run reported word_ops = %d; the decoded overlay should do no word-level work", wordOps)
+				}
 			}
 		})
 	}
@@ -475,7 +514,7 @@ func TestEstimatorDeletionPairing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est := NewEstimator(1 << 16, 1)
+	est := NewEstimator(1<<16, 1)
 	est.Seed(g0)
 	if !est.Exact() {
 		t.Fatal("large reservoir should be exact")

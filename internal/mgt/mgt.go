@@ -114,6 +114,15 @@ type Stats struct {
 	// kernel/store combination; the skip-effectiveness metric of the bench
 	// schema.
 	SegmentsSkipped uint64
+	// WordOps counts 64-bit word operations executed by the vectorized
+	// paths: 8-wide blocks consumed by the unrolled varint decoder plus
+	// bitmap words materialized, masked-popcounted, or probed by the
+	// word-parallel count kernels (see scan.Arena). The vectorization
+	// metric of the bench schema; zero on plain stores.
+	WordOps uint64
+	// FastDecodes counts compressed segments decoded through
+	// graph.DecodeSegmentFast instead of the scalar decoder.
+	FastDecodes uint64
 	// Wall is the runner's wall-clock time.
 	Wall time.Duration
 	// IO is the runner's I/O activity; Wall − IO.IOTime() is the "CPU
@@ -140,6 +149,8 @@ func (s Stats) Add(o Stats) Stats {
 	s.CmpOps += o.CmpOps
 	s.LargeVertices += o.LargeVertices
 	s.SegmentsSkipped += o.SegmentsSkipped
+	s.WordOps += o.WordOps
+	s.FastDecodes += o.FastDecodes
 	if o.Wall > s.Wall {
 		s.Wall = o.Wall
 	}
@@ -195,7 +206,18 @@ type Runner struct {
 	// checked once here instead of per intersection.
 	bkernel    scan.BlockKernel
 	segScratch []graph.Vertex // segment decode scratch of the compressed pass
-	counter    *ioacct.Counter
+	// ckernel/cbkernel are kernel's count-only views (nil when the kernel
+	// lacks them): the closure-free hot path taken by RunRange when no sink
+	// is attached. cbkernel additionally requires a compressed store, like
+	// bkernel.
+	ckernel  scan.CountKernel
+	cbkernel scan.CountBlockKernel
+	// arena owns the runner's reusable word/decode buffers and the
+	// monotonic WordOps/FastDecodes counters; RunRange snapshots the
+	// counters and reports the per-call delta in Stats.
+	arena     *scan.Arena
+	countOnly bool // current RunRange has no sink and a count kernel
+	counter   *ioacct.Counter
 	// ownedSrc is the private buffered source Run-style callers get when
 	// cfg.Source is nil; Close tears it (and its handle) down.
 	ownedSrc scan.Source
@@ -269,7 +291,14 @@ func NewRunner(d *graph.Disk, cfg Config) (*Runner, error) {
 	if bk, ok := r.kernel.(scan.BlockKernel); ok && d.Format() == graph.FormatCompressed {
 		r.bkernel = bk
 		r.segScratch = make([]graph.Vertex, 0, graph.SegmentEntries)
+		if cbk, ok := r.kernel.(scan.CountBlockKernel); ok {
+			r.cbkernel = cbk
+		}
 	}
+	if ck, ok := r.kernel.(scan.CountKernel); ok {
+		r.ckernel = ck
+	}
+	r.arena = scan.NewArena()
 	r.emitFn = r.emit
 	return r, nil
 }
@@ -289,10 +318,15 @@ func (r *Runner) Close() error {
 }
 
 // RunRange executes modified MGT over one pivot range, reporting triangles
-// to sink (nil counts only). The returned Stats cover this call alone —
-// wall time and the I/O delta since the call started — so a scheduler can
-// fold them per chunk. An empty range is a no-op. The context is checked
-// once per memory window, exactly like Run.
+// to sink. A nil sink selects the count-only hot path: intersections go
+// through the kernel's CountKernel/CountBlockKernel views (closure-free, no
+// triangle materialization, word-parallel bitmap counting on compressed
+// stores), which produce the identical triangle count — the crosscheck
+// matrix pins count == listing == baseline for every combination. The
+// returned Stats cover this call alone — wall time and the I/O delta since
+// the call started — so a scheduler can fold them per chunk. An empty range
+// is a no-op. The context is checked once per memory window, exactly like
+// Run.
 func (r *Runner) RunRange(ctx context.Context, rng balance.Range, sink Sink) (Stats, error) {
 	start := time.Now()
 	if ctx == nil {
@@ -304,11 +338,15 @@ func (r *Runner) RunRange(ctx context.Context, rng balance.Range, sink Sink) (St
 	}
 	r.stats = Stats{}
 	r.sink = sink
+	r.countOnly = sink == nil && r.ckernel != nil
 	ioStart := r.counter.Snapshot()
+	wordStart, fastStart := r.arena.WordOps, r.arena.FastDecodes
 
 	finish := func(err error) (Stats, error) {
 		r.stats.Wall = time.Since(start)
 		r.stats.IO = r.counter.Snapshot().Sub(ioStart)
+		r.stats.WordOps += r.arena.WordOps - wordStart
+		r.stats.FastDecodes += r.arena.FastDecodes - fastStart
 		r.sink = nil
 		// A cancelled run reports the bare ctx.Err(), whichever layer the
 		// cancellation surfaced through first (window check here, or a scan
@@ -453,9 +491,16 @@ func (r *Runner) scanPass() error {
 			r.stats.Intersections++
 			// Intersect sorted nm with sorted Ev via the configured
 			// kernel; every common vertex w closes triangle (u, v, w)
-			// with pivot (v, w).
-			r.curU, r.curV = u, v
-			r.stats.CmpOps += r.kernel.Intersect(nm, ev, r.emitFn)
+			// with pivot (v, w). Count-only runs take the closure-free
+			// Count path — same comparisons, no emit call per match.
+			if r.countOnly {
+				c, steps := r.ckernel.Count(nm, ev)
+				r.stats.Triangles += c
+				r.stats.CmpOps += steps
+			} else {
+				r.curU, r.curV = u, v
+				r.stats.CmpOps += r.kernel.Intersect(nm, ev, r.emitFn)
+			}
 		}
 	}
 	return sc.Err()
@@ -491,7 +536,9 @@ func (r *Runner) scanPassCompressed(sc scan.Scan, csc scan.CompressedScan) error
 		}
 		// nmp := N+(u) — out-neighbors of u with out-edges in memory.
 		// Collected segment-wise: a segment whose span misses the window's
-		// vertex range [vlow, vhigh] is skipped on its header alone.
+		// vertex range [vlow, vhigh] is skipped on its header alone;
+		// surviving varint segments decode through the unrolled 8-wide
+		// decoder (bitmap segments pass through it to the scalar path).
 		nmp = nmp[:0]
 		it := cl.Segments()
 		for {
@@ -503,7 +550,7 @@ func (r *Runner) scanPassCompressed(sc scan.Scan, csc scan.CompressedScan) error
 				r.stats.SegmentsSkipped++
 				continue
 			}
-			vals, err := graph.DecodeSegment(seg, r.segScratch)
+			vals, err := r.decodeSegmentFast(seg)
 			if err != nil {
 				return fmt.Errorf("mgt: decode list of vertex %d: %w", u, err)
 			}
@@ -526,6 +573,19 @@ func (r *Runner) scanPassCompressed(sc scan.Scan, csc scan.CompressedScan) error
 			e := r.ind[v-r.vlow]
 			ev := r.edg[e.off : e.off+e.len]
 			r.stats.Intersections++
+			if r.countOnly && r.cbkernel != nil {
+				// Count-only hot path: word-parallel bitmap counting and
+				// unrolled varint decode via the runner's arena, no emit
+				// closure, no payload materialization for bitmap segments.
+				c, steps, skipped, err := r.cbkernel.CountCompressed(cl, ev, r.arena)
+				if err != nil {
+					return fmt.Errorf("mgt: intersect list of vertex %d: %w", u, err)
+				}
+				r.stats.Triangles += c
+				r.stats.CmpOps += steps
+				r.stats.SegmentsSkipped += skipped
+				continue
+			}
 			r.curU, r.curV = u, v
 			steps, skipped, err := r.bkernel.IntersectCompressed(cl, ev, r.segScratch, r.emitFn)
 			if err != nil {
@@ -536,6 +596,22 @@ func (r *Runner) scanPassCompressed(sc scan.Scan, csc scan.CompressedScan) error
 		}
 	}
 	return sc.Err()
+}
+
+// decodeSegmentFast decodes one segment into the runner's scratch through
+// the unrolled decoder, crediting the arena's vectorization counters.
+func (r *Runner) decodeSegmentFast(seg graph.Segment) ([]graph.Vertex, error) {
+	vals, blocks, err := graph.DecodeSegmentFast(seg, r.segScratch)
+	if err != nil {
+		return nil, err
+	}
+	if seg.Kind == graph.SegVarint {
+		// Bitmap segments pass through to the scalar expansion; only
+		// varint segments took the unrolled path.
+		r.arena.FastDecodes++
+		r.arena.WordOps += uint64(blocks)
+	}
+	return vals, nil
 }
 
 // largeVertexCompressed is the large-vertex path of the compressed pass.
@@ -556,7 +632,7 @@ func (r *Runner) largeVertexCompressed(u graph.Vertex, cl graph.CompressedList) 
 			r.stats.SegmentsSkipped++
 			continue
 		}
-		vals, err := graph.DecodeSegment(seg, r.segScratch)
+		vals, err := r.decodeSegmentFast(seg)
 		if err != nil {
 			return fmt.Errorf("mgt: decode list of large vertex %d: %w", u, err)
 		}

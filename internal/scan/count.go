@@ -1,0 +1,342 @@
+package scan
+
+import (
+	"math/bits"
+
+	"pdtl/internal/graph"
+)
+
+// This file is the count-only kernel layer: the closure-free hot path of
+// counting runs (the dominant production query — Count, CountDistributed,
+// and the service's /count all discard the triangle list). Every kernel
+// implements CountKernel; the compressed kernel additionally implements
+// CountBlockKernel, whose bitmap segments are intersected word-parallel —
+// masked 64-bit AND + bits.OnesCount64 over the segment's payload words —
+// instead of per-element probes, and whose varint segments decode through
+// the unrolled graph.DecodeSegmentFast. The reusable buffers live in an
+// Arena owned by the caller (one per mgt.Runner), so the whole path
+// allocates nothing per intersection. See DESIGN.md §12.
+
+// CountKernel is the count-only extension every kernel implements: Count
+// returns the size of the intersection without an emit callback, so pure
+// counting pays no closure call per match and no triangle materialization.
+// Count's steps are identical to Intersect's on the same operands — the
+// two paths walk the same comparisons — which keeps CmpOps comparable
+// between counting and listing runs on plain stores.
+type CountKernel interface {
+	Kernel
+	Count(a, b []graph.Vertex) (count, steps uint64)
+}
+
+// CountBlockKernel is the count-only counterpart of BlockKernel: the
+// compressed operand is intersected in its encoded form with segment
+// skipping, bitmap segments counted by masked word AND + popcount (via the
+// arena's word buffers; never expanded into vertex slices), and varint
+// segments decoded by the unrolled fast decoder into the arena's vertex
+// scratch. The arena is owned by the caller and reused across calls; its
+// WordOps and FastDecodes counters accumulate monotonically.
+//
+// steps counts the same header tests and narrowing gallops as
+// IntersectCompressed, but word-parallel bitmap work is charged to
+// ar.WordOps instead of steps — a counting run's CmpOps on bitmap-heavy
+// stores is therefore lower than the listing run's, by design.
+type CountBlockKernel interface {
+	CountKernel
+	CountCompressed(a graph.CompressedList, b []graph.Vertex, ar *Arena) (count, steps, skipped uint64, err error)
+}
+
+// Arena owns the reusable scratch buffers of the count-only fast paths:
+// the segment decode buffer and the bitmap word buffer. One arena belongs
+// to exactly one runner (it is not safe for concurrent use) and lives as
+// long as the runner does, so steady-state counting allocates nothing —
+// the buffers are sized for the worst segment on first contact and reused
+// for every chunk thereafter.
+type Arena struct {
+	// verts is the varint-segment decode scratch (capacity
+	// graph.SegmentEntries; DecodeSegmentFast never appends more).
+	verts []graph.Vertex
+	// words holds the current bitmap segment's payload as 64-bit words.
+	words []uint64
+
+	// WordOps counts 64-bit word operations executed by the vectorized
+	// paths: bitmap payload words materialized, masked-AND popcounts,
+	// word-masked membership probes, and the 8-wide blocks the unrolled
+	// varint decoder consumed. It is the "how vectorized was this run"
+	// metric of the bench schema (word_ops), zero on any path that never
+	// touched a compressed count.
+	WordOps uint64
+	// FastDecodes counts segments decoded through graph.DecodeSegmentFast.
+	FastDecodes uint64
+}
+
+// arenaWordCap covers the widest bitmap segment the encoder emits: a
+// bitmap is only chosen when span/8+1 beats the varint length (< ~1.3 KiB
+// for a full segment), so spans stay under ~10k bits ≈ 160 words.
+const arenaWordCap = 256
+
+// NewArena returns an arena with its buffers pre-sized so the fast paths
+// are allocation-free from the first intersection.
+func NewArena() *Arena {
+	return &Arena{
+		verts: make([]graph.Vertex, 0, graph.SegmentEntries),
+		words: make([]uint64, 0, arenaWordCap),
+	}
+}
+
+// Count implements CountKernel: the two-pointer merge without the emit
+// callback.
+func (mergeKernel) Count(a, b []graph.Vertex) (count, steps uint64) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		steps++
+		x, y := a[i], b[j]
+		switch {
+		case x < y:
+			i++
+		case x > y:
+			j++
+		default:
+			count++
+			i++
+			j++
+		}
+	}
+	return count, steps
+}
+
+// Count implements CountKernel for the galloping kernel.
+func (gallopKernel) Count(a, b []graph.Vertex) (count, steps uint64) {
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	lo := 0
+	for _, x := range small {
+		if lo >= len(large) {
+			break
+		}
+		bound := 1
+		for lo+bound < len(large) && large[lo+bound] < x {
+			bound <<= 1
+			steps++
+		}
+		hi := lo + bound + 1
+		if hi > len(large) {
+			hi = len(large)
+		}
+		for lo < hi {
+			steps++
+			mid := int(uint(lo+hi) >> 1)
+			if large[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(large) && large[lo] == x {
+			count++
+			lo++
+		}
+	}
+	return count, steps
+}
+
+// Count implements CountKernel with the same per-pair dispatch as
+// Intersect.
+func (adaptiveKernel) Count(a, b []graph.Vertex) (count, steps uint64) {
+	s, l := len(a), len(b)
+	if s > l {
+		s, l = l, s
+	}
+	if s == 0 {
+		return 0, 0
+	}
+	if l/s >= adaptiveRatio {
+		return gallopKernel{}.Count(a, b)
+	}
+	return mergeKernel{}.Count(a, b)
+}
+
+// Count implements CountKernel with the same block skipping as Intersect.
+func (compressedKernel) Count(a, b []graph.Vertex) (count, steps uint64) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 0
+	}
+	if len(a) <= graph.SegmentEntries {
+		if a[len(a)-1] < b[0] || a[0] > b[len(b)-1] {
+			return 0, 1
+		}
+		return adaptiveKernel{}.Count(a, b)
+	}
+	j := 0
+	for off := 0; off < len(a) && j < len(b); off += graph.SegmentEntries {
+		end := off + graph.SegmentEntries
+		if end > len(a) {
+			end = len(a)
+		}
+		blk := a[off:end]
+		steps++ // block range test
+		if blk[len(blk)-1] < b[j] {
+			continue
+		}
+		if blk[0] > b[len(b)-1] {
+			break
+		}
+		lo, s := gallopGE(b, j, blk[0])
+		steps += s
+		hi, s := gallopGT(b, lo, blk[len(blk)-1])
+		steps += s
+		if lo < hi {
+			c, s := adaptiveKernel{}.Count(blk, b[lo:hi])
+			count += c
+			steps += s
+		}
+		j = hi
+	}
+	return count, steps
+}
+
+// Count implements CountKernel with the same range-cover pre-filter as
+// Intersect.
+func (coverKernel) Count(a, b []graph.Vertex) (count, steps uint64) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 0
+	}
+	steps = 1 // cover test
+	if a[len(a)-1] < b[0] || b[len(b)-1] < a[0] {
+		return 0, steps
+	}
+	aLo, s := gallopGE(a, 0, b[0])
+	steps += s
+	aHi, s := gallopGT(a, aLo, b[len(b)-1])
+	steps += s
+	bLo, s := gallopGE(b, 0, a[0])
+	steps += s
+	bHi, s := gallopGT(b, bLo, a[len(a)-1])
+	steps += s
+	if aLo < aHi && bLo < bHi {
+		c, s := adaptiveKernel{}.Count(a[aLo:aHi], b[bLo:bHi])
+		count += c
+		steps += s
+	}
+	return count, steps
+}
+
+// CountCompressed implements CountBlockKernel: IntersectCompressed's
+// segment walk with the per-element payload work replaced by the
+// word-parallel bitmap kernels and the unrolled varint decoder.
+func (compressedKernel) CountCompressed(a graph.CompressedList, b []graph.Vertex, ar *Arena) (count, steps, skipped uint64, err error) {
+	if a.Degree == 0 || len(b) == 0 {
+		return 0, 0, 0, nil
+	}
+	it := a.Segments()
+	single := a.Degree <= graph.SegmentEntries
+	j := 0
+	for j < len(b) {
+		seg, ok := it.Next()
+		if !ok {
+			return count, steps, skipped, it.Err()
+		}
+		if !single {
+			steps++ // header range test, one per walked segment
+		}
+		if seg.Last < b[j] {
+			steps += boolStep(single)
+			skipped++
+			continue
+		}
+		if seg.First > b[len(b)-1] {
+			steps += boolStep(single)
+			skipped++
+			break
+		}
+		var lo, hi int
+		if single {
+			lo, hi = j, len(b)
+		} else {
+			var s uint64
+			lo, s = gallopGE(b, j, seg.First)
+			steps += s
+			hi, s = gallopGT(b, lo, seg.Last)
+			steps += s
+			if lo == hi {
+				skipped++
+				j = hi
+				continue
+			}
+		}
+		if seg.Kind == graph.SegBitmap {
+			count += ar.countBitmapSeg(seg, b[lo:hi])
+		} else {
+			ar.verts = ar.verts[:0]
+			var blocks int
+			ar.verts, blocks, err = graph.DecodeSegmentFast(seg, ar.verts)
+			if err != nil {
+				return count, steps, skipped, err
+			}
+			ar.FastDecodes++
+			ar.WordOps += uint64(blocks)
+			c, s := adaptiveKernel{}.Count(ar.verts, b[lo:hi])
+			count += c
+			steps += s
+		}
+		j = hi
+	}
+	return count, steps, skipped, nil
+}
+
+// countBitmapSeg counts |seg ∩ b| for a bitmap segment. b may extend past
+// the segment's value range (the single-segment case skips the narrowing
+// gallops); out-of-range elements are clipped first. Two word-parallel
+// regimes:
+//
+//   - b's clipped slice is one consecutive run (the dense-neighborhood
+//     case that produced a bitmap on the *other* side too): the count is a
+//     masked popcount of the segment's payload words over the run's bit
+//     range — zero per-element work, the bitmap×bitmap kernel.
+//   - otherwise: one word-masked membership probe per b element against
+//     the materialized payload words.
+func (ar *Arena) countBitmapSeg(seg graph.Segment, b []graph.Vertex) (count uint64) {
+	// Clip b to [First, Last]. The non-single caller already narrowed by
+	// galloping, making these O(1); the single-segment caller relies on
+	// them.
+	lo, hi := 0, len(b)
+	for lo < hi && b[lo] < seg.First {
+		lo++
+	}
+	for hi > lo && b[hi-1] > seg.Last {
+		hi--
+	}
+	b = b[lo:hi]
+	if len(b) == 0 {
+		return 0
+	}
+	ar.words = graph.SegmentWords(seg, ar.words[:0])
+	ar.WordOps += uint64(len(ar.words)) // payload words materialized
+	loBit := uint(b[0] - seg.First)
+	hiBit := uint(b[len(b)-1] - seg.First)
+	if hiBit-loBit == uint(len(b)-1) {
+		// Consecutive run: masked AND + popcount over whole words.
+		loW, hiW := loBit>>6, hiBit>>6
+		loMask := ^uint64(0) << (loBit & 63)
+		hiMask := ^uint64(0) >> (63 - hiBit&63)
+		ar.WordOps += uint64(hiW-loW) + 1
+		if loW == hiW {
+			return uint64(bits.OnesCount64(ar.words[loW] & loMask & hiMask))
+		}
+		c := uint64(bits.OnesCount64(ar.words[loW] & loMask))
+		for w := loW + 1; w < hiW; w++ {
+			c += uint64(bits.OnesCount64(ar.words[w]))
+		}
+		return c + uint64(bits.OnesCount64(ar.words[hiW]&hiMask))
+	}
+	// Sparse b: word-masked membership probes, one word load per element.
+	ar.WordOps += uint64(len(b))
+	for _, y := range b {
+		bit := uint(y - seg.First)
+		if ar.words[bit>>6]>>(bit&63)&1 != 0 {
+			count++
+		}
+	}
+	return count
+}

@@ -69,10 +69,27 @@ type Kernel interface {
 // BlockKernel is the optional kernel extension that intersects a compressed
 // list with a plain sorted list without decompressing it first: segments are
 // rejected on their (first, last) headers alone, surviving varint segments
-// decode into scratch (capacity ≥ graph.SegmentEntries, supplied by the
-// caller so the kernel stays stateless), and bitmap segments are probed per
-// b element in O(1). skipped counts header-rejected segments. Matches are
-// emitted in ascending order, identical to every other kernel.
+// decode into scratch, and bitmap segments are probed per b element in O(1).
+// skipped counts header-rejected segments. Matches are emitted in ascending
+// order, identical to every other kernel.
+//
+// Scratch ownership contract: scratch is a reusable decode buffer supplied
+// by the caller so the kernel stays stateless. For the duration of one
+// IntersectCompressed call the kernel owns it exclusively — it overwrites
+// the buffer once per surviving varint segment, so its contents are
+// garbage between segments and after the call returns. Consequently:
+//
+//   - the emit callback MUST NOT retain any slice aliasing scratch (it
+//     receives values, never slices, precisely so it cannot);
+//   - the caller may hand the same scratch to back-to-back calls for
+//     different vertices — each call starts from scratch[:0] and never
+//     reads stale contents (TestBlockKernelSharedScratch pins this);
+//   - scratch needs capacity ≥ graph.SegmentEntries to stay
+//     allocation-free; an undersized buffer (including nil) is replaced by
+//     a private allocation rather than silently growing the caller's —
+//     growth would split decode results between the caller's array and a
+//     reallocated one, leaving the caller's prefix holding stale values
+//     that alias nothing the kernel still uses.
 type BlockKernel interface {
 	Kernel
 	IntersectCompressed(a graph.CompressedList, b []graph.Vertex, scratch []graph.Vertex, emit func(w graph.Vertex)) (steps, skipped uint64, err error)
@@ -335,6 +352,11 @@ func (compressedKernel) Intersect(a, b []graph.Vertex, emit func(graph.Vertex)) 
 func (compressedKernel) IntersectCompressed(a graph.CompressedList, b []graph.Vertex, scratch []graph.Vertex, emit func(graph.Vertex)) (steps, skipped uint64, err error) {
 	if a.Degree == 0 || len(b) == 0 {
 		return 0, 0, nil
+	}
+	if cap(scratch) < graph.SegmentEntries {
+		// Enforce the ownership contract: an undersized caller buffer is
+		// replaced, never grown in place (see the BlockKernel doc).
+		scratch = make([]graph.Vertex, 0, graph.SegmentEntries)
 	}
 	it := a.Segments()
 	single := a.Degree <= graph.SegmentEntries

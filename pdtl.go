@@ -77,9 +77,15 @@ type Options struct {
 	ScanSource string
 	// Kernel selects the sorted-array intersection kernel: "merge" (or
 	// empty — the paper's two-pointer merge), "gallop" (exponential +
-	// binary search, for skewed list lengths), or "adaptive" (picks per
-	// pair by length ratio). The triangle output is identical for every
-	// choice.
+	// binary search, for skewed list lengths), "adaptive" (picks per pair
+	// by length ratio), "compressed" (block skipping on 256-entry segment
+	// ranges; on a compressed store it intersects the encoded form
+	// directly), or "cover" (range-cover pre-filter). The triangle output
+	// is identical for every choice. Counting runs (Count,
+	// CountDistributed, the service's /count) additionally take each
+	// kernel's closure-free count-only path — with word-parallel bitmap
+	// counting and unrolled varint decoding on compressed stores — which
+	// changes no counts, only speed.
 	Kernel string
 	// Sched selects the chunk scheduler: "static" (or empty — the paper's
 	// one-shot binding of one contiguous edge range per worker) or
