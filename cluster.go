@@ -3,6 +3,7 @@ package pdtl
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -64,6 +65,11 @@ type ClusterOptions struct {
 	// List requests triangle listing into ListPath (12-byte triples).
 	List     bool
 	ListPath string
+	// Log, when non-nil, receives a structured warning for every worker
+	// failure the run detects, as it happens (the failures still appear in
+	// ClusterResult.Failures either way). Like the fault-tolerance knobs it
+	// never changes what a run computes, so it is absent from Key.
+	Log *slog.Logger
 }
 
 // Key returns the canonical identity of a distributed run with these
@@ -254,6 +260,7 @@ func (g *Graph) CountDistributed(ctx context.Context, workerAddrs []string, opt 
 		HeartbeatInterval: opt.HeartbeatInterval,
 		List:              opt.List,
 		ListPath:          opt.ListPath,
+		Log:               opt.Log,
 	}, workerAddrs)
 	if err != nil {
 		return nil, err

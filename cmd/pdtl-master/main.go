@@ -30,6 +30,7 @@ import (
 	"syscall"
 
 	"pdtl"
+	"pdtl/internal/obs"
 )
 
 func main() {
@@ -53,10 +54,17 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 0,
 		"worker liveness ping interval (0 = default 2s, negative = disabled); a worker missing 3 pings is declared dead and its work reassigned")
 	list := flag.String("list", "", "write triangle listing to this file")
+	tracePath := flag.String("trace", "", "write the run's merged phase trace (Chrome trace_event JSON, worker spans included) to this file")
+	logFormat := flag.String("log-format", "text", "structured log format on stderr: text or json")
 	flag.Parse()
 
 	if *graphBase == "" {
 		fmt.Fprintln(os.Stderr, "pdtl-master: -graph is required")
+		os.Exit(2)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdtl-master:", err)
 		os.Exit(2)
 	}
 	var addrs []string
@@ -65,6 +73,14 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Worker failures are slog'd the moment the fault-tolerance layer sees
+	// them (stderr, so stdout's triangles:/failures: report stays clean);
+	// the trace cursor rides the same context into the cluster layer.
+	var tr *obs.Trace
+	if *tracePath != "" {
+		tr = obs.NewTrace(0)
+		ctx = obs.ContextWithCursor(ctx, obs.Cursor{T: tr, Span: obs.NoSpan, Worker: -1})
+	}
 	g, err := pdtl.Open(*graphBase)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdtl-master:", err)
@@ -72,6 +88,7 @@ func main() {
 	}
 	defer g.Close()
 	res, err := g.CountDistributed(ctx, addrs, pdtl.ClusterOptions{
+		Log: logger,
 		Workers:           *workers,
 		MemEdges:          *mem,
 		NaiveBalance:      *naive,
@@ -114,5 +131,12 @@ func main() {
 	}
 	if *list != "" {
 		fmt.Printf("listing: %s\n", *list)
+	}
+	if tr != nil {
+		if err := tr.WriteFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "pdtl-master:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %s (%d spans, %d dropped)\n", *tracePath, len(tr.Spans()), tr.Dropped())
 	}
 }

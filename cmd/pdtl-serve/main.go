@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"pdtl"
+	"pdtl/internal/obs"
 	"pdtl/internal/service"
 )
 
@@ -81,11 +82,28 @@ func main() {
 		"auto-compact a live graph once its delta holds this many edge mutations (0 = manual compaction only)")
 	liveDir := flag.String("live-dir", "", "directory for compacted live snapshots (default: next to each store)")
 	liveFormat := flag.String("live-format", "", "on-disk format for compacted snapshots: plain or compressed (default plain)")
+	debugAddr := flag.String("debug-addr", "", "optional listen address exposing /debug/pprof (disabled when empty)")
+	logFormat := flag.String("log-format", "text", "structured log format on stderr: text or json")
 	var graphs graphFlags
 	flag.Var(&graphs, "graph", "pre-register a graph as name=storepath (repeatable)")
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdtl-serve:", err)
+		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		bound, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdtl-serve:", err)
+			os.Exit(1)
+		}
+		logger.Info("debug server listening", "addr", bound)
+	}
+
 	cfg := service.Config{
+		Log: logger,
 		MaxGraphs:  *maxGraphs,
 		RunSlots:   *slots,
 		QueueDepth: *queue,

@@ -18,17 +18,33 @@ import (
 	"syscall"
 
 	"pdtl"
+	"pdtl/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", ":7100", "TCP listen address")
 	dir := flag.String("dir", ".", "working directory for graph replicas")
 	name := flag.String("name", "", "node name (default: host:port)")
+	debugAddr := flag.String("debug-addr", "", "optional listen address exposing /debug/pprof (disabled when empty)")
+	logFormat := flag.String("log-format", "text", "structured log format on stderr: text or json")
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdtl-worker:", err)
+		os.Exit(2)
+	}
 	nodeName := *name
 	if nodeName == "" {
 		nodeName = *addr
+	}
+	if *debugAddr != "" {
+		bound, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdtl-worker:", err)
+			os.Exit(1)
+		}
+		logger.Info("debug server listening", "addr", bound)
 	}
 	// SIGINT/SIGTERM cancel the context, which stops the server and aborts
 	// any calculation still in flight.
@@ -40,6 +56,8 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("pdtl-worker %q serving on %s (replicas in %s)\n", nodeName, w.Addr(), *dir)
+	logger.Info("worker serving", "node", nodeName, "addr", w.Addr(), "dir", *dir)
 	<-w.Done()
 	fmt.Println("pdtl-worker: shutting down")
+	logger.Info("worker stopped", "node", nodeName)
 }

@@ -25,6 +25,7 @@ import (
 	"syscall"
 
 	"pdtl"
+	"pdtl/internal/obs"
 )
 
 func main() {
@@ -62,10 +63,12 @@ func usage() {
              [-scan auto|buffered|shared|mem]
              [-kernel merge|gallop|adaptive|compressed|cover]
              [-sched static|stealing] [-chunks K] [-store plain|compressed]
+             [-trace FILE]
   pdtl list  -graph BASE -out FILE [-workers P] [-mem ENTRIES]
              [-scan auto|buffered|shared|mem]
              [-kernel merge|gallop|adaptive|compressed|cover]
              [-sched static|stealing] [-chunks K] [-store plain|compressed]
+             [-trace FILE]
   pdtl info  -graph BASE`)
 }
 
@@ -88,9 +91,27 @@ func commonFlags(fs *flag.FlagSet) (graphBase *string, opt *pdtl.Options) {
 	return graphBase, opt
 }
 
+// withTrace attaches a run trace to ctx when -trace was given; the
+// returned flush writes it out after the run.
+func withTrace(ctx context.Context, path string) (context.Context, func() error) {
+	if path == "" {
+		return ctx, func() error { return nil }
+	}
+	tr := obs.NewTrace(0)
+	ctx = obs.ContextWithCursor(ctx, obs.Cursor{T: tr, Span: obs.NoSpan, Worker: -1})
+	return ctx, func() error {
+		if err := tr.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %s (%d spans, %d dropped)\n", path, len(tr.Spans()), tr.Dropped())
+		return nil
+	}
+}
+
 func runCount(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("count", flag.ExitOnError)
 	graphBase, opt := commonFlags(fs)
+	tracePath := fs.String("trace", "", "write the run's phase trace (Chrome trace_event JSON) to this file")
 	fs.Parse(args)
 	if *graphBase == "" {
 		return fmt.Errorf("-graph is required")
@@ -100,18 +121,20 @@ func runCount(ctx context.Context, args []string) error {
 		return err
 	}
 	defer g.Close()
+	ctx, flushTrace := withTrace(ctx, *tracePath)
 	res, err := g.Count(ctx, *opt)
 	if err != nil {
 		return err
 	}
 	printResult(res)
-	return nil
+	return flushTrace()
 }
 
 func runList(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
 	graphBase, opt := commonFlags(fs)
 	out := fs.String("out", "", "output file for binary triangle triples (required)")
+	tracePath := fs.String("trace", "", "write the run's phase trace (Chrome trace_event JSON) to this file")
 	fs.Parse(args)
 	if *graphBase == "" || *out == "" {
 		return fmt.Errorf("-graph and -out are required")
@@ -121,6 +144,7 @@ func runList(ctx context.Context, args []string) error {
 		return err
 	}
 	defer g.Close()
+	ctx, flushTrace := withTrace(ctx, *tracePath)
 	// ListFile writes through a temp file renamed into place, so an
 	// interrupted listing never leaves a truncated file under the
 	// requested name.
@@ -130,7 +154,7 @@ func runList(ctx context.Context, args []string) error {
 	}
 	printResult(res)
 	fmt.Printf("listing: %s (12 bytes per triangle)\n", *out)
-	return nil
+	return flushTrace()
 }
 
 func runInfo(args []string) error {

@@ -32,6 +32,7 @@ import (
 	"pdtl/internal/graph"
 	"pdtl/internal/ioacct"
 	"pdtl/internal/mgt"
+	"pdtl/internal/obs"
 	"pdtl/internal/orient"
 	"pdtl/internal/sched"
 )
@@ -321,36 +322,55 @@ func (g *Graph) run(ctx context.Context, opt Options, sinks []mgt.Sink) (*Result
 
 	g.runs.Add(1)
 	start := time.Now()
+	// The run's trace spans: one count span rooted at whatever cursor the
+	// caller put in ctx (the CLI's -trace, the service's ?trace=1), with
+	// orient/plan/calc children; the engine's runners hang their chunk
+	// spans under calc.
+	cur := obs.CursorFrom(ctx)
+	runSpan := cur.Begin(obs.SpanCount)
+	defer cur.End(runSpan)
+	rcur := cur.Child(runSpan)
+
+	osp := rcur.Begin(obs.SpanOrient)
 	d, orientedBase, ores, err := g.ensureOriented(ctx, workers, copt.Store)
+	rcur.End(osp)
 	if err != nil {
 		return nil, err
 	}
 	calcStart := time.Now()
-	var stats []core.WorkerStat
-	var srcIO ioacct.Stats
+	psp := rcur.Begin(obs.SpanPlan)
+	var plan balance.Plan
 	if copt.Sched == sched.Stealing {
 		// The chunked plan is a plain k-way split with k = K·P, so the
 		// per-(workers,strategy) plan cache applies unchanged.
-		plan, err := g.planCached(d, orientedBase, sched.ChunksFor(workers, copt.Chunks), copt.Strategy)
-		if err != nil {
-			return nil, err
-		}
-		stats, _, srcIO, err = core.RunChunks(ctx, d, plan.Ranges, copt)
-		if err != nil {
-			return nil, err
-		}
+		plan, err = g.planCached(d, orientedBase, sched.ChunksFor(workers, copt.Chunks), copt.Strategy)
 	} else {
-		plan, err := g.planCached(d, orientedBase, workers, copt.Strategy)
-		if err != nil {
-			return nil, err
-		}
-		stats, srcIO, err = core.RunRanges(ctx, d, plan.Ranges, copt)
-		if err != nil {
-			return nil, err
-		}
+		plan, err = g.planCached(d, orientedBase, workers, copt.Strategy)
+	}
+	rcur.End(psp)
+	planTime := time.Since(calcStart)
+	if err != nil {
+		return nil, err
+	}
+	csp := rcur.Begin(obs.SpanCalc)
+	calcCtx := ctx
+	if rcur.T != nil {
+		calcCtx = obs.ContextWithCursor(ctx, rcur.Child(csp))
+	}
+	var stats []core.WorkerStat
+	var srcIO ioacct.Stats
+	if copt.Sched == sched.Stealing {
+		stats, _, srcIO, err = core.RunChunks(calcCtx, d, plan.Ranges, copt)
+	} else {
+		stats, srcIO, err = core.RunRanges(calcCtx, d, plan.Ranges, copt)
+	}
+	rcur.End(csp)
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{
+		PlanTime:        planTime,
 		OrientedBase:    orientedBase,
 		ScanSource:      string(copt.Scan.Resolve(workers)),
 		Sched:           copt.Sched.String(),
@@ -361,6 +381,7 @@ func (g *Graph) run(ctx context.Context, opt Options, sinks []mgt.Sink) (*Result
 		res.OrientTime = ores.Duration
 		res.MaxOutDegree = ores.MaxOutDegree
 	}
+	cur.SetAttr(runSpan, "workers", int64(len(stats)))
 	for _, w := range stats {
 		res.Triangles += w.Stats.Triangles
 		res.Workers = append(res.Workers, WorkerStats{
@@ -447,6 +468,12 @@ func (g *Graph) listTo(ctx context.Context, out io.Writer, partDir string, opt O
 	if err != nil {
 		return nil, err
 	}
+	// Reassembly: part files concatenate in part order (worker order under
+	// static, chunk order under stealing) — traced as one assemble span.
+	cur := obs.CursorFrom(ctx)
+	asp := cur.Begin(obs.SpanAssemble)
+	defer cur.End(asp)
+	cur.SetAttr(asp, "parts", int64(len(fileSinks)))
 	for i, sink := range fileSinks {
 		if err := sink.Flush(); err != nil {
 			return nil, err

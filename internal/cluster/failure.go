@@ -8,6 +8,7 @@ package cluster
 
 import (
 	"context"
+	"log/slog"
 	"net"
 	"net/rpc"
 	"sync"
@@ -78,10 +79,13 @@ type Failure struct {
 	Time time.Time
 }
 
-// failureLog is the run's thread-safe failure accumulator.
+// failureLog is the run's thread-safe failure accumulator. With a logger
+// attached (Config.Log) every detected failure is also warned about the
+// moment it happens, not just reported in Result.Failures at the end.
 type failureLog struct {
-	mu sync.Mutex
-	fs []Failure
+	log *slog.Logger
+	mu  sync.Mutex
+	fs  []Failure
 }
 
 func (l *failureLog) add(f Failure) {
@@ -89,6 +93,12 @@ func (l *failureLog) add(f Failure) {
 	l.mu.Lock()
 	l.fs = append(l.fs, f)
 	l.mu.Unlock()
+	if l.log != nil {
+		l.log.Warn("cluster node failure",
+			"node", f.Node, "addr", f.Addr, "slot", f.Slot,
+			"chunk", f.Chunk, "ranges", f.Ranges, "retries", f.Retries,
+			"err", f.Err)
+	}
 }
 
 func (l *failureLog) list() []Failure {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand/v2"
 	"net/rpc"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"pdtl/internal/graph"
 	"pdtl/internal/ioacct"
 	"pdtl/internal/mgt"
+	"pdtl/internal/obs"
 	"pdtl/internal/orient"
 	"pdtl/internal/scan"
 	"pdtl/internal/sched"
@@ -93,6 +95,11 @@ type Config struct {
 	List bool
 	// ListPath is the output file for List mode.
 	ListPath string
+	// Log, when non-nil, receives a structured warning for every node
+	// failure the run detects (in addition to the final Result.Failures
+	// report) — an operator watching the master's log sees the degradation
+	// as it happens.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -256,6 +263,18 @@ func Run(ctx context.Context, cfg Config, workerAddrs []string) (*Result, error)
 	cfg = cfg.withDefaults()
 	start := time.Now()
 
+	// The whole distributed run is one cluster span; the drivers' copy and
+	// dispatch spans (and, through the wire, the nodes' own spans) nest
+	// under it via the context cursor.
+	cur := obs.CursorFrom(ctx)
+	clsp := cur.Begin(obs.SpanCluster)
+	defer cur.End(clsp)
+	cur.SetAttr(clsp, "nodes", int64(1+len(workerAddrs)))
+	if cur.T != nil {
+		ctx = obs.ContextWithCursor(ctx, cur.Child(clsp))
+		cur = obs.CursorFrom(ctx)
+	}
+
 	d := cfg.Disk
 	if d == nil {
 		var err error
@@ -270,7 +289,9 @@ func Run(ctx context.Context, cfg Config, workerAddrs []string) (*Result, error)
 			return nil, err
 		}
 		orientedBase = cfg.GraphBase + ".oriented"
+		osp := cur.Begin(obs.SpanOrient)
 		ores, err := orient.Orient(cfg.GraphBase, orientedBase, cfg.OrientWorkers)
+		cur.End(osp)
 		if err != nil {
 			return nil, err
 		}
@@ -326,7 +347,10 @@ func splitWork(start int, ranges []balance.Range, k int) []workItem {
 // reassignments per work unit.
 func runStatic(ctx context.Context, cfg Config, d *graph.Disk, orientedBase string, workerAddrs []string, res *Result) error {
 	nodes := 1 + len(workerAddrs)
+	cur := obs.CursorFrom(ctx)
+	psp := cur.Begin(obs.SpanPlan)
 	plan, err := core.Plan(d, orientedBase, nodes*cfg.Workers, cfg.Strategy)
+	cur.End(psp)
 	if err != nil {
 		return err
 	}
@@ -343,7 +367,7 @@ func runStatic(ctx context.Context, cfg Config, d *graph.Disk, orientedBase stri
 
 	limiter := NewLimiter(cfg.UplinkBytesPerSec)
 	runID := newRunID(cfg.GraphName)
-	flog := &failureLog{}
+	flog := &failureLog{log: cfg.Log}
 	res.Nodes = make([]NodeResult, nodes)
 	res.Nodes[0] = NodeResult{Name: "master", Addr: "local"}
 	for i, addr := range workerAddrs {
@@ -569,7 +593,10 @@ type tripleSeg struct {
 // engine error, or cancellation abort the run.
 func runStealing(ctx context.Context, cfg Config, d *graph.Disk, orientedBase string, workerAddrs []string, res *Result) error {
 	nodes := 1 + len(workerAddrs)
+	cur := obs.CursorFrom(ctx)
+	psp := cur.Begin(obs.SpanPlan)
 	plan, err := core.PlanChunks(d, orientedBase, nodes*cfg.Workers, cfg.Chunks, cfg.Strategy)
+	cur.End(psp)
 	if err != nil {
 		return err
 	}
@@ -578,7 +605,7 @@ func runStealing(ctx context.Context, cfg Config, d *graph.Disk, orientedBase st
 
 	limiter := NewLimiter(cfg.UplinkBytesPerSec)
 	runID := newRunID(cfg.GraphName)
-	flog := &failureLog{}
+	flog := &failureLog{log: cfg.Log}
 	res.Nodes = make([]NodeResult, nodes)
 	res.Nodes[0] = NodeResult{Name: "master", Addr: "local"}
 	for i, addr := range workerAddrs {
@@ -798,9 +825,14 @@ func driveRemote(ctx context.Context, cfg Config, runID, orientedBase, addr stri
 	defer nc.close()
 	nr := &NodeResult{Name: hello.Name, Addr: addr}
 
+	cur := obs.CursorFrom(ctx)
+	copySpan := cur.Begin(obs.SpanCopy)
 	copyStart := time.Now()
 	sent, err := copyGraph(ctx, nc.client, cfg, orientedBase, limiter)
 	nr.CopyBytes = sent // even a failed copy's bytes crossed the master's uplink
+	cur.SetAttr(copySpan, "slot", int64(slot))
+	cur.SetAttr(copySpan, "bytes", sent)
+	cur.End(copySpan)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, nil, cerr
@@ -827,6 +859,11 @@ func driveRemote(ctx context.Context, cfg Config, runID, orientedBase, addr stri
 		if len(batch) == 0 {
 			break
 		}
+		dsp := cur.Begin(obs.SpanDispatch)
+		cur.SetAttr(dsp, "start", int64(start))
+		cur.SetAttr(dsp, "ranges", int64(len(batch)))
+		cur.SetAttr(dsp, "retries", int64(retries))
+		cur.SetAttr(dsp, "slot", int64(slot))
 		args := &CountArgs{
 			GraphName: cfg.GraphName,
 			RunID:     workID(runID, start),
@@ -838,8 +875,13 @@ func driveRemote(ctx context.Context, cfg Config, runID, orientedBase, addr stri
 			Scan:      string(cfg.Scan),
 			Kernel:    string(cfg.Kernel),
 			List:      cfg.List,
+			TraceSpan: traceSpanArg(cur, dsp),
 		}
 		reply, err := countWithCancel(ctx, nc.client, addr, args)
+		if err == nil && cur.T != nil {
+			cur.T.Merge(dsp, reply.Spans)
+		}
+		cur.End(dsp)
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return nil, nil, cerr
@@ -963,9 +1005,14 @@ func runRemote(ctx context.Context, cfg Config, runID, orientedBase, addr string
 	defer nc.close()
 	nr := &NodeResult{Name: hello.Name, Addr: addr}
 
+	cur := obs.CursorFrom(ctx)
+	copySpan := cur.Begin(obs.SpanCopy)
 	copyStart := time.Now()
 	sent, err := copyGraph(ctx, nc.client, cfg, orientedBase, limiter)
 	nr.CopyBytes = sent
+	cur.SetAttr(copySpan, "start", int64(start))
+	cur.SetAttr(copySpan, "bytes", sent)
+	cur.End(copySpan)
 	if err != nil {
 		return nr, nil, fmt.Errorf("cluster: copy to %s: %w", addr, err)
 	}
@@ -1004,8 +1051,14 @@ func recoverRemote(ctx context.Context, cfg Config, runID, addr string, start in
 	}, reply.Triples, nil
 }
 
-// countRanges issues one static-mode Count for a contiguous work unit.
+// countRanges issues one static-mode Count for a contiguous work unit,
+// wrapped in a dispatch span: a traced master asks the node for its spans
+// and grafts them under the dispatch on return.
 func countRanges(ctx context.Context, cfg Config, nc *nodeConn, runID string, start int, ranges []balance.Range) (*CountReply, error) {
+	cur := obs.CursorFrom(ctx)
+	dsp := cur.Begin(obs.SpanDispatch)
+	cur.SetAttr(dsp, "start", int64(start))
+	cur.SetAttr(dsp, "ranges", int64(len(ranges)))
 	args := &CountArgs{
 		GraphName: cfg.GraphName,
 		RunID:     workID(runID, start),
@@ -1015,8 +1068,25 @@ func countRanges(ctx context.Context, cfg Config, nc *nodeConn, runID string, st
 		Scan:      string(cfg.Scan),
 		Kernel:    string(cfg.Kernel),
 		List:      cfg.List,
+		TraceSpan: traceSpanArg(cur, dsp),
 	}
-	return countWithCancel(ctx, nc.client, nc.addr, args)
+	reply, err := countWithCancel(ctx, nc.client, nc.addr, args)
+	if err == nil && cur.T != nil {
+		cur.T.Merge(dsp, reply.Spans)
+	}
+	cur.End(dsp)
+	return reply, err
+}
+
+// traceSpanArg encodes a dispatch span as CountArgs.TraceSpan: the span id
+// plus one, so zero keeps meaning "tracing off" on the wire. A full slab
+// (dsp == NoSpan) sends zero too — there is no room to merge the reply's
+// spans anyway.
+func traceSpanArg(cur obs.Cursor, dsp obs.SpanID) int64 {
+	if cur.T == nil || dsp < 0 {
+		return 0
+	}
+	return int64(dsp) + 1
 }
 
 // callCopy is callCtx under the copy phase's per-RPC deadline: the

@@ -15,6 +15,7 @@ import (
 	"pdtl/internal/graph"
 	"pdtl/internal/ioacct"
 	"pdtl/internal/mgt"
+	"pdtl/internal/obs"
 	"pdtl/internal/scan"
 	"pdtl/internal/sched"
 )
@@ -264,6 +265,17 @@ func (n *Node) Count(args *CountArgs, reply *CountReply) error {
 	start := time.Now()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// A traced master asks for spans back: record the node's calculation
+	// into a local trace (the engine's cursor plumbing picks it up through
+	// the context) and export it in wire form. The master re-parents the
+	// node.count root under its dispatch span.
+	var tr *obs.Trace
+	rootSpan := obs.NoSpan
+	if args.TraceSpan != 0 {
+		tr = obs.NewTrace(0)
+		rootSpan = tr.Begin(obs.SpanNodeCount, obs.NoSpan)
+		ctx = obs.ContextWithCursor(ctx, obs.Cursor{T: tr, Span: rootSpan, Worker: -1})
+	}
 	if args.RunID != "" {
 		n.mu.Lock()
 		if _, dead := n.cancelledRuns[args.RunID]; dead {
@@ -347,6 +359,12 @@ func (n *Node) Count(args *CountArgs, reply *CountReply) error {
 		}
 	}
 	reply.CalcTime = time.Since(start)
+	if tr != nil {
+		tr.SetAttr(rootSpan, "ranges", int64(len(args.Ranges)))
+		tr.SetAttr(rootSpan, "triangles", int64(reply.Triangles))
+		tr.End(rootSpan)
+		reply.Spans = tr.Export()
+	}
 	return nil
 }
 

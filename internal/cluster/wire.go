@@ -16,6 +16,7 @@ import (
 	"pdtl/internal/balance"
 	"pdtl/internal/core"
 	"pdtl/internal/ioacct"
+	"pdtl/internal/obs"
 )
 
 // FileKind identifies which store file a chunk belongs to.
@@ -121,6 +122,13 @@ type CountArgs struct {
 	// (the paper's clients send lists back to the master, which
 	// concatenates them sequentially).
 	List bool
+	// TraceSpan is the span context of a traced run: the master's dispatch
+	// span id plus one (so the gob zero value keeps meaning "tracing
+	// off" for masters predating tracing). A non-zero value asks the node
+	// to record its calculation as spans and return them in
+	// CountReply.Spans; the master re-parents them under its dispatch
+	// span.
+	TraceSpan int64
 }
 
 // CountReply carries a node's results back to the master.
@@ -137,6 +145,10 @@ type CountReply struct {
 	// Triples is the binary triangle list (12 bytes per triangle) when
 	// List was requested.
 	Triples []byte
+	// Spans is the node's recorded trace (position-independent wire form)
+	// when CountArgs.TraceSpan requested tracing; nil otherwise. Roots
+	// carry Parent -1 and are re-parented by the master's Merge.
+	Spans []obs.WireSpan
 }
 
 // PingArgs checks liveness.

@@ -23,6 +23,7 @@ import (
 	"pdtl/internal/graph"
 	"pdtl/internal/ioacct"
 	"pdtl/internal/mgt"
+	"pdtl/internal/obs"
 	"pdtl/internal/orient"
 	"pdtl/internal/scan"
 	"pdtl/internal/sched"
@@ -144,6 +145,10 @@ type Result struct {
 	Plan balance.Plan
 	// Workers holds per-runner statistics.
 	Workers []WorkerStat
+	// PlanTime is the load-balance planning slice of the calculation
+	// phase (in-degree load + range/chunk splitting) — the per-phase wall
+	// breakdown the bench schema reports.
+	PlanTime time.Duration
 	// CalcTime is the calculation phase: load balancing plus the slowest
 	// runner (the "struggler" that the paper says determines overall
 	// calculation time).
@@ -194,6 +199,7 @@ func Process(ctx context.Context, base string, opt Options) (*Result, error) {
 		return nil, err
 	}
 
+	cur := obs.CursorFrom(ctx)
 	res := &Result{}
 	orientedBase := base
 	if !d.Meta.Oriented {
@@ -205,7 +211,9 @@ func Process(ctx context.Context, base string, opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		osp := cur.Begin(obs.SpanOrient)
 		ores, err := orient.OrientFormat(base, orientedBase, opt.OrientWorkers, format)
+		cur.End(osp)
 		if err != nil {
 			return nil, err
 		}
@@ -220,19 +228,28 @@ func Process(ctx context.Context, base string, opt Options) (*Result, error) {
 	res.Sched = opt.Sched
 	// planFor cuts one range per worker under static, Chunks per worker
 	// under stealing — the same cost model, K× finer.
+	psp := cur.Begin(obs.SpanPlan)
 	plan, err := planFor(d, orientedBase, opt)
+	cur.End(psp)
+	res.PlanTime = time.Since(calcStart)
 	if err != nil {
 		return nil, err
 	}
 	res.Plan = plan
 	res.Scan = opt.Scan.Resolve(opt.Workers)
+	csp := cur.Begin(obs.SpanCalc)
+	calcCtx := ctx
+	if cur.T != nil {
+		calcCtx = obs.ContextWithCursor(ctx, cur.Child(csp))
+	}
 	var stats []WorkerStat
 	var srcIO ioacct.Stats
 	if opt.Sched == sched.Stealing {
-		stats, res.ChunkStats, srcIO, err = RunChunks(ctx, d, plan.Ranges, opt)
+		stats, res.ChunkStats, srcIO, err = RunChunks(calcCtx, d, plan.Ranges, opt)
 	} else {
-		stats, srcIO, err = RunRanges(ctx, d, plan.Ranges, opt)
+		stats, srcIO, err = RunRanges(calcCtx, d, plan.Ranges, opt)
 	}
+	cur.End(csp)
 	if err != nil {
 		return nil, err
 	}
@@ -356,6 +373,7 @@ func RunRanges(ctx context.Context, d *graph.Disk, ranges []balance.Range, opt O
 
 	stats := make([]WorkerStat, len(ranges))
 	errs := make([]error, len(ranges))
+	cur := obs.CursorFrom(ctx)
 	var wg sync.WaitGroup
 	for i, r := range ranges {
 		wg.Add(1)
@@ -365,6 +383,13 @@ func RunRanges(ctx context.Context, d *graph.Disk, ranges []balance.Range, opt O
 			// (not when all runners are), so that stragglers with more
 			// passes left stop waiting on it for round quorum.
 			defer handles[i].Close()
+			// One context per runner, stamping its chunk spans with the
+			// runner index (a traced run pays one allocation per runner
+			// here; the per-chunk recording itself never allocates).
+			rctx := ctx
+			if cur.T != nil {
+				rctx = obs.ContextWithCursor(ctx, cur.WithWorker(i))
+			}
 			cfg := mgt.Config{
 				MemEdges: opt.MemEdges,
 				Range:    r,
@@ -375,7 +400,7 @@ func RunRanges(ctx context.Context, d *graph.Disk, ranges []balance.Range, opt O
 			if opt.Sinks != nil {
 				cfg.Sink = opt.Sinks[i]
 			}
-			st, err := mgt.Run(ctx, d, cfg)
+			st, err := mgt.Run(rctx, d, cfg)
 			stats[i] = WorkerStat{Worker: i, Range: r, Chunks: 1, Stats: st}
 			errs[i] = err
 		}(i, r)
@@ -473,6 +498,7 @@ func RunChunks(ctx context.Context, d *graph.Disk, chunks []balance.Range, opt O
 	ledgers := make([]sched.Ledger, workers)
 	chunkStats := make([]ChunkStat, len(chunks))
 	errs := make([]error, workers)
+	cur := obs.CursorFrom(ctx)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
@@ -482,6 +508,13 @@ func RunChunks(ctx context.Context, d *graph.Disk, chunks []balance.Range, opt O
 			// shrinks the shared source's round quorum, exactly like a
 			// static runner finishing its final pass.
 			defer handles[i].Close()
+			// One context per pool runner stamps its chunk spans with the
+			// runner index; the per-chunk span recording in
+			// mgt.(*Runner).RunRange is allocation-free.
+			rctx := ctx
+			if cur.T != nil {
+				rctx = obs.ContextWithCursor(ctx, cur.WithWorker(i))
+			}
 			ledgers[i].Worker = i
 			runner, err := mgt.NewRunner(d, mgt.Config{
 				MemEdges: opt.MemEdges,
@@ -503,7 +536,7 @@ func RunChunks(ctx context.Context, d *graph.Disk, chunks []balance.Range, opt O
 				if opt.Sinks != nil {
 					sink = opt.Sinks[ci]
 				}
-				st, err := runner.RunRange(ctx, rng, sink)
+				st, err := runner.RunRange(rctx, rng, sink)
 				chunkStats[ci] = ChunkStat{Chunk: ci, Worker: i, Range: rng, Stats: st}
 				ledgers[i].Fold(rng, st)
 				if err != nil {

@@ -37,7 +37,12 @@ import (
 // (64-bit word operations by the word-parallel bitmap kernels and the
 // 8-wide varint decoder) and fast_decodes (segments decoded by
 // graph.DecodeSegmentFast). Both counters are zero on plain stores.
-const BenchSchema = "pdtl-bench/5"
+// /6 added the per-phase wall breakdown the run tracer records: plan_ns
+// (the load-balance planning slice of wall_ns — in-degree load plus
+// range/chunk splitting) alongside the existing wall_ns (calculation) and
+// orient_ns (preprocessing), so a trajectory regression is attributable to
+// a phase without re-running under -trace.
+const BenchSchema = "pdtl-bench/6"
 
 // BenchRun is one (dataset, scheduler) measurement — the machine-readable
 // counterpart of the human tables, with the per-run wall/CPU/IO split and
@@ -63,9 +68,11 @@ type BenchRun struct {
 	BytesPerEdge float64 `json:"bytes_per_edge"`
 	Triangles    uint64  `json:"triangles"`
 	// WallNS is the calculation phase (load balancing + slowest runner);
-	// OrientNS the one-time preprocessing, reported separately.
+	// OrientNS the one-time preprocessing, reported separately; PlanNS the
+	// load-balance planning slice of the calculation phase.
 	WallNS   int64 `json:"wall_ns"`
 	OrientNS int64 `json:"orient_ns"`
+	PlanNS   int64 `json:"plan_ns"`
 	// CPUNS and IONS aggregate the runners; SourceBytes is the scan
 	// source's own I/O (shared broadcasts, mem preload).
 	CPUNS       int64 `json:"cpu_ns"`
@@ -246,6 +253,7 @@ func (h *Harness) benchRun(res *core.Result, dataset string, workers, mem int) B
 		FastDecodes:     fastDecodes,
 		Triangles:       res.Triangles,
 		WallNS:          int64(res.CalcTime),
+		PlanNS:          int64(res.PlanTime),
 		CPUNS:           int64(cpu),
 		IONS:            int64(io),
 		BytesRead:       bytesRead,

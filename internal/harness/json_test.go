@@ -58,6 +58,11 @@ func TestBenchJSONSchema(t *testing.T) {
 		if r.WallNS <= 0 || r.OrientNS <= 0 {
 			t.Errorf("%s run has empty timings: wall=%d orient=%d", r.Sched, r.WallNS, r.OrientNS)
 		}
+		// /6 per-phase breakdown: planning is a nonzero slice of the
+		// calculation wall.
+		if r.PlanNS <= 0 || r.PlanNS > r.WallNS {
+			t.Errorf("%s run plan_ns = %d outside (0, wall_ns=%d]", r.Sched, r.PlanNS, r.WallNS)
+		}
 		if r.WorkerImbalance < 1 {
 			t.Errorf("%s imbalance %f below 1 (max/mean cannot be)", r.Sched, r.WorkerImbalance)
 		}
@@ -125,7 +130,8 @@ func TestBenchJSONSchema(t *testing.T) {
 	first := runs[0].(map[string]any)
 	for _, key := range []string{"dataset", "workers", "sched", "mode", "scan", "kernel",
 		"store_format", "bytes_per_edge", "segments_skipped", "triangles",
-		"wall_ns", "cpu_ns", "io_ns", "bytes_read", "worker_imbalance", "max_worker_wall_ns",
+		"wall_ns", "orient_ns", "plan_ns", "cpu_ns", "io_ns", "bytes_read",
+		"worker_imbalance", "max_worker_wall_ns",
 		"delta_edges", "compactions", "word_ops", "fast_decodes"} {
 		if _, ok := first[key]; !ok {
 			t.Errorf("run object missing key %q", key)

@@ -10,6 +10,7 @@ import (
 
 	"pdtl/internal/extsort"
 	"pdtl/internal/graph"
+	"pdtl/internal/obs"
 	"pdtl/internal/orient"
 )
 
@@ -27,8 +28,14 @@ import (
 // ".building" names and renamed into place, so a half-finished compaction
 // never masquerades as a snapshot.
 func (g *Graph) runCompaction(ctx context.Context, base *baseSnap, frozen *delta) {
+	cur := obs.CursorFrom(ctx)
+	bsp := cur.Begin(obs.SpanBuild)
 	snap, err := g.buildSnapshot(ctx, base, frozen)
+	cur.SetAttr(bsp, "delta_edges", int64(frozen.edges()))
+	cur.End(bsp)
 
+	ssp := cur.Begin(obs.SpanSwap)
+	defer cur.End(ssp)
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	old := g.cur

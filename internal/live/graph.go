@@ -22,6 +22,7 @@ import (
 	"pdtl/internal/balance"
 	"pdtl/internal/core"
 	"pdtl/internal/graph"
+	"pdtl/internal/obs"
 	"pdtl/internal/scan"
 	"pdtl/internal/sched"
 )
@@ -278,12 +279,16 @@ func (g *Graph) CompactNow(ctx context.Context) error {
 		g.mu.Unlock()
 		return err
 	}
+	cur := obs.CursorFrom(ctx)
+	fsp := cur.Begin(obs.SpanFreeze)
 	frozen := compose(g.cur.frozen, g.cur.active)
 	g.cur = &view{base: g.cur.base, frozen: frozen, active: emptyDelta}
 	g.activeSince = time.Time{}
 	g.compacting = true
 	base := g.cur.base
 	g.mu.Unlock()
+	cur.SetAttr(fsp, "delta_edges", int64(frozen.edges()))
+	cur.End(fsp)
 
 	g.runCompaction(ctx, base, frozen)
 

@@ -41,6 +41,7 @@ import (
 	"pdtl/internal/balance"
 	"pdtl/internal/graph"
 	"pdtl/internal/ioacct"
+	"pdtl/internal/obs"
 	"pdtl/internal/scan"
 )
 
@@ -341,12 +342,24 @@ func (r *Runner) RunRange(ctx context.Context, rng balance.Range, sink Sink) (St
 	r.countOnly = sink == nil && r.ckernel != nil
 	ioStart := r.counter.Snapshot()
 	wordStart, fastStart := r.arena.WordOps, r.arena.FastDecodes
+	// The chunk span (allocation-free: cursor lookup plus slab writes).
+	// Its attributes carry this call's stat deltas, so a trace attributes
+	// wall time to scan I/O vs. intersection CPU per chunk.
+	cur := obs.CursorFrom(ctx)
+	span := cur.Begin(obs.SpanChunk)
 
 	finish := func(err error) (Stats, error) {
 		r.stats.Wall = time.Since(start)
 		r.stats.IO = r.counter.Snapshot().Sub(ioStart)
 		r.stats.WordOps += r.arena.WordOps - wordStart
 		r.stats.FastDecodes += r.arena.FastDecodes - fastStart
+		cur.SetAttr(span, "lo", int64(rng.Lo))
+		cur.SetAttr(span, "hi", int64(rng.Hi))
+		cur.SetAttr(span, "cmp_ops", int64(r.stats.CmpOps))
+		cur.SetAttr(span, "io_bytes", r.stats.IO.BytesRead)
+		cur.SetAttr(span, "word_ops", int64(r.stats.WordOps))
+		cur.SetAttr(span, "passes", int64(r.stats.Passes))
+		cur.End(span)
 		r.sink = nil
 		// A cancelled run reports the bare ctx.Err(), whichever layer the
 		// cancellation surfaced through first (window check here, or a scan

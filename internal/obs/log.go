@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// NewLogger builds a structured logger writing to w. format is "text"
+// (the default, logfmt-style) or "json" (one object per line, for log
+// shippers). An unknown format is an error so a typo on the command line
+// fails loudly instead of silently switching formats.
+func NewLogger(w io.Writer, format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+}
+
+// DebugHandler serves the net/http/pprof endpoints under /debug/pprof/
+// on a private mux (nothing is registered on http.DefaultServeMux, so
+// importing this package never leaks profiling into an app's handler).
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer binds addr and serves DebugHandler in the background,
+// returning the bound address (useful with ":0"). The listener lives for
+// the process — debug servers are opt-in and die with the binary.
+func StartDebugServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug listen: %w", err)
+	}
+	go http.Serve(ln, DebugHandler())
+	return ln.Addr().String(), nil
+}
+
+// WriteFile renders the trace as Chrome trace_event JSON at path
+// (atomically enough for a CLI: create, write, close).
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_h", "test", []float64{1, 5, 10})
+	// Boundary values land in their own bucket (le is inclusive).
+	for _, v := range []float64{0.5, 1, 1.0001, 5, 7, 10, 11, 1e9} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", h.Count())
+	}
+	counts := h.snapshot()
+	want := []uint64{2, 2, 2, 2} // (-inf,1], (1,5], (5,10], (10,+inf)
+	for i, w := range want {
+		if counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, counts[i], w)
+		}
+	}
+	wantSum := 0.5 + 1 + 1.0001 + 5 + 7 + 10 + 11 + 1e9
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramCumulativeRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_h", "test", []float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(0.5)
+	h.Observe(1)
+	h.Observe(100)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range []string{
+		"# HELP t_h test",
+		"# TYPE t_h histogram",
+		`t_h_bucket{le="0.5"} 2`,
+		`t_h_bucket{le="2"} 3`,
+		`t_h_bucket{le="+Inf"} 4`,
+		"t_h_sum 101.75",
+		"t_h_count 4",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("output missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserves(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_h", "test", DefDurationBuckets)
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) / 100)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), goroutines*per)
+	}
+	// Each goroutine observed the same value multiset; sum must be exact
+	// up to float association error.
+	var one float64
+	for i := 0; i < per; i++ {
+		one += float64(i%100) / 100
+	}
+	if math.Abs(h.Sum()-one*goroutines) > 1e-6 {
+		t.Fatalf("Sum = %v, want %v", h.Sum(), one*goroutines)
+	}
+}
+
+func TestHistogramNilAndDuration(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram leaked state")
+	}
+	r := NewRegistry()
+	h = r.Histogram("t_h", "test", nil)
+	h.ObserveDuration(1500 * time.Millisecond)
+	if h.Count() != 1 || h.Sum() != 1.5 {
+		t.Fatalf("Count=%d Sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryRenderOrderStable(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_z_total", "z counter")
+	g := r.Gauge("t_a_gauge", "a gauge")
+	c.Add(3)
+	g.Set(-2)
+	r.GaugeFunc("t_m_func", "computed", func() float64 { return 1.5 })
+
+	render := func() string {
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out := render()
+	// Registration order, not lexical order.
+	zi := strings.Index(out, "t_z_total")
+	ai := strings.Index(out, "t_a_gauge")
+	mi := strings.Index(out, "t_m_func")
+	if !(zi < ai && ai < mi) {
+		t.Fatalf("families out of registration order:\n%s", out)
+	}
+	for _, line := range []string{"t_z_total 3", "t_a_gauge -2", "t_m_func 1.5"} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+	if out != render() {
+		t.Fatal("render not stable across scrapes")
+	}
+}
+
+func TestCounterVecAndConstGauge(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("t_graph_runs_total", "runs per graph", "graph")
+	v.With("wiki").Add(2)
+	v.With("twitter").Inc()
+	if v.With("wiki") != v.With("wiki") {
+		t.Fatal("With not idempotent")
+	}
+	v.With(`we"ird` + "\n").Inc()
+	r.ConstGauge("t_build_info", "build info", `go_version="go1.24"`, 1)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range []string{
+		`t_graph_runs_total{graph="wiki"} 2`,
+		`t_graph_runs_total{graph="twitter"} 1`,
+		`t_graph_runs_total{graph="we\"ird\n"} 1`,
+		`t_build_info{go_version="go1.24"} 1`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE t_graph_runs_total counter"); n != 1 {
+		t.Errorf("TYPE header appears %d times, want 1", n)
+	}
+}
+
+func TestCounterGaugeFuncBridge(t *testing.T) {
+	r := NewRegistry()
+	var backing uint64 = 7
+	r.CounterFunc("t_bridge_total", "bridged", func() float64 { return float64(backing) })
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	if !strings.Contains(buf.String(), "t_bridge_total 7\n") {
+		t.Fatalf("bridge render:\n%s", buf.String())
+	}
+	backing = 9
+	buf.Reset()
+	r.WriteText(&buf)
+	if !strings.Contains(buf.String(), "t_bridge_total 9\n") {
+		t.Fatalf("bridge not live:\n%s", buf.String())
+	}
+}
+
+func TestFamilyReregistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("t_total", "h")
+	b := r.Counter("t_total", "h")
+	if a != b {
+		t.Fatal("re-registration returned a fresh counter")
+	}
+	a.Inc()
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	if got := strings.Count(buf.String(), "t_total 1\n"); got != 1 {
+		t.Fatalf("series rendered %d times:\n%s", got, buf.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	r.Gauge("t_total", "h")
+}
+
+func TestHistogramObserveCheap(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_h", "test", DefDurationBuckets)
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(0.02) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func ExampleRegistry_WriteText() {
+	r := NewRegistry()
+	r.Counter("pdtl_example_total", "An example counter.").Add(4)
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	fmt.Print(buf.String())
+	// Output:
+	// # HELP pdtl_example_total An example counter.
+	// # TYPE pdtl_example_total counter
+	// pdtl_example_total 4
+}

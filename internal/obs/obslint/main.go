@@ -1,0 +1,255 @@
+// Command obslint validates the two machine-readable artifacts the obs
+// layer emits, for CI smoke checks:
+//
+//	obslint metrics <file>   strict Prometheus text-exposition check
+//	obslint trace   <file>   Chrome trace_event JSON check
+//
+// The metrics check requires every sample's family to carry # HELP and
+// # TYPE metadata before its first sample, values to parse as floats, and
+// histogram families to be internally coherent (cumulative non-decreasing
+// buckets, an le="+Inf" bucket equal to _count, _sum and _count present).
+// The trace check requires valid JSON in the object form WriteJSON emits
+// and, with -span NAME, at least one event with that name (CI asserts
+// -span chunk: a trace with no chunk spans means the cursor never reached
+// the execution layer). Exit status 0 on pass, 1 on violation, 2 on usage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "metrics":
+		err = runMetrics(os.Args[2:])
+	case "trace":
+		err = runTrace(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obslint:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  obslint metrics FILE            validate Prometheus text exposition
+  obslint trace [-span NAME] FILE validate Chrome trace_event JSON`)
+}
+
+// family is one metric family's accumulated state while scanning.
+type family struct {
+	help    bool
+	typ     string
+	samples int
+	// histogram pieces, keyed by the full label set minus le (this
+	// codebase emits unlabeled histograms, so the key is "").
+	buckets []bucket
+	sum     *float64
+	count   *float64
+}
+
+type bucket struct {
+	le  float64
+	inf bool
+	v   float64
+}
+
+func runMetrics(args []string) error {
+	if len(args) != 1 {
+		usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	fams := map[string]*family{}
+	get := func(name string) *family {
+		f := fams[name]
+		if f == nil {
+			f = &family{}
+			fams[name] = f
+		}
+		return f
+	}
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("%s:%d: malformed comment %q (want # HELP/TYPE name text)", args[0], lineNo, line)
+			}
+			f := get(fields[2])
+			if fields[1] == "HELP" {
+				f.help = true
+			} else {
+				if fields[3] != "counter" && fields[3] != "gauge" && fields[3] != "histogram" {
+					return fmt.Errorf("%s:%d: unknown type %q", args[0], lineNo, fields[3])
+				}
+				f.typ = fields[3]
+			}
+			continue
+		}
+		series, val, ok := strings.Cut(line, " ")
+		if !ok {
+			return fmt.Errorf("%s:%d: sample %q has no value", args[0], lineNo, line)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("%s:%d: bad value in %q: %v", args[0], lineNo, line, err)
+		}
+		name := series
+		labels := ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				return fmt.Errorf("%s:%d: unterminated label set in %q", args[0], lineNo, series)
+			}
+			name, labels = series[:i], series[i+1:len(series)-1]
+		}
+		// Histogram samples attach to the base family, which owns the
+		// metadata.
+		fam := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name {
+				if bf, ok := fams[base]; ok && bf.typ == "histogram" {
+					fam = base
+				}
+				break
+			}
+		}
+		f, ok := fams[fam]
+		if !ok || !f.help || f.typ == "" {
+			return fmt.Errorf("%s:%d: sample %q precedes its # HELP/# TYPE metadata", args[0], lineNo, series)
+		}
+		f.samples++
+		if f.typ != "histogram" {
+			continue
+		}
+		switch {
+		case name == fam+"_bucket":
+			le := ""
+			for _, l := range strings.Split(labels, ",") {
+				if k, v, ok := strings.Cut(l, "="); ok && k == "le" {
+					le = strings.Trim(v, `"`)
+				}
+			}
+			if le == "" {
+				return fmt.Errorf("%s:%d: histogram bucket %q has no le label", args[0], lineNo, series)
+			}
+			b := bucket{v: v, inf: le == "+Inf"}
+			if !b.inf {
+				if b.le, err = strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("%s:%d: bad le %q: %v", args[0], lineNo, le, err)
+				}
+			}
+			f.buckets = append(f.buckets, b)
+		case name == fam+"_sum":
+			f.sum = &v
+		case name == fam+"_count":
+			f.count = &v
+		}
+	}
+	for name, f := range fams {
+		if !f.help || f.typ == "" {
+			return fmt.Errorf("family %s missing %s", name, map[bool]string{true: "# TYPE", false: "# HELP"}[f.help])
+		}
+		if f.samples == 0 {
+			return fmt.Errorf("family %s has metadata but no samples", name)
+		}
+		if f.typ != "histogram" {
+			continue
+		}
+		if f.sum == nil || f.count == nil {
+			return fmt.Errorf("histogram %s missing _sum or _count", name)
+		}
+		if len(f.buckets) == 0 {
+			return fmt.Errorf("histogram %s has no _bucket samples", name)
+		}
+		// +Inf sorts last; finite bounds ascending (the renderer emits them
+		// in order, but the check should not depend on that).
+		sort.SliceStable(f.buckets, func(i, j int) bool {
+			if f.buckets[i].inf != f.buckets[j].inf {
+				return !f.buckets[i].inf
+			}
+			return f.buckets[i].le < f.buckets[j].le
+		})
+		if !f.buckets[len(f.buckets)-1].inf {
+			return fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", name)
+		}
+		prev := -1.0
+		for _, b := range f.buckets {
+			if b.v < prev {
+				return fmt.Errorf("histogram %s buckets are not cumulative (%g after %g)", name, b.v, prev)
+			}
+			prev = b.v
+		}
+		if inf := f.buckets[len(f.buckets)-1].v; inf != *f.count {
+			return fmt.Errorf("histogram %s le=\"+Inf\" bucket %g != _count %g", name, inf, *f.count)
+		}
+	}
+	fmt.Printf("obslint: %s ok (%d families)\n", args[0], len(fams))
+	return nil
+}
+
+// traceDoc is the object form Trace.WriteJSON emits.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Dur  float64 `json:"dur"`
+	} `json:"traceEvents"`
+}
+
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	span := fs.String("span", "", "require at least one event with this name")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: not valid trace JSON: %v", fs.Arg(0), err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("%s: trace has no events", fs.Arg(0))
+	}
+	matched := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			return fmt.Errorf("%s: event %q has phase %q, want complete events (X)", fs.Arg(0), ev.Name, ev.Ph)
+		}
+		if ev.Name == *span {
+			matched++
+		}
+	}
+	if *span != "" && matched == 0 {
+		return fmt.Errorf("%s: no %q spans among %d events", fs.Arg(0), *span, len(doc.TraceEvents))
+	}
+	fmt.Printf("obslint: %s ok (%d events, %d %q)\n", fs.Arg(0), len(doc.TraceEvents), matched, *span)
+	return nil
+}

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanHierarchyAndAttrs(t *testing.T) {
+	tr := NewTrace(16)
+	root := tr.Begin(SpanCount, NoSpan)
+	child := tr.Begin(SpanCalc, root)
+	tr.SetAttr(child, "lo", 3)
+	tr.SetAttr(child, "hi", 9)
+	tr.SetWorker(child, 2)
+	tr.End(child)
+	tr.End(root)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Parent != NoSpan || spans[0].Name != SpanCount {
+		t.Errorf("root span = %+v", spans[0])
+	}
+	c := spans[1]
+	if c.Parent != root || c.Name != SpanCalc || c.Worker != 2 {
+		t.Errorf("child span = %+v", c)
+	}
+	if c.NAttr != 2 || c.Attrs[0] != (Attr{"lo", 3}) || c.Attrs[1] != (Attr{"hi", 9}) {
+		t.Errorf("child attrs = %v (n=%d)", c.Attrs, c.NAttr)
+	}
+	if c.Dur < 0 || spans[0].Dur < c.Dur {
+		t.Errorf("durations: root %d, child %d", spans[0].Dur, c.Dur)
+	}
+}
+
+func TestSpanAttrOverflowDropped(t *testing.T) {
+	tr := NewTrace(4)
+	id := tr.Begin(SpanChunk, NoSpan)
+	for i := 0; i < MaxAttrs+3; i++ {
+		tr.SetAttr(id, "k", int64(i))
+	}
+	if n := tr.Spans()[0].NAttr; int(n) != MaxAttrs {
+		t.Fatalf("NAttr = %d, want %d", n, MaxAttrs)
+	}
+}
+
+func TestTraceDropOnFull(t *testing.T) {
+	tr := NewTrace(2)
+	a := tr.Begin("a", NoSpan)
+	b := tr.Begin("b", a)
+	c := tr.Begin("c", b)
+	if a < 0 || b < 0 {
+		t.Fatalf("in-capacity spans rejected: %d %d", a, b)
+	}
+	if c != NoSpan {
+		t.Fatalf("over-capacity span got id %d", c)
+	}
+	// Dropped-span ids stay safe no-op targets.
+	tr.End(c)
+	tr.SetAttr(c, "x", 1)
+	if tr.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", tr.Dropped())
+	}
+	if len(tr.Spans()) != 2 {
+		t.Fatalf("Spans len = %d, want 2", len(tr.Spans()))
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	id := tr.Begin(SpanChunk, NoSpan)
+	if id != NoSpan {
+		t.Fatalf("nil trace Begin = %d", id)
+	}
+	tr.End(id)
+	tr.SetAttr(id, "x", 1)
+	tr.SetWorker(id, 0)
+	if tr.Spans() != nil || tr.Export() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil trace leaked state")
+	}
+	tr.Merge(NoSpan, []WireSpan{{Name: "x"}})
+}
+
+func TestExportMergeReparents(t *testing.T) {
+	worker := NewTrace(8)
+	wroot := worker.Begin(SpanNodeCount, NoSpan)
+	wchild := worker.Begin(SpanChunk, wroot)
+	worker.SetAttr(wchild, "lo", 7)
+	worker.End(wchild)
+	worker.End(wroot)
+
+	master := NewTrace(8)
+	cluster := master.Begin(SpanCluster, NoSpan)
+	dispatch := master.Begin(SpanDispatch, cluster)
+	master.Merge(dispatch, worker.Export())
+	master.End(dispatch)
+	master.End(cluster)
+
+	spans := master.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	// The worker root now nests under the dispatch span; the worker child
+	// keeps its relative parent.
+	root, child := spans[2], spans[3]
+	if root.Name != SpanNodeCount || root.Parent != dispatch {
+		t.Errorf("merged root = %+v, want parent %d", root, dispatch)
+	}
+	if child.Name != SpanChunk || int(child.Parent) != 2 {
+		t.Errorf("merged child = %+v, want parent 2", child)
+	}
+	if child.NAttr != 1 || child.Attrs[0] != (Attr{"lo", 7}) {
+		t.Errorf("merged child attrs = %v", child.Attrs[:child.NAttr])
+	}
+}
+
+func TestMergePastCapacityDrops(t *testing.T) {
+	worker := NewTrace(8)
+	a := worker.Begin("a", NoSpan)
+	worker.Begin("b", a)
+	master := NewTrace(2)
+	d := master.Begin(SpanDispatch, NoSpan)
+	master.Merge(d, worker.Export()) // only "a" fits
+	if got := len(master.Spans()); got != 2 {
+		t.Fatalf("Spans len = %d, want 2", got)
+	}
+	if master.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", master.Dropped())
+	}
+	if master.Spans()[1].Parent != d {
+		t.Fatalf("retained span parent = %d, want %d", master.Spans()[1].Parent, d)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTrace(4096)
+	root := tr.Begin(SpanCalc, NoSpan)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := tr.Begin(SpanChunk, root)
+				tr.SetWorker(id, w)
+				tr.SetAttr(id, "i", int64(i))
+				tr.End(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.End(root)
+	spans := tr.Spans()
+	if len(spans) != 801 {
+		t.Fatalf("got %d spans, want 801", len(spans))
+	}
+	for i, sp := range spans[1:] {
+		if sp.Name != SpanChunk || sp.Parent != root || sp.Worker < 0 {
+			t.Fatalf("span %d = %+v", i+1, sp)
+		}
+	}
+}
+
+// TestChunkPathZeroAlloc pins the acceptance criterion: span recording on
+// the chunk hot path — cursor lookup, Begin, attribute stamps, End — is
+// zero allocations per operation.
+func TestChunkPathZeroAlloc(t *testing.T) {
+	tr := NewTrace(1 << 20)
+	root := tr.Begin(SpanCalc, NoSpan)
+	ctx := ContextWithCursor(context.Background(), Cursor{T: tr, Span: root, Worker: 3})
+	allocs := testing.AllocsPerRun(1000, func() {
+		cur := CursorFrom(ctx)
+		id := cur.Begin(SpanChunk)
+		cur.SetAttr(id, "lo", 1)
+		cur.SetAttr(id, "hi", 2)
+		cur.SetAttr(id, "cmp_ops", 3)
+		cur.SetAttr(id, "io_bytes", 4)
+		cur.End(id)
+	})
+	if allocs != 0 {
+		t.Fatalf("chunk-path span recording allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// Recording against a full slab must stay allocation-free too — a long
+// run degrades to dropped spans, not to garbage.
+func TestDroppedSpanZeroAlloc(t *testing.T) {
+	tr := NewTrace(1)
+	tr.Begin("a", NoSpan)
+	allocs := testing.AllocsPerRun(100, func() {
+		id := tr.Begin(SpanChunk, NoSpan)
+		tr.SetAttr(id, "lo", 1)
+		tr.End(id)
+	})
+	if allocs != 0 {
+		t.Fatalf("dropped-span recording allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestWriteJSONValidChrome(t *testing.T) {
+	tr := NewTrace(8)
+	root := tr.Begin(SpanCount, NoSpan)
+	ch := tr.Begin(SpanChunk, root)
+	tr.SetWorker(ch, 1)
+	tr.SetAttr(ch, "lo", 0)
+	time.Sleep(time.Millisecond)
+	tr.End(ch)
+	tr.End(root)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string             `json:"name"`
+			Ph   string             `json:"ph"`
+			Ts   float64            `json:"ts"`
+			Dur  float64            `json:"dur"`
+			Tid  int                `json:"tid"`
+			Args map[string]float64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[1]
+	if ev.Name != SpanChunk || ev.Ph != "X" || ev.Tid != 2 || ev.Dur <= 0 {
+		t.Errorf("chunk event = %+v", ev)
+	}
+	if ev.Args["parent"] != 0 {
+		t.Errorf("chunk parent arg = %v, want 0", ev.Args["parent"])
+	}
+	if _, ok := ev.Args["lo"]; !ok {
+		t.Errorf("chunk event missing lo attr: %v", ev.Args)
+	}
+}
+
+func TestCursorDefaults(t *testing.T) {
+	cur := CursorFrom(context.Background())
+	if cur.T != nil || cur.Span != NoSpan || cur.Worker != -1 {
+		t.Fatalf("empty-context cursor = %+v", cur)
+	}
+	// No-op end to end.
+	id := cur.Begin(SpanChunk)
+	cur.SetAttr(id, "x", 1)
+	cur.End(id)
+
+	tr := NewTrace(4)
+	ctx := ContextWithCursor(context.Background(), Cursor{T: tr, Span: NoSpan, Worker: -1})
+	got := CursorFrom(ctx)
+	if got.T != tr {
+		t.Fatal("cursor did not round-trip through context")
+	}
+	sub := got.Child(got.Begin(SpanCalc)).WithWorker(5)
+	id = sub.Begin(SpanChunk)
+	sub.End(id)
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[1].Parent != 0 || spans[1].Worker != 5 {
+		t.Fatalf("child cursor spans = %+v", spans)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"pdtl/internal/graph"
 	"pdtl/internal/ioacct"
+	"pdtl/internal/obs"
 )
 
 // sharedRingBlocks is the per-subscriber ring-buffer depth, in broadcast
@@ -207,8 +208,18 @@ func (s *sharedSource) nextRound() []*subscription {
 }
 
 // broadcast performs one physical scan of the adjacency file, fanning each
-// block out to every live subscriber of the round.
+// block out to every live subscriber of the round. Each round records one
+// scan.round span (subscriber count + bytes broadcast), so a trace shows
+// how many physical scans a run's passes collapsed into.
 func (s *sharedSource) broadcast(subs []*subscription) {
+	cur := obs.CursorFrom(s.cfg.Ctx)
+	span := cur.Begin(obs.SpanScanRound)
+	ioBefore := s.cfg.Counter.Snapshot().BytesRead
+	defer func() {
+		cur.SetAttr(span, "subscribers", int64(len(subs)))
+		cur.SetAttr(span, "io_bytes", s.cfg.Counter.Snapshot().BytesRead-ioBefore)
+		cur.End(span)
+	}()
 	live := len(subs)
 	dead := make([]bool, len(subs))
 	deliver := func(b block) {

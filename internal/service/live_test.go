@@ -13,7 +13,10 @@ import (
 	"pdtl"
 )
 
-// scrapeMetrics fetches /metrics and returns it as a name → value map.
+// scrapeMetrics fetches /metrics and returns the integer-valued samples as
+// a name → value map. Comment lines (# HELP / # TYPE) and float-valued
+// samples (histogram sums) are skipped; labeled series keep their label
+// set in the key.
 func scrapeMetrics(t *testing.T, client *http.Client, url string) map[string]int64 {
 	t.Helper()
 	resp, err := client.Get(url + "/metrics")
@@ -24,13 +27,17 @@ func scrapeMetrics(t *testing.T, client *http.Client, url string) map[string]int
 	vals := make(map[string]int64)
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
-		name, val, ok := strings.Cut(sc.Text(), " ")
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
 		if !ok {
 			continue
 		}
 		n, err := strconv.ParseInt(val, 10, 64)
 		if err != nil {
-			t.Fatalf("bad metric line %q: %v", sc.Text(), err)
+			continue
 		}
 		vals[name] = n
 	}

@@ -2,16 +2,20 @@ package service
 
 import (
 	"fmt"
-	"io"
-	"sort"
+	"runtime"
 	"sync/atomic"
+
+	"pdtl/internal/obs"
 )
 
-// Metrics is the service's cumulative counter set, exposed as plain
-// `name value` lines on GET /metrics (a Prometheus-scrapable subset that
-// stays grep-able from a shell). All fields are monotonically increasing
-// except the gauges the server samples at scrape time (queue depth, slots
-// in use, open graphs).
+// Metrics is the service's cumulative counter set, exposed in Prometheus
+// text exposition format on GET /metrics. The counters are plain atomics —
+// every increment site predates the obs registry and is untouched — bridged
+// into the registry as scrape-time CounterFuncs, so the rendered series
+// names stay exactly what they have always been (`pdtl_cache_hits 1` greps
+// keep working) while scrapes no longer build and sort a map per request.
+// The histograms are registered by registerWith; all are nil-safe, so a
+// zero Metrics (as tests construct) observes into the void.
 type Metrics struct {
 	// Engine runs: started counts actual executions (the run-counter the
 	// single-flight assertions use); shared counts requests that joined an
@@ -49,50 +53,59 @@ type Metrics struct {
 	// per-worker window reads. A cache hit adds exactly zero to both.
 	SourceBytesRead atomic.Int64
 	WorkerBytesRead atomic.Int64
+
+	// Latency and size distributions, registered by registerWith (nil on a
+	// bare Metrics, where observing is a no-op).
+
+	// RunDuration is the wall time of executed (origin=run) engine runs.
+	RunDuration *obs.Histogram
+	// QueueWait is the time requests spent waiting for an admission slot.
+	QueueWait *obs.Histogram
+	// MutationBatchEdges is the edge-update count of applied batches.
+	MutationBatchEdges *obs.Histogram
+	// CompactionDuration is the wall time of explicit POST …/compact runs.
+	CompactionDuration *obs.Histogram
 }
 
-// snapshot renders the counters plus caller-supplied gauges. Lines are
-// sorted so the output is diff-stable.
-func (m *Metrics) snapshot(gauges map[string]int64) []string {
-	vals := map[string]int64{
-		"pdtl_runs_started":          int64(m.RunsStarted.Load()),
-		"pdtl_runs_completed":        int64(m.RunsCompleted.Load()),
-		"pdtl_runs_failed":           int64(m.RunsFailed.Load()),
-		"pdtl_runs_shared":           int64(m.RunsShared.Load()),
-		"pdtl_cache_hits":            int64(m.CacheHits.Load()),
-		"pdtl_cache_misses":          int64(m.CacheMisses.Load()),
-		"pdtl_streams_started":       int64(m.StreamsStarted.Load()),
-		"pdtl_streams_broken":        int64(m.StreamsBroken.Load()),
-		"pdtl_triangles_sent":        int64(m.TrianglesSent.Load()),
-		"pdtl_graphs_registered":     int64(m.Registered.Load()),
-		"pdtl_graphs_evicted":        int64(m.Evicted.Load()),
-		"pdtl_mutation_batches":      int64(m.MutationBatches.Load()),
-		"pdtl_edges_applied":         int64(m.EdgesApplied.Load()),
-		"pdtl_cluster_node_failures": int64(m.ClusterNodeFailures.Load()),
-		"pdtl_source_bytes_read":     m.SourceBytesRead.Load(),
-		"pdtl_worker_bytes_read":     m.WorkerBytesRead.Load(),
-	}
-	for k, v := range gauges {
-		vals[k] = v
-	}
-	keys := make([]string, 0, len(vals))
-	for k := range vals {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	lines := make([]string, len(keys))
-	for i, k := range keys {
-		lines[i] = fmt.Sprintf("%s %d", k, vals[k])
-	}
-	return lines
+// counterBridge adapts one pre-existing atomic counter for CounterFunc.
+func counterBridge(v *atomic.Uint64) func() float64 {
+	return func() float64 { return float64(v.Load()) }
 }
 
-// WriteTo writes the metric lines (counters plus gauges) to w.
-func (m *Metrics) writeTo(w io.Writer, gauges map[string]int64) error {
-	for _, line := range m.snapshot(gauges) {
-		if _, err := fmt.Fprintln(w, line); err != nil {
-			return err
-		}
-	}
-	return nil
+// registerWith bridges every counter into the registry (scrape-time reads;
+// the increment sites keep writing the atomics directly) and creates the
+// histograms. Registration order is render order, so the output is
+// diff-stable without any per-scrape sorting.
+func (m *Metrics) registerWith(r *obs.Registry) {
+	r.CounterFunc("pdtl_runs_started", "Engine runs actually executed.", counterBridge(&m.RunsStarted))
+	r.CounterFunc("pdtl_runs_completed", "Engine runs that finished successfully.", counterBridge(&m.RunsCompleted))
+	r.CounterFunc("pdtl_runs_failed", "Engine runs that returned an error.", counterBridge(&m.RunsFailed))
+	r.CounterFunc("pdtl_runs_shared", "Requests that joined an identical in-flight run.", counterBridge(&m.RunsShared))
+	r.CounterFunc("pdtl_cache_hits", "Requests served from the memoized result cache.", counterBridge(&m.CacheHits))
+	r.CounterFunc("pdtl_cache_misses", "Requests that missed the result cache.", counterBridge(&m.CacheMisses))
+	r.CounterFunc("pdtl_streams_started", "Triangle listing streams started.", counterBridge(&m.StreamsStarted))
+	r.CounterFunc("pdtl_streams_broken", "Listing streams that ended before the run finished.", counterBridge(&m.StreamsBroken))
+	r.CounterFunc("pdtl_triangles_sent", "Triangles written to listing streams.", counterBridge(&m.TrianglesSent))
+	r.CounterFunc("pdtl_graphs_registered", "Graph registrations accepted.", counterBridge(&m.Registered))
+	r.CounterFunc("pdtl_graphs_evicted", "Graphs evicted via the API.", counterBridge(&m.Evicted))
+	r.CounterFunc("pdtl_mutation_batches", "Live mutation batches applied.", counterBridge(&m.MutationBatches))
+	r.CounterFunc("pdtl_edges_applied", "Edge updates applied across mutation batches.", counterBridge(&m.EdgesApplied))
+	r.CounterFunc("pdtl_cluster_node_failures", "Worker failures distributed runs detected and recovered from.", counterBridge(&m.ClusterNodeFailures))
+	r.CounterFunc("pdtl_source_bytes_read", "Scan-source disk bytes read by executed runs.", func() float64 { return float64(m.SourceBytesRead.Load()) })
+	r.CounterFunc("pdtl_worker_bytes_read", "Per-worker disk bytes read by executed runs.", func() float64 { return float64(m.WorkerBytesRead.Load()) })
+
+	m.RunDuration = r.Histogram("pdtl_run_duration_seconds",
+		"Wall time of executed (origin=run) engine runs.", obs.DefDurationBuckets)
+	m.QueueWait = r.Histogram("pdtl_queue_wait_seconds",
+		"Time requests waited for an admission slot.", obs.DefDurationBuckets)
+	m.MutationBatchEdges = r.Histogram("pdtl_mutation_batch_edges",
+		"Edge updates per applied live mutation batch.", obs.DefSizeBuckets)
+	m.CompactionDuration = r.Histogram("pdtl_compaction_duration_seconds",
+		"Wall time of explicit live-graph compactions.", obs.DefDurationBuckets)
+}
+
+// buildInfoLabels renders the pdtl_build_info label set.
+func buildInfoLabels() string {
+	return fmt.Sprintf("go_version=%q,goos=%q,goarch=%q",
+		runtime.Version(), runtime.GOOS, runtime.GOARCH)
 }

@@ -1,0 +1,176 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestServerTraceParam: ?trace=1 on a count that actually executes returns
+// the run's phase trace inline (valid Chrome trace_event JSON with chunk
+// spans), and the memoized repeat omits it — a cache hit has no run of its
+// own to report.
+func TestServerTraceParam(t *testing.T) {
+	base := genStore(t, 8, 10)
+	svc := New(Config{RunSlots: 2, QueueDepth: 8})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	client := ts.Client()
+
+	postJSON(t, client, ts.URL+"/v1/graphs", registerRequest{Name: "g", Base: base}, http.StatusCreated)
+
+	c1 := getJSON(t, client, ts.URL+"/v1/graphs/g/count?workers=2&mem=4096&trace=1", 200)
+	if c1["origin"] != "run" {
+		t.Fatalf("cold count origin = %v, want run", c1["origin"])
+	}
+	raw, ok := c1["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("executed ?trace=1 count has no trace object: %v", c1["trace"])
+	}
+	events, ok := raw["traceEvents"].([]any)
+	if !ok || len(events) == 0 {
+		t.Fatalf("trace has no traceEvents: %v", raw)
+	}
+	names := map[string]int{}
+	for _, e := range events {
+		names[e.(map[string]any)["name"].(string)]++
+	}
+	for _, want := range []string{"count", "calc", "chunk"} {
+		if names[want] == 0 {
+			t.Errorf("trace has no %q span (got %v)", want, names)
+		}
+	}
+
+	// The identical request hits the cache: same count, no trace.
+	c2 := getJSON(t, client, ts.URL+"/v1/graphs/g/count?workers=2&mem=4096&trace=1", 200)
+	if c2["origin"] != "cache" {
+		t.Fatalf("repeat origin = %v, want cache", c2["origin"])
+	}
+	if _, present := c2["trace"]; present {
+		t.Fatalf("cache hit carried a trace: %v", c2["trace"])
+	}
+
+	// An untraced request on a fresh key stays trace-free.
+	c3 := getJSON(t, client, ts.URL+"/v1/graphs/g/count?workers=1&mem=4096", 200)
+	if c3["origin"] != "run" {
+		t.Fatalf("fresh-key origin = %v, want run", c3["origin"])
+	}
+	if _, present := c3["trace"]; present {
+		t.Fatal("untraced run carried a trace")
+	}
+}
+
+// TestMetricsExposition pins the Prometheus text format the obs registry
+// renders: HELP/TYPE metadata, the legacy sample names unchanged, the run
+// histogram counting executed runs only, build info, and the per-graph
+// labeled families.
+func TestMetricsExposition(t *testing.T) {
+	base := genStore(t, 8, 10)
+	svc := New(Config{RunSlots: 2, QueueDepth: 8})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	client := ts.Client()
+
+	postJSON(t, client, ts.URL+"/v1/graphs", registerRequest{Name: "g", Base: base}, http.StatusCreated)
+	getJSON(t, client, ts.URL+"/v1/graphs/g/count?workers=2&mem=4096", 200) // run
+	getJSON(t, client, ts.URL+"/v1/graphs/g/count?workers=2&mem=4096", 200) // cache hit
+
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(b)
+
+	for _, want := range []string{
+		// Metadata for old and new families.
+		"# HELP pdtl_runs_started ",
+		"# TYPE pdtl_runs_started counter",
+		"# TYPE pdtl_run_queue_depth gauge",
+		"# TYPE pdtl_run_duration_seconds histogram",
+		// Legacy sample lines, grep-compatible with the pre-registry format.
+		"pdtl_runs_started 1",
+		"pdtl_cache_hits 1",
+		"pdtl_graphs_open 1",
+		// One executed run observed; the cache hit must not be.
+		"pdtl_run_duration_seconds_count 1",
+		"pdtl_run_duration_seconds_sum ",
+		`pdtl_run_duration_seconds_bucket{le="+Inf"} 1`,
+		// The admission wait of that one run.
+		"pdtl_queue_wait_seconds_count 1",
+		// Build info and the labeled per-graph families.
+		`pdtl_build_info{go_version="`,
+		`pdtl_graph_runs_total{graph="g"} 1`,
+		`pdtl_graph_cache_hits_total{graph="g"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Every sample family must be preceded by its HELP and TYPE.
+	seen := map[string]bool{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) >= 3 {
+				seen[parts[2]] = true
+			}
+			continue
+		}
+		name, _, _ := strings.Cut(line, " ")
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed := strings.TrimSuffix(name, suffix); trimmed != name && seen[trimmed] {
+				base = trimmed
+				break
+			}
+		}
+		if !seen[base] {
+			t.Errorf("sample %q has no preceding # HELP/# TYPE", name)
+		}
+	}
+}
+
+// TestTraceJSONRoundTrips: the inline trace the handler embeds is the
+// exact WriteJSON document — json.Valid and re-marshalable.
+func TestTraceJSONRoundTrips(t *testing.T) {
+	base := genStore(t, 8, 10)
+	svc := New(Config{RunSlots: 2, QueueDepth: 8})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	client := ts.Client()
+
+	postJSON(t, client, ts.URL+"/v1/graphs", registerRequest{Name: "g", Base: base}, http.StatusCreated)
+	resp, err := client.Get(ts.URL + "/v1/graphs/g/count?workers=2&mem=4096&trace=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Trace json.RawMessage `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Trace) == 0 || !json.Valid(body.Trace) {
+		t.Fatalf("embedded trace is not standalone-valid JSON: %.80s", body.Trace)
+	}
+}

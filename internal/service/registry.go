@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pdtl"
 )
@@ -380,7 +381,11 @@ func (e *Entry) Do(ctx, baseCtx context.Context, key string, adm *Admission, met
 		// ctx fires and no joiner remains, the run is cancelled.
 		stopWatch := context.AfterFunc(ctx, f.leave)
 
+		admStart := time.Now()
 		release, err := adm.Acquire(runCtx)
+		if err == nil {
+			met.QueueWait.ObserveDuration(time.Since(admStart))
+		}
 		if cerr := ctx.Err(); cerr != nil && err == nil {
 			// The leader's own context is already dead (an expired
 			// ?timeout=, or a client that disconnected while queued). The

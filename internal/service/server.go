@@ -2,10 +2,12 @@ package service
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"regexp"
@@ -15,6 +17,7 @@ import (
 	"time"
 
 	"pdtl"
+	"pdtl/internal/obs"
 )
 
 // Config parameterizes a Server.
@@ -44,6 +47,10 @@ type Config struct {
 	// LiveDefaults parameterizes live registrations (compaction triggers,
 	// snapshot format, estimator reservoir).
 	LiveDefaults pdtl.LiveOptions
+	// Log, when non-nil, receives structured operational events: run
+	// start/finish (with the memoization key as the run id and the phase
+	// breakdown), cluster node failures, and compactions.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +81,13 @@ type Server struct {
 	met *Metrics
 	mux *http.ServeMux
 
+	// obsReg renders /metrics; graphRuns and graphHits are its per-graph
+	// labeled counter families (new names — the unlabeled totals above keep
+	// their original series).
+	obsReg    *obs.Registry
+	graphRuns *obs.CounterVec
+	graphHits *obs.CounterVec
+
 	// baseCtx is every engine run's ancestor context; Shutdown cancels it.
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -102,6 +116,7 @@ func New(cfg Config) *Server {
 		baseCancel: cancel,
 		started:    time.Now(),
 	}
+	s.initMetrics()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/graphs", s.handleRegister)
@@ -195,44 +210,98 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	gauges := map[string]int64{
-		"pdtl_run_slots":        int64(s.adm.Slots()),
-		"pdtl_run_slots_in_use": int64(s.adm.InUse()),
-		"pdtl_run_queue_depth":  int64(s.adm.QueueDepth()),
-		"pdtl_graphs_open":      int64(s.reg.Len()),
-		"pdtl_uptime_seconds":   int64(time.Since(s.started).Seconds()),
-		"pdtl_draining":         0,
-		"pdtl_admission_queued": 0,
-		"pdtl_admission_shed":   0,
-		"pdtl_runs_admitted":    0,
-	}
-	if s.isDraining() {
-		gauges["pdtl_draining"] = 1
-	}
+// initMetrics builds the obs registry /metrics renders from: the Metrics
+// atomics bridged as counters, gauge closures sampled at scrape time, the
+// build-info constant, and the per-graph labeled counter families.
+// Registration order is render order, fixed for the process lifetime.
+func (s *Server) initMetrics() {
+	r := obs.NewRegistry()
+	s.met.registerWith(r)
+
+	r.GaugeFunc("pdtl_run_slots", "Admission slots configured.",
+		func() float64 { return float64(s.adm.Slots()) })
+	r.GaugeFunc("pdtl_run_slots_in_use", "Admission slots currently held by runs.",
+		func() float64 { return float64(s.adm.InUse()) })
+	r.GaugeFunc("pdtl_run_queue_depth", "Requests waiting for an admission slot.",
+		func() float64 { return float64(s.adm.QueueDepth()) })
+	r.GaugeFunc("pdtl_graphs_open", "Graphs currently registered.",
+		func() float64 { return float64(s.reg.Len()) })
+	r.GaugeFunc("pdtl_uptime_seconds", "Whole seconds since the server started.",
+		func() float64 { return float64(int64(time.Since(s.started).Seconds())) })
+	r.GaugeFunc("pdtl_draining", "1 while the server is shutting down, else 0.",
+		func() float64 {
+			if s.isDraining() {
+				return 1
+			}
+			return 0
+		})
+	r.CounterFunc("pdtl_runs_admitted", "Requests granted an admission slot.",
+		func() float64 { admitted, _, _ := s.adm.Counters(); return float64(admitted) })
+	r.CounterFunc("pdtl_admission_shed", "Requests rejected because the admission queue was full.",
+		func() float64 { _, rejected, _ := s.adm.Counters(); return float64(rejected) })
+	r.CounterFunc("pdtl_admission_queued", "Requests that waited in the admission queue.",
+		func() float64 { _, _, queued := s.adm.Counters(); return float64(queued) })
 	// Live-overlay gauges, sampled across the registry at scrape time: how
 	// many graphs are mutable, how much uncompacted delta they carry, and
 	// how many compactions have folded delta back into snapshots.
-	var liveGraphs, deltaEdges, compactions int64
+	r.GaugeFunc("pdtl_live_graphs", "Graphs registered as mutable live overlays.",
+		func() float64 { g, _, _ := s.liveGauges(); return float64(g) })
+	r.GaugeFunc("pdtl_live_delta_edges", "Uncompacted delta edge updates across live graphs.",
+		func() float64 { _, d, _ := s.liveGauges(); return float64(d) })
+	r.GaugeFunc("pdtl_live_compactions", "Compactions folded into snapshots across live graphs.",
+		func() float64 { _, _, c := s.liveGauges(); return float64(c) })
+	r.ConstGauge("pdtl_build_info", "Build metadata; the value is always 1.",
+		buildInfoLabels(), 1)
+	s.graphRuns = r.CounterVec("pdtl_graph_runs_total",
+		"Engine runs executed, by graph.", "graph")
+	s.graphHits = r.CounterVec("pdtl_graph_cache_hits_total",
+		"Result-cache hits, by graph.", "graph")
+	s.obsReg = r
+}
+
+// liveGauges samples the live-overlay registry state for the scrape-time
+// gauge closures.
+func (s *Server) liveGauges() (graphs, deltaEdges, compactions int64) {
 	for _, e := range s.reg.Snapshot() {
 		lg := e.Live()
 		if lg == nil {
 			continue
 		}
 		st := lg.Stats()
-		liveGraphs++
+		graphs++
 		deltaEdges += int64(st.DeltaEdges)
 		compactions += int64(st.Compactions)
 	}
-	gauges["pdtl_live_graphs"] = liveGraphs
-	gauges["pdtl_live_delta_edges"] = deltaEdges
-	gauges["pdtl_live_compactions"] = compactions
-	admitted, rejected, queued := s.adm.Counters()
-	gauges["pdtl_runs_admitted"] = int64(admitted)
-	gauges["pdtl_admission_shed"] = int64(rejected)
-	gauges["pdtl_admission_queued"] = int64(queued)
-	s.met.writeTo(w, gauges)
+	return graphs, deltaEdges, compactions
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.obsReg.WriteText(w)
+}
+
+// noteOrigin bumps the per-graph labeled counters for a single-flight
+// outcome. Shared joins count as neither: they neither ran nor hit the
+// cache.
+func (s *Server) noteOrigin(e *Entry, origin Origin) {
+	switch origin {
+	case OriginRun:
+		s.graphRuns.With(e.Name()).Add(1)
+	case OriginCache:
+		s.graphHits.With(e.Name()).Add(1)
+	}
+}
+
+// acquireSlot is adm.Acquire with the wait time observed into the
+// queue-wait histogram (the single-flight run path times its own Acquire
+// inside Entry.Do).
+func (s *Server) acquireSlot(ctx context.Context) (func(), error) {
+	start := time.Now()
+	release, err := s.adm.Acquire(ctx)
+	if err == nil {
+		s.met.QueueWait.ObserveDuration(time.Since(start))
+	}
+	return release, err
 }
 
 // registerRequest is the POST /v1/graphs body.
@@ -344,6 +413,11 @@ type countResponse struct {
 	// their own POST …/edges responses).
 	Live   bool   `json:"live,omitempty"`
 	MutGen uint64 `json:"mut_gen,omitempty"`
+	// Trace is the run's phase trace in Chrome trace_event form, present
+	// only when the request asked ?trace=1 AND this request actually
+	// executed the run (origin=run) — cache hits and shared joins have no
+	// trace of their own to report.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // nodeFailureJSON is pdtl.NodeFailure shaped for the HTTP API.
@@ -392,8 +466,18 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	var tr *obs.Trace
+	if boolParam(q, "trace") {
+		tr = obs.NewTrace(0)
+	}
 	val, origin, err := e.Do(ctx, s.baseCtx, "count|"+key, s.adm, s.met,
 		func(runCtx context.Context) (any, error) {
+			if tr != nil {
+				runCtx = obs.ContextWithCursor(runCtx, obs.Cursor{T: tr, Span: obs.NoSpan, Worker: -1})
+			}
+			if s.cfg.Log != nil {
+				s.cfg.Log.Info("run started", "graph", e.Name(), "key", key)
+			}
 			if lg := e.Live(); lg != nil {
 				// Exact count over the current merged view; the memoized
 				// result stays valid until the next mutation batch
@@ -407,8 +491,14 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res := val.(*pdtl.Result)
+	s.noteOrigin(e, origin)
 	if origin == OriginRun {
 		s.accountRun(res)
+		if s.cfg.Log != nil {
+			s.cfg.Log.Info("run finished", "graph", e.Name(), "key", key,
+				"triangles", res.Triangles, "wall", res.TotalTime,
+				"orient", res.OrientTime, "plan", res.PlanTime, "calc", res.CalcTime)
+		}
 	}
 	resp := countResponse{
 		Graph:           e.Name(),
@@ -425,7 +515,23 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		resp.Live = true
 		resp.MutGen = e.MutGen()
 	}
+	if origin == OriginRun {
+		resp.Trace = traceJSON(tr)
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// traceJSON renders a trace for embedding in a JSON reply; nil in, nil
+// out.
+func traceJSON(tr *obs.Trace) json.RawMessage {
+	if tr == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		return nil
+	}
+	return json.RawMessage(bytes.TrimSpace(buf.Bytes()))
 }
 
 // countDistributed satisfies ?distributed=1 via the cluster protocol
@@ -446,8 +552,18 @@ func (s *Server) countDistributed(ctx context.Context, w http.ResponseWriter, e 
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	var tr *obs.Trace
+	if boolParam(q, "trace") {
+		tr = obs.NewTrace(0)
+	}
 	val, origin, err := e.Do(ctx, s.baseCtx, "cluster|"+key, s.adm, s.met,
 		func(runCtx context.Context) (any, error) {
+			if tr != nil {
+				runCtx = obs.ContextWithCursor(runCtx, obs.Cursor{T: tr, Span: obs.NoSpan, Worker: -1})
+			}
+			if s.cfg.Log != nil {
+				s.cfg.Log.Info("run started", "graph", e.Name(), "key", key, "distributed", true)
+			}
 			return e.Graph().CountDistributed(runCtx, s.cfg.ClusterAddrs, opt)
 		})
 	if err != nil {
@@ -455,6 +571,7 @@ func (s *Server) countDistributed(ctx context.Context, w http.ResponseWriter, e 
 		return
 	}
 	res := val.(*pdtl.ClusterResult)
+	s.noteOrigin(e, origin)
 	if origin == OriginRun {
 		var src int64
 		for _, n := range res.Nodes {
@@ -462,6 +579,20 @@ func (s *Server) countDistributed(ctx context.Context, w http.ResponseWriter, e 
 		}
 		s.met.SourceBytesRead.Add(src)
 		s.met.ClusterNodeFailures.Add(uint64(len(res.Failures)))
+		s.met.RunDuration.ObserveDuration(res.TotalTime)
+		if s.cfg.Log != nil {
+			// Surface degradation per failed worker — the run recovered, but
+			// the operator should know which node is being carried.
+			for _, f := range res.Failures {
+				s.cfg.Log.Warn("cluster node failure", "graph", e.Name(),
+					"node", f.Node, "addr", f.Addr, "chunk", f.Chunk,
+					"retries", f.Retries, "err", f.Err)
+			}
+			s.cfg.Log.Info("run finished", "graph", e.Name(), "key", key,
+				"distributed", true, "triangles", res.Triangles,
+				"wall", res.TotalTime, "nodes", len(res.Nodes),
+				"failures", len(res.Failures))
+		}
 	}
 	var failures []nodeFailureJSON
 	for _, f := range res.Failures {
@@ -469,7 +600,7 @@ func (s *Server) countDistributed(ctx context.Context, w http.ResponseWriter, e 
 			Node: f.Node, Addr: f.Addr, Chunk: f.Chunk, Retries: f.Retries, Error: f.Err,
 		})
 	}
-	writeJSON(w, http.StatusOK, countResponse{
+	resp := countResponse{
 		Graph:        e.Name(),
 		Key:          key,
 		Origin:       origin,
@@ -481,7 +612,11 @@ func (s *Server) countDistributed(ctx context.Context, w http.ResponseWriter, e 
 		Nodes:        len(res.Nodes),
 		NetworkBytes: res.NetworkBytes,
 		Failures:     failures,
-	})
+	}
+	if origin == OriginRun {
+		resp.Trace = traceJSON(tr)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // streamFlushEvery is how many NDJSON lines are written between explicit
@@ -526,7 +661,7 @@ func (s *Server) handleTriangles(w http.ResponseWriter, r *http.Request) {
 
 	// Streams are admission-controlled like any other engine run, but never
 	// memoized: their product is the listing itself.
-	release, err := s.adm.Acquire(ctx)
+	release, err := s.acquireSlot(ctx)
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
@@ -647,6 +782,7 @@ func (s *Server) handleDegrees(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dv := val.(degreesValue)
+	s.noteOrigin(e, origin)
 	if origin == OriginRun {
 		s.accountRun(dv.res)
 	}
@@ -835,7 +971,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	// Mutations are admission-controlled like engine runs: a batch rebuilds
 	// delta layers, feeds the estimator, and may kick off a compaction —
 	// enough work that unbounded concurrent batches could starve queries.
-	release, err := s.adm.Acquire(ctx)
+	release, err := s.acquireSlot(ctx)
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
@@ -861,6 +997,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	e.Invalidate()
 	s.met.MutationBatches.Add(1)
 	s.met.EdgesApplied.Add(uint64(len(updates)))
+	s.met.MutationBatchEdges.Observe(float64(len(updates)))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"graph":    e.Name(),
 		"inserted": len(req.Insert),
@@ -893,16 +1030,22 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	defer cleanup()
 	// Compaction rebuilds the store through the external-sort pipeline — a
 	// full engine-run's worth of work, so it takes an admission slot.
-	release, err := s.adm.Acquire(ctx)
+	release, err := s.acquireSlot(ctx)
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
 	}
+	compactStart := time.Now()
 	err = lg.Compact(ctx)
 	release()
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
+	}
+	s.met.CompactionDuration.ObserveDuration(time.Since(compactStart))
+	if s.cfg.Log != nil {
+		s.cfg.Log.Info("compaction finished", "graph", e.Name(),
+			"wall", time.Since(compactStart), "gen", lg.Stats().Gen)
 	}
 	// Compaction preserves the graph, so memoized results stay valid.
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -1043,6 +1186,7 @@ func boolParam(q url.Values, name string) bool {
 // cache hit adds exactly zero here, which is what the "repeat request does
 // no source I/O" assertion measures.
 func (s *Server) accountRun(res *pdtl.Result) {
+	s.met.RunDuration.ObserveDuration(res.TotalTime)
 	s.met.SourceBytesRead.Add(res.SourceBytesRead)
 	var worker int64
 	for _, ws := range res.Workers {

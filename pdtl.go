@@ -206,6 +206,9 @@ type Result struct {
 	// OrientTime is the preprocessing time (zero if the input store was
 	// already oriented).
 	OrientTime time.Duration
+	// PlanTime is the load-balance planning slice of CalcTime (~zero when
+	// the handle's plan cache hits).
+	PlanTime time.Duration
 	// CalcTime is the calculation phase (load balancing + slowest runner).
 	CalcTime time.Duration
 	// TotalTime is OrientTime + CalcTime.
