@@ -1,0 +1,49 @@
+// Command pdtl-wirefp regenerates internal/cluster/wire.fingerprint,
+// the committed, append-only fingerprint of the cluster's gob wire
+// format. It type-checks the wire package from source and renders the
+// canonical form defined by internal/analysis/wirefp.
+//
+// It is normally invoked through go:generate (see internal/cluster
+// wire.go); the wirecompat analyzer and the regenerate-and-diff test in
+// internal/analysis/wirefp keep the committed file honest.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"os"
+
+	"pdtl/internal/analysis/wirefp"
+)
+
+func main() {
+	var (
+		pkgPath  = flag.String("pkg", "pdtl/internal/cluster", "import path of the wire-definition package")
+		wireFile = flag.String("wirefile", "wire.go", "file (base name) declaring the wire structs")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	fset := token.NewFileSet()
+	pkg, err := importer.ForCompiler(fset, "source", nil).Import(*pkgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdtl-wirefp: loading %s: %v\n", *pkgPath, err)
+		os.Exit(1)
+	}
+	fp, err := wirefp.Compute(pkg, fset, *wireFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdtl-wirefp: %v\n", err)
+		os.Exit(1)
+	}
+	data := fp.Marshal()
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "pdtl-wirefp: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -475,6 +475,9 @@ func (g *Graph) listTo(ctx context.Context, out io.Writer, partDir string, opt O
 	defer cur.End(asp)
 	cur.SetAttr(asp, "parts", int64(len(fileSinks)))
 	for i, sink := range fileSinks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := sink.Flush(); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,39 @@
+// Package analysis collects PDTL's project-specific static analyzers —
+// the pdtl-lint suite. Each analyzer pins one load-bearing engine
+// invariant that ordinary tests cover only probabilistically:
+//
+//   - hotpathalloc: //pdtl:hotpath functions (and their module callees)
+//     contain no allocating constructs.
+//   - wirecompat: gob wire structs use keyed literals everywhere, and
+//     the committed wire.fingerprint only ever grows (append-only).
+//   - ctxflow: context plumbing — no detached Background calls, bare
+//     ctx.Err() returns, ctx-checked blocking loops.
+//   - determinism: no map ranges, wall-clock reads, or math/rand in
+//     listing-order-sensitive packages without an explained waiver.
+//   - metricreg: obs metric names match ^pdtl_[a-z_]+$, carry HELP
+//     text, and register once.
+//
+// The suite runs via cmd/pdtl-lint, either standalone or as
+// go vet -vettool.
+package analysis
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"pdtl/internal/analysis/ctxflow"
+	"pdtl/internal/analysis/determinism"
+	"pdtl/internal/analysis/hotpathalloc"
+	"pdtl/internal/analysis/metricreg"
+	"pdtl/internal/analysis/wirecompat"
+)
+
+// All returns the full pdtl-lint suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		determinism.Analyzer,
+		hotpathalloc.Analyzer,
+		metricreg.Analyzer,
+		wirecompat.Analyzer,
+	}
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"pdtl/internal/analysis/atest"
+	"pdtl/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	atest.Run(t, ctxflow.Analyzer, "ctxfix")
+}

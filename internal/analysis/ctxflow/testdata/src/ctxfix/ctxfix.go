@@ -1,0 +1,110 @@
+// Package ctxfix exercises ctxflow's three rules and the engine idioms
+// they must not flag (nil-default contexts, detached goroutines,
+// ctx-checked loops).
+package ctxfix
+
+import (
+	"context"
+	"fmt"
+	"os"
+)
+
+func doWork(ctx context.Context, n int) error { return nil }
+
+// Rule 1: Background/TODO passed onward from a ctx-bearing function.
+
+func detach(ctx context.Context) {
+	doWork(context.Background(), 1) // want `pass it \(or derive from it\) instead of context.Background`
+	doWork(context.TODO(), 2)       // want `pass it \(or derive from it\) instead of context.TODO`
+}
+
+// nilDefault is the documented engine idiom: nil means Background. The
+// assignment is not a call argument, so rule 1 stays quiet.
+func nilDefault(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return doWork(ctx, 1)
+}
+
+// detached launches deliberately detached work; Background inside a
+// go-literal is allowed.
+func detached(ctx context.Context, done chan<- struct{}) {
+	go func() {
+		doWork(context.Background(), 2)
+		done <- struct{}{}
+	}()
+}
+
+// noCtxParam has no context parameter; rule 1 does not apply.
+func noCtxParam() error {
+	return doWork(context.Background(), 3)
+}
+
+// Rule 2: cancellation errors return bare.
+
+func wrapErr(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return fmt.Errorf("listing aborted: %w", ctx.Err()) // want `return ctx.Err\(\) itself`
+	}
+	return nil
+}
+
+func bareErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Rule 3: blocking loops must consult a context.
+
+func readLoop(ctx context.Context, f *os.File, buf []byte) error {
+	for i := 0; i < 8; i++ {
+		if _, err := f.Read(buf); err != nil { // want `performs I/O \(os.File.Read\) without consulting a context`
+			return err
+		}
+	}
+	return nil
+}
+
+func readLoopChecked(ctx context.Context, f *os.File, buf []byte) error {
+	for i := 0; i < 8; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := f.Read(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func driveLoop(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := doWork(nil, i); err != nil { // want `calls cancellable doWork without consulting a context`
+			return err
+		}
+	}
+	return nil
+}
+
+func driveLoopCtx(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := doWork(ctx, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// noCtxLoop has no context parameter; rule 3 does not apply — the
+// function itself is what a caller cancels around.
+func noCtxLoop(f *os.File, buf []byte) error {
+	for i := 0; i < 8; i++ {
+		if _, err := f.Read(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+package ctxfix
+
+import "context"
+
+// Test files are exempt from rules 1 and 3: tests run under their own
+// deadlines.
+func testOnlyDetach(ctx context.Context) error {
+	return doWork(context.Background(), 1)
+}

@@ -1,0 +1,27 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"pdtl/internal/analysis/atest"
+	"pdtl/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	def := determinism.Analyzer.Flags.Lookup("pkgs").DefValue
+	if err := determinism.Analyzer.Flags.Set("pkgs", "detfix"); err != nil {
+		t.Fatal(err)
+	}
+	defer determinism.Analyzer.Flags.Set("pkgs", def)
+	atest.Run(t, determinism.Analyzer, "detfix")
+}
+
+// TestDefaultPackages pins the enforced set: the MGT pass loop, the
+// scheduler, and the core engine.
+func TestDefaultPackages(t *testing.T) {
+	got := determinism.Analyzer.Flags.Lookup("pkgs").DefValue
+	want := "pdtl/internal/mgt,pdtl/internal/sched,pdtl/internal/core"
+	if got != want {
+		t.Fatalf("default -pkgs = %q, want %q", got, want)
+	}
+}

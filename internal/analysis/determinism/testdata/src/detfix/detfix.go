@@ -1,0 +1,76 @@
+// Package detfix exercises the determinism analyzer: the test opts this
+// package in via the -pkgs flag, standing in for the real
+// listing-order-sensitive packages (mgt, sched, core).
+package detfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func mapRange(m map[int]int) int {
+	s := 0
+	for k := range m { // want `map iteration order is nondeterministic`
+		s += k
+	}
+	return s
+}
+
+func wallClock() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+func random() int {
+	return rand.Int() // want `math/rand is nondeterministic`
+}
+
+// The waived side: every form the directive supports.
+
+func waivedLineAbove() time.Time {
+	//pdtl:nondeterministic-ok timing stat only
+	return time.Now()
+}
+
+func waivedSameLine(m map[int]int) int {
+	s := 0
+	for k := range m { //pdtl:nondeterministic-ok sum is order-independent
+		s += k
+	}
+	return s
+}
+
+// waivedDoc sums a map; the whole function is waived by its doc comment.
+//
+//pdtl:nondeterministic-ok sum is order-independent
+func waivedDoc(m map[int]int) int {
+	s := 0
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// A waiver without a reason is itself a diagnostic.
+
+func reasonlessLine() time.Time {
+	//pdtl:nondeterministic-ok
+	return time.Now() // want `needs a reason`
+}
+
+//pdtl:nondeterministic-ok
+func reasonlessDoc() time.Time { // want `needs a reason`
+	return time.Now()
+}
+
+// Slice iteration is ordered; never flagged.
+func sliceRange(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

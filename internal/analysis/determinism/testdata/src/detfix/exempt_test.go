@@ -1,0 +1,8 @@
+package detfix
+
+import "time"
+
+// Test files are exempt: tests time themselves deliberately.
+func testOnlyClock() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,15 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"pdtl/internal/analysis/atest"
+	"pdtl/internal/analysis/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	// hotdep loads first so its AllocFacts are available when hotfix's
+	// annotated callers are analyzed — the cross-package propagation the
+	// vet driver provides through .vetx files.
+	atest.Run(t, hotpathalloc.Analyzer, "hotdep", "hotfix")
+}

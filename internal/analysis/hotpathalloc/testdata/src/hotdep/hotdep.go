@@ -1,0 +1,16 @@
+// Package hotdep is the dependency fixture for hotpathalloc's
+// cross-package fact propagation: none of these functions is annotated,
+// so none produces diagnostics here, but Alloc and Wraps export
+// AllocFacts that the annotated callers in the hotfix package see.
+package hotdep
+
+// Alloc allocates directly.
+func Alloc(n int) []int {
+	return make([]int, n)
+}
+
+// Clean is allocation-free.
+func Clean(x int) int { return x + 1 }
+
+// Wraps allocates transitively through Alloc.
+func Wraps(n int) []int { return Alloc(n) }

@@ -1,0 +1,101 @@
+// Package hotfix exercises every hotpathalloc diagnostic and the
+// deliberate non-diagnostics (append, unannotated functions, directive
+// name boundaries).
+package hotfix
+
+import (
+	"fmt"
+
+	"hotdep"
+)
+
+type pair struct{ a, b int }
+
+//pdtl:hotpath
+func hotMake(n int) int {
+	s := make([]int, n) // want `make allocates`
+	return len(s)
+}
+
+//pdtl:hotpath
+func hotNew() *pair {
+	return new(pair) // want `new allocates`
+}
+
+//pdtl:hotpath
+func hotAddr() *pair {
+	return &pair{a: 1, b: 2} // want `address-of composite literal allocates`
+}
+
+//pdtl:hotpath
+func hotSliceLit() int {
+	s := []int{1, 2, 3} // want `slice literal allocates`
+	return len(s)
+}
+
+//pdtl:hotpath
+func hotMapLit() int {
+	m := map[int]int{1: 2} // want `map literal allocates`
+	return len(m)
+}
+
+//pdtl:hotpath
+func hotFmt(x int) {
+	fmt.Println(x) // want `calls fmt.Println, which may allocate: all fmt functions allocate`
+}
+
+//pdtl:hotpath
+func hotClosure(n int) func() int {
+	f := func() int { return n } // want `closure captures n and allocates`
+	return f
+}
+
+//pdtl:hotpath
+func hotBox(v pair) any {
+	var x any = v // want `interface boxing of pair allocates`
+	return x
+}
+
+//pdtl:hotpath
+func hotCallsDep(n int) int {
+	return len(hotdep.Alloc(n)) // want `calls hotdep.Alloc, which may allocate`
+}
+
+//pdtl:hotpath
+func hotCallsWraps(n int) int {
+	return len(hotdep.Wraps(n)) // want `calls hotdep.Wraps, which may allocate`
+}
+
+// helper is unannotated: no diagnostics inside it, but annotated callers
+// see through it.
+func helper(n int) []int {
+	return make([]int, n)
+}
+
+//pdtl:hotpath
+func hotTransitive(n int) int {
+	return len(helper(n)) // want `calls hotfix.helper, which may allocate`
+}
+
+// The suppressed side: everything below is allocation-clean or exempt.
+
+//pdtl:hotpath
+func hotCallsClean(x int) int {
+	return hotdep.Clean(x)
+}
+
+//pdtl:hotpath
+func hotAppend(dst []int, v int) []int {
+	return append(dst, v) // append is deliberately unflagged (budgeted by callers)
+}
+
+//pdtl:hotpath
+func hotPointerShaped(p *pair) any {
+	var x any = p // pointer-shaped: stored in the interface word, no boxing
+	return x
+}
+
+//pdtl:hotpathology is a comment, not a directive: no enforcement here.
+func notHot(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,12 @@
+package metricreg_test
+
+import (
+	"testing"
+
+	"pdtl/internal/analysis/atest"
+	"pdtl/internal/analysis/metricreg"
+)
+
+func TestMetricReg(t *testing.T) {
+	atest.Run(t, metricreg.Analyzer, "metricfix")
+}

@@ -1,0 +1,8 @@
+package metricfix
+
+import "pdtl/internal/obs"
+
+// Test files are exempt: tests register toy names on scratch registries.
+func testOnlyRegister(r *obs.Registry) {
+	r.Counter("t_h", "toy test metric.")
+}

@@ -1,0 +1,32 @@
+// Package metricfix exercises metricreg against the real obs.Registry
+// API: naming policy, HELP policy, and once-only registration.
+package metricfix
+
+import "pdtl/internal/obs"
+
+const goodName = "pdtl_good_total"
+
+func register(r *obs.Registry, dynamic string) {
+	r.Counter("pdtl_ok_total", "a well-formed counter.")
+	r.Counter(goodName, "constant-folded names are fine.")
+
+	r.Counter("pdtl_Bad_total", "uppercase violates the naming policy.") // want `does not match`
+	r.Counter("engine_requests", "missing the pdtl_ prefix.")            // want `does not match`
+	r.Counter("pdtl_runs2", "digits are not in \\[a-z_\\].")             // want `does not match`
+	r.Counter(dynamic, "dynamic names defeat static checking.")          // want `must be a compile-time string constant`
+	r.Gauge("pdtl_empty_help", "")                                       // want `needs non-empty HELP`
+	r.Counter("pdtl_ok_total", "registered a second time.")              // want `registered more than once`
+
+	r.Histogram("pdtl_lat_seconds", "histogram with bounds.", []float64{0.1, 1})
+	r.Histogram("pdtl_lat_seconds", "duplicate histogram.", nil) // want `registered more than once`
+}
+
+// notARegistry has the same method name but a different receiver type:
+// never checked.
+type notARegistry struct{}
+
+func (notARegistry) Counter(name, help string) {}
+
+func otherReceiver(n notARegistry) {
+	n.Counter("anything goes", "")
+}

@@ -1,0 +1,118 @@
+// Package pdtldir parses PDTL's source directives — the machine-readable
+// comments the internal/analysis suite keys on:
+//
+//	//pdtl:hotpath
+//	    on a function's doc comment: the function is a zero-allocation
+//	    hot path; hotpathalloc forbids allocating constructs in its body
+//	    and, transitively, in every module function it statically calls.
+//
+//	//pdtl:nondeterministic-ok <reason>
+//	    on a function's doc comment, on the offending line, or on the
+//	    line directly above it: waives the determinism analyzer for that
+//	    scope. The reason is mandatory — an unexplained waiver is itself
+//	    a diagnostic.
+//
+// Directives follow the Go toolchain's directive comment convention:
+// //-style, no space after the slashes, so godoc never renders them.
+package pdtldir
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive names, without the leading "//".
+const (
+	HotPath  = "pdtl:hotpath"
+	NondetOK = "pdtl:nondeterministic-ok"
+)
+
+// parse reports whether one comment line is the named directive, and
+// returns its argument (the text after the name, space-trimmed).
+func parse(text, name string) (arg string, ok bool) {
+	body, ok := strings.CutPrefix(text, "//"+name)
+	if !ok {
+		return "", false
+	}
+	// "//pdtl:hotpathology" must not match "pdtl:hotpath".
+	if body != "" && body[0] != ' ' && body[0] != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(body), true
+}
+
+// FromDoc scans a doc comment group for the named directive.
+func FromDoc(doc *ast.CommentGroup, name string) (arg string, ok bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if a, ok := parse(c.Text, name); ok {
+			return a, true
+		}
+	}
+	return "", false
+}
+
+// Index locates every pdtl: directive in a set of files by position, so
+// statement-level suppressions ("same line, or the line above") resolve
+// in O(1) per query.
+type Index struct {
+	fset *token.FileSet
+	// byLine maps filename → line → directive name → argument.
+	byLine map[string]map[int]map[string]string
+}
+
+// NewIndex builds the directive index over files.
+func NewIndex(fset *token.FileSet, files []*ast.File) *Index {
+	ix := &Index{fset: fset, byLine: make(map[string]map[int]map[string]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, "//pdtl:") {
+					continue
+				}
+				for _, name := range []string{HotPath, NondetOK} {
+					arg, ok := parse(text, name)
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					lines := ix.byLine[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]map[string]string)
+						ix.byLine[pos.Filename] = lines
+					}
+					if lines[pos.Line] == nil {
+						lines[pos.Line] = make(map[string]string)
+					}
+					lines[pos.Line][name] = arg
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// At reports whether the named directive covers pos: a directive comment
+// on the same line, or alone on the line immediately above.
+func (ix *Index) At(pos token.Pos, name string) (arg string, ok bool) {
+	p := ix.fset.Position(pos)
+	lines := ix.byLine[p.Filename]
+	if lines == nil {
+		return "", false
+	}
+	if args, ok := lines[p.Line]; ok {
+		if a, ok := args[name]; ok {
+			return a, true
+		}
+	}
+	if args, ok := lines[p.Line-1]; ok {
+		if a, ok := args[name]; ok {
+			return a, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,60 @@
+package pdtldir
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParseBoundaries(t *testing.T) {
+	cases := []struct {
+		text, name string
+		ok         bool
+		arg        string
+	}{
+		{"//pdtl:hotpath", HotPath, true, ""},
+		{"//pdtl:hotpath   ", HotPath, true, ""},
+		{"//pdtl:hotpathology", HotPath, false, ""},
+		{"// pdtl:hotpath", HotPath, false, ""}, // directives have no space after //
+		{"//pdtl:nondeterministic-ok timing stat only", NondetOK, true, "timing stat only"},
+		{"//pdtl:nondeterministic-ok", NondetOK, true, ""},
+		{"//pdtl:nondeterministic-okay", NondetOK, false, ""},
+	}
+	for _, c := range cases {
+		arg, ok := parse(c.text, c.name)
+		if ok != c.ok || arg != c.arg {
+			t.Errorf("parse(%q, %q) = (%q, %v), want (%q, %v)", c.text, c.name, arg, ok, c.arg, c.ok)
+		}
+	}
+}
+
+func TestIndexAt(t *testing.T) {
+	src := `package p
+
+func f() {
+	//pdtl:nondeterministic-ok above
+	_ = 1
+	_ = 2 //pdtl:nondeterministic-ok same line
+	_ = 3
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(fset, []*ast.File{f})
+	pos := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	if arg, ok := ix.At(pos(5), NondetOK); !ok || arg != "above" {
+		t.Errorf("line 5: (%q, %v), want covered by line-above directive", arg, ok)
+	}
+	if arg, ok := ix.At(pos(6), NondetOK); !ok || arg != "same line" {
+		t.Errorf("line 6: (%q, %v), want covered by same-line directive", arg, ok)
+	}
+	if _, ok := ix.At(pos(8), NondetOK); ok {
+		t.Error("line 8: should not be covered")
+	}
+}

@@ -1,0 +1,10 @@
+// Package wirebreak is the wire-break fixture: its committed fingerprint
+// pins Args as (Name, Count, Gone) and a struct Old, but the live types
+// reordered Name/Count, dropped Gone, and deleted Old — every class of
+// non-append change at once.
+package wirebreak // want `slot 0 changed` `slot 1 changed` `Gone \(slot 2\) was removed` `wirebreak.Old was removed`
+
+type Args struct {
+	Count int
+	Name  string
+}

@@ -1,0 +1,13 @@
+// Package wirefix is the clean wirecompat fixture: the committed
+// fingerprint matches the live types exactly, so the only diagnostics
+// come from positional literals in the consumer package.
+package wirefix
+
+type Args struct {
+	Name  string
+	Count int
+}
+
+type Reply struct {
+	OK bool
+}

@@ -1,0 +1,9 @@
+// Package wirestale is the stale-golden fixture: the live types appended
+// Extra (a legal, append-only change) but the fingerprint was not
+// regenerated — a reminder, not a wire break.
+package wirestale // want `is stale`
+
+type Args struct {
+	Name  string
+	Extra int
+}

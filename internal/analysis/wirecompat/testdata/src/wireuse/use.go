@@ -1,0 +1,28 @@
+// Package wireuse exercises the module-wide keyed-literal rule from a
+// package other than the wire package itself.
+package wireuse
+
+import "wirefix"
+
+func keyed() wirefix.Args {
+	return wirefix.Args{Name: "g", Count: 1}
+}
+
+func keyedNested() []wirefix.Args {
+	return []wirefix.Args{{Name: "g", Count: 1}}
+}
+
+func unkeyed() wirefix.Args {
+	return wirefix.Args{"g", 1} // want `must use keyed fields`
+}
+
+func unkeyedPtr() *wirefix.Reply {
+	return &wirefix.Reply{true} // want `must use keyed fields`
+}
+
+// Non-wire structs are never constrained.
+type local struct{ a, b int }
+
+func localUnkeyed() local {
+	return local{1, 2}
+}

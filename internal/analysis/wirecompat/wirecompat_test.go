@@ -1,0 +1,45 @@
+package wirecompat_test
+
+import (
+	"testing"
+
+	"pdtl/internal/analysis/atest"
+	"pdtl/internal/analysis/wirecompat"
+)
+
+// withWirePkg points the analyzer's -wirepkg flag at a fixture package
+// for the duration of one subtest.
+func withWirePkg(t *testing.T, pkg string) {
+	t.Helper()
+	fl := wirecompat.Analyzer.Flags.Lookup("wirepkg")
+	def := fl.DefValue
+	if err := wirecompat.Analyzer.Flags.Set("wirepkg", pkg); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wirecompat.Analyzer.Flags.Set("wirepkg", def) })
+}
+
+func TestCleanAndKeyedLiterals(t *testing.T) {
+	withWirePkg(t, "wirefix")
+	atest.Run(t, wirecompat.Analyzer, "wirefix", "wireuse")
+}
+
+func TestAppendOnlyBreaks(t *testing.T) {
+	withWirePkg(t, "wirebreak")
+	atest.Run(t, wirecompat.Analyzer, "wirebreak")
+}
+
+func TestStaleGolden(t *testing.T) {
+	withWirePkg(t, "wirestale")
+	atest.Run(t, wirecompat.Analyzer, "wirestale")
+}
+
+// TestDefaultWirePkg pins the production configuration.
+func TestDefaultWirePkg(t *testing.T) {
+	if got := wirecompat.Analyzer.Flags.Lookup("wirepkg").DefValue; got != "pdtl/internal/cluster" {
+		t.Fatalf("default -wirepkg = %q", got)
+	}
+	if got := wirecompat.Analyzer.Flags.Lookup("fingerprint").DefValue; got != "wire.fingerprint" {
+		t.Fatalf("default -fingerprint = %q", got)
+	}
+}

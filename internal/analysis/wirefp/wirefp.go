@@ -1,0 +1,227 @@
+// Package wirefp computes the gob wire-format fingerprint of the
+// cluster protocol: every struct declared in internal/cluster/wire.go,
+// expanded transitively through every module-internal named type its
+// fields reach, rendered as an ordered, diffable text form.
+//
+// The fingerprint is committed as internal/cluster/wire.fingerprint and
+// kept current by go:generate. Its policy is append-only: gob tolerates
+// *adding* fields (decoders skip unknown names, encoders omit zero
+// values), but renaming, retyping, removing, or reordering an existing
+// field silently corrupts mixed-version clusters. The wirecompat
+// analyzer diffs the committed fingerprint against the live types and
+// reports any non-append change.
+package wirefp
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Header introduces the generated file and states the policy.
+const Header = `# PDTL cluster wire fingerprint. Generated; do not edit by hand.
+# Regenerate: go generate ./internal/cluster
+# Policy: append-only. Adding a field or struct is fine; renaming,
+# retyping, removing, or reordering an existing entry is a wire break
+# and is rejected by pdtl-lint's wirecompat analyzer.
+`
+
+// Field is one struct field (or, for non-struct named types, the
+// underlying type spelled as a single pseudo-field).
+type Field struct {
+	Name string
+	Type string
+}
+
+// Struct is one named type's fingerprint. Kind is "struct" or "type".
+type Struct struct {
+	Kind   string
+	Name   string // fully qualified: pdtl/internal/cluster.CountArgs
+	Fields []Field
+}
+
+// Fingerprint is the ordered fingerprint of the whole wire surface.
+type Fingerprint struct {
+	Structs []Struct
+}
+
+// moduleInternal reports whether a package is part of this module (the
+// types whose definitions we control and must therefore pin).
+func moduleInternal(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == "pdtl" || strings.HasPrefix(p, "pdtl/")
+}
+
+// qual renders package names as full import paths so the fingerprint is
+// unambiguous no matter where it is read from.
+func qual(p *types.Package) string { return p.Path() }
+
+// Compute builds the fingerprint for pkg. Root types are the named types
+// whose declarations sit in a file with base name wireFile (normally
+// "wire.go"); the fingerprint then expands through every module-internal
+// named type reachable from a root's fields, in deterministic
+// declaration-then-discovery order.
+func Compute(pkg *types.Package, fset *token.FileSet, wireFile string) (*Fingerprint, error) {
+	scope := pkg.Scope()
+	var roots []*types.TypeName
+	for _, name := range scope.Names() { // scope.Names is sorted
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		file := fset.Position(tn.Pos()).Filename
+		if base(file) == wireFile {
+			roots = append(roots, tn)
+		}
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("wirefp: no named types declared in %s of %s", wireFile, pkg.Path())
+	}
+	// Declaration order, not alphabetical: the file reads top-down.
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+
+	fp := &Fingerprint{}
+	seen := make(map[*types.TypeName]bool)
+	queue := roots
+	for len(queue) > 0 {
+		tn := queue[0]
+		queue = queue[1:]
+		if seen[tn] {
+			continue
+		}
+		seen[tn] = true
+		full := tn.Pkg().Path() + "." + tn.Name()
+		if st, ok := tn.Type().Underlying().(*types.Struct); ok {
+			s := Struct{Kind: "struct", Name: full}
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if !f.Exported() {
+					continue // gob ignores unexported fields
+				}
+				s.Fields = append(s.Fields, Field{Name: f.Name(), Type: types.TypeString(f.Type(), qual)})
+				queue = appendReachable(queue, seen, f.Type())
+			}
+			fp.Structs = append(fp.Structs, s)
+		} else {
+			fp.Structs = append(fp.Structs, Struct{
+				Kind:   "type",
+				Name:   full,
+				Fields: []Field{{Name: "=", Type: types.TypeString(tn.Type().Underlying(), qual)}},
+			})
+		}
+	}
+	return fp, nil
+}
+
+// appendReachable pushes module-internal named types found anywhere in t
+// onto the work queue.
+func appendReachable(queue []*types.TypeName, seen map[*types.TypeName]bool, t types.Type) []*types.TypeName {
+	switch t := t.(type) {
+	case *types.Named:
+		if tn := t.Obj(); moduleInternal(tn.Pkg()) && !seen[tn] {
+			queue = append(queue, tn)
+		}
+	case *types.Pointer:
+		queue = appendReachable(queue, seen, t.Elem())
+	case *types.Slice:
+		queue = appendReachable(queue, seen, t.Elem())
+	case *types.Array:
+		queue = appendReachable(queue, seen, t.Elem())
+	case *types.Map:
+		queue = appendReachable(queue, seen, t.Key())
+		queue = appendReachable(queue, seen, t.Elem())
+	}
+	return queue
+}
+
+// Marshal renders the fingerprint in its canonical text form.
+func (fp *Fingerprint) Marshal() []byte {
+	var b strings.Builder
+	b.WriteString(Header)
+	for _, s := range fp.Structs {
+		fmt.Fprintf(&b, "%s %s\n", s.Kind, s.Name)
+		for i, f := range s.Fields {
+			fmt.Fprintf(&b, "  %d %s %s\n", i, f.Name, f.Type)
+		}
+	}
+	return []byte(b.String())
+}
+
+// Parse reads the canonical text form back. Comment lines (#) and blank
+// lines are ignored.
+func Parse(data []byte) (*Fingerprint, error) {
+	fp := &Fingerprint{}
+	var cur *Struct
+	for ln, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "  ") {
+			if cur == nil {
+				return nil, fmt.Errorf("wirefp: line %d: field before any struct header", ln+1)
+			}
+			parts := strings.SplitN(trimmed, " ", 3)
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("wirefp: line %d: malformed field line %q", ln+1, line)
+			}
+			cur.Fields = append(cur.Fields, Field{Name: parts[1], Type: parts[2]})
+			continue
+		}
+		parts := strings.SplitN(trimmed, " ", 2)
+		if len(parts) != 2 || (parts[0] != "struct" && parts[0] != "type") {
+			return nil, fmt.Errorf("wirefp: line %d: malformed header %q", ln+1, line)
+		}
+		fp.Structs = append(fp.Structs, Struct{Kind: parts[0], Name: parts[1]})
+		cur = &fp.Structs[len(fp.Structs)-1]
+	}
+	return fp, nil
+}
+
+// CompareAppendOnly diffs committed (the golden) against live (the
+// current types) under the append-only policy and returns one message
+// per violation. Appended fields and brand-new structs are allowed;
+// everything else is a wire break.
+func CompareAppendOnly(committed, live *Fingerprint) []string {
+	var breaks []string
+	liveByName := make(map[string]Struct, len(live.Structs))
+	for _, s := range live.Structs {
+		liveByName[s.Name] = s
+	}
+	for _, old := range committed.Structs {
+		now, ok := liveByName[old.Name]
+		if !ok {
+			breaks = append(breaks, fmt.Sprintf("wire type %s was removed (fingerprint still pins it)", old.Name))
+			continue
+		}
+		if now.Kind != old.Kind {
+			breaks = append(breaks, fmt.Sprintf("wire type %s changed kind %s -> %s", old.Name, old.Kind, now.Kind))
+			continue
+		}
+		for i, f := range old.Fields {
+			if i >= len(now.Fields) {
+				breaks = append(breaks, fmt.Sprintf("wire field %s.%s (slot %d) was removed", old.Name, f.Name, i))
+				continue
+			}
+			g := now.Fields[i]
+			if g.Name != f.Name || g.Type != f.Type {
+				breaks = append(breaks, fmt.Sprintf(
+					"wire field %s slot %d changed: %s %s -> %s %s (append new fields; never rename, retype, or reorder)",
+					old.Name, i, f.Name, f.Type, g.Name, g.Type))
+			}
+		}
+	}
+	return breaks
+}
+
+func base(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

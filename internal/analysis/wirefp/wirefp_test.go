@@ -1,0 +1,91 @@
+package wirefp
+
+import (
+	"go/importer"
+	"go/token"
+	"os"
+	"testing"
+)
+
+// TestGoldenCurrent regenerates the fingerprint from the live cluster
+// types and diffs it byte-for-byte against the committed golden. If this
+// fails after you appended a wire field, run:
+//
+//	go generate ./internal/cluster
+//
+// If it fails because an existing entry changed, you have broken the
+// wire format — see the append-only policy in the file header.
+func TestGoldenCurrent(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg, err := importer.ForCompiler(fset, "source", nil).Import("pdtl/internal/cluster")
+	if err != nil {
+		t.Fatalf("loading wire package: %v", err)
+	}
+	fp, err := Compute(pkg, fset, "wire.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("../../cluster/wire.fingerprint")
+	if err != nil {
+		t.Fatalf("reading committed golden: %v", err)
+	}
+	if got := fp.Marshal(); string(got) != string(want) {
+		committed, perr := Parse(want)
+		if perr != nil {
+			t.Fatalf("committed golden unparseable: %v", perr)
+		}
+		if breaks := CompareAppendOnly(committed, fp); len(breaks) > 0 {
+			for _, b := range breaks {
+				t.Errorf("wire break: %s", b)
+			}
+			t.Fatal("live wire types are not an append-only extension of the committed fingerprint")
+		}
+		t.Fatal("wire.fingerprint is stale; run: go generate ./internal/cluster")
+	}
+}
+
+// TestParseRoundTrip checks Marshal/Parse are inverse on the live types.
+func TestParseRoundTrip(t *testing.T) {
+	fp := &Fingerprint{Structs: []Struct{
+		{Kind: "struct", Name: "p.A", Fields: []Field{{"X", "int"}, {"Y", "[]p.B"}}},
+		{Kind: "type", Name: "p.K", Fields: []Field{{"=", "string"}}},
+	}}
+	back, err := Parse(fp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back.Marshal()) != string(fp.Marshal()) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", fp.Marshal(), back.Marshal())
+	}
+}
+
+func fpOf(fields ...Field) *Fingerprint {
+	return &Fingerprint{Structs: []Struct{{Kind: "struct", Name: "p.A", Fields: fields}}}
+}
+
+func TestCompareAppendOnly(t *testing.T) {
+	base := fpOf(Field{"X", "int"}, Field{"Y", "string"})
+
+	if breaks := CompareAppendOnly(base, fpOf(Field{"X", "int"}, Field{"Y", "string"}, Field{"Z", "bool"})); len(breaks) != 0 {
+		t.Errorf("append flagged as break: %v", breaks)
+	}
+	if breaks := CompareAppendOnly(base, fpOf(Field{"X", "int"})); len(breaks) != 1 {
+		t.Errorf("removal not flagged: %v", breaks)
+	}
+	if breaks := CompareAppendOnly(base, fpOf(Field{"Y", "string"}, Field{"X", "int"})); len(breaks) != 2 {
+		t.Errorf("reorder not flagged per slot: %v", breaks)
+	}
+	if breaks := CompareAppendOnly(base, fpOf(Field{"X", "int64"}, Field{"Y", "string"})); len(breaks) != 1 {
+		t.Errorf("retype not flagged: %v", breaks)
+	}
+	gone := &Fingerprint{}
+	if breaks := CompareAppendOnly(base, gone); len(breaks) != 1 {
+		t.Errorf("struct removal not flagged: %v", breaks)
+	}
+	// New structs in live are fine.
+	grown := &Fingerprint{Structs: append(append([]Struct{}, base.Structs...),
+		Struct{Kind: "struct", Name: "p.New", Fields: []Field{{"N", "int"}}})}
+	if breaks := CompareAppendOnly(base, grown); len(breaks) != 0 {
+		t.Errorf("new struct flagged as break: %v", breaks)
+	}
+}

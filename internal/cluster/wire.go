@@ -10,6 +10,12 @@
 // copy time grows with node count as in Table III.
 package cluster
 
+// The gob wire surface below is fingerprinted into wire.fingerprint
+// (append-only policy; see internal/analysis/wirefp). After appending a
+// field or struct, regenerate the golden:
+//
+//go:generate go run pdtl/cmd/pdtl-wirefp -o wire.fingerprint
+
 import (
 	"time"
 

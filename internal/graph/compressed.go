@@ -192,6 +192,8 @@ type Segment struct {
 // Contains reports whether a bitmap segment holds v. Only valid for
 // Kind == bitmap segments whose payload length was already validated; the
 // O(1) probe is the "list-probe-into-bitmap" path of the dense blocks.
+//
+//pdtl:hotpath
 func (s Segment) Contains(v Vertex) bool {
 	bit := v - s.First
 	return s.Payload[bit/8]&(1<<(bit%8)) != 0
@@ -220,31 +222,31 @@ func (it *SegIter) Err() error { return it.err }
 func uvarint32(data []byte) (uint32, int, error) {
 	x, n := binary.Uvarint(data)
 	if n <= 0 {
-		return 0, 0, fmt.Errorf("graph: truncated or overlong varint in segment header")
+		return 0, 0, errHeaderVarint
 	}
 	if x > math.MaxUint32 {
-		return 0, 0, fmt.Errorf("graph: segment header value %d exceeds 32 bits", x)
+		return 0, 0, errHeader32
 	}
 	return uint32(x), n, nil
 }
 
 // Next parses the next segment. ok is false at the end of the list or on a
 // parse error (check Err).
+//
+//pdtl:hotpath
 func (it *SegIter) Next() (Segment, bool) {
 	if it.err != nil || it.remaining <= 0 {
 		return Segment{}, false
 	}
-	fail := func(format string, args ...any) (Segment, bool) {
-		it.err = fmt.Errorf("graph: "+format, args...)
-		return Segment{}, false
-	}
 	d := it.data
 	if len(d) == 0 {
-		return fail("truncated compressed list: %d entries missing", it.remaining)
+		it.err = errTruncatedList
+		return Segment{}, false
 	}
 	kind := d[0]
 	if kind != segKindVarint && kind != segKindBitmap {
-		return fail("bad segment kind %d (want 0 or 1)", kind)
+		it.err = errSegmentKind
+		return Segment{}, false
 	}
 	d = d[1:]
 	firstField, n, err := uvarint32(d)
@@ -261,11 +263,13 @@ func (it *SegIter) Next() (Segment, bool) {
 	d = d[n:]
 	dataLen, n64 := binary.Uvarint(d)
 	if n64 <= 0 {
-		return fail("truncated or overlong varint in segment header")
+		it.err = errHeaderVarint
+		return Segment{}, false
 	}
 	d = d[n64:]
 	if dataLen > uint64(len(d)) {
-		return fail("segment payload length %d exceeds remaining %d bytes", dataLen, len(d))
+		it.err = errPayloadLen
+		return Segment{}, false
 	}
 
 	count := it.remaining
@@ -278,17 +282,21 @@ func (it *SegIter) Next() (Segment, bool) {
 	}
 	last := first + uint64(span)
 	if last > math.MaxUint32 {
-		return fail("segment range [%d,%d] exceeds 32-bit vertex ids", first, last)
+		it.err = errRange32
+		return Segment{}, false
 	}
 	if count == 1 && span != 0 {
-		return fail("single-entry segment with span %d", span)
+		it.err = errSpanCount
+		return Segment{}, false
 	}
 	if uint64(span)+1 < uint64(count) {
-		return fail("segment span %d cannot hold %d distinct entries", span, count)
+		it.err = errSpanCount
+		return Segment{}, false
 	}
 	if kind == segKindBitmap {
 		if want := uint64(span)/8 + 1; dataLen != want {
-			return fail("bitmap segment payload %d bytes, want %d for span %d", dataLen, want, span)
+			it.err = errBitmapPayloadLen
+			return Segment{}, false
 		}
 	}
 	seg := Segment{
@@ -303,13 +311,16 @@ func (it *SegIter) Next() (Segment, bool) {
 	it.prevLast = seg.Last
 	it.start = false
 	if it.remaining == 0 && len(it.data) != 0 {
-		return fail("%d trailing bytes after final segment", len(it.data))
+		it.err = errTrailingData
+		return Segment{}, false
 	}
 	return seg, true
 }
 
 // DecodeSegment appends the segment's values to dst, validating count,
 // monotonicity, and exact payload consumption.
+//
+//pdtl:hotpath
 func DecodeSegment(s Segment, dst []Vertex) ([]Vertex, error) {
 	switch s.Kind {
 	case segKindVarint:
@@ -319,20 +330,20 @@ func DecodeSegment(s Segment, dst []Vertex) ([]Vertex, error) {
 		for i := 1; i < s.Count; i++ {
 			gap, n := binary.Uvarint(p)
 			if n <= 0 {
-				return dst, fmt.Errorf("graph: truncated or overlong varint in segment payload")
+				return dst, errPayloadVarint
 			}
 			p = p[n:]
 			v += gap + 1
 			if v > uint64(s.Last) {
-				return dst, fmt.Errorf("graph: segment value %d exceeds declared last %d", v, s.Last)
+				return dst, errValueRange
 			}
 			dst = append(dst, Vertex(v))
 		}
 		if len(p) != 0 {
-			return dst, fmt.Errorf("graph: %d undecoded bytes left in segment payload", len(p))
+			return dst, errTrailingBytes
 		}
 		if v != uint64(s.Last) {
-			return dst, fmt.Errorf("graph: segment ends at %d, header declared %d", v, s.Last)
+			return dst, errEndMismatch
 		}
 	case segKindBitmap:
 		found := 0
@@ -342,7 +353,7 @@ func DecodeSegment(s Segment, dst []Vertex) ([]Vertex, error) {
 				b &^= 1 << bit
 				v := uint64(s.First) + uint64(i*8+bit)
 				if v > uint64(s.Last) {
-					return dst, fmt.Errorf("graph: bitmap bit %d beyond declared last %d", v, s.Last)
+					return dst, errBitmapRange
 				}
 				dst = append(dst, Vertex(v))
 				found++
@@ -352,13 +363,13 @@ func DecodeSegment(s Segment, dst []Vertex) ([]Vertex, error) {
 			// found == 0 (only possible on a corrupt hand-built segment —
 			// the iterator never yields Count < 1) must error here: the
 			// bounds check below would index dst[-1].
-			return dst, fmt.Errorf("graph: bitmap segment holds %d entries, want %d", found, s.Count)
+			return dst, errBitmapCount
 		}
 		if dst[len(dst)-1] != s.Last || dst[len(dst)-found] != s.First {
-			return dst, fmt.Errorf("graph: bitmap segment bounds disagree with header [%d,%d]", s.First, s.Last)
+			return dst, errBitmapBounds
 		}
 	default:
-		return dst, fmt.Errorf("graph: bad segment kind %d", s.Kind)
+		return dst, errSegmentKind
 	}
 	return dst, nil
 }

@@ -1,0 +1,46 @@
+// Sentinel errors for the compressed-segment decode paths. These used to
+// be fmt.Errorf calls carrying the offending values; the decode and
+// segment-iteration functions are //pdtl:hotpath (called per segment on
+// every scan), and a fmt.Errorf in a hot function allocates its format
+// arguments even on the never-taken error branch. Static sentinels keep
+// the paths allocation-free, keep the scalar and unrolled decoders
+// byte-identical in their error behavior (FuzzDecodeSegmentFast compares
+// messages), and make corrupt-store failures matchable with errors.Is.
+package graph
+
+import "errors"
+
+var (
+	// errPayloadVarint: a segment payload varint is truncated or overlong.
+	errPayloadVarint = errors.New("graph: truncated or overlong varint in segment payload")
+	// errValueRange: a decoded value exceeds the header's declared last.
+	errValueRange = errors.New("graph: segment value exceeds declared last")
+	// errTrailingBytes: payload bytes remain after the declared count.
+	errTrailingBytes = errors.New("graph: undecoded bytes left in segment payload")
+	// errEndMismatch: the final decoded value is not the declared last.
+	errEndMismatch = errors.New("graph: segment does not end at declared last")
+	// errBitmapRange: a bitmap bit lies beyond the declared last.
+	errBitmapRange = errors.New("graph: bitmap bit beyond declared last")
+	// errBitmapCount: a bitmap's population disagrees with the header count.
+	errBitmapCount = errors.New("graph: bitmap entry count disagrees with header")
+	// errBitmapBounds: a bitmap's first/last set bits disagree with the header.
+	errBitmapBounds = errors.New("graph: bitmap segment bounds disagree with header")
+	// errSegmentKind: unknown segment kind byte.
+	errSegmentKind = errors.New("graph: bad segment kind (want 0 or 1)")
+	// errTruncatedList: the list ended with entries still missing.
+	errTruncatedList = errors.New("graph: truncated compressed list")
+	// errHeaderVarint: a segment header varint is truncated or overlong.
+	errHeaderVarint = errors.New("graph: truncated or overlong varint in segment header")
+	// errHeader32: a segment header value does not fit in 32 bits.
+	errHeader32 = errors.New("graph: segment header value exceeds 32 bits")
+	// errPayloadLen: declared payload length exceeds the remaining bytes.
+	errPayloadLen = errors.New("graph: segment payload length exceeds remaining bytes")
+	// errRange32: a segment's value range exceeds 32-bit vertex ids.
+	errRange32 = errors.New("graph: segment range exceeds 32-bit vertex ids")
+	// errSpanCount: a segment's span is inconsistent with its entry count.
+	errSpanCount = errors.New("graph: segment span inconsistent with entry count")
+	// errBitmapPayloadLen: a bitmap payload length disagrees with its span.
+	errBitmapPayloadLen = errors.New("graph: bitmap segment payload length disagrees with span")
+	// errTrailingData: bytes remain after the final segment.
+	errTrailingData = errors.New("graph: trailing bytes after final segment")
+)

@@ -21,10 +21,7 @@
 
 package graph
 
-import (
-	"encoding/binary"
-	"fmt"
-)
+import "encoding/binary"
 
 // wideWidth is the number of gaps one unrolled decode step consumes: eight
 // single-byte varints = one 64-bit word of payload.
@@ -37,6 +34,8 @@ const wideWidth = 8
 // executed (the decode's word-op metric; zero when the payload never had
 // eight consecutive single-byte gaps). Bitmap segments take the scalar
 // path unchanged.
+//
+//pdtl:hotpath
 func DecodeSegmentFast(s Segment, dst []Vertex) (out []Vertex, wideBlocks int, err error) {
 	if s.Kind != segKindVarint {
 		out, err = DecodeSegment(s, dst)
@@ -55,12 +54,12 @@ func DecodeSegmentFast(s Segment, dst []Vertex) (out []Vertex, wideBlocks int, e
 			// isolated large gap does not end the wide run.
 			gap, n := binary.Uvarint(p)
 			if n <= 0 {
-				return dst, wideBlocks, fmt.Errorf("graph: truncated or overlong varint in segment payload")
+				return dst, wideBlocks, errPayloadVarint
 			}
 			p = p[n:]
 			v += gap + 1
 			if v > last {
-				return dst, wideBlocks, fmt.Errorf("graph: segment value %d exceeds declared last %d", v, s.Last)
+				return dst, wideBlocks, errValueRange
 			}
 			dst = append(dst, Vertex(v))
 			i++
@@ -96,20 +95,20 @@ func DecodeSegmentFast(s Segment, dst []Vertex) (out []Vertex, wideBlocks int, e
 	for ; i < s.Count; i++ {
 		gap, n := binary.Uvarint(p)
 		if n <= 0 {
-			return dst, wideBlocks, fmt.Errorf("graph: truncated or overlong varint in segment payload")
+			return dst, wideBlocks, errPayloadVarint
 		}
 		p = p[n:]
 		v += gap + 1
 		if v > last {
-			return dst, wideBlocks, fmt.Errorf("graph: segment value %d exceeds declared last %d", v, s.Last)
+			return dst, wideBlocks, errValueRange
 		}
 		dst = append(dst, Vertex(v))
 	}
 	if len(p) != 0 {
-		return dst, wideBlocks, fmt.Errorf("graph: %d undecoded bytes left in segment payload", len(p))
+		return dst, wideBlocks, errTrailingBytes
 	}
 	if v != last {
-		return dst, wideBlocks, fmt.Errorf("graph: segment ends at %d, header declared %d", v, s.Last)
+		return dst, wideBlocks, errEndMismatch
 	}
 	return dst, wideBlocks, nil
 }
@@ -120,6 +119,8 @@ func DecodeSegmentFast(s Segment, dst []Vertex) (out []Vertex, wideBlocks int, e
 // popcounts over the returned words never see garbage bits. Only valid for
 // Kind == SegBitmap segments whose payload length the segment iterator
 // already validated against the header span.
+//
+//pdtl:hotpath
 func SegmentWords(s Segment, dst []uint64) []uint64 {
 	p := s.Payload
 	for len(p) >= 8 {

@@ -198,10 +198,10 @@ func Run(ctx context.Context, d *graph.Disk, cfg Config) (Stats, error) {
 // reallocation of these M-sized buffers would dominate small chunks. A
 // Runner is not safe for concurrent use; a pool gives each worker its own.
 type Runner struct {
-	disk    *graph.Disk
-	cfg     Config
-	handle  scan.Handle
-	kernel  scan.Kernel
+	disk   *graph.Disk
+	cfg    Config
+	handle scan.Handle
+	kernel scan.Kernel
 	// bkernel is kernel's BlockKernel view when it has one and the store
 	// is compressed — the precondition of the direct-on-compressed pass,
 	// checked once here instead of per intersection.
@@ -329,6 +329,7 @@ func (r *Runner) Close() error {
 // is a no-op. The context is checked once per memory window, exactly like
 // Run.
 func (r *Runner) RunRange(ctx context.Context, rng balance.Range, sink Sink) (Stats, error) {
+	//pdtl:nondeterministic-ok wall-clock feeds Stats.Wall only, never listing order
 	start := time.Now()
 	if ctx == nil {
 		ctx = context.Background()
@@ -349,7 +350,7 @@ func (r *Runner) RunRange(ctx context.Context, rng balance.Range, sink Sink) (St
 	span := cur.Begin(obs.SpanChunk)
 
 	finish := func(err error) (Stats, error) {
-		r.stats.Wall = time.Since(start)
+		r.stats.Wall = time.Since(start) //pdtl:nondeterministic-ok timing stat only
 		r.stats.IO = r.counter.Snapshot().Sub(ioStart)
 		r.stats.WordOps += r.arena.WordOps - wordStart
 		r.stats.FastDecodes += r.arena.FastDecodes - fastStart
@@ -393,6 +394,8 @@ func (r *Runner) RunRange(ctx context.Context, rng balance.Range, sink Sink) (St
 
 // emit consumes one kernel match: common vertex w closes triangle
 // (curU, curV, w).
+//
+//pdtl:hotpath
 func (r *Runner) emit(w graph.Vertex) {
 	r.stats.Triangles++
 	if r.sink != nil {

@@ -44,18 +44,18 @@ const MaxAttrs = 6
 // and the trace linter grep for these, so they are constants rather than
 // ad-hoc literals.
 const (
-	SpanCount     = "count"      // one whole run (handle open → result)
-	SpanOrient    = "orient"     // orientation preprocessing
-	SpanPlan      = "plan"       // load-balance planning
-	SpanCalc      = "calc"       // the calculation phase (all runners)
-	SpanWorker    = "worker"     // one pool runner's lifetime
-	SpanChunk     = "chunk"      // one runner×range execution (hot path)
-	SpanScanRound = "scan.round" // one shared-source broadcast round
-	SpanAssemble  = "assemble"   // listing reassembly
-	SpanCluster   = "cluster"    // one distributed run (master side)
-	SpanCopy      = "copy"       // replica copy to one node
-	SpanDispatch  = "dispatch"   // one Count RPC (static) or batch (stealing)
-	SpanNodeCount = "node.count" // a worker node's calculation phase
+	SpanCount     = "count"          // one whole run (handle open → result)
+	SpanOrient    = "orient"         // orientation preprocessing
+	SpanPlan      = "plan"           // load-balance planning
+	SpanCalc      = "calc"           // the calculation phase (all runners)
+	SpanWorker    = "worker"         // one pool runner's lifetime
+	SpanChunk     = "chunk"          // one runner×range execution (hot path)
+	SpanScanRound = "scan.round"     // one shared-source broadcast round
+	SpanAssemble  = "assemble"       // listing reassembly
+	SpanCluster   = "cluster"        // one distributed run (master side)
+	SpanCopy      = "copy"           // replica copy to one node
+	SpanDispatch  = "dispatch"       // one Count RPC (static) or batch (stealing)
+	SpanNodeCount = "node.count"     // a worker node's calculation phase
 	SpanFreeze    = "compact.freeze" // live: delta layer freeze
 	SpanBuild     = "compact.build"  // live: snapshot build
 	SpanSwap      = "compact.swap"   // live: snapshot swap
@@ -115,6 +115,8 @@ func NewTrace(capacity int) *Trace {
 
 // Begin starts a span under parent and returns its id. On a nil trace or
 // a full slab it returns NoSpan (dropped spans are counted).
+//
+//pdtl:hotpath
 func (t *Trace) Begin(name string, parent SpanID) SpanID {
 	if t == nil {
 		return NoSpan
@@ -135,6 +137,8 @@ func (t *Trace) Begin(name string, parent SpanID) SpanID {
 }
 
 // End stamps the span's duration. No-op for NoSpan or a nil trace.
+//
+//pdtl:hotpath
 func (t *Trace) End(id SpanID) {
 	if t == nil || id < 0 {
 		return
@@ -145,6 +149,8 @@ func (t *Trace) End(id SpanID) {
 
 // SetAttr attaches one integer attribute to the span (dropped past
 // MaxAttrs). No-op for NoSpan or a nil trace.
+//
+//pdtl:hotpath
 func (t *Trace) SetAttr(id SpanID, key string, val int64) {
 	if t == nil || id < 0 {
 		return
@@ -157,6 +163,8 @@ func (t *Trace) SetAttr(id SpanID, key string, val int64) {
 }
 
 // SetWorker stamps the pool runner index the span ran on.
+//
+//pdtl:hotpath
 func (t *Trace) SetWorker(id SpanID, worker int) {
 	if t == nil || id < 0 {
 		return
@@ -306,6 +314,8 @@ func ContextWithCursor(ctx context.Context, c Cursor) context.Context {
 
 // CursorFrom extracts the cursor, or a no-op cursor when absent. It is
 // allocation-free and safe to call on every chunk.
+//
+//pdtl:hotpath
 func CursorFrom(ctx context.Context) Cursor {
 	if v := ctx.Value(cursorKey{}); v != nil {
 		return *v.(*Cursor)
@@ -314,6 +324,8 @@ func CursorFrom(ctx context.Context) Cursor {
 }
 
 // Begin starts a span at the cursor's position, stamped with its worker.
+//
+//pdtl:hotpath
 func (c Cursor) Begin(name string) SpanID {
 	id := c.T.Begin(name, c.Span)
 	if id >= 0 && c.Worker >= 0 {
@@ -323,9 +335,13 @@ func (c Cursor) Begin(name string) SpanID {
 }
 
 // End stamps the span's duration.
+//
+//pdtl:hotpath
 func (c Cursor) End(id SpanID) { c.T.End(id) }
 
 // SetAttr attaches one attribute to the span.
+//
+//pdtl:hotpath
 func (c Cursor) SetAttr(id SpanID, key string, val int64) { c.T.SetAttr(id, key, val) }
 
 // Child returns a cursor whose new spans nest under id.

@@ -85,6 +85,8 @@ func NewArena() *Arena {
 
 // Count implements CountKernel: the two-pointer merge without the emit
 // callback.
+//
+//pdtl:hotpath
 func (mergeKernel) Count(a, b []graph.Vertex) (count, steps uint64) {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -105,6 +107,8 @@ func (mergeKernel) Count(a, b []graph.Vertex) (count, steps uint64) {
 }
 
 // Count implements CountKernel for the galloping kernel.
+//
+//pdtl:hotpath
 func (gallopKernel) Count(a, b []graph.Vertex) (count, steps uint64) {
 	small, large := a, b
 	if len(small) > len(large) {
@@ -143,6 +147,8 @@ func (gallopKernel) Count(a, b []graph.Vertex) (count, steps uint64) {
 
 // Count implements CountKernel with the same per-pair dispatch as
 // Intersect.
+//
+//pdtl:hotpath
 func (adaptiveKernel) Count(a, b []graph.Vertex) (count, steps uint64) {
 	s, l := len(a), len(b)
 	if s > l {
@@ -158,6 +164,8 @@ func (adaptiveKernel) Count(a, b []graph.Vertex) (count, steps uint64) {
 }
 
 // Count implements CountKernel with the same block skipping as Intersect.
+//
+//pdtl:hotpath
 func (compressedKernel) Count(a, b []graph.Vertex) (count, steps uint64) {
 	if len(a) == 0 || len(b) == 0 {
 		return 0, 0
@@ -198,6 +206,8 @@ func (compressedKernel) Count(a, b []graph.Vertex) (count, steps uint64) {
 
 // Count implements CountKernel with the same range-cover pre-filter as
 // Intersect.
+//
+//pdtl:hotpath
 func (coverKernel) Count(a, b []graph.Vertex) (count, steps uint64) {
 	if len(a) == 0 || len(b) == 0 {
 		return 0, 0
@@ -225,6 +235,8 @@ func (coverKernel) Count(a, b []graph.Vertex) (count, steps uint64) {
 // CountCompressed implements CountBlockKernel: IntersectCompressed's
 // segment walk with the per-element payload work replaced by the
 // word-parallel bitmap kernels and the unrolled varint decoder.
+//
+//pdtl:hotpath
 func (compressedKernel) CountCompressed(a graph.CompressedList, b []graph.Vertex, ar *Arena) (count, steps, skipped uint64, err error) {
 	if a.Degree == 0 || len(b) == 0 {
 		return 0, 0, 0, nil
@@ -296,6 +308,8 @@ func (compressedKernel) CountCompressed(a graph.CompressedList, b []graph.Vertex
 //     range — zero per-element work, the bitmap×bitmap kernel.
 //   - otherwise: one word-masked membership probe per b element against
 //     the materialized payload words.
+//
+//pdtl:hotpath
 func (ar *Arena) countBitmapSeg(seg graph.Segment, b []graph.Vertex) (count uint64) {
 	// Clip b to [First, Last]. The non-single caller already narrowed by
 	// galloping, making these O(1); the single-segment caller relies on

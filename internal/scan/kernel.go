@@ -135,6 +135,7 @@ type mergeKernel struct{}
 
 func (mergeKernel) Kind() KernelKind { return KernelMerge }
 
+//pdtl:hotpath
 func (mergeKernel) Intersect(a, b []graph.Vertex, emit func(graph.Vertex)) uint64 {
 	i, j := 0, 0
 	var steps uint64
@@ -163,6 +164,7 @@ type gallopKernel struct{}
 
 func (gallopKernel) Kind() KernelKind { return KernelGallop }
 
+//pdtl:hotpath
 func (gallopKernel) Intersect(a, b []graph.Vertex, emit func(graph.Vertex)) uint64 {
 	small, large := a, b
 	if len(small) > len(large) {
@@ -216,6 +218,7 @@ type adaptiveKernel struct{}
 
 func (adaptiveKernel) Kind() KernelKind { return KernelAdaptive }
 
+//pdtl:hotpath
 func (adaptiveKernel) Intersect(a, b []graph.Vertex, emit func(graph.Vertex)) uint64 {
 	s, l := len(a), len(b)
 	if s > l {
@@ -231,6 +234,8 @@ func (adaptiveKernel) Intersect(a, b []graph.Vertex, emit func(graph.Vertex)) ui
 }
 
 // boolStep charges one comparison step when cond holds.
+//
+//pdtl:hotpath
 func boolStep(cond bool) uint64 {
 	if cond {
 		return 1
@@ -240,6 +245,8 @@ func boolStep(cond bool) uint64 {
 
 // gallopGE returns the first index ≥ from with b[idx] ≥ x, by exponential
 // probe + binary search, and the comparison steps spent.
+//
+//pdtl:hotpath
 func gallopGE(b []graph.Vertex, from int, x graph.Vertex) (int, uint64) {
 	var steps uint64
 	lo := from
@@ -265,6 +272,8 @@ func gallopGE(b []graph.Vertex, from int, x graph.Vertex) (int, uint64) {
 }
 
 // gallopGT returns the first index ≥ from with b[idx] > x.
+//
+//pdtl:hotpath
 func gallopGT(b []graph.Vertex, from int, x graph.Vertex) (int, uint64) {
 	var steps uint64
 	lo := from
@@ -299,6 +308,7 @@ type compressedKernel struct{}
 
 func (compressedKernel) Kind() KernelKind { return KernelCompressed }
 
+//pdtl:hotpath
 func (compressedKernel) Intersect(a, b []graph.Vertex, emit func(graph.Vertex)) uint64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
@@ -438,6 +448,7 @@ type coverKernel struct{}
 
 func (coverKernel) Kind() KernelKind { return KernelCover }
 
+//pdtl:hotpath
 func (coverKernel) Intersect(a, b []graph.Vertex, emit func(graph.Vertex)) uint64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
